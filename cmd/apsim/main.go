@@ -1,0 +1,66 @@
+// Command apsim loads an ANML design and executes it against an input
+// stream on the functional Automata Processor model.
+//
+// Usage:
+//
+//	apsim -anml design.anml -input data.bin
+//	apsim -anml design.anml -text "stream contents"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rapid "repro"
+)
+
+func main() {
+	var (
+		anmlPath  = flag.String("anml", "", "ANML design file (required)")
+		inputPath = flag.String("input", "", "input stream file")
+		text      = flag.String("text", "", "input stream text (alternative to -input)")
+		stats     = flag.Bool("stats", false, "print design statistics before running")
+	)
+	flag.Parse()
+	if *anmlPath == "" {
+		fmt.Fprintln(os.Stderr, "apsim: -anml is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(*anmlPath)
+	if err != nil {
+		fatal(err)
+	}
+	design, err := rapid.LoadANML(data)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		s := design.Stats()
+		fmt.Fprintf(os.Stderr, "STEs=%d counters=%d boolean=%d edges=%d reporting=%d\n",
+			s.STEs, s.Counters, s.BooleanGates, s.Edges, s.Reporting)
+	}
+
+	input := []byte(*text)
+	if *inputPath != "" {
+		input, err = os.ReadFile(*inputPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	reports, err := design.Run(input)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range reports {
+		fmt.Printf("report offset=%d code=%d\n", r.Offset, r.Code)
+	}
+	fmt.Printf("%d report events\n", len(reports))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apsim:", err)
+	os.Exit(1)
+}

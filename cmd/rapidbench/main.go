@@ -1,0 +1,66 @@
+// Command rapidbench regenerates the evaluation tables of the RAPID paper
+// (ASPLOS 2016) over the five benchmark applications.
+//
+// Usage:
+//
+//	rapidbench -table all            # Tables 4, 5 and 6
+//	rapidbench -table 4              # program size and STE usage
+//	rapidbench -table 5              # placement and routing statistics
+//	rapidbench -table 6 -scale 1     # tessellation at full paper sizes
+//
+// Table 6 builds full-board designs; -scale shrinks the paper's problem
+// sizes proportionally (e.g. 0.05 runs at 5%).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		table = flag.String("table", "all", "which table to regenerate: 4, 5, 6, or all")
+		scale = flag.Float64("scale", 1.0, "Table 6 problem-size scale in (0, 1]")
+	)
+	flag.Parse()
+
+	run4 := *table == "4" || *table == "all"
+	run5 := *table == "5" || *table == "all"
+	run6 := *table == "6" || *table == "all"
+	if !run4 && !run5 && !run6 {
+		fmt.Fprintf(os.Stderr, "rapidbench: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+
+	if run4 {
+		rows, err := harness.Table4()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(harness.FormatTable4(rows))
+		fmt.Println()
+	}
+	if run5 {
+		rows, err := harness.Table5()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(harness.FormatTable5(rows))
+		fmt.Println()
+	}
+	if run6 {
+		rows, err := harness.Table6(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(harness.FormatTable6(rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rapidbench:", err)
+	os.Exit(1)
+}

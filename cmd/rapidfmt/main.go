@@ -1,0 +1,64 @@
+// Command rapidfmt formats RAPID source code into the canonical style.
+//
+// Usage:
+//
+//	rapidfmt file.rapid            # print formatted source to stdout
+//	rapidfmt -w file.rapid ...     # rewrite files in place
+//	rapidfmt -d file.rapid         # report whether files differ
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lang/parser"
+	"repro/internal/lang/printer"
+)
+
+func main() {
+	var (
+		write = flag.Bool("w", false, "write result back to the source file")
+		diff  = flag.Bool("d", false, "exit 1 when any file is not formatted")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "rapidfmt: no files")
+		os.Exit(2)
+	}
+	changed := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := parser.Parse(string(data))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		formatted := printer.Print(prog)
+		if formatted != string(data) {
+			changed = true
+		}
+		switch {
+		case *write:
+			if err := os.WriteFile(path, []byte(formatted), 0o644); err != nil {
+				fatal(err)
+			}
+		case *diff:
+			if formatted != string(data) {
+				fmt.Println(path)
+			}
+		default:
+			fmt.Print(formatted)
+		}
+	}
+	if *diff && changed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rapidfmt:", err)
+	os.Exit(1)
+}

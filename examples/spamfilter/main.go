@@ -1,0 +1,93 @@
+// Spam filter: a multi-pattern streaming classifier in RAPID. Messages are
+// streamed as records separated by the reserved START_OF_INPUT symbol; a
+// shared counter accumulates spam-keyword sightings within the current
+// message and a whenever fires once three or more are seen. This exercises
+// counters shared across macro instantiations, sliding-window searches,
+// counter reset at record boundaries, and counter-guarded whenevers
+// (Figure 9 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	rapid "repro"
+)
+
+const src = `
+macro slide() {
+  either { ; } orelse {
+    whenever (ALL_INPUT == input()) ;
+  }
+}
+macro watch(String kw, Counter hits) {
+  slide();
+  foreach (char c : kw)
+    c == input();
+  hits.count();
+}
+network (String[] keywords) {
+  Counter hits;
+  some (String kw : keywords)
+    watch(kw, hits);
+  whenever (START_OF_INPUT == input()) {
+    hits.reset();
+  }
+  whenever (hits >= 3) {
+    report;
+  }
+}`
+
+func main() {
+	prog, err := rapid.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	keywords := []string{"free", "winner", "prize", "urgent", "viagra"}
+	design, err := prog.Compile(rapid.Strings(keywords))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := design.Stats()
+	fmt.Printf("filter design: %d STEs, %d counters, %d boolean gates\n",
+		s.STEs, s.Counters, s.BooleanGates)
+
+	messages := []string{
+		"you are a winner claim your free prize now",   // 3 keywords: spam
+		"meeting moved to 3pm tomorrow",                // clean
+		"urgent: free viagra winner prize",             // 4+ keywords: spam
+		"the prize committee will announce the winner", // only 2: clean
+	}
+	stream := []byte{rapid.StartOfInput}
+	bounds := []int{}
+	for _, m := range messages {
+		stream = append(stream, m...)
+		bounds = append(bounds, len(stream))
+		stream = append(stream, rapid.StartOfInput)
+	}
+
+	reports, err := design.Run(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flagged := map[int]bool{}
+	for _, off := range rapid.Offsets(reports) {
+		for i, end := range bounds {
+			if off < end {
+				flagged[i] = true
+				break
+			}
+		}
+	}
+	for i, m := range messages {
+		verdict := "ok  "
+		if flagged[i] {
+			verdict = "SPAM"
+		}
+		fmt.Printf("%s  %s\n", verdict, strings.TrimSpace(m))
+	}
+	if !flagged[0] || flagged[1] || !flagged[2] || flagged[3] {
+		log.Fatal("unexpected classification")
+	}
+}

@@ -1,0 +1,421 @@
+package anml
+
+// ANML macro definitions: parameterized sub-automata that are compiled
+// (placed and routed) once and instantiated many times with different
+// symbol sets — the mechanism behind the paper's "pre-compiled designs"
+// flow ("State symbols are parameterized, allowing repeated use of
+// pre-compiled designs with different symbols", Section 6).
+//
+// A macro definition carries a body network in which some STEs take their
+// symbol set from a named parameter (spelled %name). A macro reference
+// instantiates the body with concrete substitutions. Unmarshal expands
+// references into ordinary elements, so downstream tooling sees a plain
+// network.
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/charclass"
+)
+
+// MacroParam is one formal parameter of a macro definition.
+type MacroParam struct {
+	// Name is the parameter spelling, conventionally starting with '%'.
+	Name string
+	// Default is the symbol-set used when a reference omits the
+	// substitution (empty means the substitution is required).
+	Default string
+}
+
+// MacroDef is a parameterized sub-automaton.
+type MacroDef struct {
+	// ID is the definition's identifier.
+	ID string
+	// Params are the formal parameters.
+	Params []MacroParam
+	// Body is the template network.
+	Body *automata.Network
+	// ParamOf marks body STEs whose symbol set is a parameter rather
+	// than the class stored in the template.
+	ParamOf map[automata.ElementID]string
+}
+
+// Instantiate clones the macro body, resolving parameterized STEs with the
+// given substitutions (symbol-set syntax) or the parameter defaults.
+func (d *MacroDef) Instantiate(subs map[string]string) (*automata.Network, error) {
+	defaults := make(map[string]string, len(d.Params))
+	declared := make(map[string]bool, len(d.Params))
+	for _, p := range d.Params {
+		declared[p.Name] = true
+		if p.Default != "" {
+			defaults[p.Name] = p.Default
+		}
+	}
+	for name := range subs {
+		if !declared[name] {
+			return nil, fmt.Errorf("anml: macro %q has no parameter %q", d.ID, name)
+		}
+	}
+	out := d.Body.Clone()
+	for id, param := range d.ParamOf {
+		expr, ok := subs[param]
+		if !ok {
+			expr, ok = defaults[param]
+		}
+		if !ok {
+			return nil, fmt.Errorf("anml: macro %q: parameter %q has no substitution and no default", d.ID, param)
+		}
+		cls, err := charclass.Parse(expr)
+		if err != nil {
+			return nil, fmt.Errorf("anml: macro %q parameter %q: %w", d.ID, param, err)
+		}
+		out.Element(id).Class = cls
+	}
+	return out, nil
+}
+
+// MacroRef is one instantiation of a macro definition within a network.
+type MacroRef struct {
+	// MacroID names the definition.
+	MacroID string
+	// ID prefixes the instantiated element names, keeping ANML ids
+	// unique across instances.
+	ID string
+	// Substitutions map parameter names to symbol-set syntax.
+	Substitutions map[string]string
+}
+
+// Document is a full ANML file: macro definitions, a main network of
+// plain elements, and macro references instantiated into it.
+type Document struct {
+	Network    *automata.Network
+	Macros     []*MacroDef
+	References []MacroRef
+}
+
+// ---------------------------------------------------------------- XML
+
+type xmlParameter struct {
+	Name    string `xml:"parameter-name,attr"`
+	Default string `xml:"default-value,attr,omitempty"`
+}
+
+type xmlSubstitution struct {
+	Name  string `xml:"parameter-name,attr"`
+	Value string `xml:"substitution-value,attr"`
+}
+
+type xmlMacroRef struct {
+	MacroID       string            `xml:"macro-id,attr"`
+	ID            string            `xml:"id,attr"`
+	Substitutions []xmlSubstitution `xml:"substitution"`
+}
+
+type xmlMacroDef struct {
+	ID     string         `xml:"id,attr"`
+	Params []xmlParameter `xml:"parameter"`
+	Body   xmlNetwork     `xml:"body"`
+}
+
+type xmlDocANML struct {
+	XMLName xml.Name      `xml:"anml"`
+	Version string        `xml:"version,attr"`
+	Macros  []xmlMacroDef `xml:"macro-definition"`
+	Network xmlDocNetwork `xml:"automata-network"`
+}
+
+type xmlDocNetwork struct {
+	xmlNetwork
+	MacroRefs []xmlMacroRef `xml:"macro-reference"`
+}
+
+// MarshalDocument renders a document with macro definitions and
+// references.
+func MarshalDocument(doc *Document) ([]byte, error) {
+	out := xmlDocANML{Version: "1.0"}
+	for _, m := range doc.Macros {
+		xm := xmlMacroDef{ID: m.ID}
+		for _, p := range m.Params {
+			xm.Params = append(xm.Params, xmlParameter{Name: p.Name, Default: p.Default})
+		}
+		body, err := networkToXML(m.Body, func(e *automata.Element) (string, bool) {
+			param, ok := m.ParamOf[e.ID]
+			return param, ok
+		})
+		if err != nil {
+			return nil, fmt.Errorf("anml: macro %q: %w", m.ID, err)
+		}
+		xm.Body = *body
+		out.Macros = append(out.Macros, xm)
+	}
+	if doc.Network == nil {
+		return nil, fmt.Errorf("anml: document has no network")
+	}
+	net, err := networkToXML(doc.Network, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.Network.xmlNetwork = *net
+	for _, ref := range doc.References {
+		xr := xmlMacroRef{MacroID: ref.MacroID, ID: ref.ID}
+		for name, v := range ref.Substitutions {
+			xr.Substitutions = append(xr.Substitutions, xmlSubstitution{Name: name, Value: v})
+		}
+		out.Network.MacroRefs = append(out.Network.MacroRefs, xr)
+	}
+	data, err := xml.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("anml: %w", err)
+	}
+	return append([]byte(xml.Header), append(data, '\n')...), nil
+}
+
+// UnmarshalDocument parses an ANML file with macro definitions, expanding
+// every macro reference into plain elements of the returned network.
+// Instantiated element names are prefixed with the reference id.
+func UnmarshalDocument(data []byte) (*automata.Network, error) {
+	var doc xmlDocANML
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("anml: %w", err)
+	}
+	// Parse macro definitions.
+	defs := map[string]*MacroDef{}
+	for _, xm := range doc.Macros {
+		body, paramOf, err := xmlToNetwork(&xm.Body, xm.ID)
+		if err != nil {
+			return nil, err
+		}
+		def := &MacroDef{ID: xm.ID, Body: body, ParamOf: paramOf}
+		for _, p := range xm.Params {
+			def.Params = append(def.Params, MacroParam{Name: p.Name, Default: p.Default})
+		}
+		if _, dup := defs[xm.ID]; dup {
+			return nil, fmt.Errorf("anml: duplicate macro definition %q", xm.ID)
+		}
+		defs[xm.ID] = def
+	}
+	// Parse the main network.
+	net, paramOf, err := xmlToNetwork(&doc.Network.xmlNetwork, doc.Network.ID)
+	if err != nil {
+		return nil, err
+	}
+	if len(paramOf) > 0 {
+		return nil, fmt.Errorf("anml: parameterized symbol sets are only allowed inside macro definitions")
+	}
+	// Expand references.
+	for _, ref := range doc.Network.MacroRefs {
+		def, ok := defs[ref.MacroID]
+		if !ok {
+			return nil, fmt.Errorf("anml: reference %q to unknown macro %q", ref.ID, ref.MacroID)
+		}
+		subs := map[string]string{}
+		for _, s := range ref.Substitutions {
+			subs[s.Name] = s.Value
+		}
+		inst, err := def.Instantiate(subs)
+		if err != nil {
+			return nil, fmt.Errorf("anml: reference %q: %w", ref.ID, err)
+		}
+		// Namespace instantiated element names.
+		inst.Elements(func(e *automata.Element) {
+			name := ElementID(e)
+			e.Name = ref.ID + "." + name
+		})
+		net.Merge(inst)
+	}
+	return net, nil
+}
+
+// networkToXML serializes a network, consulting paramName for STEs whose
+// symbol-set is a macro parameter.
+func networkToXML(n *automata.Network, paramName func(*automata.Element) (string, bool)) (*xmlNetwork, error) {
+	out := &xmlNetwork{ID: n.Name}
+	ids := make(map[automata.ElementID]string, n.Len())
+	seen := map[string]bool{}
+	var err error
+	n.Elements(func(e *automata.Element) {
+		id := ElementID(e)
+		if seen[id] {
+			err = fmt.Errorf("duplicate element id %q", id)
+		}
+		seen[id] = true
+		ids[e.ID] = id
+	})
+	if err != nil {
+		return nil, err
+	}
+	activations := func(src automata.ElementID) []xmlActivate {
+		var acts []xmlActivate
+		for _, edge := range n.Outs(src) {
+			acts = append(acts, xmlActivate{Element: ids[edge.To] + portSuffix(edge.Port)})
+		}
+		return acts
+	}
+	report := func(e *automata.Element) *xmlReport {
+		if !e.Report {
+			return nil
+		}
+		code := e.ReportCode
+		return &xmlReport{ReportCode: &code}
+	}
+	n.Elements(func(e *automata.Element) {
+		switch e.Kind {
+		case automata.KindSTE:
+			symbolSet := e.Class.String()
+			if paramName != nil {
+				if p, ok := paramName(e); ok {
+					symbolSet = p
+				}
+			}
+			out.STEs = append(out.STEs, xmlSTE{
+				ID:        ids[e.ID],
+				SymbolSet: symbolSet,
+				Start:     startAttr(e.Start),
+				Activate:  activations(e.ID),
+				Report:    report(e),
+			})
+		case automata.KindCounter:
+			at := "latch"
+			if !e.Latch {
+				at = "pulse"
+			}
+			out.Counters = append(out.Counters, xmlCounter{
+				ID: ids[e.ID], Target: e.Target, AtTarget: at,
+				Activate: activations(e.ID), Report: report(e),
+			})
+		case automata.KindGate:
+			g := xmlGate{ID: ids[e.ID], Activate: activations(e.ID), Report: report(e)}
+			switch e.Op {
+			case automata.GateAnd:
+				out.Ands = append(out.Ands, g)
+			case automata.GateOr:
+				out.Ors = append(out.Ors, g)
+			case automata.GateNot:
+				out.Nots = append(out.Nots, g)
+			case automata.GateNor:
+				out.Nors = append(out.Nors, g)
+			case automata.GateNand:
+				out.Nands = append(out.Nands, g)
+			}
+		}
+	})
+	return out, nil
+}
+
+// xmlToNetwork parses an xmlNetwork into a network, returning the
+// parameterized STE map (symbol-sets spelled %name).
+func xmlToNetwork(x *xmlNetwork, name string) (*automata.Network, map[automata.ElementID]string, error) {
+	n := automata.NewNetwork(name)
+	paramOf := map[automata.ElementID]string{}
+	ids := map[string]automata.ElementID{}
+	declare := func(id string, eid automata.ElementID) error {
+		if _, dup := ids[id]; dup {
+			return fmt.Errorf("anml: duplicate element id %q", id)
+		}
+		ids[id] = eid
+		n.Element(eid).Name = id
+		return nil
+	}
+	for _, s := range x.STEs {
+		var cls charclass.Class
+		isParam := strings.HasPrefix(s.SymbolSet, "%")
+		if !isParam {
+			parsed, err := charclass.Parse(s.SymbolSet)
+			if err != nil {
+				return nil, nil, fmt.Errorf("anml: element %q: %w", s.ID, err)
+			}
+			cls = parsed
+		} else {
+			// Placeholder class until instantiation.
+			cls = charclass.All()
+		}
+		start, err := parseStart(s.Start)
+		if err != nil {
+			return nil, nil, fmt.Errorf("anml: element %q: %w", s.ID, err)
+		}
+		eid := n.AddSTE(cls, start)
+		if isParam {
+			paramOf[eid] = s.SymbolSet
+		}
+		if err := declare(s.ID, eid); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, c := range x.Counters {
+		eid := n.AddCounter(c.Target)
+		n.Element(eid).Latch = c.AtTarget != "pulse"
+		if err := declare(c.ID, eid); err != nil {
+			return nil, nil, err
+		}
+	}
+	gateGroups := []struct {
+		gates []xmlGate
+		op    automata.GateOp
+	}{
+		{x.Ands, automata.GateAnd},
+		{x.Ors, automata.GateOr},
+		{x.Nots, automata.GateNot},
+		{x.Nors, automata.GateNor},
+		{x.Nands, automata.GateNand},
+	}
+	for _, grp := range gateGroups {
+		for _, g := range grp.gates {
+			if err := declare(g.ID, n.AddGate(grp.op)); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	connect := func(srcID string, acts []xmlActivate) error {
+		src := ids[srcID]
+		for _, a := range acts {
+			target := a.Element
+			port := automata.PortIn
+			switch {
+			case strings.HasSuffix(target, ":cnt"):
+				target, port = strings.TrimSuffix(target, ":cnt"), automata.PortCount
+			case strings.HasSuffix(target, ":rst"):
+				target, port = strings.TrimSuffix(target, ":rst"), automata.PortReset
+			}
+			dst, ok := ids[target]
+			if !ok {
+				return fmt.Errorf("anml: %q activates unknown element %q", srcID, a.Element)
+			}
+			n.Connect(src, dst, port)
+		}
+		return nil
+	}
+	setReport := func(id string, r *xmlReport) {
+		if r == nil {
+			return
+		}
+		code := 0
+		if r.ReportCode != nil {
+			code = *r.ReportCode
+		}
+		n.SetReport(ids[id], code)
+	}
+	for _, s := range x.STEs {
+		if err := connect(s.ID, s.Activate); err != nil {
+			return nil, nil, err
+		}
+		setReport(s.ID, s.Report)
+	}
+	for _, c := range x.Counters {
+		if err := connect(c.ID, c.Activate); err != nil {
+			return nil, nil, err
+		}
+		setReport(c.ID, c.Report)
+	}
+	for _, grp := range gateGroups {
+		for _, g := range grp.gates {
+			if err := connect(g.ID, g.Activate); err != nil {
+				return nil, nil, err
+			}
+			setReport(g.ID, g.Report)
+		}
+	}
+	return n, paramOf, nil
+}

@@ -1,0 +1,158 @@
+package anml
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/charclass"
+)
+
+// hammingMacro builds a 2-symbol exact-match macro with both symbols
+// parameterized: %c0 %c1, reporting at the end.
+func hammingMacro() *MacroDef {
+	body := automata.NewNetwork("pair")
+	a := body.AddSTE(charclass.Single('?'), automata.StartAllInput)
+	b := body.AddSTE(charclass.Single('?'), automata.StartNone)
+	body.Connect(a, b, automata.PortIn)
+	body.SetReport(b, 0)
+	return &MacroDef{
+		ID: "pair",
+		Params: []MacroParam{
+			{Name: "%c0", Default: "[a]"},
+			{Name: "%c1"},
+		},
+		Body: body,
+		ParamOf: map[automata.ElementID]string{
+			a: "%c0",
+			b: "%c1",
+		},
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	def := hammingMacro()
+	inst, err := def.Instantiate(map[string]string{"%c0": "[x]", "%c1": "[y]"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := inst.Run([]byte("zxy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Offset != 2 {
+		t.Fatalf("reports = %v", reports)
+	}
+	// Default fills %c0 when omitted.
+	inst2, err := def.Instantiate(map[string]string{"%c1": "[q]"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, _ = inst2.Run([]byte("aq"))
+	if len(reports) != 1 {
+		t.Fatalf("default substitution failed: %v", reports)
+	}
+	// Missing required parameter fails.
+	if _, err := def.Instantiate(map[string]string{"%c0": "[x]"}); err == nil {
+		t.Fatal("missing c1 parameter should fail")
+	}
+	// Unknown parameter fails.
+	if _, err := def.Instantiate(map[string]string{"%zz": "[x]", "%c1": "[y]"}); err == nil {
+		t.Fatal("unknown parameter should fail")
+	}
+	// The template must not be mutated by instantiation.
+	if !def.Body.Element(0).Class.Equal(charclass.Single('?')) {
+		t.Fatal("instantiation mutated the macro template")
+	}
+}
+
+func TestDocumentRoundTrip(t *testing.T) {
+	def := hammingMacro()
+	main := automata.NewNetwork("main")
+	s := main.AddSTE(charclass.Single('!'), automata.StartAllInput)
+	main.SetReport(s, 9)
+
+	doc := &Document{
+		Network: main,
+		Macros:  []*MacroDef{def},
+		References: []MacroRef{
+			{MacroID: "pair", ID: "i0", Substitutions: map[string]string{"%c0": "[p]", "%c1": "[q]"}},
+			{MacroID: "pair", ID: "i1", Substitutions: map[string]string{"%c0": "[r]", "%c1": "[s]"}},
+		},
+	}
+	data, err := MarshalDocument(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"macro-definition", `parameter-name="%c0"`, `default-value="[a]"`,
+		"macro-reference", `substitution-value="[p]"`, `symbol-set="%c1"`,
+	} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("document missing %q:\n%s", frag, data)
+		}
+	}
+
+	net, err := UnmarshalDocument(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Main element + 2 instances × 2 STEs.
+	if got := net.Stats().STEs; got != 5 {
+		t.Fatalf("expanded STEs = %d, want 5", got)
+	}
+	reports, err := net.Run([]byte("pq rs !"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := map[int]bool{}
+	for _, r := range reports {
+		offsets[r.Offset] = true
+	}
+	if !offsets[1] || !offsets[4] || !offsets[6] {
+		t.Fatalf("reports = %v", reports)
+	}
+}
+
+func TestUnmarshalDocumentErrors(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"unknown macro", `<anml version="1.0"><automata-network id="m">
+			<state-transition-element id="a" symbol-set="[a]" start="all-input"/>
+			<macro-reference macro-id="ghost" id="i0"/>
+		</automata-network></anml>`},
+		{"param outside macro", `<anml version="1.0"><automata-network id="m">
+			<state-transition-element id="a" symbol-set="%p" start="all-input"/>
+		</automata-network></anml>`},
+		{"duplicate macro", `<anml version="1.0">
+			<macro-definition id="m"><body><state-transition-element id="a" symbol-set="[a]"/></body></macro-definition>
+			<macro-definition id="m"><body><state-transition-element id="a" symbol-set="[a]"/></body></macro-definition>
+			<automata-network id="x"><state-transition-element id="a" symbol-set="[a]" start="all-input"/></automata-network></anml>`},
+		{"missing substitution", `<anml version="1.0">
+			<macro-definition id="m"><parameter parameter-name="%p"/><body><state-transition-element id="a" symbol-set="%p"/></body></macro-definition>
+			<automata-network id="x"><state-transition-element id="b" symbol-set="[a]" start="all-input"/>
+			<macro-reference macro-id="m" id="i0"/></automata-network></anml>`},
+	}
+	for _, tc := range cases {
+		if _, err := UnmarshalDocument([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: should fail", tc.name)
+		}
+	}
+}
+
+func TestPlainDocumentCompatible(t *testing.T) {
+	// A document without macros unmarshals like the plain format.
+	n := automata.NewNetwork("plain")
+	a := n.AddSTE(charclass.Single('a'), automata.StartAllInput)
+	n.SetReport(a, 0)
+	data, err := Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := UnmarshalDocument(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats().STEs != 1 {
+		t.Fatalf("stats = %+v", net.Stats())
+	}
+}

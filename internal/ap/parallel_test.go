@@ -1,0 +1,57 @@
+package ap
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunParallelMatchesRun(t *testing.T) {
+	b := NewBoard(FirstGeneration())
+	words := []string{"abc", "bcd", "cde", "dea", "eab", "ab", "cd"}
+	for _, w := range words {
+		if err := b.Load(LoadedDesign{Network: chain(w, w), Blocks: 1, ClockDivisor: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	input := []byte("abcdeabcdeabcde")
+	seq, err := b.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := b.RunParallel(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same multiset of (design, offset) pairs; ordering within an offset
+	// may differ between the two schedulers, so compare as sets.
+	key := func(rs []BoardReport) map[string]int {
+		m := map[string]int{}
+		for _, r := range rs {
+			m[r.Design+string(rune(r.Offset))]++
+		}
+		return m
+	}
+	if !reflect.DeepEqual(key(seq), key(par)) {
+		t.Fatalf("parallel run differs:\nseq %v\npar %v", seq, par)
+	}
+	// Offsets must still be sorted.
+	for i := 1; i < len(par); i++ {
+		if par[i].Offset < par[i-1].Offset {
+			t.Fatal("parallel reports not offset-sorted")
+		}
+	}
+}
+
+func TestRunParallelSingleDesign(t *testing.T) {
+	b := NewBoard(FirstGeneration())
+	if err := b.Load(LoadedDesign{Network: chain("d", "xy"), Blocks: 1, ClockDivisor: 1}); err != nil {
+		t.Fatal(err)
+	}
+	par, err := b.RunParallel([]byte("xyxy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != 2 {
+		t.Fatalf("reports = %v", par)
+	}
+}

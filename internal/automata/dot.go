@@ -1,0 +1,67 @@
+package automata
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the network in Graphviz DOT format for visualization:
+// STEs as circles labeled with their character class (doubled when
+// reporting), counters as boxes, gates as diamonds, with count/reset ports
+// annotated on edges.
+func (n *Network) WriteDot(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", n.Name)
+	sb.WriteString("  rankdir=LR;\n")
+	for i := range n.elems {
+		e := &n.elems[i]
+		var label, shape, extra string
+		switch e.Kind {
+		case KindSTE:
+			label = escapeDot(e.Class.String())
+			shape = "circle"
+			switch e.Start {
+			case StartOfData:
+				extra = `, style=filled, fillcolor="#cce5ff"`
+			case StartAllInput:
+				extra = `, style=filled, fillcolor="#d4edda"`
+			}
+		case KindCounter:
+			label = fmt.Sprintf("cnt >= %d", e.Target)
+			shape = "box"
+		case KindGate:
+			label = strings.ToUpper(e.Op.String())
+			shape = "diamond"
+		}
+		if e.Report {
+			if e.Kind == KindSTE {
+				shape = "doublecircle"
+			} else {
+				extra += ", peripheries=2"
+			}
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\", shape=%s%s];\n", e.ID, label, shape, extra)
+	}
+	for i := range n.elems {
+		for _, edge := range n.outs[i] {
+			attr := ""
+			switch edge.Port {
+			case PortCount:
+				attr = ` [label="cnt", style=dashed]`
+			case PortReset:
+				attr = ` [label="rst", style=dashed, color=red]`
+			}
+			fmt.Fprintf(&sb, "  n%d -> n%d%s;\n", edge.From, edge.To, attr)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,179 @@
+// Package automata implements homogeneous non-deterministic finite automata
+// as executed by pattern-recognition processors such as Micron's Automata
+// Processor (AP).
+//
+// A homogeneous NFA restricts transitions so that every incoming transition
+// to a state occurs on the same symbol set; states therefore carry the label
+// (a character class) and are called state transition elements (STEs). In
+// addition to STEs, a network may contain the AP's special-purpose elements:
+// saturating up-counters and combinatorial boolean gates. Any element may be
+// marked reporting; an active reporting element generates a report event
+// carrying the current offset in the input stream.
+//
+// The package provides construction, validation, statistics, structural
+// optimization, and a lock-step simulation engine.
+package automata
+
+import (
+	"fmt"
+
+	"repro/internal/charclass"
+)
+
+// ElementID identifies an element within a Network. IDs are dense indices
+// assigned in creation order.
+type ElementID int
+
+// NoElement is the zero-value sentinel for "no element".
+const NoElement ElementID = -1
+
+// Kind discriminates the element variants of a network.
+type Kind uint8
+
+const (
+	// KindSTE is a state transition element: a state labeled with the
+	// character class of symbols on which it activates.
+	KindSTE Kind = iota
+	// KindCounter is a saturating up-counter with a target threshold.
+	KindCounter
+	// KindGate is a combinatorial boolean element.
+	KindGate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSTE:
+		return "ste"
+	case KindCounter:
+		return "counter"
+	case KindGate:
+		return "gate"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// StartKind describes when an STE is enabled independent of incoming edges.
+type StartKind uint8
+
+const (
+	// StartNone means the STE is enabled only by incoming transitions.
+	StartNone StartKind = iota
+	// StartOfData means the STE is enabled only for the first input symbol.
+	StartOfData
+	// StartAllInput means the STE is enabled on every input symbol; this is
+	// the self-activating star state used for sliding-window searches.
+	StartAllInput
+)
+
+func (s StartKind) String() string {
+	switch s {
+	case StartNone:
+		return "none"
+	case StartOfData:
+		return "start-of-data"
+	case StartAllInput:
+		return "all-input"
+	default:
+		return fmt.Sprintf("start(%d)", uint8(s))
+	}
+}
+
+// GateOp is the boolean function computed by a gate element.
+type GateOp uint8
+
+const (
+	// GateAnd is active when all inputs are active.
+	GateAnd GateOp = iota
+	// GateOr is active when at least one input is active.
+	GateOr
+	// GateNot is active when its single input is inactive. It implements
+	// the inverter used by the counter lowering rules (Table 2).
+	GateNot
+	// GateNor is active when no input is active.
+	GateNor
+	// GateNand is active unless all inputs are active.
+	GateNand
+)
+
+func (op GateOp) String() string {
+	switch op {
+	case GateAnd:
+		return "and"
+	case GateOr:
+		return "or"
+	case GateNot:
+		return "not"
+	case GateNor:
+		return "nor"
+	case GateNand:
+		return "nand"
+	default:
+		return fmt.Sprintf("gateop(%d)", uint8(op))
+	}
+}
+
+// Port selects which input of a destination element an edge drives.
+type Port uint8
+
+const (
+	// PortIn is the ordinary activation input of an STE or gate.
+	PortIn Port = iota
+	// PortCount is the count-enable input of a counter.
+	PortCount
+	// PortReset is the reset input of a counter.
+	PortReset
+)
+
+func (p Port) String() string {
+	switch p {
+	case PortIn:
+		return "in"
+	case PortCount:
+		return "count"
+	case PortReset:
+		return "reset"
+	default:
+		return fmt.Sprintf("port(%d)", uint8(p))
+	}
+}
+
+// Element is one node of a homogeneous automaton network.
+//
+// Only the fields relevant to the element's Kind are meaningful: Class and
+// Start for STEs; Target and Latch for counters; Op for gates.
+type Element struct {
+	ID   ElementID
+	Name string // optional symbolic name used in ANML output
+	Kind Kind
+
+	// STE fields.
+	Class charclass.Class
+	Start StartKind
+
+	// Counter fields. Target is the threshold at which the output
+	// activates; Latch keeps the output active once the threshold is
+	// reached (until reset).
+	Target int
+	Latch  bool
+
+	// Gate fields.
+	Op GateOp
+
+	// Report marks the element as reporting; ReportCode is carried on the
+	// report event for identification by host code.
+	Report     bool
+	ReportCode int
+
+	// Origin records provenance (e.g., the macro instantiation that
+	// generated the element); informational only.
+	Origin string
+}
+
+// Edge is a directed connection from one element's output to an input port
+// of another.
+type Edge struct {
+	From ElementID
+	To   ElementID
+	Port Port
+}

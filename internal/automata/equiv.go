@@ -1,0 +1,116 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Equivalence checking for counter-free networks: two designs are
+// report-equivalent when, for every input stream, they report at exactly
+// the same offsets. This is decidable for pure STE networks via a joint
+// subset construction, and is how the optimization pipeline is verified
+// beyond sampling.
+
+// ErrHasSpecials is returned when a design contains counters or gates,
+// whose unbounded state puts exact equivalence checking out of scope.
+var ErrHasSpecials = fmt.Errorf("automata: equivalence checking requires counter- and gate-free designs")
+
+// steOnly verifies the network contains only STEs.
+func steOnly(n *Network) error {
+	for i := range n.elems {
+		if n.elems[i].Kind != KindSTE {
+			return ErrHasSpecials
+		}
+	}
+	return nil
+}
+
+// detState is a deterministic configuration: the set of enabled STEs.
+type detState []ElementID
+
+func (d detState) key() string {
+	var sb strings.Builder
+	for _, id := range d {
+		fmt.Fprintf(&sb, "%d,", id)
+	}
+	return sb.String()
+}
+
+// stepDet advances a deterministic configuration by one symbol, returning
+// the next enabled set and whether any reporting element was active.
+func stepDet(n *Network, enabled detState, sym byte, firstSymbol bool) (detState, bool) {
+	activeReport := false
+	nextSet := map[ElementID]bool{}
+	activate := func(id ElementID) {
+		e := &n.elems[id]
+		if !e.Class.Contains(sym) {
+			return
+		}
+		if e.Report {
+			activeReport = true
+		}
+		for _, out := range n.outs[id] {
+			if out.Port == PortIn {
+				nextSet[out.To] = true
+			}
+		}
+	}
+	for _, id := range enabled {
+		activate(id)
+	}
+	for i := range n.elems {
+		e := &n.elems[i]
+		if e.Start == StartAllInput || (e.Start == StartOfData && firstSymbol) {
+			activate(e.ID)
+		}
+	}
+	next := make(detState, 0, len(nextSet))
+	for id := range nextSet {
+		next = append(next, id)
+	}
+	sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+	return next, activeReport
+}
+
+// Equivalent checks report-equivalence of two counter-free networks. It
+// returns nil when equivalent, or an error carrying a counterexample input
+// on which exactly one of the designs reports.
+func Equivalent(a, b *Network) error {
+	if err := steOnly(a); err != nil {
+		return err
+	}
+	if err := steOnly(b); err != nil {
+		return err
+	}
+	part := Partition(a, b)
+
+	type pair struct {
+		ea, eb  detState
+		witness []byte
+	}
+	start := pair{}
+	seen := map[string]bool{}
+	queue := []pair{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, sym := range part.Representatives {
+			first := len(cur.witness) == 0
+			na, ra := stepDet(a, cur.ea, sym, first)
+			nb, rb := stepDet(b, cur.eb, sym, first)
+			w := append(append([]byte(nil), cur.witness...), sym)
+			if ra != rb {
+				return fmt.Errorf("automata: designs differ on input %q (offset %d): %q reports %v, %q reports %v",
+					w, len(w)-1, a.Name, ra, b.Name, rb)
+			}
+			key := detState(na).key() + "|" + detState(nb).key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			queue = append(queue, pair{ea: na, eb: nb, witness: w})
+		}
+	}
+	return nil
+}

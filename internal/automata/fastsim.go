@@ -1,0 +1,227 @@
+package automata
+
+import "fmt"
+
+// FastSimulator is a throughput-oriented simulator: it precomputes, for
+// every input symbol, the bitset of STEs accepting that symbol, and for
+// every element the bitset of STEs its activation enables. A cycle is then
+// a handful of word-wide AND/OR passes instead of per-element class tests,
+// which mirrors how the physical device evaluates all columns of the
+// memory array against the decoded row in parallel.
+//
+// Semantics are identical to Simulator; the tests cross-check them.
+type FastSimulator struct {
+	n        *Network
+	specials []ElementID
+
+	accept      [256]bitset  // STEs accepting each symbol
+	startData   bitset       // StartOfData STEs
+	startAll    bitset       // StartAllInput STEs
+	outMask     [][]maskWord // per element: sparse STE-enable mask
+	reporting   []ElementID  // elements with Report set
+	hasSpecials bool
+
+	enabled     bitset
+	nextEnabled bitset
+	active      bitset
+	counterVal  []int
+
+	offset  int
+	reports []Report
+}
+
+// NewFastSimulator validates the network and builds the precomputed
+// tables. Construction is O(elements × alphabet); prefer the plain
+// Simulator for one-shot runs of very large designs.
+func NewFastSimulator(n *Network) (*FastSimulator, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	specials, err := n.specialOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &FastSimulator{
+		n:           n,
+		specials:    specials,
+		startData:   newBitset(n.Len()),
+		startAll:    newBitset(n.Len()),
+		outMask:     make([][]maskWord, n.Len()),
+		enabled:     newBitset(n.Len()),
+		nextEnabled: newBitset(n.Len()),
+		active:      newBitset(n.Len()),
+		counterVal:  make([]int, n.Len()),
+		hasSpecials: len(specials) > 0,
+	}
+	for sym := 0; sym < 256; sym++ {
+		s.accept[sym] = newBitset(n.Len())
+	}
+	n.Elements(func(e *Element) {
+		if e.Report {
+			s.reporting = append(s.reporting, e.ID)
+		}
+		mask := newBitset(n.Len())
+		for _, out := range n.Outs(e.ID) {
+			if out.Port == PortIn && n.Element(out.To).Kind == KindSTE {
+				mask.set(out.To)
+			}
+		}
+		s.outMask[e.ID] = sparsify(mask)
+		if e.Kind != KindSTE {
+			return
+		}
+		for sym := 0; sym < 256; sym++ {
+			if e.Class.Contains(byte(sym)) {
+				s.accept[sym].set(e.ID)
+			}
+		}
+		switch e.Start {
+		case StartOfData:
+			s.startData.set(e.ID)
+		case StartAllInput:
+			s.startAll.set(e.ID)
+		}
+	})
+	return s, nil
+}
+
+// Reset returns the simulator to its initial configuration.
+func (s *FastSimulator) Reset() {
+	s.enabled.reset()
+	s.nextEnabled.reset()
+	s.active.reset()
+	for i := range s.counterVal {
+		s.counterVal[i] = 0
+	}
+	s.offset = 0
+	s.reports = nil
+}
+
+// Reports returns the report events generated so far.
+func (s *FastSimulator) Reports() []Report { return s.reports }
+
+// Step processes one input symbol.
+func (s *FastSimulator) Step(symbol byte) {
+	accept := s.accept[symbol]
+
+	// Phase 1: STE activation — word-parallel.
+	for i := range s.active {
+		w := s.enabled[i] | s.startAll[i]
+		if s.offset == 0 {
+			w |= s.startData[i]
+		}
+		s.active[i] = w & accept[i]
+	}
+
+	// Phase 2: combinational counters and gates (rare path).
+	if s.hasSpecials {
+		s.evalSpecials()
+	}
+
+	// Phase 3: reporting and next-cycle enables.
+	for i := range s.nextEnabled {
+		s.nextEnabled[i] = 0
+	}
+	s.active.forEach(func(id ElementID) {
+		for _, mw := range s.outMask[id] {
+			s.nextEnabled[mw.word] |= mw.bits
+		}
+	})
+	for _, id := range s.reporting {
+		if s.active.has(id) {
+			s.reports = append(s.reports, Report{Offset: s.offset, Element: id, Code: s.n.Element(id).ReportCode})
+		}
+	}
+	s.enabled, s.nextEnabled = s.nextEnabled, s.enabled
+	s.offset++
+}
+
+func (s *FastSimulator) evalSpecials() {
+	n := s.n
+	for _, id := range s.specials {
+		e := n.Element(id)
+		switch e.Kind {
+		case KindCounter:
+			countIn, resetIn := false, false
+			for _, in := range n.Ins(id) {
+				if !s.active.has(in.From) {
+					continue
+				}
+				switch in.Port {
+				case PortCount:
+					countIn = true
+				case PortReset:
+					resetIn = true
+				}
+			}
+			switch {
+			case resetIn:
+				s.counterVal[id] = 0
+			case countIn && s.counterVal[id] < e.Target:
+				s.counterVal[id]++
+			}
+			if s.counterVal[id] >= e.Target {
+				s.active.set(id)
+			}
+		case KindGate:
+			anyActive, allActive := false, true
+			for _, in := range n.Ins(id) {
+				if s.active.has(in.From) {
+					anyActive = true
+				} else {
+					allActive = false
+				}
+			}
+			var out bool
+			switch e.Op {
+			case GateAnd:
+				out = allActive
+			case GateOr:
+				out = anyActive
+			case GateNot, GateNor:
+				out = !anyActive
+			case GateNand:
+				out = !allActive
+			}
+			if out {
+				s.active.set(id)
+			}
+		}
+	}
+}
+
+// maskWord is one nonzero word of a sparse bitset mask.
+type maskWord struct {
+	word int
+	bits uint64
+}
+
+// sparsify compresses a bitset to its nonzero words.
+func sparsify(b bitset) []maskWord {
+	var out []maskWord
+	for i, w := range b {
+		if w != 0 {
+			out = append(out, maskWord{word: i, bits: w})
+		}
+	}
+	return out
+}
+
+// Run resets the simulator and processes the whole input.
+func (s *FastSimulator) Run(input []byte) []Report {
+	s.Reset()
+	for _, b := range input {
+		s.Step(b)
+	}
+	return s.Reports()
+}
+
+// RunFast simulates the network over input using the precomputed fast
+// path.
+func (n *Network) RunFast(input []byte) ([]Report, error) {
+	s, err := NewFastSimulator(n)
+	if err != nil {
+		return nil, fmt.Errorf("automata: %w", err)
+	}
+	return s.Run(input), nil
+}

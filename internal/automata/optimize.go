@@ -1,0 +1,254 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// compact returns a copy of n containing only the elements with keep[id]
+// set, remapping ids densely and dropping edges incident to removed
+// elements.
+func (n *Network) compact(keep []bool) *Network {
+	out := NewNetwork(n.Name)
+	remap := make([]ElementID, n.Len())
+	for i := range remap {
+		remap[i] = NoElement
+	}
+	for i := range n.elems {
+		if !keep[i] {
+			continue
+		}
+		e := n.elems[i]
+		remap[i] = out.add(e)
+	}
+	for i := range n.elems {
+		if !keep[i] {
+			continue
+		}
+		for _, e := range n.outs[i] {
+			if keep[e.To] {
+				out.Connect(remap[e.From], remap[e.To], e.Port)
+			}
+		}
+	}
+	return out
+}
+
+// PruneUnreachable returns a copy of n without elements that can never
+// activate: elements with no path from a start STE. Counter reset edges are
+// treated as ordinary connectivity.
+func (n *Network) PruneUnreachable() *Network {
+	reachable := make([]bool, n.Len())
+	var queue []ElementID
+	for i := range n.elems {
+		e := &n.elems[i]
+		if e.Kind == KindSTE && e.Start != StartNone {
+			reachable[i] = true
+			queue = append(queue, ElementID(i))
+		}
+		// Gates that compute true on all-inactive inputs (NOT/NOR/NAND)
+		// are live regardless of upstream reachability.
+		if e.Kind == KindGate && (e.Op == GateNot || e.Op == GateNor || e.Op == GateNand) {
+			reachable[i] = true
+			queue = append(queue, ElementID(i))
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, e := range n.outs[id] {
+			if !reachable[e.To] {
+				reachable[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return n.compact(reachable)
+}
+
+// PruneNonProductive returns a copy of n without elements that cannot
+// contribute to any report: elements with no path to a reporting element.
+func (n *Network) PruneNonProductive() *Network {
+	productive := make([]bool, n.Len())
+	var queue []ElementID
+	for i := range n.elems {
+		if n.elems[i].Report {
+			productive[i] = true
+			queue = append(queue, ElementID(i))
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, e := range n.ins[id] {
+			if !productive[e.From] {
+				productive[e.From] = true
+				queue = append(queue, e.From)
+			}
+		}
+	}
+	return n.compact(productive)
+}
+
+// steSignature summarizes the behaviorally relevant identity of an STE for
+// merging purposes, excluding its connectivity.
+func steSignature(e *Element) string {
+	return fmt.Sprintf("%s|%d|%v|%d", e.Class.String(), e.Start, e.Report, e.ReportCode)
+}
+
+func edgeKey(e Edge, useFrom bool) string {
+	if useFrom {
+		return fmt.Sprintf("%d:%d", e.From, e.Port)
+	}
+	return fmt.Sprintf("%d:%d", e.To, e.Port)
+}
+
+func edgeSetKey(edges []Edge, useFrom bool) string {
+	keys := make([]string, len(edges))
+	for i, e := range edges {
+		keys[i] = edgeKey(e, useFrom)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// MergePrefixes repeatedly merges STEs that have identical signatures and
+// identical in-edge sets (the left-to-right analogue of common prefix
+// sharing in tries). This is one of the transformations placement tools
+// apply to reduce device STE counts. It returns the optimized copy.
+func (n *Network) MergePrefixes() *Network {
+	return n.mergeEquivalent(true)
+}
+
+// MergeSuffixes repeatedly merges STEs that have identical signatures and
+// identical out-edge sets (common suffix sharing).
+func (n *Network) MergeSuffixes() *Network {
+	return n.mergeEquivalent(false)
+}
+
+func (n *Network) mergeEquivalent(byIns bool) *Network {
+	cur := n.Clone()
+	for {
+		groups := make(map[string][]ElementID)
+		for i := range cur.elems {
+			e := &cur.elems[i]
+			if e.Kind != KindSTE {
+				continue
+			}
+			var edges []Edge
+			if byIns {
+				edges = cur.ins[i]
+			} else {
+				edges = cur.outs[i]
+			}
+			// Self-loops would make signatures depend on identity; skip
+			// merging elements with self-edges for simplicity.
+			selfLoop := false
+			for _, ed := range edges {
+				if ed.From == ed.To {
+					selfLoop = true
+				}
+			}
+			if selfLoop {
+				continue
+			}
+			key := steSignature(e) + "#" + edgeSetKey(edges, byIns)
+			groups[key] = append(groups[key], ElementID(i))
+		}
+		merged := false
+		keep := make([]bool, cur.Len())
+		for i := range keep {
+			keep[i] = true
+		}
+		for _, ids := range groups {
+			if len(ids) < 2 {
+				continue
+			}
+			merged = true
+			rep := ids[0]
+			for _, dup := range ids[1:] {
+				// Redirect the dup's other-side edges onto the representative.
+				if byIns {
+					for _, e := range cur.outs[dup] {
+						cur.Connect(rep, e.To, e.Port)
+					}
+				} else {
+					for _, e := range cur.ins[dup] {
+						cur.Connect(e.From, rep, e.Port)
+					}
+				}
+				keep[dup] = false
+			}
+		}
+		if !merged {
+			return cur
+		}
+		cur = cur.compact(keep)
+	}
+}
+
+// SplitHighFanIn duplicates STEs whose activation fan-in exceeds limit,
+// modeling the AP routing matrix's bounded row fan-in: placement tools must
+// replicate such states, which can increase device STE counts above the
+// generated design's count. Incoming activation edges are distributed among
+// the copies; all other properties (including out-edges) are duplicated.
+func (n *Network) SplitHighFanIn(limit int) *Network {
+	if limit <= 0 {
+		return n.Clone()
+	}
+	out := n.Clone()
+	for id := 0; id < out.Len(); id++ { // out.Len() grows as we split
+		e := &out.elems[id]
+		if e.Kind != KindSTE {
+			continue
+		}
+		ins := append([]Edge(nil), out.ins[id]...)
+		if len(ins) <= limit {
+			continue
+		}
+		// Keep the first `limit` edges on the original; move the rest to
+		// fresh copies in chunks of `limit`.
+		for _, ed := range ins[limit:] {
+			out.Disconnect(ed.From, ed.To, ed.Port)
+		}
+		rest := ins[limit:]
+		for len(rest) > 0 {
+			chunk := rest
+			if len(chunk) > limit {
+				chunk = chunk[:limit]
+			}
+			rest = rest[len(chunk):]
+			copyID := out.add(Element{
+				Kind:       KindSTE,
+				Class:      e.Class,
+				Start:      e.Start,
+				Report:     e.Report,
+				ReportCode: e.ReportCode,
+				Origin:     e.Origin,
+			})
+			for _, oe := range out.outs[id] {
+				out.Connect(copyID, oe.To, oe.Port)
+			}
+			for _, ie := range chunk {
+				out.Connect(ie.From, copyID, ie.Port)
+			}
+			e = &out.elems[id] // re-take pointer: add may have reallocated
+		}
+	}
+	return out
+}
+
+// OptimizeForDevice applies the transformation pipeline placement tools
+// perform before mapping a design onto the device: drop unreachable and
+// non-productive elements, share common prefixes and suffixes, then enforce
+// the routing fan-in bound. fanInLimit <= 0 disables splitting.
+func (n *Network) OptimizeForDevice(fanInLimit int) *Network {
+	out := n.PruneUnreachable().PruneNonProductive()
+	out = out.MergePrefixes().MergeSuffixes()
+	if fanInLimit > 0 {
+		out = out.SplitHighFanIn(fanInLimit)
+	}
+	out.Name = n.Name
+	return out
+}

@@ -1,0 +1,187 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/charclass"
+)
+
+// wordNetwork builds a sliding matcher for one short word derived from a
+// seed, used by the quick-check properties below.
+func wordNetwork(seed uint32) (*Network, string) {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	length := 1 + rng.Intn(5)
+	word := make([]byte, length)
+	for i := range word {
+		word[i] = byte('a' + rng.Intn(3))
+	}
+	n := NewNetwork("w")
+	prev := NoElement
+	for i, ch := range word {
+		start := StartNone
+		if i == 0 {
+			start = StartAllInput
+		}
+		id := n.AddSTE(charclass.Single(ch), start)
+		if prev != NoElement {
+			n.Connect(prev, id, PortIn)
+		}
+		prev = id
+	}
+	n.SetReport(prev, 0)
+	return n, string(word)
+}
+
+func inputFromSeed(seed uint64, n int) []byte {
+	out := make([]byte, n)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	for i := range out {
+		out[i] = byte('a' + rng.Intn(3))
+	}
+	return out
+}
+
+// Property: the simulator's reports over a sliding word matcher are
+// exactly the naive substring occurrences.
+func TestQuickSlidingMatchesSubstring(t *testing.T) {
+	f := func(seed uint32, inSeed uint64) bool {
+		n, word := wordNetwork(seed)
+		input := inputFromSeed(inSeed, 24)
+		reports, err := n.Run(input)
+		if err != nil {
+			return false
+		}
+		got := map[int]bool{}
+		for _, r := range reports {
+			got[r.Offset] = true
+		}
+		want := map[int]bool{}
+		for i := 0; i+len(word) <= len(input); i++ {
+			if string(input[i:i+len(word)]) == word {
+				want[i+len(word)-1] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the fast simulator agrees with the reference simulator.
+func TestQuickFastSimAgrees(t *testing.T) {
+	f := func(seed uint32, inSeed uint64) bool {
+		n, _ := wordNetwork(seed)
+		input := inputFromSeed(inSeed, 32)
+		slow, err := n.Run(input)
+		if err != nil {
+			return false
+		}
+		fast, err := n.RunFast(input)
+		if err != nil {
+			return false
+		}
+		if len(slow) != len(fast) {
+			return false
+		}
+		for i := range slow {
+			if slow[i] != fast[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: device optimization preserves report offsets (checked by
+// simulation here; equiv_test proves it exhaustively for chain networks).
+func TestQuickOptimizePreserves(t *testing.T) {
+	f := func(seed uint32, inSeed uint64) bool {
+		n, _ := wordNetwork(seed)
+		opt := n.OptimizeForDevice(16)
+		input := inputFromSeed(inSeed, 24)
+		r1, err1 := n.Run(input)
+		r2, err2 := opt.Run(input)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		o1, o2 := map[int]bool{}, map[int]bool{}
+		for _, r := range r1 {
+			o1[r.Offset] = true
+		}
+		for _, r := range r2 {
+			o2[r.Offset] = true
+		}
+		if len(o1) != len(o2) {
+			return false
+		}
+		for k := range o1 {
+			if !o2[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging two networks preserves each one's reports (offset sets
+// union).
+func TestQuickMergePreservesBoth(t *testing.T) {
+	f := func(seedA, seedB uint32, inSeed uint64) bool {
+		a, _ := wordNetwork(seedA)
+		b, _ := wordNetwork(seedB)
+		merged := a.Clone()
+		merged.Merge(b)
+		input := inputFromSeed(inSeed, 24)
+		offsets := func(n *Network) map[int]bool {
+			rs, err := n.Run(input)
+			if err != nil {
+				return nil
+			}
+			m := map[int]bool{}
+			for _, r := range rs {
+				m[r.Offset] = true
+			}
+			return m
+		}
+		oa, ob, om := offsets(a), offsets(b), offsets(merged)
+		if oa == nil || ob == nil || om == nil {
+			return false
+		}
+		want := map[int]bool{}
+		for k := range oa {
+			want[k] = true
+		}
+		for k := range ob {
+			want[k] = true
+		}
+		if len(want) != len(om) {
+			return false
+		}
+		for k := range want {
+			if !om[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

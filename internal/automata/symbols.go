@@ -1,0 +1,73 @@
+package automata
+
+import (
+	"repro/internal/charclass"
+)
+
+// SymbolPartition groups the 256 input symbols into equivalence classes:
+// two symbols are equivalent when every STE class in the network treats
+// them identically. Analyses that explore the input alphabet (witness
+// search, equivalence checking) only need one representative per group,
+// which typically shrinks the branching factor from 256 to a handful.
+type SymbolPartition struct {
+	// Representatives holds one symbol from each equivalence group.
+	Representatives []byte
+	// GroupOf maps every symbol to the index of its group.
+	GroupOf [256]int
+}
+
+// Partition computes the symbol equivalence classes of one or more
+// networks considered together.
+func Partition(nets ...*Network) *SymbolPartition {
+	// Signature of a symbol: the set of distinct classes containing it.
+	// Build incrementally: start with one group holding all symbols and
+	// split by each class.
+	groups := [][]byte{allSymbols()}
+	for _, n := range nets {
+		for i := range n.elems {
+			e := &n.elems[i]
+			if e.Kind != KindSTE {
+				continue
+			}
+			groups = splitGroups(groups, e.Class)
+		}
+	}
+	p := &SymbolPartition{}
+	for gi, g := range groups {
+		p.Representatives = append(p.Representatives, g[0])
+		for _, sym := range g {
+			p.GroupOf[sym] = gi
+		}
+	}
+	return p
+}
+
+func allSymbols() []byte {
+	out := make([]byte, 256)
+	for i := range out {
+		out[i] = byte(i)
+	}
+	return out
+}
+
+// splitGroups refines the partition against one class.
+func splitGroups(groups [][]byte, cls charclass.Class) [][]byte {
+	out := groups[:0:0]
+	for _, g := range groups {
+		var in, notIn []byte
+		for _, sym := range g {
+			if cls.Contains(sym) {
+				in = append(in, sym)
+			} else {
+				notIn = append(notIn, sym)
+			}
+		}
+		if len(in) > 0 {
+			out = append(out, in)
+		}
+		if len(notIn) > 0 {
+			out = append(out, notIn)
+		}
+	}
+	return out
+}

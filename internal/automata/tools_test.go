@@ -1,0 +1,212 @@
+package automata
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/charclass"
+)
+
+func TestPartition(t *testing.T) {
+	n := NewNetwork("p")
+	n.AddSTE(charclass.Single('a'), StartAllInput)
+	n.AddSTE(charclass.FromString("bc"), StartNone)
+	p := Partition(n)
+	// Groups: {a}, {b,c}, everything else → 3 representatives.
+	if len(p.Representatives) != 3 {
+		t.Fatalf("representatives = %d, want 3", len(p.Representatives))
+	}
+	if p.GroupOf['b'] != p.GroupOf['c'] {
+		t.Error("b and c should share a group")
+	}
+	if p.GroupOf['a'] == p.GroupOf['b'] || p.GroupOf['a'] == p.GroupOf['z'] {
+		t.Error("a should be alone")
+	}
+	if p.GroupOf['z'] != p.GroupOf['q'] {
+		t.Error("unused symbols should share a group")
+	}
+}
+
+func TestPartitionMultipleNetworks(t *testing.T) {
+	n1 := NewNetwork("a")
+	n1.AddSTE(charclass.Single('a'), StartAllInput)
+	n2 := NewNetwork("b")
+	n2.AddSTE(charclass.Single('b'), StartAllInput)
+	p := Partition(n1, n2)
+	if len(p.Representatives) != 3 {
+		t.Fatalf("joint representatives = %d, want 3", len(p.Representatives))
+	}
+}
+
+func TestFindWitnessChain(t *testing.T) {
+	n := buildChain(t, "rapid", StartOfData)
+	w, err := n.FindWitness(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(w) != "rapid" {
+		t.Fatalf("witness = %q, want \"rapid\"", w)
+	}
+	// The witness must actually trigger a report.
+	reports, err := n.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("witness does not report")
+	}
+}
+
+func TestFindWitnessCounter(t *testing.T) {
+	// Report after three 'x' symbols: shortest witness is "xxx".
+	n := NewNetwork("c")
+	x := n.AddSTE(charclass.Single('x'), StartAllInput)
+	c := n.AddCounter(3)
+	n.Connect(x, c, PortCount)
+	n.SetReport(c, 0)
+	w, err := n.FindWitness(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(w) != "xxx" {
+		t.Fatalf("witness = %q, want \"xxx\"", w)
+	}
+}
+
+func TestFindWitnessSpecificCode(t *testing.T) {
+	n := NewNetwork("codes")
+	a := n.AddSTE(charclass.Single('a'), StartAllInput)
+	b := n.AddSTE(charclass.Single('b'), StartNone)
+	n.Connect(a, b, PortIn)
+	n.SetReport(a, 1)
+	n.SetReport(b, 2)
+	code := 2
+	w, err := n.FindWitness(&WitnessOptions{Code: &code})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(w) != "ab" {
+		t.Fatalf("witness for code 2 = %q, want \"ab\"", w)
+	}
+}
+
+func TestFindWitnessNone(t *testing.T) {
+	// An STE that can never be reached: requires 'a' then 'b' but the
+	// second state's class is empty of the reachable alphabet... simplest:
+	// no reporting element at all is invalid, so use an unreachable report.
+	n := NewNetwork("none")
+	a := n.AddSTE(charclass.Single('a'), StartOfData)
+	dead := n.AddSTE(charclass.Single('b'), StartNone) // never enabled
+	n.SetReport(dead, 0)
+	_ = a
+	if _, err := n.FindWitness(&WitnessOptions{MaxLength: 8}); err == nil {
+		t.Fatal("unreachable report should have no witness")
+	}
+}
+
+func TestEquivalentIdentity(t *testing.T) {
+	a := buildChain(t, "abc", StartAllInput)
+	b := buildChain(t, "abc", StartAllInput)
+	if err := Equivalent(a, b); err != nil {
+		t.Fatalf("identical chains not equivalent: %v", err)
+	}
+}
+
+func TestEquivalentDetectsDifference(t *testing.T) {
+	a := buildChain(t, "abc", StartAllInput)
+	b := buildChain(t, "abd", StartAllInput)
+	err := Equivalent(a, b)
+	if err == nil {
+		t.Fatal("different chains reported equivalent")
+	}
+	if !strings.Contains(err.Error(), "differ on input") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestEquivalentRejectsSpecials(t *testing.T) {
+	n := NewNetwork("c")
+	x := n.AddSTE(charclass.Single('x'), StartAllInput)
+	c := n.AddCounter(1)
+	n.Connect(x, c, PortCount)
+	n.SetReport(c, 0)
+	if err := Equivalent(n, n); err != ErrHasSpecials {
+		t.Fatalf("err = %v, want ErrHasSpecials", err)
+	}
+}
+
+// TestOptimizeProvablyEquivalent verifies the device optimization pipeline
+// formally (not by sampling) on random counter-free networks.
+func TestOptimizeProvablyEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2016))
+	for trial := 0; trial < 30; trial++ {
+		n, _ := randomChainNetwork(rng)
+		opt := n.OptimizeForDevice(16)
+		if err := Equivalent(n, opt); err != nil {
+			t.Fatalf("trial %d: optimization changed behavior: %v", trial, err)
+		}
+	}
+}
+
+func TestEquivalentStartKinds(t *testing.T) {
+	// Anchored vs unanchored single-symbol matchers differ on shifted
+	// input.
+	a := buildChain(t, "x", StartOfData)
+	b := buildChain(t, "x", StartAllInput)
+	if err := Equivalent(a, b); err == nil {
+		t.Fatal("anchored and sliding designs reported equivalent")
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	n := NewNetwork("viz")
+	a := n.AddSTE(charclass.Single('a'), StartAllInput)
+	c := n.AddCounter(2)
+	g := n.AddGate(GateAnd)
+	r := n.AddSTE(charclass.Single('r'), StartOfData)
+	n.Connect(a, c, PortCount)
+	n.Connect(r, c, PortReset)
+	n.Connect(c, g, PortIn)
+	n.Connect(a, g, PortIn)
+	n.SetReport(g, 0)
+	var buf bytes.Buffer
+	if err := n.WriteDot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"digraph \"viz\"", "circle", "box", "diamond",
+		`label="cnt"`, `label="rst"`, "cnt >= 2", "AND",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTrace(t *testing.T) {
+	n := buildChain(t, "ab", StartOfData)
+	trace, err := n.Trace([]byte("abx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 3 {
+		t.Fatalf("cycles = %d", len(trace))
+	}
+	if len(trace[0].Active) != 1 || len(trace[1].Active) != 1 || len(trace[2].Active) != 0 {
+		t.Fatalf("active counts = %d %d %d", len(trace[0].Active), len(trace[1].Active), len(trace[2].Active))
+	}
+	if len(trace[1].Reports) != 1 || trace[1].Reports[0].Offset != 1 {
+		t.Fatalf("reports = %v", trace[1].Reports)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteTrace(&buf, []byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REPORT") || !strings.Contains(out, "active=1") {
+		t.Fatalf("trace output malformed:\n%s", out)
+	}
+}

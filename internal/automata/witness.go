@@ -1,0 +1,132 @@
+package automata
+
+import (
+	"fmt"
+	"hash/maphash"
+)
+
+// The paper's future-work section calls for "tools aiding developers to
+// generate short input sequences to test corner cases of their
+// applications". FindWitness implements that tool: a breadth-first search
+// over the design's configuration space that returns a shortest input
+// stream causing a report.
+
+// WitnessOptions configure the search.
+type WitnessOptions struct {
+	// Code restricts the search to reports with this code; nil accepts
+	// any report.
+	Code *int
+	// MaxLength bounds the witness length. Default 64.
+	MaxLength int
+	// MaxStates bounds explored configurations. Default 1,000,000.
+	MaxStates int
+}
+
+func (o *WitnessOptions) withDefaults() WitnessOptions {
+	out := WitnessOptions{MaxLength: 64, MaxStates: 1_000_000}
+	if o != nil {
+		out.Code = o.Code
+		if o.MaxLength > 0 {
+			out.MaxLength = o.MaxLength
+		}
+		if o.MaxStates > 0 {
+			out.MaxStates = o.MaxStates
+		}
+	}
+	return out
+}
+
+// FindWitness returns a shortest input stream that makes the network
+// report (optionally with a specific report code). It returns an error
+// when no witness exists within the configured bounds.
+//
+// The search is exact over the network's configuration space — the set of
+// enabled STEs plus all counter values — using one representative symbol
+// per input-equivalence group. Configurations are deduplicated, so for
+// counter-free designs the search always terminates.
+func (n *Network) FindWitness(opts *WitnessOptions) ([]byte, error) {
+	o := opts.withDefaults()
+	if _, err := NewSimulator(n); err != nil {
+		return nil, err
+	}
+	part := Partition(n)
+
+	type node struct {
+		witness []byte
+	}
+	var seed maphash.Seed = maphash.MakeSeed()
+	hashState := func(s *Simulator) uint64 {
+		var h maphash.Hash
+		h.SetSeed(seed)
+		for _, w := range s.enabled {
+			writeUint64(&h, w)
+		}
+		for _, v := range s.counterVal {
+			writeUint64(&h, uint64(v))
+		}
+		// The first cycle differs (start-of-data states), so include
+		// whether any symbol was consumed.
+		if s.offset > 0 {
+			h.WriteByte(1)
+		}
+		return h.Sum64()
+	}
+
+	// replay builds a simulator state for a witness prefix.
+	replay := func(prefix []byte) *Simulator {
+		s, _ := NewSimulator(n)
+		s.Reset()
+		for _, b := range prefix {
+			s.Step(b)
+		}
+		return s
+	}
+
+	reported := func(s *Simulator, after int) (bool, []Report) {
+		reps := s.Reports()
+		for _, r := range reps {
+			if r.Offset >= after {
+				if o.Code == nil || r.Code == *o.Code {
+					return true, reps
+				}
+			}
+		}
+		return false, reps
+	}
+
+	visited := map[uint64]bool{}
+	frontier := []node{{witness: nil}}
+	states := 0
+	for depth := 0; depth < o.MaxLength && len(frontier) > 0; depth++ {
+		var next []node
+		for _, nd := range frontier {
+			for _, sym := range part.Representatives {
+				states++
+				if states > o.MaxStates {
+					return nil, fmt.Errorf("automata: witness search exceeded %d states", o.MaxStates)
+				}
+				w := append(append([]byte(nil), nd.witness...), sym)
+				s := replay(w)
+				if ok, _ := reported(s, len(w)-1); ok {
+					return w, nil
+				}
+				h := hashState(s)
+				if visited[h] {
+					continue
+				}
+				visited[h] = true
+				next = append(next, node{witness: w})
+			}
+		}
+		frontier = next
+	}
+	return nil, fmt.Errorf("automata: no witness of length <= %d", o.MaxLength)
+}
+
+func writeUint64(h *maphash.Hash, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	_ "embed"
+	"math/rand"
+
+	"repro/internal/automata"
+	"repro/internal/lang/value"
+)
+
+// ARM models association rule mining on the AP (Wang et al.): transactions
+// are streamed as sorted item symbols separated by the reserved separator;
+// a candidate itemset matches a transaction when all its items occur (in
+// order, since both sides are sorted). Table 3 instance: 24-item sets.
+const (
+	armItemsetSize = 24
+	armAlphabetLo  = 1   // smallest item symbol
+	armAlphabetHi  = 120 // largest item symbol
+	armTransModal  = 36  // typical transaction length
+)
+
+//go:embed arm_hand.go
+var armHandSource string
+
+// armRAPID matches each candidate itemset against every transaction. The
+// while loop consumes non-item symbols; because negated classes exclude the
+// reserved separator, a thread dies at the end of a transaction that is
+// missing an item (Section 3.2's reserved-symbol rule).
+const armRAPID = `
+macro item(char c) {
+  while (c != input()) ;
+}
+macro itemset(String items) {
+  foreach (char c : items)
+    item(c);
+  report;
+}
+network (String[] candidates) {
+  some (String s : candidates)
+    itemset(s);
+}`
+
+// armCandidates derives n deterministic sorted candidate itemsets.
+func armCandidates(n int) []string {
+	rng := rand.New(rand.NewSource(patternSeed("arm")))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(sortedItems(rng, armItemsetSize))
+	}
+	return out
+}
+
+// sortedItems draws k distinct item symbols in increasing order.
+func sortedItems(rng *rand.Rand, k int) []byte {
+	span := armAlphabetHi - armAlphabetLo + 1
+	perm := rng.Perm(span)[:k]
+	items := make([]byte, k)
+	for i, p := range perm {
+		items[i] = byte(armAlphabetLo + p)
+	}
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j] < items[j-1]; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	return items
+}
+
+// ARM returns the association-rule-mining benchmark.
+func ARM() *Benchmark {
+	return &Benchmark{
+		Name:             "ARM",
+		Description:      "Association rule mining",
+		InstanceSize:     "24 Item-Set",
+		GenerationMethod: "Python + ANML",
+		RAPID: func(n int) (string, []value.Value) {
+			return armRAPID, []value.Value{value.Strings(armCandidates(n))}
+		},
+		Hand: func(n int) (*automata.Network, error) {
+			return armHand(armCandidates(n))
+		},
+		HandSource: armHandSource,
+		Input: func(rng *rand.Rand, size int) []byte {
+			return armInput(rng, size, armCandidates(1))
+		},
+		Oracle:             armOracle,
+		DefaultInstances:   1,
+		FullBoardInstances: 8_500,
+	}
+}
+
+// armInput streams about size symbols of sorted transactions, planting
+// supersets of the candidates in roughly a quarter of them.
+func armInput(rng *rand.Rand, size int, candidates []string) []byte {
+	out := []byte{Separator}
+	for len(out) < size {
+		var txn []byte
+		if len(candidates) > 0 && rng.Intn(4) == 0 {
+			// A transaction containing a random candidate plus noise.
+			base := []byte(candidates[rng.Intn(len(candidates))])
+			txn = append(txn, base...)
+			for k := 0; k < 6; k++ {
+				txn = insertItem(txn, byte(armAlphabetLo+rng.Intn(armAlphabetHi-armAlphabetLo+1)))
+			}
+		} else {
+			length := armTransModal/2 + rng.Intn(armTransModal)
+			if length > armAlphabetHi-armAlphabetLo {
+				length = armAlphabetHi - armAlphabetLo
+			}
+			txn = sortedItems(rng, length)
+		}
+		out = append(out, txn...)
+		out = append(out, Separator)
+	}
+	return out
+}
+
+// insertItem inserts sym into the sorted transaction, skipping duplicates.
+func insertItem(txn []byte, sym byte) []byte {
+	for i, b := range txn {
+		if b == sym {
+			return txn
+		}
+		if b > sym {
+			txn = append(txn, 0)
+			copy(txn[i+1:], txn[i:])
+			txn[i] = sym
+			return txn
+		}
+	}
+	return append(txn, sym)
+}
+
+// armOracle reports the stream offset at which a candidate's final item
+// matches within a transaction containing the whole candidate. Matching
+// follows the automaton's thread semantics: each item matches at every
+// occurrence after the previous item's match; with duplicate-free sorted
+// transactions that is the item's position.
+func armOracle(input []byte, n int) []int {
+	var out []int
+	recs, offsets := records(input)
+	for _, cand := range armCandidates(n) {
+		for r, rec := range recs {
+			pos := 0
+			matched := true
+			last := -1
+			for i := 0; i < len(cand); i++ {
+				found := -1
+				for p := pos; p < len(rec); p++ {
+					if rec[p] == cand[i] {
+						found = p
+						break
+					}
+				}
+				if found < 0 {
+					matched = false
+					break
+				}
+				last = found
+				pos = found + 1
+			}
+			if matched {
+				out = append(out, offsets[r]+last)
+			}
+		}
+	}
+	return dedupSorted(out)
+}

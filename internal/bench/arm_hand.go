@@ -1,0 +1,54 @@
+package bench
+
+// armHand re-creates the published hand design for AP itemset matching
+// (Wang et al., re-generated per the paper from a Python + ANML-bindings
+// script): per candidate item, a self-looping gap state that consumes
+// symbols smaller than the item and an item state; the final item reports.
+// A transaction separator state re-arms the matcher for every transaction.
+// The hand design additionally carries the published per-item entry states
+// that let a candidate start matching mid-transaction after a separator is
+// seen (the generated scripts emitted them unconditionally).
+
+import (
+	"repro/internal/automata"
+	"repro/internal/charclass"
+)
+
+func armHand(candidates []string) (*automata.Network, error) {
+	net := automata.NewNetwork("arm-hand")
+	// One explicit separator state re-arms all candidates.
+	sep := net.AddSTE(charclass.Single(Separator), automata.StartAllInput)
+	for code, cand := range candidates {
+		items := []byte(cand)
+		var prevOuts []automata.ElementID
+		for i, item := range items {
+			gapClass := charclass.Single(item).Negate()
+			gapClass.Remove(Separator)
+			gap := net.AddSTE(gapClass, automata.StartNone)
+			match := net.AddSTE(charclass.Single(item), automata.StartNone)
+			net.Connect(gap, gap, automata.PortIn)
+			net.Connect(gap, match, automata.PortIn)
+			if i == 0 {
+				// The first position arms at the start of data and after
+				// every separator.
+				net.Element(gap).Start = automata.StartOfData
+				net.Element(match).Start = automata.StartOfData
+				net.Connect(sep, gap, automata.PortIn)
+				net.Connect(sep, match, automata.PortIn)
+			} else {
+				for _, src := range prevOuts {
+					net.Connect(src, gap, automata.PortIn)
+					net.Connect(src, match, automata.PortIn)
+				}
+			}
+			prevOuts = []automata.ElementID{match}
+			if i == len(items)-1 {
+				net.SetReport(match, code)
+			}
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

@@ -1,0 +1,147 @@
+// Package bench defines the five benchmark applications of the paper's
+// evaluation (Table 3): association rule mining (ARM), Brill tagging rule
+// matching, exact DNA match, gappy DNA match, and MOTOMATA planted-motif
+// search.
+//
+// Each benchmark provides four artifacts:
+//
+//   - a RAPID program (compiled by internal/codegen) — the R rows;
+//   - a hand-crafted automaton generator that re-creates the published
+//     manual designs — the H rows;
+//   - a synthetic workload generator with a CPU oracle for functional
+//     validation (the original datasets are not distributable; design
+//     statistics depend only on pattern structure and instance counts);
+//   - the Table 3 instance parameters and the Table 6 full-board size.
+//
+// Input streams follow the paper's convention: they begin with the
+// reserved START_OF_INPUT symbol (0xFF), and multi-record workloads
+// separate records with it.
+package bench
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/lang/value"
+)
+
+// Separator is the reserved record separator / start-of-data symbol.
+const Separator byte = 0xFF
+
+// Benchmark describes one evaluation application.
+type Benchmark struct {
+	// Name is the paper's benchmark name (e.g. "ARM").
+	Name string
+	// Description matches Table 3.
+	Description string
+	// InstanceSize matches Table 3's sample instance size.
+	InstanceSize string
+	// GenerationMethod matches Table 3 (what the original authors used).
+	GenerationMethod string
+
+	// RAPID returns the RAPID program and network arguments for n
+	// pattern instances.
+	RAPID func(n int) (src string, args []value.Value)
+	// Hand builds the hand-crafted automaton for n pattern instances.
+	Hand func(n int) (*automata.Network, error)
+	// HandSource is the source text of the hand generator (the analogue
+	// of the paper's custom Java/Python generator code), used for the
+	// LOC comparison of Table 4.
+	HandSource string
+	// Regex returns the regular-expression baseline patterns for n
+	// instances, or nil when the benchmark has no regex representation.
+	Regex func(n int) []string
+
+	// Input generates a workload stream containing the planted patterns.
+	Input func(rng *rand.Rand, size int) []byte
+	// Oracle returns the expected distinct report offsets for n pattern
+	// instances over input, computed by a direct CPU algorithm.
+	Oracle func(input []byte, n int) []int
+
+	// DefaultInstances is the instance count used for Tables 4 and 5.
+	DefaultInstances int
+	// FullBoardInstances is the Table 6 problem size (0 when the
+	// benchmark is fixed-size and excluded, as Brill is).
+	FullBoardInstances int
+}
+
+// All returns the five benchmarks in the paper's order.
+func All() []*Benchmark {
+	return []*Benchmark{ARM(), Brill(), Exact(), Gappy(), Motomata()}
+}
+
+// ByName returns the named benchmark (case-insensitive) or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range All() {
+		if strings.EqualFold(b.Name, name) {
+			return b
+		}
+	}
+	return nil
+}
+
+// LineCount counts the non-blank lines of source text, the LOC metric of
+// Table 4.
+func LineCount(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// dna is the DNA alphabet used by the bioinformatics benchmarks.
+var dna = []byte("ACGT")
+
+// randomDNA fills a buffer with uniform random bases.
+func randomDNA(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = dna[rng.Intn(len(dna))]
+	}
+	return out
+}
+
+// dedupSorted returns the sorted distinct values of xs.
+func dedupSorted(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	var last int
+	for i, x := range xs {
+		if i == 0 || x != last {
+			out = append(out, x)
+		}
+		last = x
+	}
+	return out
+}
+
+// records splits a stream into separator-delimited records, returning each
+// record together with the stream offset of its first symbol.
+func records(input []byte) (recs [][]byte, offsets []int) {
+	start := 0
+	for i := 0; i <= len(input); i++ {
+		if i == len(input) || input[i] == Separator {
+			if i > start {
+				recs = append(recs, input[start:i])
+				offsets = append(offsets, start)
+			}
+			start = i + 1
+		}
+	}
+	return recs, offsets
+}
+
+// patternSeed derives a deterministic RNG for pattern generation so the
+// RAPID, hand, and oracle sides of a benchmark see identical patterns.
+func patternSeed(name string) int64 {
+	var h int64 = 1125899906842597
+	for _, c := range name {
+		h = h*31 + int64(c)
+	}
+	return h
+}

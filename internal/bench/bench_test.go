@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/codegen"
+	"repro/internal/lang/interp"
+	"repro/internal/lang/parser"
+	"repro/internal/lang/sema"
+	"repro/internal/lang/value"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("benchmarks = %d, want 5", len(all))
+	}
+	names := []string{"ARM", "Brill", "Exact", "Gappy", "MOTOMATA"}
+	for i, b := range all {
+		if b.Name != names[i] {
+			t.Fatalf("benchmark %d = %q, want %q", i, b.Name, names[i])
+		}
+		if b.RAPID == nil || b.Hand == nil || b.Input == nil || b.Oracle == nil {
+			t.Fatalf("%s: missing artifact", b.Name)
+		}
+		if b.HandSource == "" {
+			t.Fatalf("%s: missing hand source", b.Name)
+		}
+	}
+	if ByName("arm") == nil || ByName("nosuch") != nil {
+		t.Fatal("ByName broken")
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	if got := LineCount("a\n\n  \nb\n"); got != 2 {
+		t.Fatalf("LineCount = %d, want 2", got)
+	}
+}
+
+func TestRecordsSplit(t *testing.T) {
+	in := []byte{Separator, 'a', 'b', Separator, Separator, 'c'}
+	recs, offs := records(in)
+	if len(recs) != 2 || string(recs[0]) != "ab" || string(recs[1]) != "c" {
+		t.Fatalf("records = %q", recs)
+	}
+	if offs[0] != 1 || offs[1] != 5 {
+		t.Fatalf("offsets = %v", offs)
+	}
+}
+
+// simOffsets compiles a RAPID program and simulates it over input.
+func simOffsets(t *testing.T, src string, b *Benchmark, n int, input []byte) []int {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", b.Name, err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("%s: sema: %v", b.Name, err)
+	}
+	_, args := b.RAPID(n)
+	res, err := codegen.Compile(info, args, nil)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", b.Name, err)
+	}
+	reports, err := res.Network.Run(input)
+	if err != nil {
+		t.Fatalf("%s: simulate: %v", b.Name, err)
+	}
+	var rs []interp.Report
+	for _, r := range reports {
+		rs = append(rs, interp.Report{Offset: r.Offset})
+	}
+	return interp.Offsets(rs)
+}
+
+// handOffsets simulates the hand design.
+func handOffsets(t *testing.T, b *Benchmark, n int, input []byte) []int {
+	t.Helper()
+	net, err := b.Hand(n)
+	if err != nil {
+		t.Fatalf("%s: hand: %v", b.Name, err)
+	}
+	reports, err := net.Run(input)
+	if err != nil {
+		t.Fatalf("%s: hand simulate: %v", b.Name, err)
+	}
+	var rs []interp.Report
+	for _, r := range reports {
+		rs = append(rs, interp.Report{Offset: r.Offset})
+	}
+	return interp.Offsets(rs)
+}
+
+// interpOffsets runs the reference interpreter.
+func interpOffsets(t *testing.T, b *Benchmark, n int, input []byte) []int {
+	t.Helper()
+	src, args := b.RAPID(n)
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", b.Name, err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("%s: sema: %v", b.Name, err)
+	}
+	reports, err := interp.Run(info, args, input, &interp.Options{MaxSpawns: 5_000_000})
+	if err != nil {
+		t.Fatalf("%s: interp: %v", b.Name, err)
+	}
+	return interp.Offsets(reports)
+}
+
+func asInts(xs []int) []int {
+	if xs == nil {
+		return []int{}
+	}
+	return xs
+}
+
+// TestFourWayAgreement checks, for every benchmark on small instances, that
+// the compiled RAPID design, the hand design, the reference interpreter,
+// and the CPU oracle all report identical offset sets.
+func TestFourWayAgreement(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if b.Name == "Gappy" {
+				// The reference interpreter enumerates every gap
+				// combination as a distinct thread, which is exponential
+				// on full-length gappy patterns; the dedicated test below
+				// covers Gappy with short patterns.
+				t.Skip("covered by TestGappyFourWayShortPatterns")
+			}
+			const n = 2
+			rng := rand.New(rand.NewSource(99))
+			for trial := 0; trial < 3; trial++ {
+				input := b.Input(rng, 300)
+				src, _ := b.RAPID(n)
+
+				oracle := asInts(b.Oracle(input, n))
+				device := asInts(simOffsets(t, src, b, n, input))
+				hand := asInts(handOffsets(t, b, n, input))
+				ref := asInts(interpOffsets(t, b, n, input))
+
+				if !reflect.DeepEqual(device, oracle) {
+					t.Fatalf("trial %d: RAPID device %v != oracle %v", trial, device, oracle)
+				}
+				if !reflect.DeepEqual(hand, oracle) {
+					t.Fatalf("trial %d: hand device %v != oracle %v", trial, hand, oracle)
+				}
+				if !reflect.DeepEqual(ref, oracle) {
+					t.Fatalf("trial %d: interpreter %v != oracle %v", trial, ref, oracle)
+				}
+			}
+		})
+	}
+}
+
+// TestGappyFourWayShortPatterns checks Gappy's four-way agreement with
+// 5-base patterns, where the interpreter's path enumeration stays small,
+// plus a three-way (device/hand/oracle) check at full pattern length.
+func TestGappyFourWayShortPatterns(t *testing.T) {
+	short := []string{"ACGTA", "TTACG"}
+	rng := rand.New(rand.NewSource(31))
+
+	prog, err := parser.Parse(gappyRAPID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []value.Value{value.Strings(short)}
+	res, err := codegen.Compile(info, args, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, err := gappyHand(short, gappyMaxGap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		input := append([]byte{Separator}, randomDNA(rng, 160)...)
+		oracle := asInts(gappyOracleFor(input, short))
+		device := asInts(runOffsets(t, res.Network, input))
+		handOff := asInts(runOffsets(t, hand, input))
+		ref, err := interp.Run(info, args, input, &interp.Options{MaxSpawns: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(device, oracle) {
+			t.Fatalf("trial %d: device %v != oracle %v", trial, device, oracle)
+		}
+		if !reflect.DeepEqual(handOff, oracle) {
+			t.Fatalf("trial %d: hand %v != oracle %v", trial, handOff, oracle)
+		}
+		if got := asInts(interp.Offsets(ref)); !reflect.DeepEqual(got, oracle) {
+			t.Fatalf("trial %d: interp %v != oracle %v", trial, got, oracle)
+		}
+	}
+
+	// Full-length three-way check (no interpreter).
+	b := Gappy()
+	for trial := 0; trial < 2; trial++ {
+		input := b.Input(rng, 400)
+		src, _ := b.RAPID(1)
+		oracle := asInts(b.Oracle(input, 1))
+		device := asInts(simOffsets(t, src, b, 1, input))
+		handOff := asInts(handOffsets(t, b, 1, input))
+		if !reflect.DeepEqual(device, oracle) {
+			t.Fatalf("full trial %d: device %v != oracle %v", trial, device, oracle)
+		}
+		if !reflect.DeepEqual(handOff, oracle) {
+			t.Fatalf("full trial %d: hand %v != oracle %v", trial, handOff, oracle)
+		}
+	}
+}
+
+// runOffsets simulates any network and returns distinct report offsets.
+func runOffsets(t *testing.T, net *automata.Network, input []byte) []int {
+	t.Helper()
+	reports, err := net.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs []interp.Report
+	for _, r := range reports {
+		rs = append(rs, interp.Report{Offset: r.Offset})
+	}
+	return interp.Offsets(rs)
+}
+
+// TestOracleFindsPlantedPatterns sanity-checks the workload generators:
+// planted patterns must actually produce reports.
+func TestOracleFindsPlantedPatterns(t *testing.T) {
+	for _, b := range All() {
+		rng := rand.New(rand.NewSource(7))
+		input := b.Input(rng, 2000)
+		if got := b.Oracle(input, 1); len(got) == 0 {
+			t.Errorf("%s: planted workload has no oracle hits", b.Name)
+		}
+	}
+}
+
+func TestBrillRegexBaseline(t *testing.T) {
+	b := Brill()
+	patterns := b.Regex(10)
+	if len(patterns) != 10 {
+		t.Fatalf("regex patterns = %d", len(patterns))
+	}
+	for _, p := range patterns {
+		for _, c := range p {
+			if c == '?' {
+				t.Fatalf("pattern %q still contains RAPID wildcard", p)
+			}
+		}
+	}
+}
+
+func TestRapidSourcesTypeCheck(t *testing.T) {
+	for _, b := range All() {
+		src, args := b.RAPID(1)
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Errorf("%s: parse: %v", b.Name, err)
+			continue
+		}
+		info, err := sema.Check(prog)
+		if err != nil {
+			t.Errorf("%s: sema: %v", b.Name, err)
+			continue
+		}
+		if len(info.Program.Network.Params) != len(args) {
+			t.Errorf("%s: args mismatch", b.Name)
+		}
+	}
+}
+
+func TestPatternDeterminism(t *testing.T) {
+	if !reflect.DeepEqual(exactPatterns(3), exactPatterns(3)) {
+		t.Error("exact patterns not deterministic")
+	}
+	if !reflect.DeepEqual(armCandidates(2), armCandidates(2)) {
+		t.Error("arm candidates not deterministic")
+	}
+	if !reflect.DeepEqual(brillRules(219), brillRules(219)) {
+		t.Error("brill rules not deterministic")
+	}
+	rules := brillRules(219)
+	seen := map[string]bool{}
+	for _, r := range rules {
+		if seen[r] {
+			t.Fatalf("duplicate rule %q", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestArmCandidatesSorted(t *testing.T) {
+	for _, cand := range armCandidates(5) {
+		for i := 1; i < len(cand); i++ {
+			if cand[i] <= cand[i-1] {
+				t.Fatalf("candidate not strictly sorted: %v", []byte(cand))
+			}
+		}
+		if len(cand) != armItemsetSize {
+			t.Fatalf("candidate size = %d", len(cand))
+		}
+	}
+}

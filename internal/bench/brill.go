@@ -1,0 +1,139 @@
+package bench
+
+import (
+	_ "embed"
+	"math/rand"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/lang/value"
+)
+
+// Brill models rule matching for Brill part-of-speech tagging (Zhou et
+// al.): the corpus is streamed as one tag symbol per token, and each
+// transformation rule is a short context pattern over tags (with wildcard
+// positions for the template's "any tag" slots). A report marks a position
+// where a rule's context fires. Table 3 instance: 219 rules.
+const brillRuleCount = 219
+
+// brillTags is the tag alphabet (Penn-Treebank-sized).
+var brillTags = []byte("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789")
+
+//go:embed brill_hand.go
+var brillHandSource string
+
+// brillRAPID matches every rule pattern at every stream offset. Wildcard
+// positions ('?') match any tag.
+const brillRAPID = `
+macro rule(String pat) {
+  foreach (char c : pat) {
+    if (c == '?')
+      ALL_INPUT == input();
+    else
+      c == input();
+  }
+  report;
+}
+macro slide() {
+  either { ; } orelse {
+    whenever (ALL_INPUT == input()) ;
+  }
+}
+network (String[] rules) {
+  {
+    slide();
+    some (String r : rules)
+      rule(r);
+  }
+}`
+
+// brillRules derives n deterministic rule patterns from the Brill template
+// shapes: prev-tag (t1 t2), prev-2-tag (t1 ? t2), surround (t1 t2 t3), and
+// next-2-tag (t1 ? ? t2).
+func brillRules(n int) []string {
+	rng := rand.New(rand.NewSource(patternSeed("brill")))
+	seen := make(map[string]bool)
+	out := make([]string, 0, n)
+	tag := func() byte { return brillTags[rng.Intn(len(brillTags))] }
+	for len(out) < n {
+		var pat string
+		switch rng.Intn(4) {
+		case 0:
+			pat = string([]byte{tag(), tag()})
+		case 1:
+			pat = string([]byte{tag(), '?', tag()})
+		case 2:
+			pat = string([]byte{tag(), tag(), tag()})
+		default:
+			pat = string([]byte{tag(), '?', '?', tag()})
+		}
+		if !seen[pat] {
+			seen[pat] = true
+			out = append(out, pat)
+		}
+	}
+	return out
+}
+
+// Brill returns the Brill-tagging benchmark.
+func Brill() *Benchmark {
+	return &Benchmark{
+		Name:             "Brill",
+		Description:      "Rule re-writing for Brill part of speech tagging",
+		InstanceSize:     "219 Rules",
+		GenerationMethod: "Java",
+		RAPID: func(n int) (string, []value.Value) {
+			return brillRAPID, []value.Value{value.Strings(brillRules(n))}
+		},
+		Hand: func(n int) (*automata.Network, error) {
+			return brillHand(brillRules(n))
+		},
+		HandSource: brillHandSource,
+		Regex: func(n int) []string {
+			rules := brillRules(n)
+			out := make([]string, len(rules))
+			for i, r := range rules {
+				out[i] = strings.ReplaceAll(r, "?", ".")
+			}
+			return out
+		},
+		Input: func(rng *rand.Rand, size int) []byte {
+			return brillInput(rng, size)
+		},
+		Oracle:             brillOracle,
+		DefaultInstances:   brillRuleCount,
+		FullBoardInstances: 0, // fixed size: excluded from Table 6 as in the paper
+	}
+}
+
+// brillInput generates a random tag stream.
+func brillInput(rng *rand.Rand, size int) []byte {
+	out := make([]byte, size+1)
+	out[0] = Separator
+	for i := 1; i <= size; i++ {
+		out[i] = brillTags[rng.Intn(len(brillTags))]
+	}
+	return out
+}
+
+// brillOracle reports the end offset of every rule-context occurrence.
+func brillOracle(input []byte, n int) []int {
+	var out []int
+	for _, rule := range brillRules(n) {
+		pat := []byte(rule)
+	scan:
+		for at := 0; at+len(pat) <= len(input); at++ {
+			for i, c := range pat {
+				sym := input[at+i]
+				if sym == Separator {
+					continue scan
+				}
+				if c != '?' && sym != c {
+					continue scan
+				}
+			}
+			out = append(out, at+len(pat)-1)
+		}
+	}
+	return dedupSorted(out)
+}

@@ -1,0 +1,42 @@
+package bench
+
+// brillHand re-creates the hand-crafted Brill rule automata (originally
+// produced by the authors' Java generator): per rule, a chain of one STE
+// per context position — literal tags as single-symbol states, wildcard
+// positions as any-tag states — starting anywhere in the stream and
+// reporting on the final position.
+
+import (
+	"repro/internal/automata"
+	"repro/internal/charclass"
+)
+
+func brillHand(rules []string) (*automata.Network, error) {
+	anyTag := charclass.All()
+	anyTag.Remove(Separator)
+
+	net := automata.NewNetwork("brill-hand")
+	for code, rule := range rules {
+		prev := automata.NoElement
+		for i := 0; i < len(rule); i++ {
+			cls := charclass.Single(rule[i])
+			if rule[i] == '?' {
+				cls = anyTag
+			}
+			start := automata.StartNone
+			if i == 0 {
+				start = automata.StartAllInput
+			}
+			ste := net.AddSTE(cls, start)
+			if prev != automata.NoElement {
+				net.Connect(prev, ste, automata.PortIn)
+			}
+			prev = ste
+		}
+		net.SetReport(prev, code)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

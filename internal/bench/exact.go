@@ -1,0 +1,108 @@
+package bench
+
+import (
+	_ "embed"
+	"math/rand"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/lang/value"
+)
+
+// exactPatternLength is the Table 3 instance size: 25 base pairs.
+const exactPatternLength = 25
+
+//go:embed exact_hand.go
+var exactHandSource string
+
+// exactRAPID is the RAPID program for exact-match DNA search (Bo et al.):
+// every occurrence of every pattern in the stream reports at its final
+// base. The slide macro makes the following pattern begin either
+// immediately (at the start of a record) or after any stream symbol — the
+// sliding-window idiom — so each pattern chain is generated exactly once.
+const exactRAPID = `
+macro slide() {
+  either { ; } orelse {
+    whenever (ALL_INPUT == input()) ;
+  }
+}
+macro exact(String s) {
+  foreach (char c : s)
+    c == input();
+  report;
+}
+network (String[] seqs) {
+  {
+    slide();
+    some (String s : seqs)
+      exact(s);
+  }
+}`
+
+// exactPatterns derives the deterministic pattern set shared by the RAPID,
+// hand, and oracle sides.
+func exactPatterns(n int) []string {
+	rng := rand.New(rand.NewSource(patternSeed("exact")))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(randomDNA(rng, exactPatternLength))
+	}
+	return out
+}
+
+// Exact returns the exact-match DNA benchmark.
+func Exact() *Benchmark {
+	return &Benchmark{
+		Name:             "Exact",
+		Description:      "Exact match DNA sequence search",
+		InstanceSize:     "25 Base Pairs",
+		GenerationMethod: "Workbench",
+		RAPID: func(n int) (string, []value.Value) {
+			return exactRAPID, []value.Value{value.Strings(exactPatterns(n))}
+		},
+		Hand: func(n int) (*automata.Network, error) {
+			return exactHand(exactPatterns(n))
+		},
+		HandSource: exactHandSource,
+		Input: func(rng *rand.Rand, size int) []byte {
+			return exactInput(rng, size, exactPatterns(1))
+		},
+		Oracle:             exactOracle,
+		DefaultInstances:   1,
+		FullBoardInstances: 46_000,
+	}
+}
+
+// exactInput generates a DNA stream with planted pattern occurrences. The
+// stream begins with the reserved start-of-data symbol.
+func exactInput(rng *rand.Rand, size int, patterns []string) []byte {
+	body := randomDNA(rng, size)
+	// Plant each pattern a few times at random offsets.
+	for _, p := range patterns {
+		for k := 0; k < 3; k++ {
+			if len(body) <= len(p) {
+				break
+			}
+			at := rng.Intn(len(body) - len(p))
+			copy(body[at:], p)
+		}
+	}
+	return append([]byte{Separator}, body...)
+}
+
+// exactOracle reports the end offset of every occurrence of every pattern.
+func exactOracle(input []byte, n int) []int {
+	var out []int
+	text := string(input)
+	for _, p := range exactPatterns(n) {
+		for at := 0; ; {
+			idx := strings.Index(text[at:], p)
+			if idx < 0 {
+				break
+			}
+			out = append(out, at+idx+len(p)-1)
+			at += idx + 1
+		}
+	}
+	return dedupSorted(out)
+}

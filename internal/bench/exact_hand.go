@@ -1,0 +1,34 @@
+package bench
+
+// exactHand re-creates the hand-crafted exact-match design the paper's
+// authors built in Workbench: per pattern, a chain of one STE per base with
+// an all-input first state (the match may begin at any stream offset) and a
+// report on the final base.
+
+import (
+	"repro/internal/automata"
+	"repro/internal/charclass"
+)
+
+func exactHand(patterns []string) (*automata.Network, error) {
+	net := automata.NewNetwork("exact-hand")
+	for code, p := range patterns {
+		prev := automata.NoElement
+		for i := 0; i < len(p); i++ {
+			start := automata.StartNone
+			if i == 0 {
+				start = automata.StartAllInput
+			}
+			ste := net.AddSTE(charclass.Single(p[i]), start)
+			if prev != automata.NoElement {
+				net.Connect(prev, ste, automata.PortIn)
+			}
+			prev = ste
+		}
+		net.SetReport(prev, code)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

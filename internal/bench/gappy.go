@@ -1,0 +1,175 @@
+package bench
+
+import (
+	_ "embed"
+	"math/rand"
+
+	"repro/internal/automata"
+	"repro/internal/lang/value"
+)
+
+// Gappy models gapped DNA search (Bo et al.): a 25-bp pattern whose
+// consecutive bases may be separated by up to 3 arbitrary symbols.
+const (
+	gappyPatternLength = 25
+	gappyMaxGap        = 3
+)
+
+//go:embed gappy_hand.go
+var gappyHandSource string
+
+// gappyRAPID matches a pattern with bounded gaps: each base after the
+// first may be preceded by zero to three arbitrary symbols. The
+// either/orelse arms enumerate the gap lengths (Section 3.3).
+const gappyRAPID = `
+macro gap3(char c) {
+  either {
+    c == input();
+  } orelse {
+    ALL_INPUT == input();
+    c == input();
+  } orelse {
+    ALL_INPUT == input();
+    ALL_INPUT == input();
+    c == input();
+  } orelse {
+    ALL_INPUT == input();
+    ALL_INPUT == input();
+    ALL_INPUT == input();
+    c == input();
+  }
+}
+macro gappy(String s) {
+  s[0] == input();
+  int i = 1;
+  while (i < s.length()) {
+    gap3(s[i]);
+    i = i + 1;
+  }
+  report;
+}
+macro slide() {
+  either { ; } orelse {
+    whenever (ALL_INPUT == input()) ;
+  }
+}
+network (String[] seqs) {
+  {
+    slide();
+    some (String s : seqs)
+      gappy(s);
+  }
+}`
+
+func gappyPatterns(n int) []string {
+	rng := rand.New(rand.NewSource(patternSeed("gappy")))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(randomDNA(rng, gappyPatternLength))
+	}
+	return out
+}
+
+// Gappy returns the gapped DNA search benchmark.
+func Gappy() *Benchmark {
+	return &Benchmark{
+		Name:             "Gappy",
+		Description:      "DNA string search with allowances for gaps between characters",
+		InstanceSize:     "25-bp, Gaps <= 3",
+		GenerationMethod: "Workbench",
+		RAPID: func(n int) (string, []value.Value) {
+			return gappyRAPID, []value.Value{value.Strings(gappyPatterns(n))}
+		},
+		Hand: func(n int) (*automata.Network, error) {
+			return gappyHand(gappyPatterns(n), gappyMaxGap)
+		},
+		HandSource: gappyHandSource,
+		Input: func(rng *rand.Rand, size int) []byte {
+			return gappyInput(rng, size, gappyPatterns(1))
+		},
+		Oracle:             gappyOracle,
+		DefaultInstances:   1,
+		FullBoardInstances: 2_000,
+	}
+}
+
+// gappyInput plants gapped occurrences of the patterns in random DNA.
+func gappyInput(rng *rand.Rand, size int, patterns []string) []byte {
+	body := randomDNA(rng, size)
+	for _, p := range patterns {
+		// Construct one gapped instance and plant it.
+		var inst []byte
+		for i := 0; i < len(p); i++ {
+			if i > 0 {
+				for g := rng.Intn(gappyMaxGap + 1); g > 0; g-- {
+					inst = append(inst, dna[rng.Intn(len(dna))])
+				}
+			}
+			inst = append(inst, p[i])
+		}
+		if len(body) > len(inst) {
+			at := rng.Intn(len(body) - len(inst))
+			copy(body[at:], inst)
+		}
+	}
+	return append([]byte{Separator}, body...)
+}
+
+// gappyOracle reports the end offset of every gapped occurrence of every
+// pattern, matching the automaton semantics: every combination of gap
+// lengths is a distinct thread, so every reachable end offset reports.
+func gappyOracle(input []byte, n int) []int {
+	return gappyOracleFor(input, gappyPatterns(n))
+}
+
+func gappyOracleFor(input []byte, patterns []string) []int {
+	var out []int
+	for _, p := range patterns {
+		pat := []byte(p)
+		// reachable[j] holds the set of offsets where pat[:j] can end.
+		ends := make(map[int]bool)
+		for start := 0; start < len(input); start++ {
+			if input[start] != pat[0] || input[start] == Separator {
+				continue
+			}
+			cur := map[int]bool{start: true}
+			for j := 1; j < len(pat); j++ {
+				next := make(map[int]bool)
+				for e := range cur {
+					for g := 0; g <= gappyMaxGap; g++ {
+						idx := e + g + 1
+						if idx >= len(input) {
+							continue
+						}
+						// Gaps may not cross a separator, and the base
+						// must match.
+						crossed := false
+						for k := e + 1; k <= idx; k++ {
+							if input[k] == Separator {
+								crossed = true
+								break
+							}
+						}
+						if crossed {
+							continue
+						}
+						if input[idx] == pat[j] {
+							next[idx] = true
+						}
+					}
+				}
+				cur = next
+				if len(cur) == 0 {
+					break
+				}
+			}
+			for e := range cur {
+				ends[e] = true
+			}
+		}
+		for e := range ends {
+			out = append(out, e)
+		}
+	}
+	return dedupSorted(out)
+}

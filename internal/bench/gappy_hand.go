@@ -1,0 +1,55 @@
+package bench
+
+// gappyHand re-creates the hand-crafted gapped-search design built in
+// Workbench: a shared gap chain per position — each base state feeds a
+// short chain of up-to-maxGap wildcard states, every one of which (and the
+// base itself) activates the next base state. Sharing the gap chain keeps
+// the hand design smaller than the RAPID-generated one, whose either arms
+// duplicate their prefixes (Table 4's Gappy rows).
+
+import (
+	"repro/internal/automata"
+	"repro/internal/charclass"
+)
+
+func gappyHand(patterns []string, maxGap int) (*automata.Network, error) {
+	anyBase := charclass.All()
+	anyBase.Remove(Separator)
+
+	net := automata.NewNetwork("gappy-hand")
+	for code, p := range patterns {
+		// sources feeding the next base state: previous base plus its gap
+		// chain states.
+		var sources []automata.ElementID
+		var last automata.ElementID
+		for i := 0; i < len(p); i++ {
+			start := automata.StartNone
+			if i == 0 {
+				start = automata.StartAllInput
+			}
+			base := net.AddSTE(charclass.Single(p[i]), start)
+			for _, src := range sources {
+				net.Connect(src, base, automata.PortIn)
+			}
+			last = base
+			if i == len(p)-1 {
+				break
+			}
+			// Gap chain after this base.
+			sources = sources[:0]
+			sources = append(sources, base)
+			prev := base
+			for g := 0; g < maxGap; g++ {
+				gap := net.AddSTE(anyBase, automata.StartNone)
+				net.Connect(prev, gap, automata.PortIn)
+				sources = append(sources, gap)
+				prev = gap
+			}
+		}
+		net.SetReport(last, code)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

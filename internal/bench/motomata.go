@@ -1,0 +1,118 @@
+package bench
+
+import (
+	_ "embed"
+	"math/rand"
+
+	"repro/internal/automata"
+	"repro/internal/lang/value"
+)
+
+// Motomata models planted-motif search (Roy & Aluru): length-17 candidate
+// strings are streamed separated by the reserved separator, and a candidate
+// reports when it lies within Hamming distance 6 of the motif. Table 3
+// instance: (17,6) motifs.
+const (
+	motomataLength   = 17
+	motomataDistance = 6
+)
+
+//go:embed motomata_hand.go
+var motomataHandSource string
+
+// motomataRAPID is the Figure 1/Figure 3 style program: a saturating
+// counter accumulates mismatches over each candidate; the separator resets
+// the counter and re-arms the matcher for the next candidate.
+const motomataRAPID = `
+macro motif(String m, int d) {
+  Counter cnt;
+  whenever (START_OF_INPUT == input()) {
+    cnt.reset();
+    foreach (char c : m)
+      if (c != input()) cnt.count();
+    cnt <= d;
+    report;
+  }
+}
+network (String[] motifs) {
+  some (String m : motifs)
+    motif(m, 6);
+}`
+
+func motomataMotifs(n int) []string {
+	rng := rand.New(rand.NewSource(patternSeed("motomata")))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(randomDNA(rng, motomataLength))
+	}
+	return out
+}
+
+// Motomata returns the planted-motif search benchmark.
+func Motomata() *Benchmark {
+	return &Benchmark{
+		Name:             "MOTOMATA",
+		Description:      "Fuzzy matching for planted motif search in bioinformatics",
+		InstanceSize:     "(17,6) Motifs",
+		GenerationMethod: "Workbench",
+		RAPID: func(n int) (string, []value.Value) {
+			return motomataRAPID, []value.Value{value.Strings(motomataMotifs(n))}
+		},
+		Hand: func(n int) (*automata.Network, error) {
+			return motomataHand(motomataMotifs(n), motomataDistance)
+		},
+		HandSource: motomataHandSource,
+		Input: func(rng *rand.Rand, size int) []byte {
+			return motomataInput(rng, size, motomataMotifs(1))
+		},
+		Oracle:             motomataOracle,
+		DefaultInstances:   1,
+		FullBoardInstances: 1_500,
+	}
+}
+
+// motomataInput streams candidates of motif length separated by the
+// reserved symbol; some are mutated copies of the motifs.
+func motomataInput(rng *rand.Rand, size int, motifs []string) []byte {
+	out := []byte{Separator}
+	for len(out) < size {
+		var cand []byte
+		if len(motifs) > 0 && rng.Intn(3) == 0 {
+			cand = []byte(motifs[rng.Intn(len(motifs))])
+			// Mutate a random number of positions (possibly exceeding the
+			// distance threshold).
+			for k := rng.Intn(motomataLength); k > 0; k-- {
+				cand[rng.Intn(len(cand))] = dna[rng.Intn(len(dna))]
+			}
+		} else {
+			cand = randomDNA(rng, motomataLength)
+		}
+		out = append(out, cand...)
+		out = append(out, Separator)
+	}
+	return out
+}
+
+// motomataOracle reports the end offset of every candidate within the
+// Hamming threshold of any motif.
+func motomataOracle(input []byte, n int) []int {
+	var out []int
+	recs, offsets := records(input)
+	for _, motif := range motomataMotifs(n) {
+		for r, rec := range recs {
+			if len(rec) != len(motif) {
+				continue
+			}
+			dist := 0
+			for i := range rec {
+				if rec[i] != motif[i] {
+					dist++
+				}
+			}
+			if dist <= motomataDistance {
+				out = append(out, offsets[r]+len(rec)-1)
+			}
+		}
+	}
+	return dedupSorted(out)
+}

@@ -1,0 +1,71 @@
+package bench
+
+// motomataHand re-creates the hand-crafted MOTOMATA design built in
+// Workbench, which uses positional encoding instead of a counter: state
+// (i, e) means "i symbols of the candidate consumed with e mismatches".
+// Each position i and error budget e has a match state labeled with the
+// motif base and a mismatch state labeled with its complement; mismatch
+// edges increment e, and every final-position state with e within the
+// threshold reports. The design is several times larger than the RAPID
+// counter version but avoids the counter→logic clock-divisor penalty
+// (Table 5's MOTOMATA rows).
+
+import (
+	"repro/internal/automata"
+	"repro/internal/charclass"
+)
+
+func motomataHand(motifs []string, d int) (*automata.Network, error) {
+	net := automata.NewNetwork("motomata-hand")
+	sep := net.AddSTE(charclass.Single(Separator), automata.StartAllInput)
+	for code, motif := range motifs {
+		m := []byte(motif)
+		L := len(m)
+		// states[i][e] lists the elements representing (i+1 symbols
+		// consumed, e errors).
+		states := make([][][]automata.ElementID, L)
+		for i := 0; i < L; i++ {
+			states[i] = make([][]automata.ElementID, d+1)
+			matchCls := charclass.Single(m[i])
+			missCls := matchCls.Negate()
+			missCls.Remove(Separator)
+			for e := 0; e <= d && e <= i+1; e++ {
+				// Match state: previous error count e.
+				if e <= i {
+					ste := net.AddSTE(matchCls, automata.StartNone)
+					if i == 0 {
+						net.Element(ste).Start = automata.StartOfData
+						net.Connect(sep, ste, automata.PortIn)
+					} else {
+						for _, src := range states[i-1][e] {
+							net.Connect(src, ste, automata.PortIn)
+						}
+					}
+					states[i][e] = append(states[i][e], ste)
+				}
+				// Mismatch state: consumes one error.
+				if e >= 1 {
+					ste := net.AddSTE(missCls, automata.StartNone)
+					if i == 0 {
+						net.Element(ste).Start = automata.StartOfData
+						net.Connect(sep, ste, automata.PortIn)
+					} else {
+						for _, src := range states[i-1][e-1] {
+							net.Connect(src, ste, automata.PortIn)
+						}
+					}
+					states[i][e] = append(states[i][e], ste)
+				}
+			}
+		}
+		for e := 0; e <= d; e++ {
+			for _, ste := range states[L-1][e] {
+				net.SetReport(ste, code)
+			}
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

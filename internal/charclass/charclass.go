@@ -1,0 +1,322 @@
+// Package charclass implements 256-bit symbol sets over the byte alphabet.
+//
+// A character class is the label of a state transition element (STE) in a
+// homogeneous non-deterministic finite automaton: the set of input symbols
+// the STE accepts. The Automata Processor's alphabet is the 256 possible
+// byte values, so a class is represented as a fixed 256-bit set, which makes
+// membership tests, unions, intersections and negation single-word bit
+// operations.
+package charclass
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Class is a set of byte symbols. The zero value is the empty set.
+type Class struct {
+	bits [4]uint64
+}
+
+// Empty returns the class accepting no symbols.
+func Empty() Class { return Class{} }
+
+// Single returns the class accepting exactly symbol b.
+func Single(b byte) Class {
+	var c Class
+	c.Add(b)
+	return c
+}
+
+// Range returns the class accepting every symbol in [lo, hi] inclusive.
+// If lo > hi the result is empty.
+func Range(lo, hi byte) Class {
+	var c Class
+	for s := int(lo); s <= int(hi); s++ {
+		c.Add(byte(s))
+	}
+	return c
+}
+
+// All returns the class accepting every symbol (the paper's "star state",
+// written * in Figures 7 and 8).
+func All() Class {
+	var c Class
+	for i := range c.bits {
+		c.bits[i] = ^uint64(0)
+	}
+	return c
+}
+
+// Of returns the class accepting exactly the given symbols.
+func Of(symbols ...byte) Class {
+	var c Class
+	for _, b := range symbols {
+		c.Add(b)
+	}
+	return c
+}
+
+// FromString returns the class accepting each byte of s.
+func FromString(s string) Class {
+	var c Class
+	for i := 0; i < len(s); i++ {
+		c.Add(s[i])
+	}
+	return c
+}
+
+// Add inserts symbol b into the class.
+func (c *Class) Add(b byte) { c.bits[b>>6] |= 1 << (b & 63) }
+
+// Remove deletes symbol b from the class.
+func (c *Class) Remove(b byte) { c.bits[b>>6] &^= 1 << (b & 63) }
+
+// Contains reports whether the class accepts symbol b.
+func (c Class) Contains(b byte) bool { return c.bits[b>>6]&(1<<(b&63)) != 0 }
+
+// IsEmpty reports whether the class accepts no symbols.
+func (c Class) IsEmpty() bool {
+	return c.bits[0]|c.bits[1]|c.bits[2]|c.bits[3] == 0
+}
+
+// IsAll reports whether the class accepts every symbol.
+func (c Class) IsAll() bool {
+	return c.bits[0]&c.bits[1]&c.bits[2]&c.bits[3] == ^uint64(0)
+}
+
+// Count returns the number of symbols the class accepts.
+func (c Class) Count() int {
+	n := 0
+	for _, w := range c.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Union returns the class accepting symbols in c or d.
+func (c Class) Union(d Class) Class {
+	var r Class
+	for i := range r.bits {
+		r.bits[i] = c.bits[i] | d.bits[i]
+	}
+	return r
+}
+
+// Intersect returns the class accepting symbols in both c and d.
+func (c Class) Intersect(d Class) Class {
+	var r Class
+	for i := range r.bits {
+		r.bits[i] = c.bits[i] & d.bits[i]
+	}
+	return r
+}
+
+// Subtract returns the class accepting symbols in c but not d.
+func (c Class) Subtract(d Class) Class {
+	var r Class
+	for i := range r.bits {
+		r.bits[i] = c.bits[i] &^ d.bits[i]
+	}
+	return r
+}
+
+// Negate returns the complement class.
+func (c Class) Negate() Class {
+	var r Class
+	for i := range r.bits {
+		r.bits[i] = ^c.bits[i]
+	}
+	return r
+}
+
+// Equal reports whether c and d accept exactly the same symbols.
+func (c Class) Equal(d Class) bool { return c.bits == d.bits }
+
+// Symbols returns the accepted symbols in increasing order.
+func (c Class) Symbols() []byte {
+	out := make([]byte, 0, c.Count())
+	for s := 0; s < 256; s++ {
+		if c.Contains(byte(s)) {
+			out = append(out, byte(s))
+		}
+	}
+	return out
+}
+
+// ranges returns the maximal runs of accepted symbols as [lo, hi] pairs.
+func (c Class) ranges() [][2]byte {
+	var rs [][2]byte
+	s := 0
+	for s < 256 {
+		if !c.Contains(byte(s)) {
+			s++
+			continue
+		}
+		lo := s
+		for s < 256 && c.Contains(byte(s)) {
+			s++
+		}
+		rs = append(rs, [2]byte{byte(lo), byte(s - 1)})
+	}
+	return rs
+}
+
+// printable reports whether b renders as itself inside a bracket expression.
+func printable(b byte) bool {
+	if b < 0x21 || b > 0x7e {
+		return false
+	}
+	switch b {
+	case '[', ']', '^', '-', '\\':
+		return false
+	}
+	return true
+}
+
+func appendSymbol(sb *strings.Builder, b byte) {
+	if printable(b) {
+		sb.WriteByte(b)
+		return
+	}
+	fmt.Fprintf(sb, `\x%02x`, b)
+}
+
+// String renders the class in ANML/regex bracket syntax, e.g. [a-f],
+// [^y], or * for the universal class.
+func (c Class) String() string {
+	if c.IsAll() {
+		return "*"
+	}
+	if c.IsEmpty() {
+		return "[]"
+	}
+	neg := false
+	body := c
+	// Prefer the negated rendering when it is strictly smaller.
+	if c.Negate().Count() < c.Count() {
+		neg = true
+		body = c.Negate()
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	if neg {
+		sb.WriteByte('^')
+	}
+	for _, r := range body.ranges() {
+		lo, hi := r[0], r[1]
+		switch {
+		case lo == hi:
+			appendSymbol(&sb, lo)
+		case hi == lo+1:
+			appendSymbol(&sb, lo)
+			appendSymbol(&sb, hi)
+		default:
+			appendSymbol(&sb, lo)
+			sb.WriteByte('-')
+			appendSymbol(&sb, hi)
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Parse parses a class in the syntax produced by String: a bracket
+// expression such as [abc], [a-z0-9], [^y], [\x00-\x1f], the universal
+// class *, or a single literal/escaped symbol.
+func Parse(s string) (Class, error) {
+	if s == "*" {
+		return All(), nil
+	}
+	if s == "" {
+		return Class{}, fmt.Errorf("charclass: empty expression")
+	}
+	if s[0] != '[' {
+		// Single symbol, possibly escaped.
+		b, rest, err := parseSymbol(s)
+		if err != nil {
+			return Class{}, err
+		}
+		if rest != "" {
+			return Class{}, fmt.Errorf("charclass: trailing input %q", rest)
+		}
+		return Single(b), nil
+	}
+	if s[len(s)-1] != ']' {
+		return Class{}, fmt.Errorf("charclass: missing closing bracket in %q", s)
+	}
+	body := s[1 : len(s)-1]
+	neg := false
+	if strings.HasPrefix(body, "^") {
+		neg = true
+		body = body[1:]
+	}
+	var c Class
+	for body != "" {
+		lo, rest, err := parseSymbol(body)
+		if err != nil {
+			return Class{}, err
+		}
+		body = rest
+		if strings.HasPrefix(body, "-") && len(body) > 1 {
+			hi, rest, err := parseSymbol(body[1:])
+			if err != nil {
+				return Class{}, err
+			}
+			if hi < lo {
+				return Class{}, fmt.Errorf("charclass: inverted range %c-%c", lo, hi)
+			}
+			c = c.Union(Range(lo, hi))
+			body = rest
+			continue
+		}
+		c.Add(lo)
+	}
+	if neg {
+		c = c.Negate()
+	}
+	return c, nil
+}
+
+// parseSymbol consumes one (possibly escaped) symbol from the front of s.
+func parseSymbol(s string) (byte, string, error) {
+	if s == "" {
+		return 0, "", fmt.Errorf("charclass: unexpected end of expression")
+	}
+	if s[0] != '\\' {
+		return s[0], s[1:], nil
+	}
+	if len(s) < 2 {
+		return 0, "", fmt.Errorf("charclass: dangling escape")
+	}
+	switch s[1] {
+	case 'x':
+		if len(s) < 4 {
+			return 0, "", fmt.Errorf("charclass: truncated hex escape in %q", s)
+		}
+		var v byte
+		for _, d := range []byte{s[2], s[3]} {
+			v <<= 4
+			switch {
+			case d >= '0' && d <= '9':
+				v |= d - '0'
+			case d >= 'a' && d <= 'f':
+				v |= d - 'a' + 10
+			case d >= 'A' && d <= 'F':
+				v |= d - 'A' + 10
+			default:
+				return 0, "", fmt.Errorf("charclass: bad hex digit %q", d)
+			}
+		}
+		return v, s[4:], nil
+	case 'n':
+		return '\n', s[2:], nil
+	case 't':
+		return '\t', s[2:], nil
+	case 'r':
+		return '\r', s[2:], nil
+	default:
+		return s[1], s[2:], nil
+	}
+}

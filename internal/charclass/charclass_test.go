@@ -1,0 +1,239 @@
+package charclass
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyAndAll(t *testing.T) {
+	e := Empty()
+	if !e.IsEmpty() || e.IsAll() || e.Count() != 0 {
+		t.Fatalf("Empty() misbehaves: %v", e)
+	}
+	a := All()
+	if a.IsEmpty() || !a.IsAll() || a.Count() != 256 {
+		t.Fatalf("All() misbehaves: %v", a)
+	}
+	for s := 0; s < 256; s++ {
+		if e.Contains(byte(s)) {
+			t.Fatalf("empty contains %d", s)
+		}
+		if !a.Contains(byte(s)) {
+			t.Fatalf("all missing %d", s)
+		}
+	}
+}
+
+func TestSingleAddRemove(t *testing.T) {
+	c := Single('a')
+	if !c.Contains('a') || c.Count() != 1 {
+		t.Fatalf("Single('a') = %v", c)
+	}
+	c.Add('b')
+	if !c.Contains('b') || c.Count() != 2 {
+		t.Fatalf("after Add('b'): %v", c)
+	}
+	c.Remove('a')
+	if c.Contains('a') || c.Count() != 1 {
+		t.Fatalf("after Remove('a'): %v", c)
+	}
+	c.Remove('a') // removing absent symbol is a no-op
+	if c.Count() != 1 {
+		t.Fatalf("double remove changed count")
+	}
+}
+
+func TestRange(t *testing.T) {
+	c := Range('a', 'f')
+	if c.Count() != 6 {
+		t.Fatalf("Range a-f count = %d", c.Count())
+	}
+	for b := byte('a'); b <= 'f'; b++ {
+		if !c.Contains(b) {
+			t.Fatalf("Range missing %c", b)
+		}
+	}
+	if c.Contains('g') || c.Contains('`') {
+		t.Fatal("Range includes out-of-range symbol")
+	}
+	if !Range('z', 'a').IsEmpty() {
+		t.Fatal("inverted Range not empty")
+	}
+	full := Range(0, 255)
+	if !full.IsAll() {
+		t.Fatal("Range(0,255) should be All")
+	}
+}
+
+func TestOfAndFromString(t *testing.T) {
+	c := Of('x', 'y', 'z')
+	d := FromString("zyx")
+	if !c.Equal(d) {
+		t.Fatalf("Of and FromString disagree: %v vs %v", c, d)
+	}
+	if FromString("").Count() != 0 {
+		t.Fatal("FromString empty should be empty")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromString("abcd")
+	b := FromString("cdef")
+	if got := a.Union(b).Count(); got != 6 {
+		t.Fatalf("union count = %d, want 6", got)
+	}
+	if got := a.Intersect(b); !got.Equal(FromString("cd")) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := a.Subtract(b); !got.Equal(FromString("ab")) {
+		t.Fatalf("subtract = %v", got)
+	}
+	if got := a.Negate().Count(); got != 252 {
+		t.Fatalf("negate count = %d", got)
+	}
+}
+
+func TestSymbolsSorted(t *testing.T) {
+	c := FromString("dcba")
+	syms := c.Symbols()
+	if string(syms) != "abcd" {
+		t.Fatalf("Symbols = %q", syms)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		c    Class
+		want string
+	}{
+		{Single('a'), "[a]"},
+		{FromString("ab"), "[ab]"},
+		{Range('a', 'f'), "[a-f]"},
+		{Single('y').Negate(), "[^y]"},
+		{All(), "*"},
+		{Empty(), "[]"},
+		{Single(0x00), `[\x00]`},
+		{Single(0xff), `[\xff]`},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("String(%v) = %q, want %q", tc.c.Symbols(), got, tc.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []Class{
+		Single('a'),
+		FromString("rapid"),
+		Range('0', '9'),
+		Range('a', 'z').Union(Range('A', 'Z')),
+		Single('y').Negate(),
+		All(),
+		Single(0xff),
+		Range(0, 31),
+		Of('[', ']', '-', '^', '\\'),
+	}
+	for _, c := range cases {
+		s := c.String()
+		got, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+			continue
+		}
+		if !got.Equal(c) {
+			t.Errorf("round trip %q: got %v want %v", s, got.Symbols(), c.Symbols())
+		}
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Class
+	}{
+		{"a", Single('a')},
+		{`\xff`, Single(0xff)},
+		{`\n`, Single('\n')},
+		{"[abc]", FromString("abc")},
+		{"[a-c]", FromString("abc")},
+		{"[^a]", Single('a').Negate()},
+		{"*", All()},
+		{"[]", Empty()},
+		{`[\x00-\x02]`, Of(0, 1, 2)},
+		{`[\]]`, Single(']')},
+		{"[a-]", Of('a', '-')}, // trailing dash is a literal
+	}
+	for _, tc := range cases {
+		got, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("Parse(%q) = %v, want %v", tc.in, got.Symbols(), tc.want.Symbols())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "[abc", "[z-a]", `\x1`, `\`, "ab", `[\xg0]`} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+// classFromSeed builds an arbitrary class from 4 words, for quick checks.
+func classFromSeed(w [4]uint64) Class {
+	var c Class
+	for s := 0; s < 256; s++ {
+		if w[s>>6]&(1<<(s&63)) != 0 {
+			c.Add(byte(s))
+		}
+	}
+	return c
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(aw, bw [4]uint64) bool {
+		a, b := classFromSeed(aw), classFromSeed(bw)
+		left := a.Union(b).Negate()
+		right := a.Negate().Intersect(b.Negate())
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(w [4]uint64) bool {
+		c := classFromSeed(w)
+		got, err := Parse(c.String())
+		return err == nil && got.Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCountNegate(t *testing.T) {
+	f := func(w [4]uint64) bool {
+		c := classFromSeed(w)
+		return c.Count()+c.Negate().Count() == 256
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubtractIdentity(t *testing.T) {
+	f := func(aw, bw [4]uint64) bool {
+		a, b := classFromSeed(aw), classFromSeed(bw)
+		return a.Subtract(b).Equal(a.Intersect(b.Negate()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

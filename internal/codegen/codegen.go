@@ -1,0 +1,678 @@
+// Package codegen compiles RAPID programs into homogeneous automata for
+// execution on the Automata Processor (Section 5 of the paper).
+//
+// Compilation is staged: imperative statements over static data execute at
+// compile time (loops unroll, macros inline, arguments resolve), while
+// comparisons against the input stream and counter operations lower to
+// device structures:
+//
+//   - runtime boolean expressions lower per Figure 7 (comparisons become
+//     STEs, AND is concatenation, OR bifurcates or merges symbol classes,
+//     negation applies De Morgan's laws with star-state padding);
+//   - statements lower per Figure 8 (foreach unrolls, either/orelse and
+//     some compile branches in parallel, while builds a feedback loop,
+//     whenever builds a self-activating star state);
+//   - counter comparisons lower per Table 2 (latching saturating counters
+//     with optional inverters, AND-gated with the arrival signal of
+//     Figure 9).
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+	"repro/internal/charclass"
+	"repro/internal/lang/ast"
+	"repro/internal/lang/eval"
+	"repro/internal/lang/sema"
+	"repro/internal/lang/token"
+	"repro/internal/lang/value"
+)
+
+// Options configure compilation.
+type Options struct {
+	// NetworkName names the generated automata network. Default "rapid".
+	NetworkName string
+	// MaxSteps caps compile-time statement evaluation (guards against
+	// non-terminating static loops). Default 10,000,000.
+	MaxSteps int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{NetworkName: "rapid", MaxSteps: 10_000_000}
+	if o != nil {
+		if o.NetworkName != "" {
+			out.NetworkName = o.NetworkName
+		}
+		if o.MaxSteps > 0 {
+			out.MaxSteps = o.MaxSteps
+		}
+	}
+	return out
+}
+
+// Result is a compiled design.
+type Result struct {
+	// Network is the generated homogeneous automaton.
+	Network *automata.Network
+	// Reports maps report codes to the source position of the report
+	// statement instance that generated them.
+	Reports map[int]string
+}
+
+// Compile lowers a checked program applied to the given network arguments.
+func Compile(info *sema.Info, args []value.Value, opts *Options) (*Result, error) {
+	net := info.Program.Network
+	if len(args) != len(net.Params) {
+		return nil, fmt.Errorf("codegen: network takes %d arguments, have %d", len(net.Params), len(args))
+	}
+	o := opts.withDefaults()
+	c := &compiler{
+		info:     info,
+		opts:     o,
+		net:      automata.NewNetwork(o.NetworkName),
+		counters: make(map[*value.Counter]*counterInfo),
+		reports:  make(map[int]string),
+	}
+
+	env := eval.NewEnv(nil)
+	for i, p := range net.Params {
+		env.Declare(p.Name, args[i])
+	}
+	// Network semantics: declarations execute in order into a shared
+	// environment; every other statement is an independent parallel
+	// matcher anchored at the stream start (and re-anchored after every
+	// START_OF_INPUT symbol: the implicit top-level sliding window of
+	// Section 3.3).
+	for _, s := range net.Body.Stmts {
+		switch s.(type) {
+		case *ast.VarDeclStmt, *ast.AssignStmt, *ast.EmptyStmt:
+			if err := c.staticStmt(env, s); err != nil {
+				return nil, err
+			}
+		default:
+			if _, err := c.stmt(env, s, frontier{atStart: true}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := c.finalizeCounters(); err != nil {
+		return nil, err
+	}
+	if err := c.net.Validate(); err != nil {
+		return nil, fmt.Errorf("codegen: generated network invalid: %w", err)
+	}
+	return &Result{Network: c.net, Reports: c.reports}, nil
+}
+
+// frontier is the activation state threaded through compilation: the set of
+// elements whose activation transfers control to the next construct, plus
+// whether control is still at the stream start (no symbol consumed yet).
+type frontier struct {
+	elems   []automata.ElementID
+	atStart bool
+}
+
+// dead reports whether no control flow reaches this point.
+func (f frontier) dead() bool { return len(f.elems) == 0 && !f.atStart }
+
+// union merges two frontiers.
+func (f frontier) union(g frontier) frontier {
+	out := frontier{atStart: f.atStart || g.atStart}
+	seen := make(map[automata.ElementID]bool)
+	for _, lst := range [][]automata.ElementID{f.elems, g.elems} {
+		for _, id := range lst {
+			if !seen[id] {
+				seen[id] = true
+				out.elems = append(out.elems, id)
+			}
+		}
+	}
+	return out
+}
+
+type compiler struct {
+	info *sema.Info
+	opts Options
+	net  *automata.Network
+
+	counters map[*value.Counter]*counterInfo
+	// counterOrder lists counters in declaration order so finalization is
+	// deterministic (map iteration order must not leak into the design).
+	counterOrder []*value.Counter
+
+	startTracker automata.ElementID
+	haveTracker  bool
+
+	nextReport int
+	reports    map[int]string
+
+	steps int
+}
+
+func (c *compiler) errorf(pos token.Pos, format string, args ...interface{}) error {
+	return fmt.Errorf("codegen: %s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (c *compiler) step(pos token.Pos) error {
+	c.steps++
+	if c.steps > c.opts.MaxSteps {
+		return c.errorf(pos, "compile-time step limit exceeded; does the program contain a non-terminating static loop?")
+	}
+	return nil
+}
+
+// tracker returns the START_OF_INPUT tracker STE: a self-sufficient STE
+// matching the reserved 0xFF symbol anywhere in the stream, used to
+// re-anchor start-frontier entries after each logical record.
+func (c *compiler) tracker() automata.ElementID {
+	if !c.haveTracker {
+		c.startTracker = c.net.AddSTE(charclass.Single(ast.StartOfInputSymbol), automata.StartAllInput)
+		c.net.Element(c.startTracker).Origin = "start-of-input tracker"
+		c.haveTracker = true
+	}
+	return c.startTracker
+}
+
+// connectFrontier wires a frontier to an entry element. STE entries at the
+// stream start additionally become start-of-data states re-anchored by the
+// tracker.
+func (c *compiler) connectFrontier(f frontier, entry automata.ElementID) error {
+	for _, src := range f.elems {
+		c.net.Connect(src, entry, automata.PortIn)
+	}
+	if f.atStart {
+		e := c.net.Element(entry)
+		if e.Kind != automata.KindSTE {
+			return fmt.Errorf("codegen: internal: non-STE entry cannot anchor at stream start")
+		}
+		if e.Start == automata.StartNone {
+			e.Start = automata.StartOfData
+		}
+		c.net.Connect(c.tracker(), entry, automata.PortIn)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- stmts
+
+// staticStmt executes a purely compile-time statement (declaration or
+// assignment) outside any control-flow frontier, as happens for the
+// shared declarations of a network body.
+func (c *compiler) staticStmt(env *eval.Env, s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.VarDeclStmt, *ast.AssignStmt:
+		// A live frontier is irrelevant for these; reuse stmt with a
+		// synthetic live-at-start frontier that they ignore.
+		_, err := c.stmt(env, s, frontier{atStart: true})
+		return err
+	case *ast.EmptyStmt:
+		return nil
+	default:
+		return c.errorf(s.Pos(), "internal: staticStmt on %T", s)
+	}
+}
+
+func (c *compiler) stmt(env *eval.Env, s ast.Stmt, in frontier) (frontier, error) {
+	if err := c.step(s.Pos()); err != nil {
+		return frontier{}, err
+	}
+	if in.dead() {
+		// Unreachable code generates nothing.
+		return in, nil
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		cur := in
+		blockEnv := eval.NewEnv(env)
+		for _, st := range s.Stmts {
+			var err error
+			cur, err = c.stmt(blockEnv, st, cur)
+			if err != nil {
+				return frontier{}, err
+			}
+		}
+		return cur, nil
+
+	case *ast.EmptyStmt:
+		return in, nil
+
+	case *ast.ReportStmt:
+		return c.report(s, in)
+
+	case *ast.VarDeclStmt:
+		var v value.Value
+		switch {
+		case s.Type.Base == ast.TypeCounter && s.Type.Dims == 0:
+			counter := &value.Counter{Name: s.Name}
+			c.counters[counter] = &counterInfo{name: s.Name, decl: s.Pos()}
+			c.counterOrder = append(c.counterOrder, counter)
+			v = counter
+		case s.Init != nil:
+			ev, err := eval.Static(env, s.Init)
+			if err != nil {
+				return frontier{}, err
+			}
+			v = ev
+		default:
+			v = zeroValue(s.Type)
+		}
+		env.Declare(s.Name, v)
+		return in, nil
+
+	case *ast.AssignStmt:
+		v, err := eval.Static(env, s.Value)
+		if err != nil {
+			return frontier{}, err
+		}
+		if !env.Assign(s.Name, v) {
+			return frontier{}, c.errorf(s.Pos(), "assignment to undeclared variable %q", s.Name)
+		}
+		return in, nil
+
+	case *ast.ExprStmt:
+		return c.exprStmt(env, s.X, in)
+
+	case *ast.IfStmt:
+		return c.ifStmt(env, s, in)
+
+	case *ast.WhileStmt:
+		return c.whileStmt(env, s, in)
+
+	case *ast.ForeachStmt:
+		seq, err := iterable(env, s.Seq)
+		if err != nil {
+			return frontier{}, err
+		}
+		cur := in
+		for _, elem := range seq {
+			iterEnv := eval.NewEnv(env)
+			iterEnv.Declare(s.Var, elem)
+			cur, err = c.stmt(iterEnv, s.Body, cur)
+			if err != nil {
+				return frontier{}, err
+			}
+		}
+		return cur, nil
+
+	case *ast.SomeStmt:
+		seq, err := iterable(env, s.Seq)
+		if err != nil {
+			return frontier{}, err
+		}
+		out := frontier{}
+		for _, elem := range seq {
+			iterEnv := eval.NewEnv(env)
+			iterEnv.Declare(s.Var, elem)
+			branchOut, err := c.stmt(iterEnv, s.Body, in)
+			if err != nil {
+				return frontier{}, err
+			}
+			out = out.union(branchOut)
+		}
+		return out, nil
+
+	case *ast.EitherStmt:
+		out := frontier{}
+		for _, blk := range s.Blocks {
+			branchOut, err := c.stmt(env, blk, in)
+			if err != nil {
+				return frontier{}, err
+			}
+			out = out.union(branchOut)
+		}
+		return out, nil
+
+	case *ast.WheneverStmt:
+		return c.wheneverStmt(env, s, in)
+
+	default:
+		return frontier{}, c.errorf(s.Pos(), "unexpected statement %T", s)
+	}
+}
+
+func (c *compiler) report(s *ast.ReportStmt, in frontier) (frontier, error) {
+	if in.atStart {
+		return frontier{}, c.errorf(s.Pos(), "report requires at least one input symbol to be consumed first")
+	}
+	for _, id := range in.elems {
+		e := c.net.Element(id)
+		if e.Report {
+			continue
+		}
+		code := c.nextReport
+		c.nextReport++
+		c.net.SetReport(id, code)
+		c.reports[code] = fmt.Sprintf("report at %s", s.Pos())
+	}
+	return in, nil
+}
+
+func (c *compiler) exprStmt(env *eval.Env, x ast.Expr, in frontier) (frontier, error) {
+	switch x := x.(type) {
+	case *ast.CallExpr:
+		macro, ok := c.info.Macros[x.Name]
+		if !ok {
+			return frontier{}, c.errorf(x.Pos(), "call to undefined macro %q", x.Name)
+		}
+		callEnv := eval.NewEnv(nil)
+		for i, p := range macro.Params {
+			av, err := eval.Static(env, x.Args[i])
+			if err != nil {
+				return frontier{}, err
+			}
+			callEnv.Declare(p.Name, av)
+		}
+		return c.stmt(callEnv, macro.Body, in)
+
+	case *ast.MethodCallExpr:
+		recv, err := eval.Static(env, x.Recv)
+		if err != nil {
+			return frontier{}, err
+		}
+		counter, ok := recv.(*value.Counter)
+		if !ok {
+			return frontier{}, c.errorf(x.Pos(), "method %q on non-counter %s", x.Method, recv)
+		}
+		ci, ok := c.counters[counter]
+		if !ok {
+			return frontier{}, c.errorf(x.Pos(), "counter %q was not declared in this compilation", counter.Name)
+		}
+		if in.atStart {
+			return frontier{}, c.errorf(x.Pos(), "counter operations require at least one input symbol to be consumed first")
+		}
+		switch x.Method {
+		case "count":
+			ci.countSources = append(ci.countSources, in.elems...)
+		case "reset":
+			ci.resetSources = append(ci.resetSources, in.elems...)
+		default:
+			return frontier{}, c.errorf(x.Pos(), "unknown counter method %q", x.Method)
+		}
+		return in, nil
+
+	default:
+		// Boolean assertion.
+		if c.info.IsRuntime(x) {
+			p, err := eval.Normalize(c.info, env, x, false)
+			if err != nil {
+				return frontier{}, err
+			}
+			out, _, err := c.lowerPred(p, in)
+			return out, err
+		}
+		v, err := eval.Static(env, x)
+		if err != nil {
+			return frontier{}, err
+		}
+		if b, ok := v.(value.Bool); ok && bool(b) {
+			return in, nil
+		}
+		// A statically false assertion kills this path at compile time.
+		return frontier{}, nil
+	}
+}
+
+func (c *compiler) ifStmt(env *eval.Env, s *ast.IfStmt, in frontier) (frontier, error) {
+	if !c.info.IsRuntime(s.Cond) {
+		v, err := eval.Static(env, s.Cond)
+		if err != nil {
+			return frontier{}, err
+		}
+		if b, _ := v.(value.Bool); bool(b) {
+			return c.stmt(env, s.Then, in)
+		}
+		if s.Else != nil {
+			return c.stmt(env, s.Else, in)
+		}
+		return in, nil
+	}
+	// Runtime condition: explore both the condition and its equal-length
+	// negation in parallel (Section 5.2).
+	pos, err := eval.Normalize(c.info, env, s.Cond, false)
+	if err != nil {
+		return frontier{}, err
+	}
+	neg, err := eval.Normalize(c.info, env, s.Cond, true)
+	if err != nil {
+		return frontier{}, err
+	}
+	thenIn, _, err := c.lowerPred(pos, in)
+	if err != nil {
+		return frontier{}, err
+	}
+	thenOut, err := c.stmt(env, s.Then, thenIn)
+	if err != nil {
+		return frontier{}, err
+	}
+	elseIn, _, err := c.lowerPred(neg, in)
+	if err != nil {
+		return frontier{}, err
+	}
+	elseOut := elseIn
+	if s.Else != nil {
+		elseOut, err = c.stmt(env, s.Else, elseIn)
+		if err != nil {
+			return frontier{}, err
+		}
+	}
+	return thenOut.union(elseOut), nil
+}
+
+func (c *compiler) whileStmt(env *eval.Env, s *ast.WhileStmt, in frontier) (frontier, error) {
+	if !c.info.IsRuntime(s.Cond) {
+		// Static loop: unroll at compile time.
+		cur := in
+		for {
+			if err := c.step(s.Pos()); err != nil {
+				return frontier{}, err
+			}
+			v, err := eval.Static(env, s.Cond)
+			if err != nil {
+				return frontier{}, err
+			}
+			if b, _ := v.(value.Bool); !bool(b) {
+				return cur, nil
+			}
+			cur, err = c.stmt(env, s.Body, cur)
+			if err != nil {
+				return frontier{}, err
+			}
+		}
+	}
+	// Runtime condition: the feedback-loop structure of Figure 8c. The
+	// loop body's exits feed back into the condition's entry elements.
+	pos, err := eval.Normalize(c.info, env, s.Cond, false)
+	if err != nil {
+		return frontier{}, err
+	}
+	neg, err := eval.Normalize(c.info, env, s.Cond, true)
+	if err != nil {
+		return frontier{}, err
+	}
+	bodyIn, entries, err := c.lowerPred(pos, in)
+	if err != nil {
+		return frontier{}, err
+	}
+	bodyOut, err := c.stmt(env, s.Body, bodyIn)
+	if err != nil {
+		return frontier{}, err
+	}
+	// Feedback edges: another loop iteration can start after each body
+	// completion.
+	for _, src := range bodyOut.elems {
+		for _, entry := range entries {
+			c.net.Connect(src, entry, automata.PortIn)
+		}
+	}
+	// The negated condition exits the loop from the initial frontier or
+	// after any body completion.
+	exitIn := in.union(frontier{elems: bodyOut.elems})
+	exitOut, _, err := c.lowerPred(neg, exitIn)
+	if err != nil {
+		return frontier{}, err
+	}
+	return exitOut, nil
+}
+
+func (c *compiler) wheneverStmt(env *eval.Env, s *ast.WheneverStmt, in frontier) (frontier, error) {
+	// Figure 8d: a self-activating star state keeps the guard eligible on
+	// every symbol from the moment control reaches the statement.
+	star := c.net.AddSTE(charclass.All(), automata.StartNone)
+	c.net.Element(star).Origin = "whenever star"
+	if err := c.connectFrontier(in, star); err != nil {
+		return frontier{}, err
+	}
+	c.net.Connect(star, star, automata.PortIn)
+
+	p, err := eval.Normalize(c.info, env, s.Guard, false)
+	if err != nil {
+		return frontier{}, err
+	}
+	// Symbol-consuming guards also take direct edges from the incoming
+	// frontier so the first attempt starts one symbol after arrival; a
+	// zero-width guard (counter threshold, Figure 9) is gated purely by
+	// the star state, which carries the arrival timing itself.
+	guardIn := frontier{elems: []automata.ElementID{star}}
+	if !headZeroWidth(p) {
+		guardIn = in.union(guardIn)
+	}
+	bodyIn, _, err := c.lowerPred(p, guardIn)
+	if err != nil {
+		return frontier{}, err
+	}
+	return c.stmt(env, s.Body, bodyIn)
+}
+
+// headZeroWidth reports whether the predicate's first step consumes no
+// input symbol (a counter check or constant), which changes how a whenever
+// guard is anchored.
+func headZeroWidth(p eval.Pred) bool {
+	switch p := p.(type) {
+	case eval.Match:
+		return false
+	case eval.CounterCheck, eval.Const:
+		return true
+	case eval.Seq:
+		if len(p.Parts) == 0 {
+			return true
+		}
+		return headZeroWidth(p.Parts[0])
+	case eval.Alt:
+		for _, alt := range p.Alts {
+			if headZeroWidth(alt) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// ---------------------------------------------------------------- preds
+
+// lowerPred lowers a normalized predicate, connecting it from the given
+// frontier. It returns the success frontier and the entry elements (the
+// elements directly connected from the input frontier, needed for while
+// feedback edges).
+func (c *compiler) lowerPred(p eval.Pred, in frontier) (frontier, []automata.ElementID, error) {
+	if in.dead() {
+		return frontier{}, nil, nil
+	}
+	switch p := p.(type) {
+	case eval.Const:
+		if p.V {
+			// Pass-through: entries are unknowable (nothing consumed);
+			// while-loop feedback over a constant-true condition is
+			// rejected upstream because such conditions are static.
+			return in, nil, nil
+		}
+		return frontier{}, nil, nil
+
+	case eval.Match:
+		if p.Class.IsEmpty() {
+			// Consumes a symbol but can never match: a dead path.
+			return frontier{}, nil, nil
+		}
+		ste := c.net.AddSTE(p.Class, automata.StartNone)
+		if err := c.connectFrontier(in, ste); err != nil {
+			return frontier{}, nil, err
+		}
+		return frontier{elems: []automata.ElementID{ste}}, []automata.ElementID{ste}, nil
+
+	case eval.CounterCheck:
+		return c.lowerCounterCheck(p, in)
+
+	case eval.Seq:
+		cur := in
+		var entries []automata.ElementID
+		for i, part := range p.Parts {
+			out, partEntries, err := c.lowerPred(part, cur)
+			if err != nil {
+				return frontier{}, nil, err
+			}
+			if i == 0 {
+				entries = partEntries
+			}
+			cur = out
+			if cur.dead() {
+				return frontier{}, entries, nil
+			}
+		}
+		return cur, entries, nil
+
+	case eval.Alt:
+		out := frontier{}
+		var entries []automata.ElementID
+		for _, alt := range p.Alts {
+			altOut, altEntries, err := c.lowerPred(alt, in)
+			if err != nil {
+				return frontier{}, nil, err
+			}
+			out = out.union(altOut)
+			entries = append(entries, altEntries...)
+		}
+		return out, entries, nil
+
+	default:
+		return frontier{}, nil, fmt.Errorf("codegen: unexpected predicate %T", p)
+	}
+}
+
+func iterable(env *eval.Env, seqExpr ast.Expr) ([]value.Value, error) {
+	v, err := eval.Static(env, seqExpr)
+	if err != nil {
+		return nil, err
+	}
+	switch v := v.(type) {
+	case value.Array:
+		return v, nil
+	case value.Str:
+		out := make([]value.Value, len(v))
+		for i := 0; i < len(v); i++ {
+			out[i] = value.Char(v[i])
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("codegen: %s: cannot iterate %s", seqExpr.Pos(), v)
+	}
+}
+
+func zeroValue(t *ast.TypeExpr) value.Value {
+	if t.Dims > 0 {
+		return value.Array{}
+	}
+	switch t.Base {
+	case ast.TypeInt:
+		return value.Int(0)
+	case ast.TypeChar:
+		return value.Char(0)
+	case ast.TypeBool:
+		return value.Bool(false)
+	case ast.TypeString:
+		return value.Str("")
+	default:
+		return value.Bool(false)
+	}
+}

@@ -1,0 +1,448 @@
+package codegen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/lang/interp"
+	"repro/internal/lang/parser"
+	"repro/internal/lang/sema"
+	"repro/internal/lang/value"
+)
+
+func compile(t *testing.T, src string, args []value.Value) (*Result, *sema.Info) {
+	t.Helper()
+	res, info, err := tryCompile(t, src, args)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res, info
+}
+
+func tryCompile(t *testing.T, src string, args []value.Value) (*Result, *sema.Info, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	res, err := Compile(info, args, nil)
+	return res, info, err
+}
+
+// deviceOffsets runs the compiled network over input and returns the sorted
+// distinct report offsets.
+func deviceOffsets(t *testing.T, res *Result, input string) []int {
+	t.Helper()
+	reports, err := res.Network.Run([]byte(input))
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	var rs []interp.Report
+	for _, r := range reports {
+		rs = append(rs, interp.Report{Offset: r.Offset})
+	}
+	return interp.Offsets(rs)
+}
+
+// differential compiles and interprets src on the same inputs and requires
+// identical report offset sets.
+func differential(t *testing.T, src string, args []value.Value, inputs []string) {
+	t.Helper()
+	res, info := compile(t, src, args)
+	for _, in := range inputs {
+		want, err := interp.Run(info, args, []byte(in), nil)
+		if err != nil {
+			t.Fatalf("interp(%q): %v", in, err)
+		}
+		wantOffsets := interp.Offsets(want)
+		got := deviceOffsets(t, res, in)
+		if !reflect.DeepEqual(got, wantOffsets) {
+			t.Errorf("input %q: device offsets %v != interp offsets %v", in, got, wantOffsets)
+		}
+	}
+}
+
+const figure1 = `
+macro hamming_distance(String s, int d) {
+  Counter cnt;
+  foreach (char c : s)
+    if (c != input()) cnt.count();
+  cnt <= d;
+  report;
+}
+network (String[] comparisons) {
+  some (String s : comparisons)
+    hamming_distance(s, 2);
+}`
+
+func TestFigure1Compiles(t *testing.T) {
+	args := []value.Value{value.Strings([]string{"rapid"})}
+	res, _ := compile(t, figure1, args)
+	stats := res.Network.Stats()
+	// 5 chars × 2 paths + start tracker = 11 STEs; 1 counter (d+1 latch);
+	// OR + AND + NOT gates.
+	if stats.STEs != 11 {
+		t.Errorf("STEs = %d, want 11", stats.STEs)
+	}
+	if stats.Counters != 1 {
+		t.Errorf("Counters = %d, want 1", stats.Counters)
+	}
+	if stats.Gates != 3 {
+		t.Errorf("Gates = %d, want 3", stats.Gates)
+	}
+	if stats.Reporting != 1 {
+		t.Errorf("Reporting = %d, want 1", stats.Reporting)
+	}
+	if res.Network.ClockDivisor() != 2 {
+		t.Error("counter check should force clock divisor 2")
+	}
+}
+
+func TestFigure1Differential(t *testing.T) {
+	args := []value.Value{value.Strings([]string{"rapid"})}
+	differential(t, figure1, args, []string{
+		"rapid", // distance 0
+		"tepid", // distance 2
+		"taped", // distance 4 > 2: no report
+		"rapix", // distance 1
+		"xxxxx", // distance 5
+		"rapi",  // too short
+		"rapidrapid",
+	})
+}
+
+func TestExactMatchChain(t *testing.T) {
+	src := `
+macro exact(String s) {
+  foreach (char c : s) c == input();
+  report;
+}
+network (String[] ws) {
+  some (String w : ws) exact(w);
+}`
+	args := []value.Value{value.Strings([]string{"ab", "abc"})}
+	differential(t, src, args, []string{"ab", "abc", "abd", "xb", ""})
+	res, _ := compile(t, src, args)
+	// Chains: 2 + 3 STEs + tracker = 6.
+	if got := res.Network.Stats().STEs; got != 6 {
+		t.Errorf("STEs = %d, want 6", got)
+	}
+}
+
+func TestWheneverSlidingWindow(t *testing.T) {
+	src := `
+network () {
+  whenever (ALL_INPUT == input()) {
+    foreach (char c : "ab")
+      c == input();
+    report;
+  }
+}`
+	differential(t, src, nil, []string{
+		"xxabxxab", "ababab", "", "ab", "ba", "aab",
+	})
+}
+
+func TestWheneverCounterGuard(t *testing.T) {
+	src := `
+network () {
+  Counter cnt;
+  whenever ('x' == input()) { cnt.count(); }
+  whenever (cnt >= 2) { report; }
+}`
+	differential(t, src, nil, []string{"xaxa", "xx", "axxxa", "aaaa", "x"})
+}
+
+func TestEitherOrelse(t *testing.T) {
+	src := `
+macro m() {
+  either {
+    'a' == input();
+    'b' == input();
+  } orelse {
+    'c' == input();
+  }
+  'z' == input();
+  report;
+}
+network () { m(); }`
+	differential(t, src, nil, []string{"abz", "cz", "czz", "abzcz", "az", "cbz", "abcz"})
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `
+macro m() {
+  while ('y' != input()) ;
+  'a' == input();
+  report;
+}
+network () { m(); }`
+	differential(t, src, nil, []string{"ya", "qqya", "yya", "qyb", "a", "y"})
+}
+
+func TestIfElseDifferential(t *testing.T) {
+	src := `
+macro m() {
+  Counter cnt;
+  if ('a' == input()) cnt.count(); else ;
+  'z' == input();
+  if (cnt >= 1) report;
+}
+network () { m(); }`
+	differential(t, src, nil, []string{"az", "bz", "az" + "az", "zz", "a"})
+}
+
+func TestNegatedConjunction(t *testing.T) {
+	src := `
+macro m() {
+  !('a' == input() && 'b' == input());
+  'z' == input();
+  report;
+}
+network () { m(); }`
+	differential(t, src, nil, []string{"abz", "axz", "xbz", "xyz", "ab", "zzz"})
+}
+
+func TestCounterEquality(t *testing.T) {
+	src := `
+macro m() {
+  Counter cnt;
+  foreach (char c : "aaa")
+    if (c == input()) cnt.count();
+  cnt == 2;
+  report;
+}
+network () { m(); }`
+	differential(t, src, nil, []string{"aaa", "aab", "abb", "bbb", "aba", "baa"})
+	// Equality requires two physical counters.
+	res, _ := compile(t, src, nil)
+	if got := res.Network.Stats().Counters; got != 2 {
+		t.Errorf("physical counters = %d, want 2", got)
+	}
+}
+
+func TestCounterInequality(t *testing.T) {
+	src := `
+macro m() {
+  Counter cnt;
+  foreach (char c : "aaa")
+    if (c == input()) cnt.count();
+  cnt != 2;
+  report;
+}
+network () { m(); }`
+	differential(t, src, nil, []string{"aaa", "aab", "abb", "bbb"})
+}
+
+func TestCounterReset(t *testing.T) {
+	src := `
+macro m() {
+  Counter cnt;
+  either { 'x' == input(); cnt.count(); } orelse { ALL_INPUT == input(); }
+  either { 'r' == input(); cnt.reset(); } orelse { ALL_INPUT == input(); }
+  either { 'x' == input(); cnt.count(); } orelse { ALL_INPUT == input(); }
+  cnt >= 1;
+  report;
+}
+network () { m(); }`
+	differential(t, src, nil, []string{"xrx", "xxx", "rrr", "xxr", "rxx"})
+}
+
+func TestStartOfInputRestart(t *testing.T) {
+	src := `
+macro m() {
+  'a' == input();
+  report;
+}
+network () { m(); }`
+	sep := string([]byte{0xFF})
+	differential(t, src, nil, []string{
+		"a", "b",
+		"b" + sep + "a",
+		"a" + sep + "a",
+		sep + "a",
+		"b" + sep + "b" + sep + "a",
+	})
+}
+
+func TestSomeOverStringChars(t *testing.T) {
+	src := `
+network (String alphabet) {
+  some (char c : alphabet) {
+    c == input();
+    'z' == input();
+    report;
+  }
+}`
+	args := []value.Value{value.Str("abc")}
+	differential(t, src, args, []string{"az", "bz", "cz", "dz", "zz"})
+}
+
+func TestStaticControlFlowCompiles(t *testing.T) {
+	src := `
+macro m() {
+  int n = 0;
+  while (n < 3) { n = n + 1; }
+  n == 3;
+  if (n == 3) {
+    'a' == input();
+  } else {
+    'b' == input();
+  }
+  report;
+}
+network () { m(); }`
+	differential(t, src, nil, []string{"a", "b"})
+}
+
+func TestReportCodesDistinct(t *testing.T) {
+	src := `
+macro m(char c) {
+  c == input();
+  report;
+}
+network () {
+  m('a');
+  m('b');
+}`
+	res, _ := compile(t, src, nil)
+	if len(res.Reports) != 2 {
+		t.Fatalf("report codes = %v, want 2 entries", res.Reports)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{`network () { report; }`, "report requires"},
+		{`macro m() { Counter c; c.count(); } network () { m(); }`, "counter operations require"},
+		{`macro m() { Counter c; 'a' == input(); c >= 1; report; } network () { m(); }`, "never counted"},
+		{`network () { Counter c; whenever (c >= 1) { report; } }`, "never counted"},
+	}
+	for _, tc := range cases {
+		_, _, err := tryCompile(t, tc.src, nil)
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("source %q: err = %v, want fragment %q", tc.src, err, tc.frag)
+		}
+	}
+}
+
+func TestWrongArgCount(t *testing.T) {
+	prog, err := parser.Parse(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(info, nil, nil); err == nil {
+		t.Fatal("missing args should fail")
+	}
+}
+
+func TestGeneratedNetworkValidates(t *testing.T) {
+	args := []value.Value{value.Strings([]string{"rapid", "tepid", "vapid"})}
+	res, _ := compile(t, figure1, args)
+	if err := res.Network.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// And survives the device optimization pipeline.
+	opt := res.Network.OptimizeForDevice(16)
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizedPreservesReports(t *testing.T) {
+	args := []value.Value{value.Strings([]string{"rapid", "tepid"})}
+	res, info := compile(t, figure1, args)
+	opt := res.Network.OptimizeForDevice(16)
+	for _, in := range []string{"rapid", "tepid", "taped", "zzzzz"} {
+		want, err := interp.Run(info, args, []byte(in), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, err := opt.Run([]byte(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rs []interp.Report
+		for _, r := range reports {
+			rs = append(rs, interp.Report{Offset: r.Offset})
+		}
+		if !reflect.DeepEqual(interp.Offsets(rs), interp.Offsets(want)) {
+			t.Errorf("input %q: optimized %v != interp %v", in, interp.Offsets(rs), interp.Offsets(want))
+		}
+	}
+}
+
+func TestNestedMacros(t *testing.T) {
+	src := `
+macro one(char c) { c == input(); }
+macro pair(String s) {
+  one(s[0]);
+  one(s[1]);
+}
+network (String[] words) {
+  some (String w : words) { pair(w); report; }
+}`
+	args := []value.Value{value.Strings([]string{"ab", "xy"})}
+	differential(t, src, args, []string{"ab", "xy", "ax", "yb"})
+}
+
+func TestMultiSymbolOrBranches(t *testing.T) {
+	src := `
+macro m() {
+  'a' == input() && 'b' == input() || 'c' == input() && 'd' == input();
+  'z' == input();
+  report;
+}
+network () { m(); }`
+	differential(t, src, nil, []string{"abz", "cdz", "adz", "cbz", "abcdz"})
+}
+
+func TestStartKindAssignment(t *testing.T) {
+	src := `
+macro m() { 'a' == input(); report; }
+network () { m(); }`
+	res, _ := compile(t, src, nil)
+	var startSTEs, trackers int
+	res.Network.Elements(func(e *automata.Element) {
+		if e.Kind == automata.KindSTE && e.Start == automata.StartOfData {
+			startSTEs++
+		}
+		if e.Kind == automata.KindSTE && e.Start == automata.StartAllInput {
+			trackers++
+		}
+	})
+	if startSTEs != 1 || trackers != 1 {
+		t.Fatalf("startSTEs=%d trackers=%d, want 1 and 1", startSTEs, trackers)
+	}
+}
+
+// TestCounterElaborationDifferential cross-checks the elaboration-identity
+// semantics between compiler and interpreter on the whenever-declared
+// counter pattern.
+func TestCounterElaborationDifferential(t *testing.T) {
+	src := `
+network () {
+  whenever ('a' == input()) {
+    Counter cnt;
+    if ('x' == input()) cnt.count(); else ;
+    cnt >= 2;
+    report;
+  }
+}`
+	differential(t, src, nil, []string{"axax", "ax", "axbxax", "aaxx", "xxxx"})
+	// The compiled design has exactly one physical counter.
+	res, _ := compile(t, src, nil)
+	if got := res.Network.Stats().Counters; got != 1 {
+		t.Fatalf("physical counters = %d, want 1", got)
+	}
+}

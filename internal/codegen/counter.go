@@ -1,0 +1,206 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+	"repro/internal/lang/eval"
+	"repro/internal/lang/token"
+)
+
+// counterInfo accumulates the device wiring of one RAPID Counter object:
+// the elements that drive its count and reset ports, and the physical
+// counter elements allocated per checked threshold.
+type counterInfo struct {
+	name string
+	decl token.Pos
+
+	countSources []automata.ElementID
+	resetSources []automata.ElementID
+
+	// physical maps a latch target to its counter element; a RAPID
+	// counter checked against == or != thresholds needs two physical
+	// counters (Section 5.3).
+	physical map[int]automata.ElementID
+	// inverters caches the NOT gate attached to each physical counter.
+	inverters map[automata.ElementID]automata.ElementID
+}
+
+// physicalFor returns (allocating if needed) the latching counter element
+// with the given target.
+func (c *compiler) physicalFor(ci *counterInfo, target int) automata.ElementID {
+	if ci.physical == nil {
+		ci.physical = make(map[int]automata.ElementID)
+	}
+	if id, ok := ci.physical[target]; ok {
+		return id
+	}
+	id := c.net.AddCounter(target)
+	c.net.Element(id).Origin = "counter " + ci.name
+	ci.physical[target] = id
+	return id
+}
+
+// inverterFor returns (allocating if needed) the inverter on a physical
+// counter's output, used for the "inverted" rows of Table 2.
+func (c *compiler) inverterFor(ci *counterInfo, counterElem automata.ElementID) automata.ElementID {
+	if ci.inverters == nil {
+		ci.inverters = make(map[automata.ElementID]automata.ElementID)
+	}
+	if id, ok := ci.inverters[counterElem]; ok {
+		return id
+	}
+	id := c.net.AddGate(automata.GateNot)
+	c.net.Element(id).Origin = "counter " + ci.name + " inverter"
+	c.net.Connect(counterElem, id, automata.PortIn)
+	ci.inverters[counterElem] = id
+	return id
+}
+
+// counterSignal is one term of a lowered counter condition: a latch target
+// and whether its output is inverted.
+type counterSignal struct {
+	target   int
+	inverted bool
+}
+
+// counterCondition is the lowered form of a counter comparison per Table 2:
+// either trivially constant or a combination of latch outputs.
+type counterCondition struct {
+	constant bool
+	value    bool // meaningful when constant
+	signals  []counterSignal
+	anyOf    bool // true: OR the signals (!=); false: AND them (==, single)
+}
+
+// lowerComparison translates op/threshold into Table 2's threshold and
+// output rules, handling degenerate thresholds (a saturating up-counter is
+// never negative, and device targets must be positive).
+func lowerComparison(op token.Type, n int) counterCondition {
+	trivially := func(v bool) counterCondition { return counterCondition{constant: true, value: v} }
+	switch op {
+	case token.LT: // val < n  ⇔ NOT latched(n)
+		if n <= 0 {
+			return trivially(false)
+		}
+		return counterCondition{signals: []counterSignal{{target: n, inverted: true}}}
+	case token.LEQ: // val <= n ⇔ NOT latched(n+1)
+		if n < 0 {
+			return trivially(false)
+		}
+		return counterCondition{signals: []counterSignal{{target: n + 1, inverted: true}}}
+	case token.GT: // val > n ⇔ latched(n+1)
+		if n < 0 {
+			return trivially(true)
+		}
+		return counterCondition{signals: []counterSignal{{target: n + 1}}}
+	case token.GEQ: // val >= n ⇔ latched(n)
+		if n <= 0 {
+			return trivially(true)
+		}
+		return counterCondition{signals: []counterSignal{{target: n}}}
+	case token.EQ: // val == n ⇔ latched(n) AND NOT latched(n+1)
+		switch {
+		case n < 0:
+			return trivially(false)
+		case n == 0:
+			return counterCondition{signals: []counterSignal{{target: 1, inverted: true}}}
+		default:
+			return counterCondition{signals: []counterSignal{{target: n}, {target: n + 1, inverted: true}}}
+		}
+	case token.NEQ: // val != n ⇔ NOT latched(n) OR latched(n+1)
+		switch {
+		case n < 0:
+			return trivially(true)
+		case n == 0:
+			return counterCondition{signals: []counterSignal{{target: 1}}}
+		default:
+			return counterCondition{
+				signals: []counterSignal{{target: n, inverted: true}, {target: n + 1}},
+				anyOf:   true,
+			}
+		}
+	default:
+		return trivially(false)
+	}
+}
+
+// lowerCounterCheck lowers a counter threshold check gated by the arrival
+// signal (Figure 9): the check succeeds on a cycle where control arrives
+// AND the counter condition holds.
+func (c *compiler) lowerCounterCheck(p eval.CounterCheck, in frontier) (frontier, []automata.ElementID, error) {
+	ci, ok := c.counters[p.C]
+	if !ok {
+		return frontier{}, nil, fmt.Errorf("codegen: counter %q was not declared in this compilation", p.C.Name)
+	}
+	if in.atStart {
+		return frontier{}, nil, fmt.Errorf("codegen: counter %q checked before any input symbol is consumed", p.C.Name)
+	}
+	cond := lowerComparison(p.Op, p.N)
+	if cond.constant {
+		if cond.value {
+			return in, nil, nil
+		}
+		return frontier{}, nil, nil
+	}
+
+	// Arrival signal: an OR over the frontier, which is also the entry
+	// point for while-loop feedback.
+	arrival := c.net.AddGate(automata.GateOr)
+	c.net.Element(arrival).Origin = "counter " + ci.name + " arrival"
+	for _, src := range in.elems {
+		c.net.Connect(src, arrival, automata.PortIn)
+	}
+
+	// Condition signals.
+	var condElems []automata.ElementID
+	for _, sig := range cond.signals {
+		phys := c.physicalFor(ci, sig.target)
+		if sig.inverted {
+			condElems = append(condElems, c.inverterFor(ci, phys))
+		} else {
+			condElems = append(condElems, phys)
+		}
+	}
+	if cond.anyOf && len(condElems) > 1 {
+		or := c.net.AddGate(automata.GateOr)
+		c.net.Element(or).Origin = "counter " + ci.name + " any-of"
+		for _, e := range condElems {
+			c.net.Connect(e, or, automata.PortIn)
+		}
+		condElems = []automata.ElementID{or}
+	}
+
+	and := c.net.AddGate(automata.GateAnd)
+	c.net.Element(and).Origin = "counter " + ci.name + " check"
+	c.net.Connect(arrival, and, automata.PortIn)
+	for _, e := range condElems {
+		c.net.Connect(e, and, automata.PortIn)
+	}
+	return frontier{elems: []automata.ElementID{and}}, []automata.ElementID{arrival}, nil
+}
+
+// finalizeCounters wires the accumulated count/reset sources to every
+// physical counter element of each RAPID counter.
+func (c *compiler) finalizeCounters() error {
+	for _, counter := range c.counterOrder {
+		ci := c.counters[counter]
+		if len(ci.physical) == 0 {
+			// Counted but never checked: the counter has no observable
+			// effect and generates no hardware.
+			continue
+		}
+		if len(ci.countSources) == 0 {
+			return fmt.Errorf("codegen: %s: counter %q is checked but never counted", ci.decl, counter.Name)
+		}
+		for _, phys := range ci.physical {
+			for _, src := range ci.countSources {
+				c.net.Connect(src, phys, automata.PortCount)
+			}
+			for _, src := range ci.resetSources {
+				c.net.Connect(src, phys, automata.PortReset)
+			}
+		}
+	}
+	return nil
+}

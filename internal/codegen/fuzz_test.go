@@ -1,0 +1,187 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/lang/interp"
+	"repro/internal/lang/parser"
+	"repro/internal/lang/sema"
+)
+
+// progGen generates random RAPID macro bodies from a small grammar, used to
+// cross-check the compiler against the reference interpreter.
+type progGen struct {
+	rng      *rand.Rand
+	depth    int
+	counters int
+	buf      strings.Builder
+}
+
+func (g *progGen) alphaChar() byte { return byte('a' + g.rng.Intn(3)) }
+
+func (g *progGen) literal() string {
+	n := 1 + g.rng.Intn(3)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(g.alphaChar())
+	}
+	return sb.String()
+}
+
+// predicate emits a runtime boolean expression.
+func (g *progGen) predicate() string {
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("'%c' == input()", g.alphaChar())
+	case 1:
+		return fmt.Sprintf("'%c' != input()", g.alphaChar())
+	case 2:
+		return fmt.Sprintf("'%c' == input() && '%c' == input()", g.alphaChar(), g.alphaChar())
+	default:
+		return fmt.Sprintf("'%c' == input() || '%c' == input()", g.alphaChar(), g.alphaChar())
+	}
+}
+
+func (g *progGen) stmt(indent string) string {
+	g.depth++
+	defer func() { g.depth-- }()
+	choices := 6
+	if g.depth > 3 {
+		choices = 3 // only leaves when deep
+	}
+	switch g.rng.Intn(choices) {
+	case 0:
+		return indent + g.predicate() + ";\n"
+	case 1:
+		return fmt.Sprintf("%sforeach (char c : \"%s\") c == input();\n", indent, g.literal())
+	case 2:
+		return fmt.Sprintf("%sif (%s) %s", indent, g.predicate(), g.stmt(""))
+	case 3:
+		return fmt.Sprintf("%seither {\n%s%s} orelse {\n%s%s}\n",
+			indent, g.stmt(indent+"  "), indent, g.stmt(indent+"  "), indent)
+	case 4:
+		return fmt.Sprintf("%swhile ('%c' != input()) ;\n", indent, g.alphaChar())
+	default:
+		return fmt.Sprintf("%sif (%s) %s else %s",
+			indent, g.predicate(), g.stmt(""), g.stmt(""))
+	}
+}
+
+// counterMotif emits a randomized but well-formed counter usage: declare,
+// conditionally count over a few symbols, then check a threshold.
+func (g *progGen) counterMotif(indent string) string {
+	g.counters++
+	name := fmt.Sprintf("k%d", g.counters)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%sCounter %s;\n", indent, name)
+	steps := 1 + g.rng.Intn(3)
+	for i := 0; i < steps; i++ {
+		fmt.Fprintf(&sb, "%sif ('%c' == input()) %s.count();", indent, g.alphaChar(), name)
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&sb, " else %s.reset();", name)
+		}
+		sb.WriteByte('\n')
+	}
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	fmt.Fprintf(&sb, "%s%s %s %d;\n", indent, name, ops[g.rng.Intn(len(ops))], g.rng.Intn(3))
+	return sb.String()
+}
+
+func (g *progGen) program() string {
+	var sb strings.Builder
+	sb.WriteString("macro body() {\n")
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		if g.rng.Intn(5) == 0 {
+			sb.WriteString(g.counterMotif("  "))
+		} else {
+			sb.WriteString(g.stmt("  "))
+		}
+	}
+	sb.WriteString("  report;\n}\n")
+	if g.rng.Intn(2) == 0 {
+		sb.WriteString("network () { body(); }\n")
+	} else {
+		sb.WriteString("network () { whenever (ALL_INPUT == input()) { body(); } }\n")
+	}
+	return sb.String()
+}
+
+// TestFuzzDifferential cross-checks random programs on random inputs: the
+// compiled automaton simulated on the device model must report at exactly
+// the interpreter's offsets.
+func TestFuzzDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20160402))
+	trials := 200
+	if testing.Short() {
+		trials = 40
+	}
+	for trial := 0; trial < trials; trial++ {
+		g := &progGen{rng: rng}
+		src := g.program()
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: generated program fails to parse: %v\n%s", trial, err, src)
+		}
+		info, err := sema.Check(prog)
+		if err != nil {
+			t.Fatalf("trial %d: generated program fails to check: %v\n%s", trial, err, src)
+		}
+		res, err := Compile(info, nil, nil)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		sim := res.Network
+		for inTrial := 0; inTrial < 5; inTrial++ {
+			n := rng.Intn(16)
+			input := make([]byte, n)
+			for i := range input {
+				input[i] = byte('a' + rng.Intn(3))
+			}
+			want, err := interp.Run(info, nil, input, &interp.Options{MaxSpawns: 200000})
+			if err != nil {
+				t.Fatalf("trial %d: interp: %v\n%s", trial, err, src)
+			}
+			reports, err := sim.Run(input)
+			if err != nil {
+				t.Fatalf("trial %d: simulate: %v\n%s", trial, err, src)
+			}
+			var rs []interp.Report
+			for _, r := range reports {
+				rs = append(rs, interp.Report{Offset: r.Offset})
+			}
+			got, wantOff := interp.Offsets(rs), interp.Offsets(want)
+			if !reflect.DeepEqual(got, wantOff) {
+				t.Fatalf("trial %d input %q:\ndevice  %v\ninterp  %v\nprogram:\n%s",
+					trial, input, got, wantOff, src)
+			}
+			// The optimized network must agree too. Optimization may
+			// prune a never-reporting design down to nothing; that is
+			// correct exactly when the interpreter reports nothing.
+			opt := sim.OptimizeForDevice(16)
+			if opt.Len() == 0 {
+				if len(wantOff) != 0 {
+					t.Fatalf("trial %d input %q: optimizer emptied a reporting design (interp %v)\nprogram:\n%s",
+						trial, input, wantOff, src)
+				}
+				continue
+			}
+			optReports, err := opt.Run(input)
+			if err != nil {
+				t.Fatalf("trial %d: optimized simulate: %v", trial, err)
+			}
+			var ors []interp.Report
+			for _, r := range optReports {
+				ors = append(ors, interp.Report{Offset: r.Offset})
+			}
+			if !reflect.DeepEqual(interp.Offsets(ors), wantOff) {
+				t.Fatalf("trial %d input %q: optimized device %v != interp %v\nprogram:\n%s",
+					trial, input, interp.Offsets(ors), wantOff, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lang/value"
+	"repro/internal/place"
+)
+
+const hammingSrc = `
+macro hamming_distance(String s, int d) {
+  Counter cnt;
+  foreach (char c : s)
+    if (c != input()) cnt.count();
+  cnt <= d;
+  report;
+}
+network (String[] comparisons) {
+  some (String s : comparisons)
+    hamming_distance(s, 1);
+}`
+
+func TestLoadAndCompile(t *testing.T) {
+	p, err := Load(hammingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Params(); len(got) != 1 || got[0] != "comparisons" {
+		t.Fatalf("Params = %v", got)
+	}
+	args := []value.Value{value.Strings([]string{"rapid", "tepid"})}
+	res, err := p.Compile(args, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Network.Stats().Counters != 2 {
+		t.Fatalf("counters = %d, want 2 (one per instance)", res.Network.Stats().Counters)
+	}
+	reports, err := p.Interpret(args, []byte("rapid"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("interpreter found no match")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("not rapid"); err == nil {
+		t.Error("garbage should fail to load")
+	}
+	if _, err := Load("network () { undefined(); }"); err == nil {
+		t.Error("semantic errors should fail to load")
+	}
+}
+
+func TestDetectTileable(t *testing.T) {
+	p, err := Load(hammingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []value.Value{value.Strings([]string{"aaa", "bbb", "ccc"})}
+	spec, ok := p.DetectTileable(args)
+	if !ok {
+		t.Fatal("hamming network should be tileable")
+	}
+	if spec.ParamName != "comparisons" || spec.Count != 3 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	unit := spec.UnitArgs(args)
+	if arr := unit[0].(value.Array); len(arr) != 1 {
+		t.Fatalf("unit args = %v", unit)
+	}
+	// Original args untouched.
+	if arr := args[0].(value.Array); len(arr) != 3 {
+		t.Fatal("UnitArgs mutated the original arguments")
+	}
+}
+
+func TestDetectTileableInsideWhenever(t *testing.T) {
+	src := `
+macro exact(String s) {
+  foreach (char c : s) c == input();
+  report;
+}
+network (String[] seqs) {
+  whenever (ALL_INPUT == input()) {
+    some (String s : seqs) exact(s);
+  }
+}`
+	p, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []value.Value{value.Strings([]string{"AC", "GT"})}
+	if _, ok := p.DetectTileable(args); !ok {
+		t.Fatal("some inside top-level whenever should be tileable")
+	}
+}
+
+func TestNotTileable(t *testing.T) {
+	src := `
+macro m() { 'a' == input(); report; }
+network () { m(); }`
+	p, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.DetectTileable(nil); ok {
+		t.Fatal("fixed design should not be tileable")
+	}
+	if _, err := p.Tessellate(nil, place.Config{}); err == nil {
+		t.Fatal("Tessellate should fail on non-tileable design")
+	}
+}
+
+func TestTessellatePipeline(t *testing.T) {
+	p, err := Load(hammingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([]string, 100)
+	for i := range words {
+		words[i] = "rapid"
+	}
+	args := []value.Value{value.Strings(words)}
+	r, err := p.Tessellate(args, place.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instances != 100 || r.PerBlock < 1 {
+		t.Fatalf("result = %+v", r)
+	}
+	// Counters limit density to 4 per block... the hamming unit uses one
+	// physical counter (cnt <= 1 → target 2), so at most 4 per block.
+	if r.PerBlock > 4 {
+		t.Fatalf("PerBlock = %d, want <= 4 (counter capacity)", r.PerBlock)
+	}
+}
+
+func TestPlaceAndRoute(t *testing.T) {
+	p, err := Load(hammingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []value.Value{value.Strings([]string{"rapid", "tepid", "vapid"})}
+	placement, err := p.PlaceAndRoute(args, place.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placement.Metrics.TotalBlocks < 1 {
+		t.Fatalf("metrics = %+v", placement.Metrics)
+	}
+	if placement.Metrics.ClockDivisor != 2 {
+		t.Fatalf("divisor = %d, want 2 (counter design)", placement.Metrics.ClockDivisor)
+	}
+}
+
+func TestDeviceNetwork(t *testing.T) {
+	p, err := Load(hammingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []value.Value{value.Strings([]string{"rapid", "rapid"})}
+	dev, err := p.DeviceNetwork(args, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := p.Compile(args, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two identical instances share structure after optimization.
+	if dev.Stats().STEs >= full.Network.Stats().STEs {
+		t.Fatalf("device STEs %d not reduced from %d", dev.Stats().STEs, full.Network.Stats().STEs)
+	}
+}

@@ -1,0 +1,237 @@
+package dfa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/charclass"
+	"repro/internal/regexcomp"
+)
+
+func chain(word string, start automata.StartKind) *automata.Network {
+	n := automata.NewNetwork("chain")
+	prev := automata.NoElement
+	for i := 0; i < len(word); i++ {
+		kind := automata.StartNone
+		if i == 0 {
+			kind = start
+		}
+		id := n.AddSTE(charclass.Single(word[i]), kind)
+		if prev != automata.NoElement {
+			n.Connect(prev, id, automata.PortIn)
+		}
+		prev = id
+	}
+	n.SetReport(prev, 7)
+	return n
+}
+
+// nfaOffsets returns the NFA's reports deduplicated by (offset, code):
+// several identical reporting elements may fire at one offset on the NFA,
+// while the DFA inherently reports each (offset, code) pair once.
+func nfaOffsets(t *testing.T, n *automata.Network, input []byte) []Report {
+	t.Helper()
+	reports, err := n.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Report]bool{}
+	var out []Report
+	for _, r := range reports {
+		k := Report{Offset: r.Offset, Code: r.Code}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestChainMatchesNFA(t *testing.T) {
+	n := chain("abc", automata.StartAllInput)
+	d, err := FromNetwork(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range []string{"abcabc", "ababc", "", "xyz", "abc"} {
+		want := nfaOffsets(t, n, []byte(input))
+		got := d.Run([]byte(input))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("input %q: dfa %v != nfa %v", input, got, want)
+		}
+	}
+}
+
+func TestAnchoredStart(t *testing.T) {
+	n := chain("ab", automata.StartOfData)
+	d, err := FromNetwork(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Run([]byte("ab")); len(got) != 1 || got[0].Offset != 1 || got[0].Code != 7 {
+		t.Fatalf("anchored run = %v", got)
+	}
+	if got := d.Run([]byte("xab")); len(got) != 0 {
+		t.Fatalf("anchored matched shifted input: %v", got)
+	}
+}
+
+func TestRejectsSpecials(t *testing.T) {
+	n := automata.NewNetwork("c")
+	x := n.AddSTE(charclass.Single('x'), automata.StartAllInput)
+	c := n.AddCounter(2)
+	n.Connect(x, c, automata.PortCount)
+	n.SetReport(c, 0)
+	if _, err := FromNetwork(n, nil); err == nil {
+		t.Fatal("counter design should be rejected")
+	}
+}
+
+func TestMaxStates(t *testing.T) {
+	// A design with many overlapping sliding patterns has a large subset
+	// space; a tiny cap must trigger the bound.
+	n := automata.NewNetwork("big")
+	rng := rand.New(rand.NewSource(1))
+	for p := 0; p < 12; p++ {
+		prev := automata.NoElement
+		for i := 0; i < 8; i++ {
+			start := automata.StartNone
+			if i == 0 {
+				start = automata.StartAllInput
+			}
+			id := n.AddSTE(charclass.Single(byte('a'+rng.Intn(2))), start)
+			if prev != automata.NoElement {
+				n.Connect(prev, id, automata.PortIn)
+			}
+			prev = id
+		}
+		n.SetReport(prev, p)
+	}
+	if _, err := FromNetwork(n, &Options{MaxStates: 10}); err == nil {
+		t.Fatal("state cap should trigger")
+	}
+}
+
+func TestMinimizationReducesStates(t *testing.T) {
+	// Two identical sliding chains produce redundant subset states that
+	// minimization must merge down to the single-chain size.
+	n := automata.NewNetwork("dup")
+	n.Merge(chain("abc", automata.StartAllInput))
+	n.Merge(chain("abc", automata.StartAllInput))
+	min, err := FromNetwork(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := FromNetwork(n, &Options{MinimizeOff: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.States() > raw.States() {
+		t.Fatalf("minimized %d > raw %d", min.States(), raw.States())
+	}
+	single, err := FromNetwork(chain("abc", automata.StartAllInput), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.States() != single.States() {
+		t.Fatalf("duplicate design minimized to %d states, single is %d", min.States(), single.States())
+	}
+	// Behavior unchanged by minimization.
+	for _, input := range []string{"abcabc", "aabbcc", "abab"} {
+		if !reflect.DeepEqual(min.Run([]byte(input)), raw.Run([]byte(input))) {
+			t.Fatalf("minimization changed behavior on %q", input)
+		}
+	}
+}
+
+func TestRandomNetworksAgainstNFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := automata.NewNetwork("rand")
+		count := 1 + rng.Intn(4)
+		for w := 0; w < count; w++ {
+			length := 1 + rng.Intn(5)
+			word := make([]byte, length)
+			for i := range word {
+				word[i] = byte('a' + rng.Intn(3))
+			}
+			start := automata.StartAllInput
+			if rng.Intn(2) == 0 {
+				start = automata.StartOfData
+			}
+			n.Merge(chain(string(word), start))
+		}
+		d, err := FromNetwork(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for inTrial := 0; inTrial < 5; inTrial++ {
+			input := make([]byte, rng.Intn(30))
+			for i := range input {
+				input[i] = byte('a' + rng.Intn(3))
+			}
+			want := nfaOffsets(t, n, input)
+			got := d.Run(input)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d input %q: dfa %v != nfa %v", trial, input, got, want)
+			}
+		}
+	}
+}
+
+func TestRegexToDFA(t *testing.T) {
+	net, err := regexcomp.Compile("a(b|c)+d", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromNetwork(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range []string{"abd", "abcbcd", "ad", "xxabdxx"} {
+		want := nfaOffsets(t, net, []byte(input))
+		got := d.Run([]byte(input))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("input %q: dfa %v != nfa %v", input, got, want)
+		}
+	}
+}
+
+// BenchmarkDFAvsNFA measures the CPU-backend speedup over NFA simulation.
+func BenchmarkDFAvsNFA(b *testing.B) {
+	net := automata.NewNetwork("bench")
+	rng := rand.New(rand.NewSource(9))
+	for p := 0; p < 20; p++ {
+		word := make([]byte, 4+rng.Intn(4))
+		for i := range word {
+			word[i] = byte('a' + rng.Intn(4))
+		}
+		net.Merge(chain(string(word), automata.StartAllInput))
+	}
+	input := make([]byte, 1<<14)
+	for i := range input {
+		input[i] = byte('a' + rng.Intn(4))
+	}
+	b.Run("nfa", func(b *testing.B) {
+		sim, err := automata.NewFastSimulator(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(input)))
+		for i := 0; i < b.N; i++ {
+			sim.Run(input)
+		}
+	})
+	b.Run("dfa", func(b *testing.B) {
+		d, err := FromNetwork(net, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(input)))
+		for i := 0; i < b.N; i++ {
+			d.Run(input)
+		}
+	})
+}

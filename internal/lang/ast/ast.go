@@ -1,0 +1,354 @@
+// Package ast defines the abstract syntax tree for RAPID programs.
+//
+// A program consists of zero or more macro declarations and exactly one
+// network declaration (Section 3.1 of the paper). Statements mix an
+// imperative style (executed at compile time under the staged-computation
+// model) with declarative pattern assertions (lowered to automata).
+package ast
+
+import "repro/internal/lang/token"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------- types
+
+// BaseType enumerates RAPID's primitive and object types.
+type BaseType int
+
+const (
+	// TypeChar is the input-symbol type.
+	TypeChar BaseType = iota
+	// TypeInt is the compile-time integer type.
+	TypeInt
+	// TypeBool is the boolean type.
+	TypeBool
+	// TypeString is the lightweight string object type.
+	TypeString
+	// TypeCounter is the saturating up-counter object type.
+	TypeCounter
+)
+
+func (b BaseType) String() string {
+	switch b {
+	case TypeChar:
+		return "char"
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "bool"
+	case TypeString:
+		return "String"
+	case TypeCounter:
+		return "Counter"
+	default:
+		return "?"
+	}
+}
+
+// TypeExpr is a syntactic type: a base type plus zero or more array
+// dimensions (e.g. String[][]).
+type TypeExpr struct {
+	TypePos token.Pos
+	Base    BaseType
+	Dims    int // number of [] suffixes
+}
+
+func (t *TypeExpr) Pos() token.Pos { return t.TypePos }
+
+func (t *TypeExpr) String() string {
+	s := t.Base.String()
+	for i := 0; i < t.Dims; i++ {
+		s += "[]"
+	}
+	return s
+}
+
+// ---------------------------------------------------------------- program
+
+// Param is one formal parameter of a macro or network.
+type Param struct {
+	Type *TypeExpr
+	Name string
+	NPos token.Pos
+}
+
+func (p *Param) Pos() token.Pos { return p.NPos }
+
+// Program is a complete RAPID compilation unit.
+type Program struct {
+	Macros  []*MacroDecl
+	Network *NetworkDecl
+}
+
+func (p *Program) Pos() token.Pos {
+	if len(p.Macros) > 0 {
+		return p.Macros[0].Pos()
+	}
+	if p.Network != nil {
+		return p.Network.Pos()
+	}
+	return token.Pos{}
+}
+
+// MacroDecl is a reusable pattern-matching algorithm definition.
+type MacroDecl struct {
+	MacroPos token.Pos
+	Name     string
+	Params   []*Param
+	Body     *BlockStmt
+}
+
+func (m *MacroDecl) Pos() token.Pos { return m.MacroPos }
+
+// NetworkDecl is the top-level parallel composition of a program.
+type NetworkDecl struct {
+	NetPos token.Pos
+	Params []*Param
+	Body   *BlockStmt
+}
+
+func (n *NetworkDecl) Pos() token.Pos { return n.NetPos }
+
+// ---------------------------------------------------------------- stmts
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a braced statement sequence.
+type BlockStmt struct {
+	LBrace token.Pos
+	Stmts  []Stmt
+}
+
+// VarDeclStmt declares a variable, optionally with an initializer.
+// Counter declarations allocate a fresh counter object.
+type VarDeclStmt struct {
+	Type *TypeExpr
+	Name string
+	NPos token.Pos
+	Init Expr // nil when absent
+}
+
+// AssignStmt assigns a compile-time value to a declared variable.
+type AssignStmt struct {
+	Name  string
+	NPos  token.Pos
+	Value Expr
+}
+
+// ExprStmt is an expression used as a statement. Boolean expressions act
+// as declarative assertions: a false result terminates the thread of
+// computation (Section 3.1). Macro calls and counter method calls are also
+// expression statements.
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt conditionally executes Then or Else. Static conditions select a
+// branch at compile time; runtime conditions split the automaton.
+type IfStmt struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // nil when absent
+}
+
+// WhileStmt repeats Body while Cond holds. Runtime conditions generate the
+// feedback-loop structure of Figure 8c.
+type WhileStmt struct {
+	WhilePos token.Pos
+	Cond     Expr
+	Body     Stmt // possibly EmptyStmt
+}
+
+// ForeachStmt iterates sequentially (in order) over a String or array.
+type ForeachStmt struct {
+	ForPos token.Pos
+	Type   *TypeExpr
+	Var    string
+	VPos   token.Pos
+	Seq    Expr
+	Body   Stmt
+}
+
+// EitherStmt executes two or more blocks in parallel (Section 3.3). No
+// join occurs: each branch independently continues to the statement after
+// the either/orelse.
+type EitherStmt struct {
+	EitherPos token.Pos
+	Blocks    []*BlockStmt // len >= 2
+}
+
+// SomeStmt is the parallel dual of foreach: one parallel thread per
+// element of Seq.
+type SomeStmt struct {
+	SomePos token.Pos
+	Type    *TypeExpr
+	Var     string
+	VPos    token.Pos
+	Seq     Expr
+	Body    Stmt
+}
+
+// WheneverStmt executes Body in parallel with the rest of the program at
+// every point in the stream where Guard is satisfied (sliding-window
+// search, Section 3.3).
+type WheneverStmt struct {
+	WhenPos token.Pos
+	Guard   Expr
+	Body    Stmt
+}
+
+// ReportStmt generates a report event at the current stream offset.
+type ReportStmt struct {
+	RPos token.Pos
+}
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct {
+	SemiPos token.Pos
+}
+
+func (s *BlockStmt) Pos() token.Pos    { return s.LBrace }
+func (s *VarDeclStmt) Pos() token.Pos  { return s.Type.Pos() }
+func (s *AssignStmt) Pos() token.Pos   { return s.NPos }
+func (s *ExprStmt) Pos() token.Pos     { return s.X.Pos() }
+func (s *IfStmt) Pos() token.Pos       { return s.IfPos }
+func (s *WhileStmt) Pos() token.Pos    { return s.WhilePos }
+func (s *ForeachStmt) Pos() token.Pos  { return s.ForPos }
+func (s *EitherStmt) Pos() token.Pos   { return s.EitherPos }
+func (s *SomeStmt) Pos() token.Pos     { return s.SomePos }
+func (s *WheneverStmt) Pos() token.Pos { return s.WhenPos }
+func (s *ReportStmt) Pos() token.Pos   { return s.RPos }
+func (s *EmptyStmt) Pos() token.Pos    { return s.SemiPos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDeclStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForeachStmt) stmtNode()  {}
+func (*EitherStmt) stmtNode()   {}
+func (*SomeStmt) stmtNode()     {}
+func (*WheneverStmt) stmtNode() {}
+func (*ReportStmt) stmtNode()   {}
+func (*EmptyStmt) stmtNode()    {}
+
+// ---------------------------------------------------------------- exprs
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// LitKind discriminates literal payloads.
+type LitKind int
+
+const (
+	// LitInt is a decimal integer literal.
+	LitInt LitKind = iota
+	// LitChar is a character literal.
+	LitChar
+	// LitString is a string literal.
+	LitString
+	// LitBool is true or false.
+	LitBool
+)
+
+// BasicLit is a literal value.
+type BasicLit struct {
+	LPos token.Pos
+	Kind LitKind
+
+	IntVal  int64
+	CharVal byte
+	StrVal  string
+	BoolVal bool
+}
+
+// Ident is a reference to a declared name or a predeclared constant
+// (ALL_INPUT, START_OF_INPUT).
+type Ident struct {
+	NPos token.Pos
+	Name string
+}
+
+// InputExpr is a call to the privileged input() function, consuming one
+// symbol from the stream.
+type InputExpr struct {
+	CallPos token.Pos
+}
+
+// CallExpr is a macro invocation.
+type CallExpr struct {
+	Name string
+	NPos token.Pos
+	Args []Expr
+}
+
+// MethodCallExpr is an object method invocation: cnt.count(), cnt.reset(),
+// s.length().
+type MethodCallExpr struct {
+	Recv   Expr
+	Method string
+	MPos   token.Pos
+	Args   []Expr
+}
+
+// IndexExpr selects an element of an array or a character of a String.
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op token.Type
+	X  Expr
+	Y  Expr
+}
+
+// UnaryExpr applies a prefix operator (! or -).
+type UnaryExpr struct {
+	OpPos token.Pos
+	Op    token.Type
+	X     Expr
+}
+
+func (e *BasicLit) Pos() token.Pos       { return e.LPos }
+func (e *Ident) Pos() token.Pos          { return e.NPos }
+func (e *InputExpr) Pos() token.Pos      { return e.CallPos }
+func (e *CallExpr) Pos() token.Pos       { return e.NPos }
+func (e *MethodCallExpr) Pos() token.Pos { return e.Recv.Pos() }
+func (e *IndexExpr) Pos() token.Pos      { return e.X.Pos() }
+func (e *BinaryExpr) Pos() token.Pos     { return e.X.Pos() }
+func (e *UnaryExpr) Pos() token.Pos      { return e.OpPos }
+
+func (*BasicLit) exprNode()       {}
+func (*Ident) exprNode()          {}
+func (*InputExpr) exprNode()      {}
+func (*CallExpr) exprNode()       {}
+func (*MethodCallExpr) exprNode() {}
+func (*IndexExpr) exprNode()      {}
+func (*BinaryExpr) exprNode()     {}
+func (*UnaryExpr) exprNode()      {}
+
+// Predeclared character constant names (Section 3.2).
+const (
+	// AllInputName matches any symbol in the input.
+	AllInputName = "ALL_INPUT"
+	// StartOfInputName is the reserved start-of-data symbol (0xFF).
+	StartOfInputName = "START_OF_INPUT"
+)
+
+// StartOfInputSymbol is the reserved symbol used to separate logical
+// entries in a flattened input stream.
+const StartOfInputSymbol byte = 0xFF

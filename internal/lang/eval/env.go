@@ -1,0 +1,78 @@
+// Package eval implements the compile-time half of RAPID's staged
+// computation model: environments, evaluation of static expressions, and
+// normalization of runtime boolean expressions into predicate trees that
+// the compiler lowers to automata and the reference interpreter executes
+// directly.
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/lang/token"
+	"repro/internal/lang/value"
+)
+
+// Error is an evaluation error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errorf(pos token.Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Env is a chain of lexical scopes binding names to compile-time values.
+type Env struct {
+	parent *Env
+	vars   map[string]value.Value
+}
+
+// NewEnv returns a fresh scope with the given parent (nil for the root).
+func NewEnv(parent *Env) *Env {
+	return &Env{parent: parent, vars: make(map[string]value.Value)}
+}
+
+// Declare binds name in this scope, shadowing outer bindings.
+func (e *Env) Declare(name string, v value.Value) { e.vars[name] = v }
+
+// Lookup finds the innermost binding of name.
+func (e *Env) Lookup(name string) (value.Value, bool) {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Assign rebinds the innermost existing binding of name. It reports whether
+// a binding was found.
+func (e *Env) Assign(name string, v value.Value) bool {
+	for env := e; env != nil; env = env.parent {
+		if _, ok := env.vars[name]; ok {
+			env.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+// Parent returns the enclosing scope (nil at the root).
+func (e *Env) Parent() *Env { return e.parent }
+
+// Fork deep-copies the scope chain. Forked threads of parallel constructs
+// must not observe each other's compile-time assignments, while counter
+// objects (stored by pointer) remain shared.
+func (e *Env) Fork() *Env {
+	if e == nil {
+		return nil
+	}
+	c := &Env{parent: e.parent.Fork(), vars: make(map[string]value.Value, len(e.vars))}
+	for k, v := range e.vars {
+		c.vars[k] = v
+	}
+	return c
+}

@@ -1,0 +1,508 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/charclass"
+	"repro/internal/lang/ast"
+	"repro/internal/lang/parser"
+	"repro/internal/lang/sema"
+	"repro/internal/lang/token"
+	"repro/internal/lang/value"
+)
+
+func TestEnvScoping(t *testing.T) {
+	root := NewEnv(nil)
+	root.Declare("x", value.Int(1))
+	child := NewEnv(root)
+	child.Declare("y", value.Int(2))
+	if v, ok := child.Lookup("x"); !ok || v != value.Int(1) {
+		t.Fatal("child cannot see parent binding")
+	}
+	child.Declare("x", value.Int(3)) // shadow
+	if v, _ := child.Lookup("x"); v != value.Int(3) {
+		t.Fatal("shadowing failed")
+	}
+	if v, _ := root.Lookup("x"); v != value.Int(1) {
+		t.Fatal("shadow leaked to parent")
+	}
+	if !child.Assign("y", value.Int(9)) {
+		t.Fatal("assign failed")
+	}
+	if child.Assign("zz", value.Int(0)) {
+		t.Fatal("assign to undeclared should fail")
+	}
+}
+
+func TestEnvFork(t *testing.T) {
+	root := NewEnv(nil)
+	root.Declare("x", value.Int(1))
+	child := NewEnv(root)
+	child.Declare("y", value.Int(2))
+	forked := child.Fork()
+	forked.Assign("x", value.Int(42))
+	forked.Assign("y", value.Int(43))
+	if v, _ := child.Lookup("x"); v != value.Int(1) {
+		t.Fatal("fork shares parent scope mutation")
+	}
+	if v, _ := child.Lookup("y"); v != value.Int(2) {
+		t.Fatal("fork shares own scope mutation")
+	}
+	// Counters stay shared by identity.
+	cnt := &value.Counter{Name: "c"}
+	child.Declare("c", cnt)
+	f2 := child.Fork()
+	v, _ := f2.Lookup("c")
+	if v.(*value.Counter) != cnt {
+		t.Fatal("counter identity lost across fork")
+	}
+}
+
+// evalIn parses `network () { bool probe = <expr>; }` style source and
+// statically evaluates the expression with the given env.
+func evalExpr(t *testing.T, src string, env *Env) (value.Value, error) {
+	t.Helper()
+	prog, err := parser.Parse("network () { " + src + "; }")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	es, ok := prog.Network.Body.Stmts[0].(*ast.ExprStmt)
+	if !ok {
+		t.Fatalf("statement is %T", prog.Network.Body.Stmts[0])
+	}
+	if env == nil {
+		env = NewEnv(nil)
+	}
+	return Static(env, es.X)
+}
+
+func TestStaticArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want value.Value
+	}{
+		{"1 + 2 * 3 == 7", value.Bool(true)},
+		{"10 / 3 == 3", value.Bool(true)},
+		{"10 % 3 == 1", value.Bool(true)},
+		{"-5 + 5 == 0", value.Bool(true)},
+		{"3 < 4", value.Bool(true)},
+		{"3 >= 4", value.Bool(false)},
+		{"'a' == 'a'", value.Bool(true)},
+		{"'a' != 'b'", value.Bool(true)},
+		{`"ab" == "a" + 'b'`, value.Bool(true)},
+		{"true && false", value.Bool(false)},
+		{"true || false", value.Bool(true)},
+		{"!(1 == 2)", value.Bool(true)},
+		{`"abc"[1] == 'b'`, value.Bool(true)},
+		{`"abc".length() == 3`, value.Bool(true)},
+	}
+	for _, tc := range cases {
+		got, err := evalExpr(t, tc.src, nil)
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		if !value.Equal(got, tc.want) {
+			t.Errorf("%s = %s, want %s", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestStaticShortCircuit(t *testing.T) {
+	// Division by zero on the unevaluated side must not trigger.
+	if v, err := evalExpr(t, "false && (1/0 == 1)", nil); err != nil || v != value.Bool(false) {
+		t.Fatalf("short circuit && failed: %v %v", v, err)
+	}
+	if v, err := evalExpr(t, "true || (1/0 == 1)", nil); err != nil || v != value.Bool(true) {
+		t.Fatalf("short circuit || failed: %v %v", v, err)
+	}
+	if _, err := evalExpr(t, "true && (1/0 == 1)", nil); err == nil {
+		t.Fatal("division by zero should surface")
+	}
+}
+
+func TestStaticErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"1 / 0 == 0", "division by zero"},
+		{"1 % 0 == 0", "division by zero"},
+		{`"abc"[5] == 'x'`, "out of range"},
+		{"missing == 1", "undefined variable"},
+	}
+	for _, tc := range cases {
+		_, err := evalExpr(t, tc.src, nil)
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error = %v, want fragment %q", tc.src, err, tc.frag)
+		}
+	}
+}
+
+func TestStaticSpecialConstants(t *testing.T) {
+	env := NewEnv(nil)
+	prog, err := parser.Parse(`network () { START_OF_INPUT == 'a'; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := prog.Network.Body.Stmts[0].(*ast.ExprStmt)
+	cmp := es.X.(*ast.BinaryExpr)
+	v, err := Static(env, cmp.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != value.Char(0xFF) {
+		t.Fatalf("START_OF_INPUT = %v", v)
+	}
+}
+
+// normalize type-checks src's single expression statement and normalizes it.
+func normalize(t *testing.T, src string, env *Env, negated bool) (Pred, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	var target ast.Expr
+	for _, s := range prog.Network.Body.Stmts {
+		if es, ok := s.(*ast.ExprStmt); ok {
+			target = es.X
+		}
+	}
+	if target == nil {
+		t.Fatal("no expression statement found")
+	}
+	if env == nil {
+		env = NewEnv(nil)
+	}
+	return Normalize(info, env, target, negated)
+}
+
+func TestNormalizeFigure7(t *testing.T) {
+	// 'a' == input() → [a]
+	p, err := normalize(t, `network () { 'a' == input(); }`, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := p.(Match)
+	if !ok || !m.Class.Equal(charclass.Single('a')) {
+		t.Fatalf("pred = %#v", p)
+	}
+
+	// 'a' != input() → [^a]
+	p, err = normalize(t, `network () { 'a' != input(); }`, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = p.(Match)
+	wantNeq := charclass.Single('a').Negate()
+	wantNeq.Remove(0xFF) // negated classes exclude the reserved separator
+	if !m.Class.Equal(wantNeq) {
+		t.Fatalf("neq pred = %v", m.Class)
+	}
+
+	// AND → concatenation [a][b]
+	p, err = normalize(t, `network () { 'a' == input() && 'b' == input(); }`, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := p.(Seq)
+	if !ok || len(s.Parts) != 2 {
+		t.Fatalf("and pred = %#v", p)
+	}
+
+	// OR of single symbols merges into one class [ab]
+	p, err = normalize(t, `network () { 'a' == input() || 'b' == input(); }`, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok = p.(Match)
+	if !ok || !m.Class.Equal(charclass.FromString("ab")) {
+		t.Fatalf("or pred = %#v", p)
+	}
+}
+
+func TestNormalizeNegatedConjunction(t *testing.T) {
+	// !(a && b && c) → [^a]** | [a][^b]* | [a][b][^c]  (Figure 7)
+	p, err := normalize(t,
+		`network () { !('a' == input() && 'b' == input() && 'c' == input()); }`, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := p.(Alt)
+	if !ok {
+		t.Fatalf("pred = %#v", p)
+	}
+	// Left-associative parsing nests the construction, but every
+	// alternative path must consume exactly 3 symbols (the length of the
+	// positive form), which is the Figure 7 invariant.
+	if l, ok := Len(a); !ok || l != 3 {
+		t.Fatalf("negation length = %d (ok=%v)", l, ok)
+	}
+	// The original consumes 3 as well.
+	pos, err := normalize(t,
+		`network () { 'a' == input() && 'b' == input() && 'c' == input(); }`, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, ok := Len(pos); !ok || l != 3 {
+		t.Fatalf("positive length = %d", l)
+	}
+}
+
+func TestNormalizeNegatedSingleSymbolOr(t *testing.T) {
+	p, err := normalize(t, `network () { !('a' == input() || 'b' == input()); }`, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := p.(Match)
+	want := charclass.FromString("ab").Negate()
+	want.Remove(0xFF)
+	if !ok || !m.Class.Equal(want) {
+		t.Fatalf("pred = %#v", p)
+	}
+}
+
+func TestNormalizeMultiSymbolOrNegationRejected(t *testing.T) {
+	_, err := normalize(t, `
+network () {
+  !('a' == input() && 'b' == input() || 'c' == input() && 'd' == input());
+}`, nil, false)
+	if err == nil || !strings.Contains(err.Error(), "cannot negate a disjunction") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNormalizeCounter(t *testing.T) {
+	src := `
+network () {
+  Counter cnt;
+  cnt.count();
+  cnt <= 5;
+}`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(nil)
+	cnt := &value.Counter{Name: "cnt"}
+	env.Declare("cnt", cnt)
+	es := prog.Network.Body.Stmts[2].(*ast.ExprStmt)
+	p, err := Normalize(info, env, es.X, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, ok := p.(CounterCheck)
+	if !ok || cc.C != cnt || cc.Op != token.LEQ || cc.N != 5 {
+		t.Fatalf("pred = %#v", p)
+	}
+	// Negated: > 5.
+	p, err = Normalize(info, env, es.X, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc = p.(CounterCheck)
+	if cc.Op != token.GT {
+		t.Fatalf("negated op = %v", cc.Op)
+	}
+}
+
+func TestNormalizeReversedCounter(t *testing.T) {
+	src := `
+network () {
+  Counter cnt;
+  cnt.count();
+  3 <= cnt;
+}`
+	prog, _ := parser.Parse(src)
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(nil)
+	cnt := &value.Counter{Name: "cnt"}
+	env.Declare("cnt", cnt)
+	es := prog.Network.Body.Stmts[2].(*ast.ExprStmt)
+	p, err := Normalize(info, env, es.X, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := p.(CounterCheck)
+	// 3 <= cnt ⇔ cnt >= 3.
+	if cc.Op != token.GEQ || cc.N != 3 {
+		t.Fatalf("pred = %#v", cc)
+	}
+}
+
+func TestNormalizeStaticFold(t *testing.T) {
+	// Static side of && folds to Const.
+	p, err := normalize(t, `network () { 1 == 1 && 'a' == input(); }`, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(Match); !ok {
+		t.Fatalf("true && match should fold to match, got %#v", p)
+	}
+	p, err = normalize(t, `network () { 1 == 2 && 'a' == input(); }`, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := p.(Seq)
+	if !ok {
+		t.Fatalf("false && match = %#v", p)
+	}
+	if c, ok := s.Parts[0].(Const); !ok || c.V {
+		t.Fatalf("first part should be Const(false): %#v", s.Parts[0])
+	}
+}
+
+func TestNormalizeAllInput(t *testing.T) {
+	p, err := normalize(t, `network () { ALL_INPUT == input(); }`, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := p.(Match)
+	if !ok || !m.Class.Equal(AnyInputClass()) {
+		t.Fatalf("pred = %#v", p)
+	}
+}
+
+func TestEvalCounterCheck(t *testing.T) {
+	cases := []struct {
+		op     token.Type
+		val, n int
+		want   bool
+	}{
+		{token.LT, 2, 3, true},
+		{token.LT, 3, 3, false},
+		{token.LEQ, 3, 3, true},
+		{token.GT, 4, 3, true},
+		{token.GEQ, 3, 3, true},
+		{token.EQ, 3, 3, true},
+		{token.EQ, 4, 3, false},
+		{token.NEQ, 4, 3, true},
+	}
+	for _, tc := range cases {
+		if got := EvalCounterCheck(tc.op, tc.val, tc.n); got != tc.want {
+			t.Errorf("EvalCounterCheck(%v, %d, %d) = %v", tc.op, tc.val, tc.n, got)
+		}
+	}
+}
+
+func TestPadAndLen(t *testing.T) {
+	p := Pad(3)
+	if l, ok := Len(p); !ok || l != 3 {
+		t.Fatalf("Pad(3) length = %d", l)
+	}
+	if p := Pad(0); p != (Const{V: true}) {
+		t.Fatalf("Pad(0) = %#v", p)
+	}
+	if p := Pad(1); p != (Match{Class: AnyInputClass()}) {
+		t.Fatalf("Pad(1) = %#v", p)
+	}
+}
+
+func TestFlipAndNegateComparison(t *testing.T) {
+	flips := map[token.Type]token.Type{
+		token.LT:  token.GT,
+		token.LEQ: token.GEQ,
+		token.GT:  token.LT,
+		token.GEQ: token.LEQ,
+		token.EQ:  token.EQ,
+		token.NEQ: token.NEQ,
+	}
+	for op, want := range flips {
+		if got := flipComparison(op); got != want {
+			t.Errorf("flip(%v) = %v, want %v", op, got, want)
+		}
+	}
+	negs := map[token.Type]token.Type{
+		token.LT:  token.GEQ,
+		token.LEQ: token.GT,
+		token.GT:  token.LEQ,
+		token.GEQ: token.LT,
+		token.EQ:  token.NEQ,
+		token.NEQ: token.EQ,
+	}
+	for op, want := range negs {
+		if got := negateComparison(op); got != want {
+			t.Errorf("negate(%v) = %v, want %v", op, got, want)
+		}
+	}
+	// Double negation is the identity.
+	for op := range negs {
+		if negateComparison(negateComparison(op)) != op {
+			t.Errorf("negate is not an involution for %v", op)
+		}
+	}
+}
+
+// TestCounterComparisonNormalization covers every reversed operator form.
+func TestCounterComparisonNormalization(t *testing.T) {
+	forms := []struct {
+		expr string
+		op   token.Type
+		n    int
+	}{
+		{"cnt < 4", token.LT, 4},
+		{"cnt <= 4", token.LEQ, 4},
+		{"cnt > 4", token.GT, 4},
+		{"cnt >= 4", token.GEQ, 4},
+		{"cnt == 4", token.EQ, 4},
+		{"cnt != 4", token.NEQ, 4},
+		{"4 < cnt", token.GT, 4},
+		{"4 <= cnt", token.GEQ, 4},
+		{"4 > cnt", token.LT, 4},
+		{"4 >= cnt", token.LEQ, 4},
+		{"4 == cnt", token.EQ, 4},
+		{"4 != cnt", token.NEQ, 4},
+	}
+	for _, f := range forms {
+		src := "network () {\n  Counter cnt;\n  cnt.count();\n  " + f.expr + ";\n}"
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", f.expr, err)
+		}
+		info, err := sema.Check(prog)
+		if err != nil {
+			t.Fatalf("%s: %v", f.expr, err)
+		}
+		env := NewEnv(nil)
+		cnt := &value.Counter{Name: "cnt"}
+		env.Declare("cnt", cnt)
+		es := prog.Network.Body.Stmts[2].(*ast.ExprStmt)
+		p, err := Normalize(info, env, es.X, false)
+		if err != nil {
+			t.Fatalf("%s: %v", f.expr, err)
+		}
+		cc, ok := p.(CounterCheck)
+		if !ok || cc.Op != f.op || cc.N != f.n || cc.C != cnt {
+			t.Errorf("%s: normalized to %#v, want op=%v n=%d", f.expr, p, f.op, f.n)
+		}
+	}
+}
+
+func TestEnvParent(t *testing.T) {
+	root := NewEnv(nil)
+	child := NewEnv(root)
+	if child.Parent() != root || root.Parent() != nil {
+		t.Fatal("Parent chain broken")
+	}
+}
+
+func TestAltConstTrueShortCircuits(t *testing.T) {
+	// true || <match> folds to Const(true) at normalization.
+	p, err := normalize(t, `network () { 1 == 1 || 'a' == input(); }`, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := p.(Const); !ok || !c.V {
+		t.Fatalf("pred = %#v, want Const(true)", p)
+	}
+}

@@ -1,0 +1,440 @@
+package eval
+
+import (
+	"repro/internal/charclass"
+	"repro/internal/lang/ast"
+	"repro/internal/lang/sema"
+	"repro/internal/lang/token"
+	"repro/internal/lang/value"
+)
+
+// Pred is a normalized runtime predicate: the form shared by the compiler
+// (which lowers it to STE structures per Figure 7) and the reference
+// interpreter (which explores it with parallel threads).
+//
+// Normalization pushes negation down to the leaves using De Morgan's laws
+// and the paper's leftmost-mismatch construction, so a predicate and its
+// negation consume the same number of input symbols (Section 5.1).
+type Pred interface{ isPred() }
+
+// Match consumes one input symbol and succeeds iff it is in Class. An
+// empty class never succeeds (but still represents a one-symbol
+// consumption site in the source program).
+type Match struct {
+	Class charclass.Class
+}
+
+// CounterCheck succeeds iff the counter satisfies Op against threshold N.
+// It consumes no input symbols; on the device it lowers to the counter
+// threshold and gate structures of Table 2.
+type CounterCheck struct {
+	C  *value.Counter
+	Op token.Type // LT, LEQ, GT, GEQ, EQ, NEQ
+	N  int
+}
+
+// Const is a compile-time-resolved subexpression.
+type Const struct {
+	V bool
+}
+
+// Seq succeeds iff its parts succeed in sequence (runtime AND: reading the
+// stream is destructive, so conjunction is concatenation).
+type Seq struct {
+	Parts []Pred
+}
+
+// Alt succeeds iff any alternative succeeds (runtime OR: bifurcation).
+type Alt struct {
+	Alts []Pred
+}
+
+func (Match) isPred()        {}
+func (CounterCheck) isPred() {}
+func (Const) isPred()        {}
+func (Seq) isPred()          {}
+func (Alt) isPred()          {}
+
+// Len returns the number of input symbols p consumes. ok is false when the
+// alternatives of an Alt consume different counts, in which case the
+// predicate has no well-defined length (and cannot be negated or padded).
+func Len(p Pred) (n int, ok bool) {
+	switch p := p.(type) {
+	case Match:
+		return 1, true
+	case CounterCheck, Const:
+		return 0, true
+	case Seq:
+		total := 0
+		for _, part := range p.Parts {
+			l, ok := Len(part)
+			if !ok {
+				return 0, false
+			}
+			total += l
+		}
+		return total, true
+	case Alt:
+		first := -1
+		for _, alt := range p.Alts {
+			l, ok := Len(alt)
+			if !ok {
+				return 0, false
+			}
+			if first == -1 {
+				first = l
+			} else if l != first {
+				return 0, false
+			}
+		}
+		return first, true
+	default:
+		return 0, false
+	}
+}
+
+// AnyInputClass is the class denoted by ALL_INPUT: every symbol except the
+// reserved START_OF_INPUT separator (0xFF). The reserved symbol marks
+// logical record boundaries and is matched only by explicit comparisons
+// against START_OF_INPUT; negated classes and wildcards exclude it so that
+// gap loops and star padding never silently cross a record boundary.
+func AnyInputClass() charclass.Class {
+	c := charclass.All()
+	c.Remove(ast.StartOfInputSymbol)
+	return c
+}
+
+// negateClass complements a match class under the reserved-symbol rule.
+func negateClass(c charclass.Class) charclass.Class {
+	n := c.Negate()
+	if !c.Contains(ast.StartOfInputSymbol) {
+		n.Remove(ast.StartOfInputSymbol)
+	}
+	return n
+}
+
+// Pad returns a predicate consuming n arbitrary symbols (the star states of
+// Figure 7's negation rule).
+func Pad(n int) Pred {
+	parts := make([]Pred, n)
+	for i := range parts {
+		parts[i] = Match{Class: AnyInputClass()}
+	}
+	return seq(parts...)
+}
+
+// seq builds a flattened Seq, dropping Const(true) parts.
+func seq(parts ...Pred) Pred {
+	var out []Pred
+	for _, p := range parts {
+		switch p := p.(type) {
+		case Seq:
+			out = append(out, p.Parts...)
+		case Const:
+			if p.V {
+				continue // identity
+			}
+			out = append(out, p)
+		default:
+			out = append(out, p)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return Const{V: true}
+	case 1:
+		return out[0]
+	default:
+		return Seq{Parts: out}
+	}
+}
+
+// alt builds a flattened Alt, merging single-symbol Match alternatives into
+// one STE character class (the Figure 7 special case for OR).
+func alt(alts ...Pred) Pred {
+	var out []Pred
+	merged := charclass.Empty()
+	haveMerged := false
+	for _, a := range alts {
+		switch a := a.(type) {
+		case Alt:
+			for _, sub := range a.Alts {
+				if m, ok := sub.(Match); ok {
+					merged = merged.Union(m.Class)
+					haveMerged = true
+				} else {
+					out = append(out, sub)
+				}
+			}
+		case Match:
+			merged = merged.Union(a.Class)
+			haveMerged = true
+		case Const:
+			if a.V {
+				return Const{V: true} // one true arm makes the OR true
+			}
+			// false arms vanish
+		default:
+			out = append(out, a)
+		}
+	}
+	if haveMerged {
+		out = append([]Pred{Match{Class: merged}}, out...)
+	}
+	switch len(out) {
+	case 0:
+		return Const{V: false}
+	case 1:
+		return out[0]
+	default:
+		return Alt{Alts: out}
+	}
+}
+
+// CharClassOf converts a compile-time char value to the character class it
+// denotes in a comparison against input().
+func CharClassOf(v value.Value) (charclass.Class, bool) {
+	switch v := v.(type) {
+	case value.Char:
+		return charclass.Single(byte(v)), true
+	case value.AnyChar:
+		return AnyInputClass(), true
+	default:
+		return charclass.Class{}, false
+	}
+}
+
+// Normalize converts a runtime boolean expression into a predicate tree,
+// evaluating static subexpressions against env. negated requests the
+// predicate's complement (with equal symbol consumption).
+func Normalize(info *sema.Info, env *Env, e ast.Expr, negated bool) (Pred, error) {
+	// A fully static subexpression folds to a constant.
+	if info.StageOf(e) == sema.StageStatic {
+		v, err := Static(env, e)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := v.(value.Bool)
+		if !ok {
+			return nil, errorf(e.Pos(), "predicate must be boolean, have %s", v)
+		}
+		return Const{V: bool(b) != negated}, nil
+	}
+
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return Normalize(info, env, e.X, !negated)
+		}
+		return nil, errorf(e.Pos(), "unexpected runtime unary operator %v", e.Op)
+
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.AND:
+			if !negated {
+				x, err := Normalize(info, env, e.X, false)
+				if err != nil {
+					return nil, err
+				}
+				y, err := Normalize(info, env, e.Y, false)
+				if err != nil {
+					return nil, err
+				}
+				return seq(x, y), nil
+			}
+			// Leftmost-mismatch complement: !(X && Y) = !X·pad(|Y|) | X·!Y.
+			posX, err := Normalize(info, env, e.X, false)
+			if err != nil {
+				return nil, err
+			}
+			negX, err := Normalize(info, env, e.X, true)
+			if err != nil {
+				return nil, err
+			}
+			posY, err := Normalize(info, env, e.Y, false)
+			if err != nil {
+				return nil, err
+			}
+			negY, err := Normalize(info, env, e.Y, true)
+			if err != nil {
+				return nil, err
+			}
+			lenY, ok := Len(posY)
+			if !ok {
+				return nil, errorf(e.Pos(), "cannot negate a conjunction whose right side consumes a variable number of symbols")
+			}
+			return alt(seq(negX, Pad(lenY)), seq(posX, negY)), nil
+
+		case token.OR:
+			if !negated {
+				x, err := Normalize(info, env, e.X, false)
+				if err != nil {
+					return nil, err
+				}
+				y, err := Normalize(info, env, e.Y, false)
+				if err != nil {
+					return nil, err
+				}
+				return alt(x, y), nil
+			}
+			// !(X || Y) = !X && !Y; both complements read the same
+			// symbols, which is expressible only when the disjunction
+			// collapses to a single symbol class.
+			posX, err := Normalize(info, env, e.X, false)
+			if err != nil {
+				return nil, err
+			}
+			posY, err := Normalize(info, env, e.Y, false)
+			if err != nil {
+				return nil, err
+			}
+			if m, ok := alt(posX, posY).(Match); ok {
+				return Match{Class: negateClass(m.Class)}, nil
+			}
+			negX, err := Normalize(info, env, e.X, true)
+			if err != nil {
+				return nil, err
+			}
+			negY, err := Normalize(info, env, e.Y, true)
+			if err != nil {
+				return nil, err
+			}
+			// Zero-width sides (counter checks) conjoin freely.
+			if lx, ok := Len(posX); ok && lx == 0 {
+				return seq(negX, negY), nil
+			}
+			if ly, ok := Len(posY); ok && ly == 0 {
+				return seq(negY, negX), nil
+			}
+			return nil, errorf(e.Pos(), "cannot negate a disjunction of multi-symbol patterns; rewrite the expression")
+
+		case token.EQ, token.NEQ:
+			if cls, ok, err := inputComparison(info, env, e); err != nil {
+				return nil, err
+			} else if ok {
+				if (e.Op == token.NEQ) != negated {
+					cls = negateClass(cls)
+				}
+				return Match{Class: cls}, nil
+			}
+			return counterPred(info, env, e, negated)
+
+		case token.LT, token.LEQ, token.GT, token.GEQ:
+			return counterPred(info, env, e, negated)
+		}
+		return nil, errorf(e.Pos(), "unexpected runtime operator %v", e.Op)
+
+	default:
+		return nil, errorf(e.Pos(), "expression cannot be used as a runtime predicate")
+	}
+}
+
+// inputComparison detects a char comparison against input() and returns the
+// class denoted by the static side.
+func inputComparison(info *sema.Info, env *Env, e *ast.BinaryExpr) (charclass.Class, bool, error) {
+	var static ast.Expr
+	if _, ok := e.X.(*ast.InputExpr); ok {
+		static = e.Y
+	} else if _, ok := e.Y.(*ast.InputExpr); ok {
+		static = e.X
+	} else {
+		return charclass.Class{}, false, nil
+	}
+	v, err := Static(env, static)
+	if err != nil {
+		return charclass.Class{}, false, err
+	}
+	cls, ok := CharClassOf(v)
+	if !ok {
+		return charclass.Class{}, false, errorf(static.Pos(), "input() must be compared against a char, have %s", v)
+	}
+	return cls, true, nil
+}
+
+// counterPred lowers a Counter comparison to a CounterCheck, applying
+// negation by flipping the operator.
+func counterPred(info *sema.Info, env *Env, e *ast.BinaryExpr, negated bool) (Pred, error) {
+	// Identify the counter and threshold sides.
+	counterSide, intSide := e.X, e.Y
+	op := e.Op
+	if info.TypeOf(e.X) != sema.CounterType {
+		counterSide, intSide = e.Y, e.X
+		op = flipComparison(op)
+	}
+	cv, err := Static(env, counterSide)
+	if err != nil {
+		return nil, err
+	}
+	counter, ok := cv.(*value.Counter)
+	if !ok {
+		return nil, errorf(counterSide.Pos(), "expected a Counter, have %s", cv)
+	}
+	nv, err := Static(env, intSide)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := nv.(value.Int)
+	if !ok {
+		return nil, errorf(intSide.Pos(), "counter threshold must be int, have %s", nv)
+	}
+	if negated {
+		op = negateComparison(op)
+	}
+	return CounterCheck{C: counter, Op: op, N: int(n)}, nil
+}
+
+// flipComparison mirrors an operator across its operands (a < b ⇔ b > a).
+func flipComparison(op token.Type) token.Type {
+	switch op {
+	case token.LT:
+		return token.GT
+	case token.LEQ:
+		return token.GEQ
+	case token.GT:
+		return token.LT
+	case token.GEQ:
+		return token.LEQ
+	default:
+		return op // == and != are symmetric
+	}
+}
+
+// negateComparison complements an operator (!(a < b) ⇔ a >= b).
+func negateComparison(op token.Type) token.Type {
+	switch op {
+	case token.LT:
+		return token.GEQ
+	case token.LEQ:
+		return token.GT
+	case token.GT:
+		return token.LEQ
+	case token.GEQ:
+		return token.LT
+	case token.EQ:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQ
+	default:
+		return op
+	}
+}
+
+// EvalCounterCheck applies a counter check to a concrete counter value.
+func EvalCounterCheck(op token.Type, val, n int) bool {
+	switch op {
+	case token.LT:
+		return val < n
+	case token.LEQ:
+		return val <= n
+	case token.GT:
+		return val > n
+	case token.GEQ:
+		return val >= n
+	case token.EQ:
+		return val == n
+	case token.NEQ:
+		return val != n
+	default:
+		return false
+	}
+}

@@ -1,0 +1,204 @@
+package eval
+
+import (
+	"repro/internal/lang/ast"
+	"repro/internal/lang/token"
+	"repro/internal/lang/value"
+)
+
+// Static evaluates a compile-time expression to a value. The expression
+// must have been checked (sema stage static); runtime constructs reaching
+// this evaluator indicate a compiler bug and return errors.
+func Static(env *Env, e ast.Expr) (value.Value, error) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		switch e.Kind {
+		case ast.LitInt:
+			return value.Int(e.IntVal), nil
+		case ast.LitChar:
+			return value.Char(e.CharVal), nil
+		case ast.LitString:
+			return value.Str(e.StrVal), nil
+		default:
+			return value.Bool(e.BoolVal), nil
+		}
+
+	case *ast.Ident:
+		switch e.Name {
+		case ast.AllInputName:
+			return value.AnyChar{}, nil
+		case ast.StartOfInputName:
+			return value.Char(ast.StartOfInputSymbol), nil
+		}
+		v, ok := env.Lookup(e.Name)
+		if !ok {
+			return nil, errorf(e.Pos(), "undefined variable %q", e.Name)
+		}
+		return v, nil
+
+	case *ast.UnaryExpr:
+		x, err := Static(env, e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case token.NOT:
+			b, ok := x.(value.Bool)
+			if !ok {
+				return nil, errorf(e.Pos(), "operator ! requires bool, have %s", x)
+			}
+			return !b, nil
+		case token.MINUS:
+			i, ok := x.(value.Int)
+			if !ok {
+				return nil, errorf(e.Pos(), "unary - requires int, have %s", x)
+			}
+			return -i, nil
+		}
+		return nil, errorf(e.Pos(), "unexpected unary operator %v", e.Op)
+
+	case *ast.BinaryExpr:
+		return staticBinary(env, e)
+
+	case *ast.IndexExpr:
+		xv, err := Static(env, e.X)
+		if err != nil {
+			return nil, err
+		}
+		iv, err := Static(env, e.Index)
+		if err != nil {
+			return nil, err
+		}
+		idx, ok := iv.(value.Int)
+		if !ok {
+			return nil, errorf(e.Index.Pos(), "index must be int, have %s", iv)
+		}
+		switch xv := xv.(type) {
+		case value.Array:
+			if idx < 0 || int(idx) >= len(xv) {
+				return nil, errorf(e.Pos(), "index %d out of range (length %d)", idx, len(xv))
+			}
+			return xv[idx], nil
+		case value.Str:
+			if idx < 0 || int(idx) >= len(xv) {
+				return nil, errorf(e.Pos(), "index %d out of range (length %d)", idx, len(xv))
+			}
+			return value.Char(xv[idx]), nil
+		default:
+			return nil, errorf(e.Pos(), "cannot index %s", xv)
+		}
+
+	case *ast.MethodCallExpr:
+		recv, err := Static(env, e.Recv)
+		if err != nil {
+			return nil, err
+		}
+		if e.Method == "length" {
+			switch recv := recv.(type) {
+			case value.Str:
+				return value.Int(len(recv)), nil
+			case value.Array:
+				return value.Int(len(recv)), nil
+			}
+		}
+		return nil, errorf(e.Pos(), "method %q is not a compile-time operation", e.Method)
+
+	case *ast.InputExpr:
+		return nil, errorf(e.Pos(), "input() cannot be evaluated at compile time")
+
+	default:
+		return nil, errorf(e.Pos(), "expression %T cannot be evaluated at compile time", e)
+	}
+}
+
+func staticBinary(env *Env, e *ast.BinaryExpr) (value.Value, error) {
+	x, err := Static(env, e.X)
+	if err != nil {
+		return nil, err
+	}
+	// && and || short-circuit at compile time.
+	if e.Op == token.AND || e.Op == token.OR {
+		xb, ok := x.(value.Bool)
+		if !ok {
+			return nil, errorf(e.Pos(), "operator %v requires bool, have %s", e.Op, x)
+		}
+		if e.Op == token.AND && !bool(xb) {
+			return value.Bool(false), nil
+		}
+		if e.Op == token.OR && bool(xb) {
+			return value.Bool(true), nil
+		}
+		y, err := Static(env, e.Y)
+		if err != nil {
+			return nil, err
+		}
+		yb, ok := y.(value.Bool)
+		if !ok {
+			return nil, errorf(e.Pos(), "operator %v requires bool, have %s", e.Op, y)
+		}
+		return yb, nil
+	}
+
+	y, err := Static(env, e.Y)
+	if err != nil {
+		return nil, err
+	}
+
+	switch e.Op {
+	case token.EQ:
+		return value.Bool(value.Equal(x, y)), nil
+	case token.NEQ:
+		return value.Bool(!value.Equal(x, y)), nil
+	}
+
+	// String concatenation.
+	if e.Op == token.PLUS {
+		switch xv := x.(type) {
+		case value.Str:
+			switch yv := y.(type) {
+			case value.Str:
+				return xv + yv, nil
+			case value.Char:
+				return xv + value.Str(string([]byte{byte(yv)})), nil
+			}
+		case value.Char:
+			if yv, ok := y.(value.Str); ok {
+				return value.Str(string([]byte{byte(xv)})) + yv, nil
+			}
+		}
+	}
+
+	xi, xok := x.(value.Int)
+	yi, yok := y.(value.Int)
+	if !xok || !yok {
+		return nil, errorf(e.Pos(), "operator %v requires int operands, have %s and %s", e.Op, x, y)
+	}
+	switch e.Op {
+	case token.PLUS:
+		return xi + yi, nil
+	case token.MINUS:
+		return xi - yi, nil
+	case token.STAR:
+		return xi * yi, nil
+	case token.SLASH:
+		if yi == 0 {
+			return nil, errorf(e.Pos(), "division by zero")
+		}
+		return xi / yi, nil
+	case token.PERCENT:
+		if yi == 0 {
+			return nil, errorf(e.Pos(), "division by zero")
+		}
+		return xi % yi, nil
+	case token.LT:
+		return value.Bool(xi < yi), nil
+	case token.LEQ:
+		return value.Bool(xi <= yi), nil
+	case token.GT:
+		return value.Bool(xi > yi), nil
+	case token.GEQ:
+		return value.Bool(xi >= yi), nil
+	default:
+		return nil, errorf(e.Pos(), "unexpected binary operator %v", e.Op)
+	}
+}

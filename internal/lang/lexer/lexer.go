@@ -1,0 +1,329 @@
+// Package lexer implements the scanner for RAPID source code.
+//
+// The lexer handles C-style line (//) and block comments, identifiers and
+// keywords, decimal integer literals, character literals with escape
+// sequences (including hexadecimal escapes for raw stream symbols), and
+// string literals.
+package lexer
+
+import (
+	"fmt"
+
+	"repro/internal/lang/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans RAPID source text into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Scan returns all tokens of src, ending with an EOF token.
+func Scan(src string) ([]token.Token, error) {
+	lx := New(src)
+	var out []token.Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Type == token.EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	b := l.src[l.off]
+	l.off++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipSpaceAndComments consumes whitespace and comments.
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		switch b := l.peek(); {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			l.advance()
+		case b == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case b == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isLetter(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (token.Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token.Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Type: token.EOF, Pos: pos}, nil
+	}
+	b := l.peek()
+	switch {
+	case isLetter(b):
+		return l.scanIdent(pos), nil
+	case isDigit(b):
+		return l.scanInt(pos), nil
+	case b == '\'':
+		return l.scanChar(pos)
+	case b == '"':
+		return l.scanString(pos)
+	}
+	return l.scanOperator(pos)
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	if kw, ok := token.Keywords[text]; ok {
+		return token.Token{Type: kw, Pos: pos, Text: text}
+	}
+	return token.Token{Type: token.IDENT, Pos: pos, Text: text}
+}
+
+func (l *Lexer) scanInt(pos token.Pos) token.Token {
+	start := l.off
+	var v int64
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		v = v*10 + int64(l.advance()-'0')
+	}
+	return token.Token{Type: token.INT, Pos: pos, Text: l.src[start:l.off], IntVal: v}
+}
+
+// scanEscape decodes one escape sequence after the backslash has been
+// consumed.
+func (l *Lexer) scanEscape(pos token.Pos) (byte, error) {
+	if l.off >= len(l.src) {
+		return 0, l.errorf(pos, "unterminated escape sequence")
+	}
+	switch c := l.advance(); c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	case 'x':
+		var v byte
+		for i := 0; i < 2; i++ {
+			if l.off >= len(l.src) {
+				return 0, l.errorf(pos, "truncated hex escape")
+			}
+			d := l.advance()
+			v <<= 4
+			switch {
+			case d >= '0' && d <= '9':
+				v |= d - '0'
+			case d >= 'a' && d <= 'f':
+				v |= d - 'a' + 10
+			case d >= 'A' && d <= 'F':
+				v |= d - 'A' + 10
+			default:
+				return 0, l.errorf(pos, "invalid hex digit %q in escape", d)
+			}
+		}
+		return v, nil
+	default:
+		return 0, l.errorf(pos, "unknown escape sequence \\%c", c)
+	}
+}
+
+func (l *Lexer) scanChar(pos token.Pos) (token.Token, error) {
+	start := l.off
+	l.advance() // opening quote
+	if l.off >= len(l.src) {
+		return token.Token{}, l.errorf(pos, "unterminated character literal")
+	}
+	var v byte
+	switch c := l.advance(); c {
+	case '\\':
+		dec, err := l.scanEscape(pos)
+		if err != nil {
+			return token.Token{}, err
+		}
+		v = dec
+	case '\'':
+		return token.Token{}, l.errorf(pos, "empty character literal")
+	case '\n':
+		return token.Token{}, l.errorf(pos, "newline in character literal")
+	default:
+		v = c
+	}
+	if l.off >= len(l.src) || l.peek() != '\'' {
+		return token.Token{}, l.errorf(pos, "unterminated character literal")
+	}
+	l.advance()
+	return token.Token{Type: token.CHAR, Pos: pos, Text: l.src[start:l.off], CharVal: v}, nil
+}
+
+func (l *Lexer) scanString(pos token.Pos) (token.Token, error) {
+	start := l.off
+	l.advance() // opening quote
+	var sb []byte
+	for {
+		if l.off >= len(l.src) {
+			return token.Token{}, l.errorf(pos, "unterminated string literal")
+		}
+		switch c := l.advance(); c {
+		case '"':
+			return token.Token{Type: token.STRING, Pos: pos, Text: l.src[start:l.off], StrVal: string(sb)}, nil
+		case '\\':
+			dec, err := l.scanEscape(pos)
+			if err != nil {
+				return token.Token{}, err
+			}
+			sb = append(sb, dec)
+		case '\n':
+			return token.Token{}, l.errorf(pos, "newline in string literal")
+		default:
+			sb = append(sb, c)
+		}
+	}
+}
+
+func (l *Lexer) scanOperator(pos token.Pos) (token.Token, error) {
+	mk := func(t token.Type, text string) token.Token {
+		return token.Token{Type: t, Pos: pos, Text: text}
+	}
+	b := l.advance()
+	two := func(next byte, withNext, without token.Type) (token.Token, error) {
+		if l.off < len(l.src) && l.peek() == next {
+			l.advance()
+			return mk(withNext, string(b)+string(next)), nil
+		}
+		return mk(without, string(b)), nil
+	}
+	switch b {
+	case '(':
+		return mk(token.LPAREN, "("), nil
+	case ')':
+		return mk(token.RPAREN, ")"), nil
+	case '{':
+		return mk(token.LBRACE, "{"), nil
+	case '}':
+		return mk(token.RBRACE, "}"), nil
+	case '[':
+		return mk(token.LBRACKET, "["), nil
+	case ']':
+		return mk(token.RBRACKET, "]"), nil
+	case ',':
+		return mk(token.COMMA, ","), nil
+	case ';':
+		return mk(token.SEMICOLON, ";"), nil
+	case ':':
+		return mk(token.COLON, ":"), nil
+	case '.':
+		return mk(token.DOT, "."), nil
+	case '+':
+		return mk(token.PLUS, "+"), nil
+	case '-':
+		return mk(token.MINUS, "-"), nil
+	case '*':
+		return mk(token.STAR, "*"), nil
+	case '/':
+		return mk(token.SLASH, "/"), nil
+	case '%':
+		return mk(token.PERCENT, "%"), nil
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '<':
+		return two('=', token.LEQ, token.LT)
+	case '>':
+		return two('=', token.GEQ, token.GT)
+	case '&':
+		if l.off < len(l.src) && l.peek() == '&' {
+			l.advance()
+			return mk(token.AND, "&&"), nil
+		}
+		return token.Token{}, l.errorf(pos, "unexpected character '&' (did you mean '&&'?)")
+	case '|':
+		if l.off < len(l.src) && l.peek() == '|' {
+			l.advance()
+			return mk(token.OR, "||"), nil
+		}
+		return token.Token{}, l.errorf(pos, "unexpected character '|' (did you mean '||'?)")
+	default:
+		return token.Token{}, l.errorf(pos, "unexpected character %q", b)
+	}
+}

@@ -1,0 +1,165 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang/token"
+)
+
+func types(ts []token.Token) []token.Type {
+	out := make([]token.Type, len(ts))
+	for i, t := range ts {
+		out[i] = t.Type
+	}
+	return out
+}
+
+func TestScanHammingProgram(t *testing.T) {
+	src := `
+macro hamming_distance(String s, int d) {
+  Counter cnt;
+  foreach (char c : s)
+    if (c != input()) cnt.count();
+  cnt <= d;
+  report;
+}
+network (String[] comparisons) {
+  some (String s : comparisons)
+    hamming_distance(s, 5);
+}`
+	toks, err := Scan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[len(toks)-1].Type != token.EOF {
+		t.Fatal("missing EOF")
+	}
+	// Spot-check the opening tokens.
+	want := []token.Type{
+		token.KwMacro, token.IDENT, token.LPAREN, token.KwString, token.IDENT,
+		token.COMMA, token.KwInt, token.IDENT, token.RPAREN, token.LBRACE,
+		token.KwCounter, token.IDENT, token.SEMICOLON,
+		token.KwForeach, token.LPAREN, token.KwChar, token.IDENT, token.COLON,
+		token.IDENT, token.RPAREN,
+	}
+	got := types(toks[:len(want)])
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (all: %v)", i, got[i], want[i], toks[:len(want)])
+		}
+	}
+}
+
+func TestScanLiterals(t *testing.T) {
+	toks, err := Scan(`'a' '\n' '\xff' '\'' 42 "rapid" "a\"b" "tab\t" true false`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].CharVal != 'a' || toks[1].CharVal != '\n' || toks[2].CharVal != 0xff || toks[3].CharVal != '\'' {
+		t.Fatalf("char literals decoded wrong: %v", toks[:4])
+	}
+	if toks[4].IntVal != 42 {
+		t.Fatalf("int literal = %d", toks[4].IntVal)
+	}
+	if toks[5].StrVal != "rapid" || toks[6].StrVal != `a"b` || toks[7].StrVal != "tab\t" {
+		t.Fatalf("string literals decoded wrong: %q %q %q", toks[5].StrVal, toks[6].StrVal, toks[7].StrVal)
+	}
+	if toks[8].Type != token.KwTrue || toks[9].Type != token.KwFalse {
+		t.Fatal("bool keywords not recognized")
+	}
+}
+
+func TestScanOperators(t *testing.T) {
+	src := `== != <= >= < > && || ! = + - * / % ( ) { } [ ] , ; : .`
+	toks, err := Scan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Type{
+		token.EQ, token.NEQ, token.LEQ, token.GEQ, token.LT, token.GT,
+		token.AND, token.OR, token.NOT, token.ASSIGN,
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE,
+		token.LBRACKET, token.RBRACKET, token.COMMA, token.SEMICOLON,
+		token.COLON, token.DOT, token.EOF,
+	}
+	got := types(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `a // line comment ; { }
+/* block
+comment */ b`
+	toks, err := Scan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Scan("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (token.Pos{Line: 1, Col: 1}) {
+		t.Fatalf("pos a = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (token.Pos{Line: 2, Col: 3}) {
+		t.Fatalf("pos bb = %v", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"'",        // unterminated char
+		"''",       // empty char
+		"'ab'",     // too long
+		`"abc`,     // unterminated string
+		"\"a\nb\"", // newline in string
+		"'\\q'",    // unknown escape
+		"'\\x1'",   // truncated hex
+		"'\\xgg'",  // bad hex digit
+		"@",        // stray char
+		"&",        // single ampersand
+		"|",        // single pipe
+		"/* open",  // unterminated block comment
+	}
+	for _, src := range cases {
+		if _, err := Scan(src); err == nil {
+			t.Errorf("Scan(%q) should fail", src)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("error %q lacks position", err)
+		}
+	}
+}
+
+func TestIdentWithDigitsAndUnderscore(t *testing.T) {
+	toks, err := Scan("foo_bar2 _x Counter counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Type != token.IDENT || toks[0].Text != "foo_bar2" {
+		t.Fatalf("tok0 = %v", toks[0])
+	}
+	if toks[1].Type != token.IDENT || toks[1].Text != "_x" {
+		t.Fatalf("tok1 = %v", toks[1])
+	}
+	if toks[2].Type != token.KwCounter {
+		t.Fatalf("Counter should be keyword: %v", toks[2])
+	}
+	if toks[3].Type != token.IDENT {
+		t.Fatalf("lowercase counter should be identifier: %v", toks[3])
+	}
+}

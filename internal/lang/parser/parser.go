@@ -1,0 +1,633 @@
+// Package parser implements a recursive-descent parser for RAPID source
+// code, producing the AST defined in package ast.
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/lexer"
+	"repro/internal/lang/token"
+)
+
+// Error is a syntax error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parse scans and parses a complete RAPID program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Scan(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+func (p *parser) cur() token.Token  { return p.toks[p.pos] }
+func (p *parser) next() token.Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(t token.Type) bool { return p.cur().Type == t }
+
+func (p *parser) accept(t token.Type) bool {
+	if p.at(t) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(t token.Type) (token.Token, error) {
+	if !p.at(t) {
+		return token.Token{}, p.errorf("expected %v, found %v", t, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---------------------------------------------------------------- program
+
+func (p *parser) parseProgram() (*ast.Program, error) {
+	prog := &ast.Program{}
+	for p.at(token.KwMacro) {
+		m, err := p.parseMacro()
+		if err != nil {
+			return nil, err
+		}
+		prog.Macros = append(prog.Macros, m)
+	}
+	if !p.at(token.KwNetwork) {
+		return nil, p.errorf("expected network declaration, found %v", p.cur())
+	}
+	n, err := p.parseNetwork()
+	if err != nil {
+		return nil, err
+	}
+	prog.Network = n
+	if !p.at(token.EOF) {
+		return nil, p.errorf("unexpected %v after network declaration", p.cur())
+	}
+	return prog, nil
+}
+
+func (p *parser) parseMacro() (*ast.MacroDecl, error) {
+	kw := p.next() // macro
+	name, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.MacroDecl{MacroPos: kw.Pos, Name: name.Text, Params: params, Body: body}, nil
+}
+
+func (p *parser) parseNetwork() (*ast.NetworkDecl, error) {
+	kw := p.next() // network
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.NetworkDecl{NetPos: kw.Pos, Params: params, Body: body}, nil
+}
+
+func (p *parser) parseParams() ([]*ast.Param, error) {
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	var params []*ast.Param
+	if p.accept(token.RPAREN) {
+		return params, nil
+	}
+	for {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, &ast.Param{Type: typ, Name: name.Text, NPos: name.Pos})
+		if p.accept(token.COMMA) {
+			continue
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return params, nil
+	}
+}
+
+func (p *parser) atType() bool {
+	switch p.cur().Type {
+	case token.KwChar, token.KwInt, token.KwBool, token.KwString, token.KwCounter:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseType() (*ast.TypeExpr, error) {
+	tok := p.cur()
+	var base ast.BaseType
+	switch tok.Type {
+	case token.KwChar:
+		base = ast.TypeChar
+	case token.KwInt:
+		base = ast.TypeInt
+	case token.KwBool:
+		base = ast.TypeBool
+	case token.KwString:
+		base = ast.TypeString
+	case token.KwCounter:
+		base = ast.TypeCounter
+	default:
+		return nil, p.errorf("expected type, found %v", tok)
+	}
+	p.next()
+	dims := 0
+	for p.at(token.LBRACKET) {
+		p.next()
+		if _, err := p.expect(token.RBRACKET); err != nil {
+			return nil, err
+		}
+		dims++
+	}
+	return &ast.TypeExpr{TypePos: tok.Pos, Base: base, Dims: dims}, nil
+}
+
+// ---------------------------------------------------------------- stmts
+
+func (p *parser) parseBlock() (*ast.BlockStmt, error) {
+	lb, err := p.expect(token.LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	blk := &ast.BlockStmt{LBrace: lb.Pos}
+	for !p.at(token.RBRACE) {
+		if p.at(token.EOF) {
+			return nil, p.errorf("unexpected end of input inside block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // }
+	return blk, nil
+}
+
+func (p *parser) parseStmt() (ast.Stmt, error) {
+	switch {
+	case p.at(token.LBRACE):
+		return p.parseBlock()
+	case p.at(token.SEMICOLON):
+		semi := p.next()
+		return &ast.EmptyStmt{SemiPos: semi.Pos}, nil
+	case p.atType():
+		return p.parseVarDecl()
+	case p.at(token.KwIf):
+		return p.parseIf()
+	case p.at(token.KwWhile):
+		return p.parseWhile()
+	case p.at(token.KwForeach):
+		return p.parseForeach()
+	case p.at(token.KwEither):
+		return p.parseEither()
+	case p.at(token.KwSome):
+		return p.parseSome()
+	case p.at(token.KwWhenever):
+		return p.parseWhenever()
+	case p.at(token.KwReport):
+		kw := p.next()
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		return &ast.ReportStmt{RPos: kw.Pos}, nil
+	case p.at(token.IDENT) && p.toks[p.pos+1].Type == token.ASSIGN:
+		name := p.next()
+		p.next() // =
+		value, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		return &ast.AssignStmt{Name: name.Text, NPos: name.Pos, Value: value}, nil
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		return &ast.ExprStmt{X: x}, nil
+	}
+}
+
+func (p *parser) parseVarDecl() (ast.Stmt, error) {
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	decl := &ast.VarDeclStmt{Type: typ, Name: name.Text, NPos: name.Pos}
+	if p.accept(token.ASSIGN) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		decl.Init = init
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return decl, nil
+}
+
+func (p *parser) parseIf() (ast.Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &ast.IfStmt{IfPos: kw.Pos, Cond: cond, Then: then}
+	if p.accept(token.KwElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Else = els
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseWhile() (ast.Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.WhileStmt{WhilePos: kw.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseIterHeader() (*ast.TypeExpr, token.Token, ast.Expr, error) {
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, token.Token{}, nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, token.Token{}, nil, err
+	}
+	name, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, token.Token{}, nil, err
+	}
+	if _, err := p.expect(token.COLON); err != nil {
+		return nil, token.Token{}, nil, err
+	}
+	seq, err := p.parseExpr()
+	if err != nil {
+		return nil, token.Token{}, nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, token.Token{}, nil, err
+	}
+	return typ, name, seq, nil
+}
+
+func (p *parser) parseForeach() (ast.Stmt, error) {
+	kw := p.next()
+	typ, name, seq, err := p.parseIterHeader()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.ForeachStmt{ForPos: kw.Pos, Type: typ, Var: name.Text, VPos: name.Pos, Seq: seq, Body: body}, nil
+}
+
+func (p *parser) parseSome() (ast.Stmt, error) {
+	kw := p.next()
+	typ, name, seq, err := p.parseIterHeader()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.SomeStmt{SomePos: kw.Pos, Type: typ, Var: name.Text, VPos: name.Pos, Seq: seq, Body: body}, nil
+}
+
+func (p *parser) parseEither() (ast.Stmt, error) {
+	kw := p.next()
+	first, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &ast.EitherStmt{EitherPos: kw.Pos, Blocks: []*ast.BlockStmt{first}}
+	if !p.at(token.KwOrelse) {
+		return nil, p.errorf("either statement requires at least one orelse block")
+	}
+	for p.accept(token.KwOrelse) {
+		blk, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Blocks = append(stmt.Blocks, blk)
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseWhenever() (ast.Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	guard, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.WheneverStmt{WhenPos: kw.Pos, Guard: guard, Body: body}, nil
+}
+
+// ---------------------------------------------------------------- exprs
+
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (ast.Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.OR) {
+		p.next()
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &ast.BinaryExpr{Op: token.OR, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseAnd() (ast.Expr, error) {
+	x, err := p.parseEquality()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.AND) {
+		p.next()
+		y, err := p.parseEquality()
+		if err != nil {
+			return nil, err
+		}
+		x = &ast.BinaryExpr{Op: token.AND, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseEquality() (ast.Expr, error) {
+	x, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.EQ) || p.at(token.NEQ) {
+		op := p.next().Type
+		y, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		x = &ast.BinaryExpr{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseRelational() (ast.Expr, error) {
+	x, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.LT) || p.at(token.LEQ) || p.at(token.GT) || p.at(token.GEQ) {
+		op := p.next().Type
+		y, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		x = &ast.BinaryExpr{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseAdditive() (ast.Expr, error) {
+	x, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.PLUS) || p.at(token.MINUS) {
+		op := p.next().Type
+		y, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		x = &ast.BinaryExpr{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseMultiplicative() (ast.Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.STAR) || p.at(token.SLASH) || p.at(token.PERCENT) {
+		op := p.next().Type
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &ast.BinaryExpr{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	if p.at(token.NOT) || p.at(token.MINUS) {
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{OpPos: op.Pos, Op: op.Type, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (ast.Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(token.LBRACKET):
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBRACKET); err != nil {
+				return nil, err
+			}
+			x = &ast.IndexExpr{X: x, Index: idx}
+		case p.at(token.DOT):
+			p.next()
+			method, err := p.expect(token.IDENT)
+			if err != nil {
+				return nil, err
+			}
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			x = &ast.MethodCallExpr{Recv: x, Method: method.Text, MPos: method.Pos, Args: args}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseArgs() ([]ast.Expr, error) {
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	var args []ast.Expr
+	if p.accept(token.RPAREN) {
+		return args, nil
+	}
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.accept(token.COMMA) {
+			continue
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return args, nil
+	}
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	tok := p.cur()
+	switch tok.Type {
+	case token.INT:
+		p.next()
+		return &ast.BasicLit{LPos: tok.Pos, Kind: ast.LitInt, IntVal: tok.IntVal}, nil
+	case token.CHAR:
+		p.next()
+		return &ast.BasicLit{LPos: tok.Pos, Kind: ast.LitChar, CharVal: tok.CharVal}, nil
+	case token.STRING:
+		p.next()
+		return &ast.BasicLit{LPos: tok.Pos, Kind: ast.LitString, StrVal: tok.StrVal}, nil
+	case token.KwTrue:
+		p.next()
+		return &ast.BasicLit{LPos: tok.Pos, Kind: ast.LitBool, BoolVal: true}, nil
+	case token.KwFalse:
+		p.next()
+		return &ast.BasicLit{LPos: tok.Pos, Kind: ast.LitBool, BoolVal: false}, nil
+	case token.LPAREN:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case token.IDENT:
+		p.next()
+		if tok.Text == "input" && p.at(token.LPAREN) {
+			p.next()
+			if _, err := p.expect(token.RPAREN); err != nil {
+				return nil, err
+			}
+			return &ast.InputExpr{CallPos: tok.Pos}, nil
+		}
+		if p.at(token.LPAREN) {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.CallExpr{Name: tok.Text, NPos: tok.Pos, Args: args}, nil
+		}
+		return &ast.Ident{NPos: tok.Pos, Name: tok.Text}, nil
+	default:
+		return nil, p.errorf("expected expression, found %v", tok)
+	}
+}

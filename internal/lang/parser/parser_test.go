@@ -1,0 +1,293 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/token"
+)
+
+// figure1 is the Hamming-distance program of Figure 1 in the paper.
+const figure1 = `
+macro hamming_distance(String s, int d) {
+  Counter cnt;
+  foreach (char c : s)
+    if (c != input()) cnt.count();
+  cnt <= d;
+  report;
+}
+network (String[] comparisons) {
+  some (String s : comparisons)
+    hamming_distance(s, 5);
+}`
+
+func TestParseFigure1(t *testing.T) {
+	prog, err := Parse(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Macros) != 1 {
+		t.Fatalf("macros = %d", len(prog.Macros))
+	}
+	m := prog.Macros[0]
+	if m.Name != "hamming_distance" || len(m.Params) != 2 {
+		t.Fatalf("macro = %q params=%d", m.Name, len(m.Params))
+	}
+	if m.Params[0].Type.Base != ast.TypeString || m.Params[1].Type.Base != ast.TypeInt {
+		t.Fatalf("param types wrong: %v %v", m.Params[0].Type, m.Params[1].Type)
+	}
+	if len(m.Body.Stmts) != 4 {
+		t.Fatalf("macro body stmts = %d", len(m.Body.Stmts))
+	}
+	if _, ok := m.Body.Stmts[0].(*ast.VarDeclStmt); !ok {
+		t.Fatalf("stmt0 = %T", m.Body.Stmts[0])
+	}
+	fe, ok := m.Body.Stmts[1].(*ast.ForeachStmt)
+	if !ok {
+		t.Fatalf("stmt1 = %T", m.Body.Stmts[1])
+	}
+	ifs, ok := fe.Body.(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("foreach body = %T", fe.Body)
+	}
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.NEQ {
+		t.Fatalf("if cond = %#v", ifs.Cond)
+	}
+	if _, ok := cond.Y.(*ast.InputExpr); !ok {
+		t.Fatalf("cond rhs = %T, want InputExpr", cond.Y)
+	}
+	// cnt <= d; is a boolean assertion statement
+	es, ok := m.Body.Stmts[2].(*ast.ExprStmt)
+	if !ok {
+		t.Fatalf("stmt2 = %T", m.Body.Stmts[2])
+	}
+	rel, ok := es.X.(*ast.BinaryExpr)
+	if !ok || rel.Op != token.LEQ {
+		t.Fatalf("assertion = %#v", es.X)
+	}
+	if _, ok := m.Body.Stmts[3].(*ast.ReportStmt); !ok {
+		t.Fatalf("stmt3 = %T", m.Body.Stmts[3])
+	}
+	// Network.
+	if prog.Network == nil || len(prog.Network.Params) != 1 {
+		t.Fatal("network missing or wrong params")
+	}
+	if prog.Network.Params[0].Type.Base != ast.TypeString || prog.Network.Params[0].Type.Dims != 1 {
+		t.Fatalf("network param type = %v", prog.Network.Params[0].Type)
+	}
+	some, ok := prog.Network.Body.Stmts[0].(*ast.SomeStmt)
+	if !ok {
+		t.Fatalf("network stmt0 = %T", prog.Network.Body.Stmts[0])
+	}
+	call, ok := some.Body.(*ast.ExprStmt)
+	if !ok {
+		t.Fatalf("some body = %T", some.Body)
+	}
+	mc, ok := call.X.(*ast.CallExpr)
+	if !ok || mc.Name != "hamming_distance" || len(mc.Args) != 2 {
+		t.Fatalf("macro call = %#v", call.X)
+	}
+}
+
+func TestParseEitherOrelse(t *testing.T) {
+	src := `
+network () {
+  either {
+    'a' == input();
+    report;
+  } orelse {
+    while ('y' != input());
+  } orelse {
+    'b' == input();
+  }
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := prog.Network.Body.Stmts[0].(*ast.EitherStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", prog.Network.Body.Stmts[0])
+	}
+	if len(e.Blocks) != 3 {
+		t.Fatalf("blocks = %d", len(e.Blocks))
+	}
+	w, ok := e.Blocks[1].Stmts[0].(*ast.WhileStmt)
+	if !ok {
+		t.Fatalf("orelse stmt = %T", e.Blocks[1].Stmts[0])
+	}
+	if _, ok := w.Body.(*ast.EmptyStmt); !ok {
+		t.Fatalf("while body = %T, want empty", w.Body)
+	}
+}
+
+func TestParseWheneverFigure4(t *testing.T) {
+	src := `
+network () {
+  whenever (ALL_INPUT == input()) {
+    foreach (char c : "rapid")
+      c == input();
+    report;
+  }
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := prog.Network.Body.Stmts[0].(*ast.WheneverStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", prog.Network.Body.Stmts[0])
+	}
+	guard, ok := w.Guard.(*ast.BinaryExpr)
+	if !ok || guard.Op != token.EQ {
+		t.Fatalf("guard = %#v", w.Guard)
+	}
+	id, ok := guard.X.(*ast.Ident)
+	if !ok || id.Name != ast.AllInputName {
+		t.Fatalf("guard lhs = %#v", guard.X)
+	}
+}
+
+func TestParseCounterFigure2(t *testing.T) {
+	src := `
+network () {
+  Counter cnt;
+  foreach (char c : "rapid") {
+    if (c == input()) cnt.count();
+  }
+  if (cnt >= 3) report;
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Network.Body.Stmts) != 3 {
+		t.Fatalf("stmts = %d", len(prog.Network.Body.Stmts))
+	}
+	ifs, ok := prog.Network.Body.Stmts[2].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("stmt2 = %T", prog.Network.Body.Stmts[2])
+	}
+	if _, ok := ifs.Then.(*ast.ReportStmt); !ok {
+		t.Fatalf("then = %T", ifs.Then)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	src := `
+network (int[] xs, String[][] m) {
+  int x = 1 + 2 * 3 - 4 / 2 % 3;
+  bool b = !(x == 7) || x < 10 && true;
+  char c = 'q';
+  int y = xs[0] + xs[x];
+  String s = m[0][1];
+  x = -x;
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := prog.Network.Body.Stmts
+	// 1 + 2*3 - 4/2%3 parses with standard precedence.
+	d0 := stmts[0].(*ast.VarDeclStmt)
+	sum, ok := d0.Init.(*ast.BinaryExpr)
+	if !ok || sum.Op != token.MINUS {
+		t.Fatalf("top op = %#v", d0.Init)
+	}
+	// b: || at top.
+	d1 := stmts[1].(*ast.VarDeclStmt)
+	or, ok := d1.Init.(*ast.BinaryExpr)
+	if !ok || or.Op != token.OR {
+		t.Fatalf("b top op = %#v", d1.Init)
+	}
+	// nested index m[0][1]
+	d4 := stmts[4].(*ast.VarDeclStmt)
+	outer, ok := d4.Init.(*ast.IndexExpr)
+	if !ok {
+		t.Fatalf("s init = %#v", d4.Init)
+	}
+	if _, ok := outer.X.(*ast.IndexExpr); !ok {
+		t.Fatalf("outer.X = %T", outer.X)
+	}
+	// assignment with unary minus
+	asg, ok := stmts[5].(*ast.AssignStmt)
+	if !ok {
+		t.Fatalf("stmt5 = %T", stmts[5])
+	}
+	if _, ok := asg.Value.(*ast.UnaryExpr); !ok {
+		t.Fatalf("assign value = %T", asg.Value)
+	}
+}
+
+func TestParseMethodCalls(t *testing.T) {
+	src := `
+network () {
+  Counter cnt;
+  cnt.count();
+  cnt.reset();
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := prog.Network.Body.Stmts[1].(*ast.ExprStmt)
+	mc, ok := es.X.(*ast.MethodCallExpr)
+	if !ok || mc.Method != "count" || mc.Recv.(*ast.Ident).Name != "cnt" {
+		t.Fatalf("method call = %#v", es.X)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no network", `macro m() { report; }`},
+		{"trailing junk", `network () { } extra`},
+		{"either without orelse", `network () { either { report; } }`},
+		{"missing semicolon", `network () { report }`},
+		{"bad param", `network (String) { }`},
+		{"unclosed block", `network () { report;`},
+		{"bad type", `network () { foo x; }`}, // foo is expr start; then x unexpected
+
+		{"dangling dot", `network () { .count(); }`},
+		{"missing paren", `network () { if report; }`},
+		{"empty expr", `network () { ; = 5; }`},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil {
+			t.Errorf("%s: Parse should fail", tc.name)
+		}
+	}
+}
+
+func TestParseNestedMacros(t *testing.T) {
+	src := `
+macro inner(char c) {
+  c == input();
+}
+macro outer(String s) {
+  foreach (char c : s) inner(c);
+}
+network (String[] ws) {
+  some (String w : ws) outer(w);
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Macros) != 2 {
+		t.Fatalf("macros = %d", len(prog.Macros))
+	}
+}
+
+func TestPositionsSurvive(t *testing.T) {
+	prog, err := Parse("network () {\n  report;\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.Network.Body.Stmts[0].(*ast.ReportStmt)
+	if r.Pos().Line != 2 || r.Pos().Col != 3 {
+		t.Fatalf("report pos = %v", r.Pos())
+	}
+}

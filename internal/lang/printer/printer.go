@@ -1,0 +1,334 @@
+// Package printer formats RAPID abstract syntax trees back into canonical
+// source text. The output parses to an identical tree, which the tests
+// verify; tools use it for program display and round-trip checks.
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/token"
+)
+
+// Print renders a complete program.
+func Print(p *ast.Program) string {
+	var pr printer
+	for i, m := range p.Macros {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.macro(m)
+	}
+	if p.Network != nil {
+		if len(p.Macros) > 0 {
+			pr.nl()
+		}
+		pr.network(p.Network)
+	}
+	return pr.sb.String()
+}
+
+// PrintStmt renders a single statement at the top level.
+func PrintStmt(s ast.Stmt) string {
+	var pr printer
+	pr.stmt(s)
+	return pr.sb.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e ast.Expr) string {
+	var pr printer
+	pr.expr(e, precLowest)
+	return pr.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) write(s string)                    { p.sb.WriteString(s) }
+func (p *printer) printf(f string, a ...interface{}) { fmt.Fprintf(&p.sb, f, a...) }
+func (p *printer) nl()                               { p.sb.WriteByte('\n') }
+func (p *printer) line(f string, a ...interface{})   { p.pad(); p.printf(f, a...); p.nl() }
+func (p *printer) pad()                              { p.write(strings.Repeat("  ", p.indent)) }
+
+func (p *printer) params(params []*ast.Param) {
+	p.write("(")
+	for i, param := range params {
+		if i > 0 {
+			p.write(", ")
+		}
+		p.printf("%s %s", param.Type, param.Name)
+	}
+	p.write(")")
+}
+
+func (p *printer) macro(m *ast.MacroDecl) {
+	p.pad()
+	p.printf("macro %s", m.Name)
+	p.params(m.Params)
+	p.write(" ")
+	p.block(m.Body)
+	p.nl()
+}
+
+func (p *printer) network(n *ast.NetworkDecl) {
+	p.pad()
+	p.write("network ")
+	p.params(n.Params)
+	p.write(" ")
+	p.block(n.Body)
+	p.nl()
+}
+
+func (p *printer) block(b *ast.BlockStmt) {
+	p.write("{")
+	p.nl()
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.pad()
+	p.write("}")
+}
+
+// blockOrStmt prints a statement used as a control-structure body.
+func (p *printer) blockOrStmt(s ast.Stmt) {
+	if b, ok := s.(*ast.BlockStmt); ok {
+		p.write(" ")
+		p.block(b)
+		p.nl()
+		return
+	}
+	p.nl()
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+func (p *printer) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		p.pad()
+		p.block(s)
+		p.nl()
+	case *ast.EmptyStmt:
+		p.line(";")
+	case *ast.ReportStmt:
+		p.line("report;")
+	case *ast.VarDeclStmt:
+		p.pad()
+		p.printf("%s %s", s.Type, s.Name)
+		if s.Init != nil {
+			p.write(" = ")
+			p.expr(s.Init, precLowest)
+		}
+		p.write(";")
+		p.nl()
+	case *ast.AssignStmt:
+		p.pad()
+		p.printf("%s = ", s.Name)
+		p.expr(s.Value, precLowest)
+		p.write(";")
+		p.nl()
+	case *ast.ExprStmt:
+		p.pad()
+		p.expr(s.X, precLowest)
+		p.write(";")
+		p.nl()
+	case *ast.IfStmt:
+		p.pad()
+		p.write("if (")
+		p.expr(s.Cond, precLowest)
+		p.write(")")
+		p.blockOrStmt(s.Then)
+		if s.Else != nil {
+			p.line("else")
+			p.indent++
+			p.stmt(s.Else)
+			p.indent--
+		}
+	case *ast.WhileStmt:
+		p.pad()
+		p.write("while (")
+		p.expr(s.Cond, precLowest)
+		p.write(")")
+		p.blockOrStmt(s.Body)
+	case *ast.ForeachStmt:
+		p.pad()
+		p.printf("foreach (%s %s : ", s.Type, s.Var)
+		p.expr(s.Seq, precLowest)
+		p.write(")")
+		p.blockOrStmt(s.Body)
+	case *ast.SomeStmt:
+		p.pad()
+		p.printf("some (%s %s : ", s.Type, s.Var)
+		p.expr(s.Seq, precLowest)
+		p.write(")")
+		p.blockOrStmt(s.Body)
+	case *ast.EitherStmt:
+		p.pad()
+		p.write("either ")
+		for i, blk := range s.Blocks {
+			if i > 0 {
+				p.write(" orelse ")
+			}
+			p.block(blk)
+		}
+		p.nl()
+	case *ast.WheneverStmt:
+		p.pad()
+		p.write("whenever (")
+		p.expr(s.Guard, precLowest)
+		p.write(")")
+		p.blockOrStmt(s.Body)
+	default:
+		p.line("/* unknown statement %T */", s)
+	}
+}
+
+// Operator precedence levels, loosest to tightest.
+const (
+	precLowest = iota
+	precOr
+	precAnd
+	precEquality
+	precRelational
+	precAdditive
+	precMultiplicative
+	precUnary
+)
+
+func precedenceOf(op token.Type) int {
+	switch op {
+	case token.OR:
+		return precOr
+	case token.AND:
+		return precAnd
+	case token.EQ, token.NEQ:
+		return precEquality
+	case token.LT, token.LEQ, token.GT, token.GEQ:
+		return precRelational
+	case token.PLUS, token.MINUS:
+		return precAdditive
+	case token.STAR, token.SLASH, token.PERCENT:
+		return precMultiplicative
+	default:
+		return precLowest
+	}
+}
+
+func (p *printer) expr(e ast.Expr, parent int) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		switch e.Kind {
+		case ast.LitInt:
+			p.printf("%d", e.IntVal)
+		case ast.LitChar:
+			p.write(charLit(e.CharVal))
+		case ast.LitString:
+			p.write(stringLit(e.StrVal))
+		default:
+			p.printf("%t", e.BoolVal)
+		}
+	case *ast.Ident:
+		p.write(e.Name)
+	case *ast.InputExpr:
+		p.write("input()")
+	case *ast.CallExpr:
+		p.write(e.Name)
+		p.write("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.write(", ")
+			}
+			p.expr(a, precLowest)
+		}
+		p.write(")")
+	case *ast.MethodCallExpr:
+		p.expr(e.Recv, precUnary)
+		p.printf(".%s(", e.Method)
+		for i, a := range e.Args {
+			if i > 0 {
+				p.write(", ")
+			}
+			p.expr(a, precLowest)
+		}
+		p.write(")")
+	case *ast.IndexExpr:
+		p.expr(e.X, precUnary)
+		p.write("[")
+		p.expr(e.Index, precLowest)
+		p.write("]")
+	case *ast.UnaryExpr:
+		if parent > precUnary {
+			p.write("(")
+			defer p.write(")")
+		}
+		p.write(e.Op.String())
+		p.expr(e.X, precUnary)
+	case *ast.BinaryExpr:
+		prec := precedenceOf(e.Op)
+		if prec < parent {
+			p.write("(")
+			defer p.write(")")
+		}
+		p.expr(e.X, prec)
+		p.printf(" %s ", e.Op)
+		// Right operand of a left-associative operator needs one level
+		// tighter to preserve grouping.
+		p.expr(e.Y, prec+1)
+	default:
+		p.printf("/* unknown expression %T */", e)
+	}
+}
+
+func charLit(b byte) string {
+	switch b {
+	case '\'':
+		return `'\''`
+	case '\\':
+		return `'\\'`
+	case '\n':
+		return `'\n'`
+	case '\t':
+		return `'\t'`
+	case '\r':
+		return `'\r'`
+	}
+	if b >= 0x20 && b <= 0x7e {
+		return fmt.Sprintf("'%c'", b)
+	}
+	return fmt.Sprintf(`'\x%02x'`, b)
+}
+
+func stringLit(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch b {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\r':
+			sb.WriteString(`\r`)
+		default:
+			if b >= 0x20 && b <= 0x7e {
+				sb.WriteByte(b)
+			} else {
+				fmt.Fprintf(&sb, `\x%02x`, b)
+			}
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

@@ -1,0 +1,600 @@
+package sema
+
+import (
+	"fmt"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/token"
+)
+
+// Info is the result of semantic analysis: per-expression types and stages,
+// plus the macro table.
+type Info struct {
+	Program *ast.Program
+	Types   map[ast.Expr]Type
+	Stages  map[ast.Expr]Stage
+	Macros  map[string]*ast.MacroDecl
+}
+
+// TypeOf returns the checked type of e.
+func (i *Info) TypeOf(e ast.Expr) Type { return i.Types[e] }
+
+// StageOf returns the evaluation stage of e.
+func (i *Info) StageOf(e ast.Expr) Stage { return i.Stages[e] }
+
+// IsRuntime reports whether e must execute on the device.
+func (i *Info) IsRuntime(e ast.Expr) bool { return i.Stages[e] == StageAutomata }
+
+// Check performs semantic analysis on a parsed program.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			Program: prog,
+			Types:   make(map[ast.Expr]Type),
+			Stages:  make(map[ast.Expr]Stage),
+			Macros:  make(map[string]*ast.MacroDecl),
+		},
+	}
+	c.collectMacros(prog)
+	if len(c.errs) == 0 {
+		c.checkMacroRecursion(prog)
+	}
+	for _, m := range prog.Macros {
+		c.checkMacro(m)
+	}
+	if prog.Network == nil {
+		c.errorf(token.Pos{Line: 1, Col: 1}, "program has no network declaration")
+	} else {
+		c.checkNetwork(prog.Network)
+	}
+	if len(c.errs) > 0 {
+		return nil, c.errs
+	}
+	return c.info, nil
+}
+
+type symbol struct {
+	name string
+	typ  Type
+}
+
+type scope struct {
+	parent  *scope
+	symbols map[string]*symbol
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, symbols: make(map[string]*symbol)}
+}
+
+func (s *scope) lookup(name string) *symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.symbols[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+func (s *scope) declare(name string, typ Type) bool {
+	if _, exists := s.symbols[name]; exists {
+		return false
+	}
+	s.symbols[name] = &symbol{name: name, typ: typ}
+	return true
+}
+
+type checker struct {
+	info  *Info
+	errs  ErrorList
+	scope *scope
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...interface{}) {
+	if len(c.errs) < 50 {
+		c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (c *checker) collectMacros(prog *ast.Program) {
+	for _, m := range prog.Macros {
+		if _, dup := c.info.Macros[m.Name]; dup {
+			c.errorf(m.Pos(), "macro %q redeclared", m.Name)
+			continue
+		}
+		if m.Name == "input" {
+			c.errorf(m.Pos(), "cannot declare macro named %q: input is reserved", m.Name)
+			continue
+		}
+		c.info.Macros[m.Name] = m
+	}
+}
+
+// checkMacroRecursion rejects cyclic macro instantiation: macros are
+// inlined during staged compilation, so cycles cannot terminate.
+func (c *checker) checkMacroRecursion(prog *ast.Program) {
+	// Build the macro call graph.
+	calls := make(map[string][]string)
+	for _, m := range prog.Macros {
+		var callees []string
+		var visitStmt func(ast.Stmt)
+		var visitExpr func(ast.Expr)
+		visitExpr = func(e ast.Expr) {
+			switch e := e.(type) {
+			case *ast.CallExpr:
+				callees = append(callees, e.Name)
+				for _, a := range e.Args {
+					visitExpr(a)
+				}
+			case *ast.BinaryExpr:
+				visitExpr(e.X)
+				visitExpr(e.Y)
+			case *ast.UnaryExpr:
+				visitExpr(e.X)
+			case *ast.IndexExpr:
+				visitExpr(e.X)
+				visitExpr(e.Index)
+			case *ast.MethodCallExpr:
+				for _, a := range e.Args {
+					visitExpr(a)
+				}
+			}
+		}
+		visitStmt = func(s ast.Stmt) {
+			switch s := s.(type) {
+			case *ast.BlockStmt:
+				for _, st := range s.Stmts {
+					visitStmt(st)
+				}
+			case *ast.VarDeclStmt:
+				if s.Init != nil {
+					visitExpr(s.Init)
+				}
+			case *ast.AssignStmt:
+				visitExpr(s.Value)
+			case *ast.ExprStmt:
+				visitExpr(s.X)
+			case *ast.IfStmt:
+				visitExpr(s.Cond)
+				visitStmt(s.Then)
+				if s.Else != nil {
+					visitStmt(s.Else)
+				}
+			case *ast.WhileStmt:
+				visitExpr(s.Cond)
+				visitStmt(s.Body)
+			case *ast.ForeachStmt:
+				visitExpr(s.Seq)
+				visitStmt(s.Body)
+			case *ast.SomeStmt:
+				visitExpr(s.Seq)
+				visitStmt(s.Body)
+			case *ast.EitherStmt:
+				for _, b := range s.Blocks {
+					visitStmt(b)
+				}
+			case *ast.WheneverStmt:
+				visitExpr(s.Guard)
+				visitStmt(s.Body)
+			}
+		}
+		visitStmt(m.Body)
+		calls[m.Name] = callees
+	}
+	// DFS cycle detection.
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int)
+	var dfs func(name string) bool
+	dfs = func(name string) bool {
+		switch state[name] {
+		case visiting:
+			return true
+		case done:
+			return false
+		}
+		state[name] = visiting
+		for _, callee := range calls[name] {
+			if _, ok := c.info.Macros[callee]; !ok {
+				continue // undefined macros reported during body checking
+			}
+			if dfs(callee) {
+				state[name] = done
+				return true
+			}
+		}
+		state[name] = done
+		return false
+	}
+	for _, m := range prog.Macros {
+		if state[m.Name] == unvisited && dfs(m.Name) {
+			c.errorf(m.Pos(), "macro %q is recursive; macros are inlined at compile time and must not form cycles", m.Name)
+		}
+	}
+}
+
+func (c *checker) declareParams(params []*ast.Param) {
+	for _, p := range params {
+		if !c.scope.declare(p.Name, FromExpr(p.Type)) {
+			c.errorf(p.Pos(), "parameter %q redeclared", p.Name)
+		}
+	}
+}
+
+func (c *checker) checkMacro(m *ast.MacroDecl) {
+	c.scope = newScope(nil)
+	defer func() { c.scope = nil }()
+	c.declareParams(m.Params)
+	c.checkBlock(m.Body)
+}
+
+func (c *checker) checkNetwork(n *ast.NetworkDecl) {
+	c.scope = newScope(nil)
+	defer func() { c.scope = nil }()
+	c.declareParams(n.Params)
+	c.checkBlock(n.Body)
+}
+
+func (c *checker) checkBlock(b *ast.BlockStmt) {
+	c.scope = newScope(c.scope)
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.scope = c.scope.parent
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.checkBlock(s)
+	case *ast.EmptyStmt, *ast.ReportStmt:
+		// Always valid.
+	case *ast.VarDeclStmt:
+		c.checkVarDecl(s)
+	case *ast.AssignStmt:
+		c.checkAssign(s)
+	case *ast.ExprStmt:
+		t := c.checkExpr(s.X)
+		if t != VoidType && t != BoolType {
+			c.errorf(s.Pos(), "expression statement must be boolean or a call, have %s", t)
+		}
+	case *ast.IfStmt:
+		c.checkCond(s.Cond, "if condition")
+		c.checkStmt(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		c.checkCond(s.Cond, "while condition")
+		c.checkStmt(s.Body)
+	case *ast.ForeachStmt:
+		c.checkIter(s.Type, s.Var, s.VPos, s.Seq, s.Body, "foreach")
+	case *ast.SomeStmt:
+		c.checkIter(s.Type, s.Var, s.VPos, s.Seq, s.Body, "some")
+	case *ast.EitherStmt:
+		for _, b := range s.Blocks {
+			c.checkBlock(b)
+		}
+	case *ast.WheneverStmt:
+		t := c.checkExpr(s.Guard)
+		if t != BoolType {
+			c.errorf(s.Guard.Pos(), "whenever guard must be boolean, have %s", t)
+		} else if c.info.StageOf(s.Guard) != StageAutomata {
+			c.errorf(s.Guard.Pos(), "whenever guard must be a condition on the input stream or a counter threshold")
+		}
+		c.checkStmt(s.Body)
+	default:
+		c.errorf(s.Pos(), "unexpected statement %T", s)
+	}
+}
+
+func (c *checker) checkCond(e ast.Expr, what string) {
+	t := c.checkExpr(e)
+	if t != BoolType {
+		c.errorf(e.Pos(), "%s must be boolean, have %s", what, t)
+	}
+}
+
+func (c *checker) checkVarDecl(s *ast.VarDeclStmt) {
+	t := FromExpr(s.Type)
+	if t == CounterType && s.Init != nil {
+		c.errorf(s.Init.Pos(), "Counter declarations cannot have initializers")
+	} else if s.Init != nil {
+		it := c.checkExpr(s.Init)
+		if it != t {
+			c.errorf(s.Init.Pos(), "cannot initialize %s %q with %s value", t, s.Name, it)
+		} else if c.info.StageOf(s.Init) == StageAutomata {
+			c.errorf(s.Init.Pos(), "initializer of %q must be a compile-time value", s.Name)
+		}
+	}
+	if !c.scope.declare(s.Name, t) {
+		c.errorf(s.Pos(), "variable %q redeclared in this scope", s.Name)
+	}
+}
+
+func (c *checker) checkAssign(s *ast.AssignStmt) {
+	sym := c.scope.lookup(s.Name)
+	if sym == nil {
+		c.errorf(s.Pos(), "assignment to undeclared variable %q", s.Name)
+		c.checkExpr(s.Value)
+		return
+	}
+	if sym.typ == CounterType {
+		c.errorf(s.Pos(), "cannot assign to Counter %q; use count() and reset()", s.Name)
+		return
+	}
+	vt := c.checkExpr(s.Value)
+	if vt != sym.typ {
+		c.errorf(s.Value.Pos(), "cannot assign %s to %s %q", vt, sym.typ, s.Name)
+	} else if c.info.StageOf(s.Value) == StageAutomata {
+		c.errorf(s.Value.Pos(), "assigned value must be a compile-time expression")
+	}
+}
+
+func (c *checker) checkIter(te *ast.TypeExpr, name string, npos token.Pos, seq ast.Expr, body ast.Stmt, what string) {
+	declared := FromExpr(te)
+	st := c.checkExpr(seq)
+	elem, ok := st.Elem()
+	if !ok {
+		c.errorf(seq.Pos(), "%s requires a String or array to iterate, have %s", what, st)
+	} else if elem != declared {
+		c.errorf(npos, "%s variable %q has type %s but sequence elements are %s", what, name, declared, elem)
+	}
+	if c.info.StageOf(seq) == StageAutomata {
+		c.errorf(seq.Pos(), "%s sequence must be compile-time data", what)
+	}
+	c.scope = newScope(c.scope)
+	c.scope.declare(name, declared)
+	c.checkStmt(body)
+	c.scope = c.scope.parent
+}
+
+// record annotates e and returns its type.
+func (c *checker) record(e ast.Expr, t Type, s Stage) Type {
+	c.info.Types[e] = t
+	c.info.Stages[e] = s
+	return t
+}
+
+func (c *checker) checkExpr(e ast.Expr) Type {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		switch e.Kind {
+		case ast.LitInt:
+			return c.record(e, IntType, StageStatic)
+		case ast.LitChar:
+			return c.record(e, CharType, StageStatic)
+		case ast.LitString:
+			return c.record(e, StringType, StageStatic)
+		default:
+			return c.record(e, BoolType, StageStatic)
+		}
+	case *ast.Ident:
+		if e.Name == ast.AllInputName || e.Name == ast.StartOfInputName {
+			return c.record(e, CharType, StageStatic)
+		}
+		sym := c.scope.lookup(e.Name)
+		if sym == nil {
+			c.errorf(e.Pos(), "undeclared identifier %q", e.Name)
+			return c.record(e, BoolType, StageStatic)
+		}
+		return c.record(e, sym.typ, StageStatic)
+	case *ast.InputExpr:
+		return c.record(e, CharType, StageAutomata)
+	case *ast.UnaryExpr:
+		return c.checkUnary(e)
+	case *ast.BinaryExpr:
+		return c.checkBinary(e)
+	case *ast.IndexExpr:
+		return c.checkIndex(e)
+	case *ast.CallExpr:
+		return c.checkCall(e)
+	case *ast.MethodCallExpr:
+		return c.checkMethodCall(e)
+	default:
+		c.errorf(e.Pos(), "unexpected expression %T", e)
+		return c.record(e, BoolType, StageStatic)
+	}
+}
+
+func (c *checker) checkUnary(e *ast.UnaryExpr) Type {
+	xt := c.checkExpr(e.X)
+	switch e.Op {
+	case token.NOT:
+		if xt != BoolType {
+			c.errorf(e.Pos(), "operator ! requires bool, have %s", xt)
+		}
+		return c.record(e, BoolType, c.info.StageOf(e.X))
+	case token.MINUS:
+		if xt != IntType {
+			c.errorf(e.Pos(), "unary - requires int, have %s", xt)
+		}
+		if c.info.StageOf(e.X) == StageAutomata {
+			c.errorf(e.Pos(), "unary - requires a compile-time operand")
+		}
+		return c.record(e, IntType, StageStatic)
+	default:
+		c.errorf(e.Pos(), "unexpected unary operator %v", e.Op)
+		return c.record(e, BoolType, StageStatic)
+	}
+}
+
+// isInputComparison reports whether x is the input() call.
+func isInput(e ast.Expr) bool {
+	_, ok := e.(*ast.InputExpr)
+	return ok
+}
+
+func (c *checker) checkBinary(e *ast.BinaryExpr) Type {
+	xt := c.checkExpr(e.X)
+	yt := c.checkExpr(e.Y)
+	xs, ys := c.info.StageOf(e.X), c.info.StageOf(e.Y)
+
+	switch e.Op {
+	case token.AND, token.OR:
+		if xt != BoolType || yt != BoolType {
+			c.errorf(e.Pos(), "operator %v requires bool operands, have %s and %s", e.Op, xt, yt)
+		}
+		stage := StageStatic
+		if xs == StageAutomata || ys == StageAutomata {
+			stage = StageAutomata
+		}
+		return c.record(e, BoolType, stage)
+
+	case token.EQ, token.NEQ:
+		// Char comparison, possibly against the input stream.
+		if xt == CharType && yt == CharType {
+			if isInput(e.X) && isInput(e.Y) {
+				c.errorf(e.Pos(), "cannot compare input() with input(); the device reads one symbol per cycle")
+			}
+			stage := StageStatic
+			if xs == StageAutomata || ys == StageAutomata {
+				stage = StageAutomata
+			}
+			return c.record(e, BoolType, stage)
+		}
+		// Counter equality against a static int.
+		if ct, ok := c.counterCompare(e, xt, yt); ok {
+			return ct
+		}
+		if xt == yt && (xt == IntType || xt == BoolType || xt == StringType) {
+			if xs == StageAutomata || ys == StageAutomata {
+				c.errorf(e.Pos(), "%s comparison requires compile-time operands", xt)
+			}
+			return c.record(e, BoolType, StageStatic)
+		}
+		c.errorf(e.Pos(), "invalid comparison between %s and %s", xt, yt)
+		return c.record(e, BoolType, StageStatic)
+
+	case token.LT, token.LEQ, token.GT, token.GEQ:
+		if ct, ok := c.counterCompare(e, xt, yt); ok {
+			return ct
+		}
+		if xt == IntType && yt == IntType {
+			if xs == StageAutomata || ys == StageAutomata {
+				c.errorf(e.Pos(), "int comparison requires compile-time operands")
+			}
+			return c.record(e, BoolType, StageStatic)
+		}
+		c.errorf(e.Pos(), "invalid comparison between %s and %s", xt, yt)
+		return c.record(e, BoolType, StageStatic)
+
+	case token.PLUS:
+		if xt == StringType && (yt == StringType || yt == CharType) ||
+			xt == CharType && yt == StringType {
+			if xs == StageAutomata || ys == StageAutomata {
+				c.errorf(e.Pos(), "string concatenation requires compile-time operands")
+			}
+			return c.record(e, StringType, StageStatic)
+		}
+		fallthrough
+	case token.MINUS, token.STAR, token.SLASH, token.PERCENT:
+		if xt != IntType || yt != IntType {
+			c.errorf(e.Pos(), "operator %v requires int operands, have %s and %s", e.Op, xt, yt)
+		} else if xs == StageAutomata || ys == StageAutomata {
+			c.errorf(e.Pos(), "arithmetic requires compile-time operands")
+		}
+		return c.record(e, IntType, StageStatic)
+
+	default:
+		c.errorf(e.Pos(), "unexpected binary operator %v", e.Op)
+		return c.record(e, BoolType, StageStatic)
+	}
+}
+
+// counterCompare handles Counter-vs-int comparisons, which lower to
+// physical counter thresholds (Table 2) and therefore execute at runtime.
+func (c *checker) counterCompare(e *ast.BinaryExpr, xt, yt Type) (Type, bool) {
+	var intSide ast.Expr
+	switch {
+	case xt == CounterType && yt == IntType:
+		intSide = e.Y
+	case xt == IntType && yt == CounterType:
+		intSide = e.X
+	default:
+		return Type{}, false
+	}
+	if c.info.StageOf(intSide) == StageAutomata {
+		c.errorf(intSide.Pos(), "counter threshold must be a compile-time value")
+	}
+	return c.record(e, BoolType, StageAutomata), true
+}
+
+func (c *checker) checkIndex(e *ast.IndexExpr) Type {
+	xt := c.checkExpr(e.X)
+	it := c.checkExpr(e.Index)
+	if it != IntType {
+		c.errorf(e.Index.Pos(), "array index must be int, have %s", it)
+	} else if c.info.StageOf(e.Index) == StageAutomata {
+		c.errorf(e.Index.Pos(), "array index must be a compile-time value")
+	}
+	elem, ok := xt.Elem()
+	if !ok {
+		c.errorf(e.Pos(), "cannot index %s", xt)
+		return c.record(e, BoolType, StageStatic)
+	}
+	return c.record(e, elem, StageStatic)
+}
+
+func (c *checker) checkCall(e *ast.CallExpr) Type {
+	m, ok := c.info.Macros[e.Name]
+	if !ok {
+		c.errorf(e.Pos(), "call to undefined macro %q", e.Name)
+		for _, a := range e.Args {
+			c.checkExpr(a)
+		}
+		return c.record(e, VoidType, StageAutomata)
+	}
+	if len(e.Args) != len(m.Params) {
+		c.errorf(e.Pos(), "macro %q takes %d arguments, have %d", e.Name, len(m.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		at := c.checkExpr(a)
+		if i >= len(m.Params) {
+			continue
+		}
+		pt := FromExpr(m.Params[i].Type)
+		if at != pt {
+			c.errorf(a.Pos(), "argument %d of %q must be %s, have %s", i+1, e.Name, pt, at)
+		}
+		// Counters may be passed by reference; everything else must be
+		// compile-time data.
+		if pt != CounterType && c.info.StageOf(a) == StageAutomata {
+			c.errorf(a.Pos(), "argument %d of %q must be a compile-time value", i+1, e.Name)
+		}
+	}
+	return c.record(e, VoidType, StageAutomata)
+}
+
+func (c *checker) checkMethodCall(e *ast.MethodCallExpr) Type {
+	c.checkExpr(e.Recv)
+	recv := c.info.TypeOf(e.Recv)
+	switch {
+	case recv == CounterType:
+		switch e.Method {
+		case "count", "reset":
+			if len(e.Args) != 0 {
+				c.errorf(e.MPos, "Counter.%s takes no arguments", e.Method)
+			}
+			return c.record(e, VoidType, StageAutomata)
+		default:
+			c.errorf(e.MPos, "Counter has no method %q (supported: count, reset)", e.Method)
+			return c.record(e, VoidType, StageAutomata)
+		}
+	case recv == StringType || recv.IsArray():
+		if e.Method == "length" {
+			if len(e.Args) != 0 {
+				c.errorf(e.MPos, "length takes no arguments")
+			}
+			return c.record(e, IntType, StageStatic)
+		}
+		c.errorf(e.MPos, "%s has no method %q (supported: length)", recv, e.Method)
+		return c.record(e, IntType, StageStatic)
+	default:
+		c.errorf(e.MPos, "%s has no methods", recv)
+		return c.record(e, VoidType, StageStatic)
+	}
+}

@@ -1,0 +1,265 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/parser"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func wantError(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not contain %q", err, fragment)
+	}
+}
+
+const figure1 = `
+macro hamming_distance(String s, int d) {
+  Counter cnt;
+  foreach (char c : s)
+    if (c != input()) cnt.count();
+  cnt <= d;
+  report;
+}
+network (String[] comparisons) {
+  some (String s : comparisons)
+    hamming_distance(s, 5);
+}`
+
+func TestCheckFigure1(t *testing.T) {
+	info := mustCheck(t, figure1)
+	m := info.Macros["hamming_distance"]
+	if m == nil {
+		t.Fatal("macro table missing hamming_distance")
+	}
+	// The if condition is a runtime char comparison.
+	fe := m.Body.Stmts[1].(*ast.ForeachStmt)
+	ifs := fe.Body.(*ast.IfStmt)
+	if info.TypeOf(ifs.Cond) != BoolType {
+		t.Fatalf("cond type = %v", info.TypeOf(ifs.Cond))
+	}
+	if !info.IsRuntime(ifs.Cond) {
+		t.Fatal("input comparison should be runtime staged")
+	}
+	// The counter assertion is runtime.
+	assert := m.Body.Stmts[2].(*ast.ExprStmt)
+	if !info.IsRuntime(assert.X) {
+		t.Fatal("counter comparison should be runtime staged")
+	}
+}
+
+func TestStaticStaging(t *testing.T) {
+	src := `
+network () {
+  int x = 1 + 2;
+  bool b = x == 3;
+  String s = "ra" + "pid";
+  String s2 = s + 'x';
+  char c = s[0];
+  int n = s.length();
+  b = n > 2 && true;
+}`
+	info := mustCheck(t, src)
+	net := info.Program.Network
+	for _, st := range net.Body.Stmts {
+		if d, ok := st.(*ast.VarDeclStmt); ok && d.Init != nil {
+			if info.IsRuntime(d.Init) {
+				t.Errorf("initializer of %q staged runtime", d.Name)
+			}
+		}
+	}
+}
+
+func TestMixedStagePropagation(t *testing.T) {
+	src := `
+network () {
+  bool flag = true;
+  flag && 'a' == input();
+}`
+	info := mustCheck(t, src)
+	es := info.Program.Network.Body.Stmts[1].(*ast.ExprStmt)
+	if !info.IsRuntime(es.X) {
+		t.Fatal("&& with a runtime side must be runtime")
+	}
+}
+
+func TestWheneverGuardMustBeRuntime(t *testing.T) {
+	wantError(t, `
+network () {
+  whenever (true) { report; }
+}`, "whenever guard")
+
+	mustCheck(t, `
+network () {
+  whenever (ALL_INPUT == input()) { report; }
+}`)
+
+	mustCheck(t, `
+network () {
+  Counter cnt;
+  whenever ('x' == input()) { cnt.count(); }
+  whenever (cnt >= 3) { report; }
+}`)
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{`network () { int x = 'a'; }`, "cannot initialize"},
+		{`network () { int x = 1; int x = 2; }`, "redeclared"},
+		{`network () { y = 1; }`, "undeclared"},
+		{`network () { int x = 1; x = "s"; }`, "cannot assign"},
+		{`network () { if (5) report; }`, "must be boolean"},
+		{`network () { while ("s") report; }`, "must be boolean"},
+		{`network () { foreach (char c : 5) report; }`, "requires a String or array"},
+		{`network () { foreach (int i : "abc") report; }`, "sequence elements are char"},
+		{`network () { 5 + "x"; }`, "requires int operands"},
+		{`network () { 5 == 'c'; }`, "invalid comparison"},
+		{`network () { input() == input(); }`, "cannot compare input() with input()"},
+		{`network () { Counter c; c.bump(); }`, "no method"},
+		{`network () { Counter c; Counter d; c == d; }`, "invalid comparison"},
+		{`network () { Counter c = 5; }`, "cannot have initializers"},
+		{`network () { Counter c; c = 5; }`, "cannot assign to Counter"},
+		{`network () { undefined_macro(1); }`, "undefined macro"},
+		{`macro m(int x) { report; } network () { m(); }`, "takes 1 arguments"},
+		{`macro m(int x) { report; } network () { m("s"); }`, "must be int"},
+		{`macro m(int x) { report; } network () { m(input() == 'a'); }`, "must be int"},
+		{`network () { int x = input() == 'a'; }`, "cannot initialize"},
+		{`network () { "abc"[input()]; }`, "array index must be int"},
+		{`network () { report; } network () { report; }`, "unexpected"},
+		{`network () { 1 + 2; }`, "expression statement must be boolean"},
+		{`network (int[] xs) { xs < 5; }`, "invalid comparison"},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("source %q panicked: %v", tc.src, r)
+				}
+			}()
+			prog, err := parser.Parse(tc.src)
+			if err != nil {
+				// Some cases fail at parse; accept as long as it fails.
+				return
+			}
+			_, err = Check(prog)
+			if err == nil {
+				t.Errorf("source %q should fail", tc.src)
+				return
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				// Report the full list for debugging.
+				t.Errorf("source %q: error %q missing fragment %q", tc.src, err, tc.frag)
+			}
+		}()
+	}
+}
+
+func TestMacroRecursionRejected(t *testing.T) {
+	wantError(t, `
+macro a() { b(); }
+macro b() { a(); }
+network () { a(); }`, "recursive")
+
+	wantError(t, `
+macro self() { self(); }
+network () { self(); }`, "recursive")
+
+	// A diamond (non-cyclic) call graph is fine.
+	mustCheck(t, `
+macro leaf() { 'a' == input(); }
+macro l() { leaf(); }
+macro r() { leaf(); }
+network () { l(); r(); }`)
+}
+
+func TestCounterParamPassing(t *testing.T) {
+	mustCheck(t, `
+macro bump(Counter c) { c.count(); }
+network () {
+  Counter cnt;
+  bump(cnt);
+  cnt >= 2;
+  report;
+}`)
+}
+
+func TestCounterComparisonForms(t *testing.T) {
+	info := mustCheck(t, `
+network () {
+  Counter cnt;
+  cnt.count();
+  cnt <= 5;
+  3 <= cnt;
+  cnt == 2;
+  cnt != 2;
+}`)
+	for _, st := range info.Program.Network.Body.Stmts[2:] {
+		es := st.(*ast.ExprStmt)
+		if !info.IsRuntime(es.X) {
+			t.Errorf("counter comparison %v not runtime", es.X)
+		}
+	}
+}
+
+func TestArrayTypes(t *testing.T) {
+	mustCheck(t, `
+network (String[][] groups) {
+  some (String[] group : groups)
+    some (String s : group)
+      foreach (char c : s)
+        c == input();
+}`)
+	wantError(t, `
+network (String[][] groups) {
+  some (String s : groups) report;
+}`, "sequence elements are String[]")
+}
+
+func TestDuplicateMacro(t *testing.T) {
+	wantError(t, `
+macro m() { report; }
+macro m() { report; }
+network () { m(); }`, "redeclared")
+}
+
+func TestReservedInputName(t *testing.T) {
+	wantError(t, `
+macro input() { report; }
+network () { report; }`, "reserved")
+}
+
+func TestShadowingInNestedScopes(t *testing.T) {
+	mustCheck(t, `
+network () {
+  int x = 1;
+  {
+    int x = 2;
+    x == 2;
+  }
+  x == 1;
+}`)
+}

@@ -1,0 +1,100 @@
+// Package sema implements semantic analysis for RAPID programs: name
+// resolution, type checking, and the staged-computation annotation of
+// Section 5 (static expressions are evaluated at compile time; expressions
+// interacting with the input stream or counters execute on the device).
+package sema
+
+import (
+	"fmt"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/token"
+)
+
+// Type is a RAPID type: a base type with array dimensions, or void (the
+// type of macro and method calls used as statements).
+type Type struct {
+	Base ast.BaseType
+	Dims int
+	Void bool
+}
+
+// Predefined types.
+var (
+	CharType    = Type{Base: ast.TypeChar}
+	IntType     = Type{Base: ast.TypeInt}
+	BoolType    = Type{Base: ast.TypeBool}
+	StringType  = Type{Base: ast.TypeString}
+	CounterType = Type{Base: ast.TypeCounter}
+	VoidType    = Type{Void: true}
+)
+
+func (t Type) String() string {
+	if t.Void {
+		return "void"
+	}
+	s := t.Base.String()
+	for i := 0; i < t.Dims; i++ {
+		s += "[]"
+	}
+	return s
+}
+
+// IsArray reports whether t has at least one array dimension.
+func (t Type) IsArray() bool { return !t.Void && t.Dims > 0 }
+
+// Elem returns the element type of an array or the char type of a String.
+func (t Type) Elem() (Type, bool) {
+	switch {
+	case t.IsArray():
+		return Type{Base: t.Base, Dims: t.Dims - 1}, true
+	case t == StringType:
+		return CharType, true
+	default:
+		return Type{}, false
+	}
+}
+
+// FromExpr converts a syntactic type to a semantic type.
+func FromExpr(te *ast.TypeExpr) Type { return Type{Base: te.Base, Dims: te.Dims} }
+
+// Stage classifies when an expression is evaluated under the staged
+// computation model.
+type Stage int
+
+const (
+	// StageStatic expressions are resolved at compile time.
+	StageStatic Stage = iota
+	// StageAutomata expressions interact with the input stream or
+	// counters and are lowered to device structures.
+	StageAutomata
+)
+
+func (s Stage) String() string {
+	if s == StageStatic {
+		return "static"
+	}
+	return "automata"
+}
+
+// Error is a semantic error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a collection of semantic errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	default:
+		return fmt.Sprintf("%s (and %d more errors)", l[0].Error(), len(l)-1)
+	}
+}

@@ -1,0 +1,183 @@
+// Package token defines the lexical tokens of the RAPID programming
+// language (Section 3 of the paper) and source positions.
+package token
+
+import "fmt"
+
+// Type identifies the lexical class of a token.
+type Type int
+
+// Token types.
+const (
+	ILLEGAL Type = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT  // hamming_distance
+	INT    // 42
+	CHAR   // 'a', '\xff'
+	STRING // "rapid"
+
+	// Operators and delimiters.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	COLON     // :
+	DOT       // .
+	ASSIGN    // =
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	LEQ // <=
+	GT  // >
+	GEQ // >=
+
+	AND // &&
+	OR  // ||
+	NOT // !
+
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+
+	// Keywords.
+	KwMacro
+	KwNetwork
+	KwIf
+	KwElse
+	KwWhile
+	KwForeach
+	KwEither
+	KwOrelse
+	KwSome
+	KwWhenever
+	KwReport
+	KwTrue
+	KwFalse
+	KwChar
+	KwInt
+	KwBool
+	KwString
+	KwCounter
+)
+
+var names = map[Type]string{
+	ILLEGAL:    "ILLEGAL",
+	EOF:        "EOF",
+	IDENT:      "identifier",
+	INT:        "int literal",
+	CHAR:       "char literal",
+	STRING:     "string literal",
+	LPAREN:     "(",
+	RPAREN:     ")",
+	LBRACE:     "{",
+	RBRACE:     "}",
+	LBRACKET:   "[",
+	RBRACKET:   "]",
+	COMMA:      ",",
+	SEMICOLON:  ";",
+	COLON:      ":",
+	DOT:        ".",
+	ASSIGN:     "=",
+	EQ:         "==",
+	NEQ:        "!=",
+	LT:         "<",
+	LEQ:        "<=",
+	GT:         ">",
+	GEQ:        ">=",
+	AND:        "&&",
+	OR:         "||",
+	NOT:        "!",
+	PLUS:       "+",
+	MINUS:      "-",
+	STAR:       "*",
+	SLASH:      "/",
+	PERCENT:    "%",
+	KwMacro:    "macro",
+	KwNetwork:  "network",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwForeach:  "foreach",
+	KwEither:   "either",
+	KwOrelse:   "orelse",
+	KwSome:     "some",
+	KwWhenever: "whenever",
+	KwReport:   "report",
+	KwTrue:     "true",
+	KwFalse:    "false",
+	KwChar:     "char",
+	KwInt:      "int",
+	KwBool:     "bool",
+	KwString:   "String",
+	KwCounter:  "Counter",
+}
+
+func (t Type) String() string {
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(t))
+}
+
+// Keywords maps keyword spellings to their token types.
+var Keywords = map[string]Type{
+	"macro":    KwMacro,
+	"network":  KwNetwork,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"foreach":  KwForeach,
+	"either":   KwEither,
+	"orelse":   KwOrelse,
+	"some":     KwSome,
+	"whenever": KwWhenever,
+	"report":   KwReport,
+	"true":     KwTrue,
+	"false":    KwFalse,
+	"char":     KwChar,
+	"int":      KwInt,
+	"bool":     KwBool,
+	"String":   KwString,
+	"Counter":  KwCounter,
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token with its position and decoded payload.
+type Token struct {
+	Type Type
+	Pos  Pos
+	Text string // raw source text
+
+	// Decoded literal payloads.
+	IntVal  int64  // INT
+	CharVal byte   // CHAR
+	StrVal  string // STRING (after escape processing)
+}
+
+func (t Token) String() string {
+	switch t.Type {
+	case IDENT, INT, CHAR, STRING:
+		return fmt.Sprintf("%s %q", t.Type, t.Text)
+	default:
+		return t.Type.String()
+	}
+}

@@ -1,0 +1,111 @@
+// Package value defines the compile-time values manipulated by RAPID's
+// staged computation model: the imperative portions of a program evaluate
+// over these values at compile time (or in the reference interpreter), while
+// runtime constructs lower to automata.
+package value
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a RAPID compile-time value.
+type Value interface {
+	isValue()
+	String() string
+}
+
+// Int is a RAPID int.
+type Int int64
+
+// Char is a RAPID char (one stream symbol).
+type Char byte
+
+// Bool is a RAPID bool.
+type Bool bool
+
+// Str is a RAPID String.
+type Str string
+
+// Array is a RAPID array of values.
+type Array []Value
+
+// AnyChar is the value of the predeclared ALL_INPUT constant: a char that
+// matches every input symbol. It participates only in comparisons against
+// input().
+type AnyChar struct{}
+
+// Counter is a RAPID Counter object. Counters have identity: macro
+// invocations may share a counter passed as an argument, and all parallel
+// threads that reach a counter operation drive the same physical element.
+// The struct carries only identity and a diagnostic name; the interpreter
+// and the compiler attach their own per-counter state keyed by pointer.
+type Counter struct {
+	Name string
+}
+
+func (Int) isValue()      {}
+func (Char) isValue()     {}
+func (Bool) isValue()     {}
+func (Str) isValue()      {}
+func (Array) isValue()    {}
+func (AnyChar) isValue()  {}
+func (*Counter) isValue() {}
+
+func (v Int) String() string  { return fmt.Sprintf("%d", int64(v)) }
+func (v Char) String() string { return fmt.Sprintf("%q", byte(v)) }
+func (v Bool) String() string {
+	if v {
+		return "true"
+	}
+	return "false"
+}
+func (v Str) String() string { return fmt.Sprintf("%q", string(v)) }
+func (v Array) String() string {
+	parts := make([]string, len(v))
+	for i, e := range v {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+func (AnyChar) String() string    { return "ALL_INPUT" }
+func (c *Counter) String() string { return "Counter(" + c.Name + ")" }
+
+// Strings converts a []string to an Array of Str, the common shape of
+// network arguments.
+func Strings(ss []string) Array {
+	out := make(Array, len(ss))
+	for i, s := range ss {
+		out[i] = Str(s)
+	}
+	return out
+}
+
+// Ints converts a []int to an Array of Int.
+func Ints(xs []int) Array {
+	out := make(Array, len(xs))
+	for i, x := range xs {
+		out[i] = Int(int64(x))
+	}
+	return out
+}
+
+// Equal reports whether two values are equal. Counters compare by identity;
+// arrays compare elementwise. AnyChar is equal only to itself.
+func Equal(a, b Value) bool {
+	switch a := a.(type) {
+	case Array:
+		b, ok := b.(Array)
+		if !ok || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !Equal(a[i], b[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}

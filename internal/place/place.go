@@ -1,0 +1,652 @@
+// Package place implements placement and routing of homogeneous automata
+// onto the Automata Processor's block-structured fabric.
+//
+// The real AP tool chain maps STEs to memory columns grouped into rows and
+// blocks, and programs a hierarchical routing matrix to carry activation
+// signals. This package reproduces that process functionally and reports
+// the metrics of the paper's Table 5: total blocks, STE utilization, mean
+// block-routing (BR) allocation, and clock divisor.
+//
+// Three compilation strategies from Table 6 are provided:
+//
+//   - Place: the baseline, a global element-granularity placement of the
+//     entire design with iterative refinement (slow, good density);
+//   - PlaceStamped: the pre-compiled flow, which places a single design
+//     once and stamps copies at row granularity (faster, poor density);
+//   - package tessellate builds on this package for the RAPID tessellation
+//     flow (fastest, near-best density).
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ap"
+	"repro/internal/automata"
+)
+
+// BRLinesPerBlock is the modeled number of block-level routing lines: one
+// per row driver pair in the routing matrix. A signal crossing rows within
+// a block, entering a block, or leaving a block consumes one line in each
+// block it touches.
+const BRLinesPerBlock = 48
+
+// broadcastFanOut is the out-degree at which an element is treated as a
+// broadcast source (e.g. the START_OF_INPUT tracker): placement replicates
+// such elements into each block that consumes them rather than routing one
+// signal across the whole board.
+const broadcastFanOut = 32
+
+// Metrics summarizes a placed design (Table 5 columns).
+type Metrics struct {
+	TotalBlocks    int
+	ClockDivisor   int
+	STEUtilization float64 // used STEs / (256 × blocks)
+	MeanBRAlloc    float64 // mean fraction of block routing lines used
+
+	Elements int
+	STEs     int
+	Counters int
+	Gates    int
+}
+
+// Placement is the result of placing a design.
+type Placement struct {
+	// Network is the (device-optimized) network that was placed.
+	Network *automata.Network
+	// BlockOf maps element id to its block index (-1 for replicated
+	// broadcast sources, which exist in every consuming block).
+	BlockOf []int
+	// RowOf maps element id to its row within its block.
+	RowOf []int
+	// Metrics are the Table 5 statistics.
+	Metrics Metrics
+}
+
+// Config controls placement.
+type Config struct {
+	// Res is the device resource model; zero value means first generation.
+	Res ap.Resources
+	// FanInLimit is the routing fan-in bound enforced during device
+	// optimization; <= 0 uses 16 (one row).
+	FanInLimit int
+	// SkipOptimize places the network exactly as given, without the
+	// device transformation pipeline.
+	SkipOptimize bool
+	// RefinePasses is the number of refinement sweeps of the baseline
+	// global placement; <= 0 uses 6.
+	RefinePasses int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Res == (ap.Resources{}) {
+		cfg.Res = ap.FirstGeneration()
+	}
+	if cfg.FanInLimit <= 0 {
+		cfg.FanInLimit = 16
+	}
+	if cfg.RefinePasses <= 0 {
+		cfg.RefinePasses = 6
+	}
+	return cfg
+}
+
+// Place runs the baseline global placement of Table 6: the entire design is
+// partitioned at element granularity with iterative refinement. Cost grows
+// with design size; this is the deliberately thorough flow.
+func Place(net *automata.Network, cfg Config) (*Placement, error) {
+	cfg = cfg.withDefaults()
+	work := net
+	if !cfg.SkipOptimize {
+		work = net.OptimizeForDevice(cfg.FanInLimit)
+	}
+	if work.Len() == 0 {
+		return nil, fmt.Errorf("place: design %q is empty after optimization", net.Name)
+	}
+
+	p := newPartitioner(work, cfg)
+	p.packComponents()
+	for pass := 0; pass < cfg.RefinePasses; pass++ {
+		if p.refinePass() == 0 {
+			break
+		}
+	}
+	return p.finish()
+}
+
+// PlaceStamped models the pre-compiled flow: the unit design is placed once
+// (with full refinement), then count copies are stamped at row granularity,
+// each copy's elements relabeled and routed into its slot. Row granularity
+// wastes partially-filled rows, giving the poorer density the paper
+// observes for pre-compiled designs, and the per-copy routing pass makes
+// the flow scale with the problem size (much faster than the baseline's
+// global optimization, much slower than tessellation's size-independent
+// tuning).
+func PlaceStamped(unit *automata.Network, count int, cfg Config) (*Placement, Metrics, error) {
+	cfg = cfg.withDefaults()
+	unitPlacement, err := Place(unit, cfg)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	res := cfg.Res
+	u := unitPlacement.Metrics
+	work := unitPlacement.Network
+	// The stamped unit is frozen to whole rows.
+	unitRows := (u.STEs + res.STEsPerRow - 1) / res.STEsPerRow
+	if unitRows == 0 {
+		unitRows = 1
+	}
+	perBlockByRows := res.RowsPerBlock / unitRows
+	if perBlockByRows < 1 {
+		perBlockByRows = 1 // multi-block units stamp at block granularity
+	}
+	perBlockByRows = limitByResource(perBlockByRows, res.CountersPerBlock, u.Counters)
+	perBlockByRows = limitByResource(perBlockByRows, res.BooleanPerBlock, u.Gates)
+
+	// Stamp each copy: relabel its elements into the slot's rows and
+	// verify the slot's routing budget. This is the honest per-instance
+	// cost of the pre-compiled flow.
+	blocks := 0
+	slotInBlock := 0
+	brInBlock := 0
+	unitBlocks := unitPlacement.Metrics.TotalBlocks
+	for copyIdx := 0; copyIdx < count; copyIdx++ {
+		if unitBlocks > 1 {
+			blocks += unitBlocks
+			continue
+		}
+		// Per-copy routing pass: recompute the copy's cross-row source
+		// count at its slot offset.
+		rowBase := slotInBlock * unitRows
+		lines := 0
+		seen := make(map[automata.ElementID]bool, 8)
+		steCount, specialCount := 0, 0
+		rowOf := make(map[automata.ElementID]int, work.Len())
+		work.Elements(func(e *automata.Element) {
+			if e.Kind == automata.KindSTE {
+				rowOf[e.ID] = rowBase + steCount/res.STEsPerRow
+				steCount++
+			} else {
+				rowOf[e.ID] = rowBase + specialCount%unitRows
+				specialCount++
+			}
+		})
+		work.Elements(func(e *automata.Element) {
+			for _, edge := range work.Outs(e.ID) {
+				if rowOf[edge.From] != rowOf[edge.To] && !seen[edge.From] {
+					seen[edge.From] = true
+					lines++
+				}
+			}
+		})
+		if slotInBlock >= perBlockByRows || brInBlock+lines > BRLinesPerBlock {
+			blocks++
+			slotInBlock = 0
+			brInBlock = 0
+		}
+		slotInBlock++
+		brInBlock += lines
+	}
+	if unitBlocks == 1 && slotInBlock > 0 {
+		blocks++
+	}
+	if blocks == 0 {
+		blocks = 1
+	}
+	m := Metrics{
+		TotalBlocks:    blocks,
+		ClockDivisor:   u.ClockDivisor,
+		STEUtilization: float64(u.STEs*count) / float64(blocks*res.STEsPerBlock()),
+		MeanBRAlloc:    u.MeanBRAlloc,
+		Elements:       u.Elements * count,
+		STEs:           u.STEs * count,
+		Counters:       u.Counters * count,
+		Gates:          u.Gates * count,
+	}
+	if m.STEUtilization > 1 {
+		m.STEUtilization = 1
+	}
+	return unitPlacement, m, nil
+}
+
+func limitByResource(perBlock, capacity, usage int) int {
+	if usage == 0 {
+		return perBlock
+	}
+	if byRes := capacity / usage; byRes < perBlock {
+		return byRes
+	}
+	return perBlock
+}
+
+// ---------------------------------------------------------------- internals
+
+type partitioner struct {
+	net *automata.Network
+	cfg Config
+
+	broadcast  []bool // replicated high-fan-out sources
+	nBroadcast int
+
+	blockOf []int
+	// assignOrder records elements in the order they were packed; row
+	// layout within each block follows this order.
+	assignOrder []automata.ElementID
+	// usage and routing-line consumption per block.
+	usage  []ap.BlockUsage
+	brUsed []int
+}
+
+// firstFitWindow bounds how many open blocks first-fit packing scans,
+// keeping the baseline flow linear in design size.
+const firstFitWindow = 64
+
+func newPartitioner(net *automata.Network, cfg Config) *partitioner {
+	p := &partitioner{
+		net:     net,
+		cfg:     cfg,
+		blockOf: make([]int, net.Len()),
+	}
+	p.broadcast = make([]bool, net.Len())
+	net.Elements(func(e *automata.Element) {
+		p.blockOf[e.ID] = -1
+		if e.Kind == automata.KindSTE && len(net.Outs(e.ID)) >= broadcastFanOut {
+			p.broadcast[e.ID] = true
+			p.nBroadcast++
+		}
+	})
+	return p
+}
+
+// neighbor returns the endpoint of e that is not id (id itself for
+// self-loops).
+func neighbor(e automata.Edge, id automata.ElementID) automata.ElementID {
+	if e.From == id {
+		return e.To
+	}
+	return e.From
+}
+
+func usageOfElement(e *automata.Element) ap.BlockUsage {
+	switch e.Kind {
+	case automata.KindSTE:
+		return ap.BlockUsage{STEs: 1}
+	case automata.KindCounter:
+		return ap.BlockUsage{Counters: 1}
+	default:
+		return ap.BlockUsage{Boolean: 1}
+	}
+}
+
+// components returns the connected components of the non-broadcast
+// subgraph. Elements are listed in depth-first order, which keeps chains
+// contiguous so the row layout derived from this order is routing-friendly
+// (level order would interleave parallel chains and cross rows on almost
+// every edge).
+func (p *partitioner) components() [][]automata.ElementID {
+	n := p.net.Len()
+	visited := make([]bool, n)
+	var comps [][]automata.ElementID
+	for start := 0; start < n; start++ {
+		if visited[start] || p.broadcast[start] {
+			continue
+		}
+		var comp []automata.ElementID
+		stack := []automata.ElementID{automata.ElementID(start)}
+		visited[start] = true
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, id)
+			// Push in-neighbors first and out-neighbors in reverse so the
+			// first-listed out-edge (the chain direction) is followed
+			// first, keeping successor elements adjacent in the layout.
+			for _, e := range p.net.Ins(id) {
+				other := neighbor(e, id)
+				if !visited[other] && !p.broadcast[other] {
+					visited[other] = true
+					stack = append(stack, other)
+				}
+			}
+			outs := p.net.Outs(id)
+			for i := len(outs) - 1; i >= 0; i-- {
+				other := neighbor(outs[i], id)
+				if !visited[other] && !p.broadcast[other] {
+					visited[other] = true
+					stack = append(stack, other)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// brDemand estimates the block-routing lines a component consumes: the
+// number of distinct source signals that cross rows when the component is
+// laid out sequentially at STEsPerRow elements per row.
+func (p *partitioner) brDemand(comp []automata.ElementID) int {
+	res := p.cfg.Res
+	row := make(map[automata.ElementID]int, len(comp))
+	steCount, specialCount := 0, 0
+	for _, id := range comp {
+		if p.net.Element(id).Kind == automata.KindSTE {
+			row[id] = steCount / res.STEsPerRow
+			steCount++
+		} else {
+			row[id] = specialCount % res.RowsPerBlock
+			specialCount++
+		}
+	}
+	sources := make(map[automata.ElementID]bool)
+	for _, id := range comp {
+		for _, e := range p.net.Outs(id) {
+			if p.broadcast[e.From] {
+				continue
+			}
+			toRow, ok := row[e.To]
+			if !ok || toRow != row[e.From] {
+				sources[e.From] = true
+			}
+		}
+	}
+	return len(sources)
+}
+
+// packComponents assigns components to blocks first-fit-decreasing under
+// both the element capacities and the block-routing budget, reserving space
+// in each block for one replica of every broadcast source. A component
+// whose routing demand exceeds one block's budget is spread across several
+// blocks, trading STE utilization for routing resources — exactly what the
+// AP tool chain does for routing-heavy designs.
+func (p *partitioner) packComponents() {
+	res := p.cfg.Res
+	comps := p.components()
+	type sized struct {
+		comp   []automata.ElementID
+		usage  ap.BlockUsage
+		demand int
+	}
+	items := make([]sized, 0, len(comps))
+	for _, comp := range comps {
+		var u ap.BlockUsage
+		for _, id := range comp {
+			u.Add(usageOfElement(p.net.Element(id)))
+		}
+		items = append(items, sized{comp: comp, usage: u, demand: p.brDemand(comp)})
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		return items[i].usage.STEs > items[j].usage.STEs
+	})
+
+	capacity := ap.BlockUsage{
+		STEs:     res.STEsPerBlock() - p.nBroadcast, // broadcast replicas
+		Counters: res.CountersPerBlock,
+		Boolean:  res.BooleanPerBlock,
+	}
+	if capacity.STEs < 1 {
+		capacity.STEs = 1
+	}
+
+	newBlock := func() int {
+		p.usage = append(p.usage, ap.BlockUsage{})
+		p.brUsed = append(p.brUsed, 0)
+		return len(p.usage) - 1
+	}
+	fits := func(u ap.BlockUsage) bool {
+		return u.STEs <= capacity.STEs && u.Counters <= capacity.Counters && u.Boolean <= capacity.Boolean
+	}
+
+	for _, it := range items {
+		if fits(it.usage) && it.demand <= BRLinesPerBlock {
+			// First fit over recently opened blocks (a bounded window
+			// keeps packing linear on huge designs).
+			placed := false
+			lo := 0
+			if len(p.usage) > firstFitWindow {
+				lo = len(p.usage) - firstFitWindow
+			}
+			for b := lo; b < len(p.usage); b++ {
+				trial := p.usage[b]
+				trial.Add(it.usage)
+				if fits(trial) && p.brUsed[b]+it.demand <= BRLinesPerBlock {
+					p.usage[b] = trial
+					p.brUsed[b] += it.demand
+					for _, id := range it.comp {
+						p.blockOf[id] = b
+					}
+					p.assignOrder = append(p.assignOrder, it.comp...)
+					placed = true
+					break
+				}
+			}
+			if placed {
+				continue
+			}
+			b := newBlock()
+			p.usage[b] = it.usage
+			p.brUsed[b] = it.demand
+			for _, id := range it.comp {
+				p.blockOf[id] = b
+			}
+			p.assignOrder = append(p.assignOrder, it.comp...)
+			continue
+		}
+		// Oversized or routing-heavy components spill across consecutive
+		// blocks in BFS order (element granularity), spreading routing
+		// demand evenly.
+		spreadBlocks := 1
+		if it.demand > BRLinesPerBlock {
+			spreadBlocks = (it.demand + BRLinesPerBlock - 1) / BRLinesPerBlock
+		}
+		perBlockElems := (len(it.comp) + spreadBlocks - 1) / spreadBlocks
+		b := newBlock()
+		inBlock := 0
+		for _, id := range it.comp {
+			eu := usageOfElement(p.net.Element(id))
+			trial := p.usage[b]
+			trial.Add(eu)
+			if !fits(trial) || inBlock >= perBlockElems {
+				b = newBlock()
+				inBlock = 0
+				trial = p.usage[b]
+				trial.Add(eu)
+			}
+			p.usage[b] = trial
+			p.blockOf[id] = b
+			p.assignOrder = append(p.assignOrder, id)
+			inBlock++
+		}
+	}
+}
+
+// refinePass sweeps every element once, moving it to the block holding the
+// majority of its neighbors when that improves the cut and capacity allows.
+// Returns the number of moves made. This is the expensive, global part of
+// the baseline flow.
+func (p *partitioner) refinePass() int {
+	res := p.cfg.Res
+	capacity := ap.BlockUsage{
+		STEs:     res.STEsPerBlock() - p.nBroadcast,
+		Counters: res.CountersPerBlock,
+		Boolean:  res.BooleanPerBlock,
+	}
+	moves := 0
+	counts := make(map[int]int)
+	for id := 0; id < p.net.Len(); id++ {
+		if p.broadcast[id] {
+			continue
+		}
+		cur := p.blockOf[id]
+		for k := range counts {
+			delete(counts, k)
+		}
+		for _, edges := range [][]automata.Edge{p.net.Outs(automata.ElementID(id)), p.net.Ins(automata.ElementID(id))} {
+			for _, e := range edges {
+				other := neighbor(e, automata.ElementID(id))
+				if p.broadcast[other] || int(other) == id {
+					continue
+				}
+				counts[p.blockOf[other]]++
+			}
+		}
+		// Deterministic argmax: prefer the current block on ties, then
+		// the lowest block id (map iteration order must not leak into
+		// placement results).
+		best, bestCount := cur, counts[cur]
+		for b, cnt := range counts {
+			if cnt > bestCount || (cnt == bestCount && b != cur && best != cur && b < best) {
+				best, bestCount = b, cnt
+			}
+		}
+		if best == cur {
+			continue
+		}
+		eu := usageOfElement(p.net.Element(automata.ElementID(id)))
+		trial := p.usage[best]
+		trial.Add(eu)
+		if trial.STEs > capacity.STEs || trial.Counters > capacity.Counters || trial.Boolean > capacity.Boolean {
+			continue
+		}
+		p.usage[best] = trial
+		old := p.usage[cur]
+		old.STEs -= eu.STEs
+		old.Counters -= eu.Counters
+		old.Boolean -= eu.Boolean
+		p.usage[cur] = old
+		p.blockOf[id] = best
+		moves++
+	}
+	return moves
+}
+
+// finish compacts block numbering, assigns rows, and computes metrics.
+func (p *partitioner) finish() (*Placement, error) {
+	res := p.cfg.Res
+	// Compact non-empty blocks.
+	remap := make(map[int]int)
+	for id := 0; id < p.net.Len(); id++ {
+		b := p.blockOf[id]
+		if b < 0 {
+			continue
+		}
+		if _, ok := remap[b]; !ok {
+			remap[b] = len(remap)
+		}
+	}
+	blocks := len(remap)
+	if blocks == 0 {
+		blocks = 1
+	}
+	blockOf := make([]int, p.net.Len())
+	for id := 0; id < p.net.Len(); id++ {
+		if p.broadcast[id] {
+			blockOf[id] = -1
+			continue
+		}
+		blockOf[id] = remap[p.blockOf[id]]
+	}
+
+	rowOf := assignRows(p.net, blockOf, blocks, res, p.assignOrder)
+	m := computeMetrics(p.net, blockOf, rowOf, blocks, p.broadcast, res)
+	return &Placement{Network: p.net, BlockOf: blockOf, RowOf: rowOf, Metrics: m}, nil
+}
+
+// assignRows packs each block's STEs into rows of STEsPerRow following the
+// packing order (depth-first within components, keeping chains contiguous);
+// special elements take the per-row special slots.
+func assignRows(net *automata.Network, blockOf []int, blocks int, res ap.Resources, order []automata.ElementID) []int {
+	rowOf := make([]int, net.Len())
+	steCount := make([]int, blocks)
+	specialCount := make([]int, blocks)
+	seen := make([]bool, net.Len())
+	assign := func(e *automata.Element) {
+		if seen[e.ID] {
+			return
+		}
+		seen[e.ID] = true
+		b := blockOf[e.ID]
+		if b < 0 {
+			rowOf[e.ID] = 0
+			return
+		}
+		if e.Kind == automata.KindSTE {
+			rowOf[e.ID] = steCount[b] / res.STEsPerRow
+			steCount[b]++
+		} else {
+			rowOf[e.ID] = specialCount[b] % res.RowsPerBlock
+			specialCount[b]++
+		}
+	}
+	for _, id := range order {
+		assign(net.Element(id))
+	}
+	net.Elements(assign)
+	return rowOf
+}
+
+// computeMetrics derives the Table 5 statistics from a block/row assignment.
+func computeMetrics(net *automata.Network, blockOf, rowOf []int, blocks int, broadcast []bool, res ap.Resources) Metrics {
+	stats := net.Stats()
+	// BR lines: distinct source signals routed through each block.
+	type line struct {
+		src   automata.ElementID
+		block int
+	}
+	lines := make(map[line]bool)
+	net.Elements(func(e *automata.Element) {
+		for _, edge := range net.Outs(e.ID) {
+			if broadcast != nil && broadcast[edge.From] {
+				continue // replicated locally
+			}
+			sb, db := blockOf[edge.From], blockOf[edge.To]
+			if sb == db && rowOf[edge.From] == rowOf[edge.To] {
+				continue // row-local connection
+			}
+			lines[line{src: edge.From, block: db}] = true
+			if sb != db && sb >= 0 {
+				lines[line{src: edge.From, block: sb}] = true
+			}
+		}
+	})
+	perBlock := make([]int, blocks)
+	for l := range lines {
+		if l.block >= 0 && l.block < blocks {
+			perBlock[l.block]++
+		}
+	}
+	var brSum float64
+	for _, n := range perBlock {
+		alloc := float64(n) / float64(BRLinesPerBlock)
+		if alloc > 1 {
+			alloc = 1
+		}
+		brSum += alloc
+	}
+
+	nBroadcast := 0
+	if broadcast != nil {
+		for _, b := range broadcast {
+			if b {
+				nBroadcast++
+			}
+		}
+	}
+	usedSTEs := stats.STEs + nBroadcast*(blocks-1) // replicas
+	util := float64(usedSTEs) / float64(blocks*res.STEsPerBlock())
+	if util > 1 {
+		util = 1
+	}
+
+	return Metrics{
+		TotalBlocks:    blocks,
+		ClockDivisor:   net.ClockDivisor(),
+		STEUtilization: util,
+		MeanBRAlloc:    brSum / math.Max(1, float64(blocks)),
+		Elements:       net.Len(),
+		STEs:           stats.STEs,
+		Counters:       stats.Counters,
+		Gates:          stats.Gates,
+	}
+}

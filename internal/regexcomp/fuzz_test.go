@@ -1,0 +1,114 @@
+package regexcomp
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// regexGen produces random patterns over a small alphabet from a grammar
+// matched by both this compiler and Go's regexp package.
+type regexGen struct {
+	rng   *rand.Rand
+	depth int
+}
+
+func (g *regexGen) atom() string {
+	switch g.rng.Intn(6) {
+	case 0:
+		return string(rune('a' + g.rng.Intn(3)))
+	case 1:
+		return "."
+	case 2:
+		return "[ab]"
+	case 3:
+		return "[^a]"
+	default:
+		if g.depth > 2 {
+			return string(rune('a' + g.rng.Intn(3)))
+		}
+		g.depth++
+		defer func() { g.depth-- }()
+		return "(" + g.expr() + ")"
+	}
+}
+
+func (g *regexGen) factor() string {
+	a := g.atom()
+	switch g.rng.Intn(6) {
+	case 0:
+		return a + "*"
+	case 1:
+		return a + "+"
+	case 2:
+		return a + "?"
+	case 3:
+		lo := 1 + g.rng.Intn(2)
+		hi := lo + g.rng.Intn(2)
+		return a + "{" + itoa(lo) + "," + itoa(hi) + "}"
+	default:
+		return a
+	}
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }
+
+func (g *regexGen) term() string {
+	n := 1 + g.rng.Intn(3)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteString(g.factor())
+	}
+	return sb.String()
+}
+
+func (g *regexGen) expr() string {
+	n := 1 + g.rng.Intn(2)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = g.term()
+	}
+	return strings.Join(parts, "|")
+}
+
+// TestFuzzAgainstGoRegexp generates random patterns and cross-checks every
+// match-end offset against the standard library on random inputs.
+func TestFuzzAgainstGoRegexp(t *testing.T) {
+	rng := rand.New(rand.NewSource(20160406))
+	trials := 150
+	if testing.Short() {
+		trials = 30
+	}
+	tried := 0
+	for trial := 0; trial < trials; trial++ {
+		g := &regexGen{rng: rng}
+		pattern := g.expr()
+		net, err := Compile(pattern, nil)
+		if err != nil {
+			// Nullable-only patterns are rejected by design; skip them.
+			if strings.Contains(err.Error(), "empty string") {
+				continue
+			}
+			t.Fatalf("Compile(%q): %v", pattern, err)
+		}
+		tried++
+		for inTrial := 0; inTrial < 5; inTrial++ {
+			n := rng.Intn(12)
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = byte('a' + rng.Intn(4))
+			}
+			input := string(buf)
+			got := matchOffsets(t, pattern, input)
+			want := goMatchEnds(t, pattern, input)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("pattern %q input %q: automaton %v != go %v", pattern, input, got, want)
+			}
+			_ = net
+		}
+	}
+	if tried < trials/2 {
+		t.Fatalf("generator produced too many degenerate patterns: %d of %d usable", tried, trials)
+	}
+}

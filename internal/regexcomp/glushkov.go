@@ -1,0 +1,211 @@
+package regexcomp
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+	"repro/internal/charclass"
+)
+
+// Options configure regex compilation.
+type Options struct {
+	// Name names the generated network. Default "regex".
+	Name string
+	// ReportCode is attached to the accepting positions.
+	ReportCode int
+}
+
+// Compile builds a homogeneous NFA for the pattern using the Glushkov
+// construction: one STE per symbol position, transitions from the follow
+// relation, first positions as start states, last positions reporting.
+//
+// Patterns are unanchored by default (a match may begin at any stream
+// offset); a leading ^ anchors the match to the start of the stream. A
+// pattern that accepts the empty string compiles, but empty matches are
+// not reportable on the device (a report requires a consumed symbol) and
+// are ignored.
+func Compile(pattern string, opts *Options) (*automata.Network, error) {
+	name := "regex"
+	code := 0
+	if opts != nil {
+		if opts.Name != "" {
+			name = opts.Name
+		}
+		code = opts.ReportCode
+	}
+	root, anchored, err := parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	g := &glushkov{}
+	info := g.analyze(root)
+	if len(g.positions) == 0 {
+		return nil, fmt.Errorf("regex: pattern %q matches only the empty string", pattern)
+	}
+
+	net := automata.NewNetwork(name)
+	start := automata.StartAllInput
+	if anchored {
+		start = automata.StartOfData
+	}
+	ids := make([]automata.ElementID, len(g.positions))
+	for i, cls := range g.positions {
+		kind := automata.StartNone
+		if info.first[i] {
+			kind = start
+		}
+		ids[i] = net.AddSTE(cls, kind)
+	}
+	for from, tos := range g.follow {
+		for to := range tos {
+			net.Connect(ids[from], ids[to], automata.PortIn)
+		}
+	}
+	for i := range g.positions {
+		if info.last[i] {
+			net.SetReport(ids[i], code)
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("regex: %w", err)
+	}
+	return net, nil
+}
+
+// CompileSet compiles several patterns into one network, attaching report
+// code i to pattern i.
+func CompileSet(patterns []string, name string) (*automata.Network, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("regex: empty pattern set")
+	}
+	out := automata.NewNetwork(name)
+	for i, p := range patterns {
+		n, err := Compile(p, &Options{Name: fmt.Sprintf("%s-%d", name, i), ReportCode: i})
+		if err != nil {
+			return nil, fmt.Errorf("pattern %d: %w", i, err)
+		}
+		out.Merge(n)
+	}
+	return out, nil
+}
+
+// posSet is a set of Glushkov positions.
+type posSet map[int]bool
+
+func union(a, b posSet) posSet {
+	out := make(posSet, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// nodeInfo carries the classic Glushkov attributes of a subexpression.
+type nodeInfo struct {
+	nullable bool
+	first    posSet
+	last     posSet
+}
+
+type glushkov struct {
+	positions []charclass.Class
+	follow    []posSet
+}
+
+func (g *glushkov) newPosition(cls charclass.Class) int {
+	g.positions = append(g.positions, cls)
+	g.follow = append(g.follow, make(posSet))
+	return len(g.positions) - 1
+}
+
+func (g *glushkov) addFollow(from posSet, to posSet) {
+	for f := range from {
+		for t := range to {
+			g.follow[f][t] = true
+		}
+	}
+}
+
+func (g *glushkov) analyze(n node) nodeInfo {
+	switch n := n.(type) {
+	case emptyNode:
+		return nodeInfo{nullable: true, first: posSet{}, last: posSet{}}
+
+	case litNode:
+		p := g.newPosition(n.class)
+		return nodeInfo{first: posSet{p: true}, last: posSet{p: true}}
+
+	case concatNode:
+		info := nodeInfo{nullable: true, first: posSet{}, last: posSet{}}
+		firstSet := posSet{}
+		allNullablePrefix := true
+		var lastInfos []nodeInfo
+		for _, part := range n.parts {
+			pi := g.analyze(part)
+			// Every reachable last of the prefix (through its trailing
+			// nullable run) precedes every first of this part.
+			g.connectConcat(lastInfos, pi)
+			if allNullablePrefix {
+				firstSet = union(firstSet, pi.first)
+			}
+			if !pi.nullable {
+				allNullablePrefix = false
+				info.nullable = false
+			}
+			lastInfos = append(lastInfos, pi)
+		}
+		info.first = firstSet
+		// last = union of lasts of the trailing nullable run plus the
+		// last non-nullable part.
+		lasts := posSet{}
+		for i := len(lastInfos) - 1; i >= 0; i-- {
+			lasts = union(lasts, lastInfos[i].last)
+			if !lastInfos[i].nullable {
+				break
+			}
+		}
+		info.last = lasts
+		return info
+
+	case altNode:
+		info := nodeInfo{first: posSet{}, last: posSet{}}
+		for _, alt := range n.alts {
+			ai := g.analyze(alt)
+			info.nullable = info.nullable || ai.nullable
+			info.first = union(info.first, ai.first)
+			info.last = union(info.last, ai.last)
+		}
+		return info
+
+	case starNode:
+		si := g.analyze(n.sub)
+		g.addFollow(si.last, si.first)
+		return nodeInfo{nullable: true, first: si.first, last: si.last}
+
+	case plusNode:
+		si := g.analyze(n.sub)
+		g.addFollow(si.last, si.first)
+		return nodeInfo{nullable: si.nullable, first: si.first, last: si.last}
+
+	case optNode:
+		si := g.analyze(n.sub)
+		return nodeInfo{nullable: true, first: si.first, last: si.last}
+
+	default:
+		panic(fmt.Sprintf("regexcomp: unexpected node %T", n))
+	}
+}
+
+// connectConcat wires the lasts of the preceding parts (through any
+// nullable suffix run) to the firsts of the next part.
+func (g *glushkov) connectConcat(prev []nodeInfo, next nodeInfo) {
+	for i := len(prev) - 1; i >= 0; i-- {
+		g.addFollow(prev[i].last, next.first)
+		if !prev[i].nullable {
+			break
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package regexcomp compiles regular expressions into homogeneous NFAs via
+// the Glushkov construction.
+//
+// This is the "regular expression" programming model the paper compares
+// against for the Brill benchmark (the Re rows of Tables 4 and 5): patterns
+// are compiled position-by-position into STEs, with one STE per symbol
+// occurrence, no epsilon transitions, and report-on-match at final
+// positions — exactly the automaton shape the AP tool chain derives from
+// regex input.
+package regexcomp
+
+import (
+	"fmt"
+
+	"repro/internal/charclass"
+)
+
+// node is a parsed regular expression.
+type node interface{ isNode() }
+
+type litNode struct{ class charclass.Class }
+
+type concatNode struct{ parts []node }
+
+type altNode struct{ alts []node }
+
+type starNode struct{ sub node }
+
+type plusNode struct{ sub node }
+
+type optNode struct{ sub node }
+
+type emptyNode struct{}
+
+func (litNode) isNode()    {}
+func (concatNode) isNode() {}
+func (altNode) isNode()    {}
+func (starNode) isNode()   {}
+func (plusNode) isNode()   {}
+func (optNode) isNode()    {}
+func (emptyNode) isNode()  {}
+
+// parseError is a syntax error at a byte offset of the pattern.
+type parseError struct {
+	off int
+	msg string
+}
+
+func (e *parseError) Error() string {
+	return fmt.Sprintf("regex: offset %d: %s", e.off, e.msg)
+}
+
+type regexParser struct {
+	src string
+	off int
+}
+
+func (p *regexParser) errorf(format string, args ...interface{}) error {
+	return &parseError{off: p.off, msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *regexParser) eof() bool  { return p.off >= len(p.src) }
+func (p *regexParser) peek() byte { return p.src[p.off] }
+func (p *regexParser) next() byte { b := p.src[p.off]; p.off++; return b }
+func (p *regexParser) match(b byte) bool {
+	if !p.eof() && p.peek() == b {
+		p.off++
+		return true
+	}
+	return false
+}
+
+// parse parses a complete pattern. anchored is set when the pattern begins
+// with ^.
+func parse(pattern string) (root node, anchored bool, err error) {
+	p := &regexParser{src: pattern}
+	if p.match('^') {
+		anchored = true
+	}
+	root, err = p.alternation()
+	if err != nil {
+		return nil, false, err
+	}
+	if !p.eof() {
+		return nil, false, p.errorf("unexpected %q", p.peek())
+	}
+	return root, anchored, nil
+}
+
+func (p *regexParser) alternation() (node, error) {
+	first, err := p.concatenation()
+	if err != nil {
+		return nil, err
+	}
+	alts := []node{first}
+	for p.match('|') {
+		n, err := p.concatenation()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, n)
+	}
+	if len(alts) == 1 {
+		return first, nil
+	}
+	return altNode{alts: alts}, nil
+}
+
+func (p *regexParser) concatenation() (node, error) {
+	var parts []node
+	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
+		n, err := p.repetition()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, n)
+	}
+	switch len(parts) {
+	case 0:
+		return emptyNode{}, nil
+	case 1:
+		return parts[0], nil
+	default:
+		return concatNode{parts: parts}, nil
+	}
+}
+
+const maxCounted = 1024
+
+func (p *regexParser) repetition() (node, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	quantified := false
+	for !p.eof() {
+		switch p.peek() {
+		case '*', '+', '?':
+			if quantified {
+				return nil, p.errorf("nested quantifier %q", p.peek())
+			}
+			quantified = true
+			switch p.next() {
+			case '*':
+				atom = starNode{sub: atom}
+			case '+':
+				atom = plusNode{sub: atom}
+			default:
+				atom = optNode{sub: atom}
+			}
+		case '{':
+			if quantified {
+				return nil, p.errorf("nested quantifier '{'")
+			}
+			quantified = true
+			n, err := p.counted(atom)
+			if err != nil {
+				return nil, err
+			}
+			atom = n
+		default:
+			return atom, nil
+		}
+	}
+	return atom, nil
+}
+
+// counted parses {n}, {n,} and {n,m} and desugars the bounded repetition
+// into duplicated positions (the Glushkov construction has no counters).
+func (p *regexParser) counted(atom node) (node, error) {
+	p.next() // {
+	lo, ok, err := p.integer()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, p.errorf("expected repetition count")
+	}
+	hi := lo
+	unbounded := false
+	if p.match(',') {
+		hi, ok, err = p.integer()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			unbounded = true
+		}
+	}
+	if !p.match('}') {
+		return nil, p.errorf("expected '}' in repetition")
+	}
+	if lo > maxCounted || hi > maxCounted || (!unbounded && hi < lo) {
+		return nil, p.errorf("invalid repetition bounds {%d,%d}", lo, hi)
+	}
+	// X{lo,hi} = X^lo (X (X ...)?)?  with hi-lo optional layers.
+	var parts []node
+	for i := 0; i < lo; i++ {
+		parts = append(parts, atom)
+	}
+	if unbounded {
+		parts = append(parts, starNode{sub: atom})
+	} else if hi > lo {
+		// Build nested optionals right to left.
+		var opt node = optNode{sub: atom}
+		for i := hi - lo - 1; i > 0; i-- {
+			opt = optNode{sub: concatNode{parts: []node{atom, opt}}}
+		}
+		parts = append(parts, opt)
+	}
+	switch len(parts) {
+	case 0:
+		return emptyNode{}, nil
+	case 1:
+		return parts[0], nil
+	default:
+		return concatNode{parts: parts}, nil
+	}
+}
+
+func (p *regexParser) integer() (int, bool, error) {
+	start := p.off
+	v := 0
+	for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+		v = v*10 + int(p.next()-'0')
+		if v > 1<<20 {
+			return 0, false, p.errorf("repetition count too large")
+		}
+	}
+	return v, p.off > start, nil
+}
+
+func (p *regexParser) atom() (node, error) {
+	if p.eof() {
+		return nil, p.errorf("unexpected end of pattern")
+	}
+	switch b := p.next(); b {
+	case '(':
+		n, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if !p.match(')') {
+			return nil, p.errorf("missing ')'")
+		}
+		return n, nil
+	case '[':
+		cls, err := p.class()
+		if err != nil {
+			return nil, err
+		}
+		return litNode{class: cls}, nil
+	case '.':
+		return litNode{class: charclass.All()}, nil
+	case '\\':
+		cls, err := p.escape()
+		if err != nil {
+			return nil, err
+		}
+		return litNode{class: cls}, nil
+	case '*', '+', '?', '{':
+		return nil, p.errorf("quantifier %q with nothing to repeat", b)
+	case ')':
+		return nil, p.errorf("unmatched ')'")
+	default:
+		return litNode{class: charclass.Single(b)}, nil
+	}
+}
+
+// escape handles one escape sequence after the backslash.
+func (p *regexParser) escape() (charclass.Class, error) {
+	if p.eof() {
+		return charclass.Class{}, p.errorf("dangling escape")
+	}
+	switch b := p.next(); b {
+	case 'n':
+		return charclass.Single('\n'), nil
+	case 't':
+		return charclass.Single('\t'), nil
+	case 'r':
+		return charclass.Single('\r'), nil
+	case 'd':
+		return charclass.Range('0', '9'), nil
+	case 'D':
+		return charclass.Range('0', '9').Negate(), nil
+	case 'w':
+		w := charclass.Range('a', 'z').Union(charclass.Range('A', 'Z')).
+			Union(charclass.Range('0', '9')).Union(charclass.Single('_'))
+		return w, nil
+	case 's':
+		return charclass.Of(' ', '\t', '\n', '\r', '\v', '\f'), nil
+	case 'x':
+		var v byte
+		for i := 0; i < 2; i++ {
+			if p.eof() {
+				return charclass.Class{}, p.errorf("truncated hex escape")
+			}
+			d := p.next()
+			v <<= 4
+			switch {
+			case d >= '0' && d <= '9':
+				v |= d - '0'
+			case d >= 'a' && d <= 'f':
+				v |= d - 'a' + 10
+			case d >= 'A' && d <= 'F':
+				v |= d - 'A' + 10
+			default:
+				return charclass.Class{}, p.errorf("invalid hex digit %q", d)
+			}
+		}
+		return charclass.Single(v), nil
+	default:
+		return charclass.Single(b), nil
+	}
+}
+
+// class parses a bracket expression after the opening '['.
+func (p *regexParser) class() (charclass.Class, error) {
+	neg := p.match('^')
+	cls := charclass.Empty()
+	for {
+		if p.eof() {
+			return charclass.Class{}, p.errorf("missing ']'")
+		}
+		if p.peek() == ']' {
+			p.next()
+			if neg {
+				cls = cls.Negate()
+			}
+			return cls, nil
+		}
+		var lo charclass.Class
+		if p.peek() == '\\' {
+			p.next()
+			c, err := p.escape()
+			if err != nil {
+				return charclass.Class{}, err
+			}
+			lo = c
+		} else {
+			lo = charclass.Single(p.next())
+		}
+		// A range requires a single-symbol left side.
+		if !p.eof() && p.peek() == '-' && p.off+1 < len(p.src) && p.src[p.off+1] != ']' {
+			p.next() // -
+			var hiSym byte
+			if p.peek() == '\\' {
+				p.next()
+				c, err := p.escape()
+				if err != nil {
+					return charclass.Class{}, err
+				}
+				syms := c.Symbols()
+				if len(syms) != 1 {
+					return charclass.Class{}, p.errorf("invalid range end")
+				}
+				hiSym = syms[0]
+			} else {
+				hiSym = p.next()
+			}
+			los := lo.Symbols()
+			if len(los) != 1 || los[0] > hiSym {
+				return charclass.Class{}, p.errorf("invalid character range")
+			}
+			cls = cls.Union(charclass.Range(los[0], hiSym))
+			continue
+		}
+		cls = cls.Union(lo)
+	}
+}

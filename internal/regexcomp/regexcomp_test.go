@@ -1,0 +1,216 @@
+package regexcomp
+
+import (
+	"math/rand"
+	"reflect"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// matchOffsets runs the compiled automaton and returns the distinct offsets
+// of match-end reports.
+func matchOffsets(t *testing.T, pattern, input string) []int {
+	t.Helper()
+	net, err := Compile(pattern, nil)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", pattern, err)
+	}
+	reports, err := net.Run([]byte(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range reports {
+		if !seen[r.Offset] {
+			seen[r.Offset] = true
+			out = append(out, r.Offset)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// goMatchEnds computes, via the standard library, every offset at which
+// some nonempty match of pattern ends (unanchored, any start): the
+// substring input[start:end] must be matched exactly by the pattern.
+func goMatchEnds(t *testing.T, pattern, input string) []int {
+	t.Helper()
+	re, err := regexp.Compile("^(?:" + pattern + ")$")
+	if err != nil {
+		t.Fatalf("go regexp %q: %v", pattern, err)
+	}
+	seen := map[int]bool{}
+	for start := 0; start < len(input); start++ {
+		for end := start + 1; end <= len(input); end++ {
+			if re.MatchString(input[start:end]) {
+				seen[end-1] = true
+			}
+		}
+	}
+	var out []int
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestLiteralChain(t *testing.T) {
+	got := matchOffsets(t, "abc", "xxabcabc")
+	want := []int{4, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("offsets = %v, want %v", got, want)
+	}
+}
+
+func TestAnchored(t *testing.T) {
+	got := matchOffsets(t, "^ab", "abab")
+	if !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("anchored offsets = %v", got)
+	}
+}
+
+func TestAlternation(t *testing.T) {
+	got := matchOffsets(t, "cat|dog", "a cat and a dog")
+	want := []int{4, 14}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("offsets = %v, want %v", got, want)
+	}
+}
+
+func TestStarPlusOpt(t *testing.T) {
+	// ab*c: matches ac, abc, abbc...
+	got := matchOffsets(t, "ab*c", "ac abc abbc ab")
+	want := []int{1, 5, 10}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ab*c offsets = %v, want %v", got, want)
+	}
+	got = matchOffsets(t, "ab+c", "ac abc abbc")
+	want = []int{5, 10}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ab+c offsets = %v, want %v", got, want)
+	}
+	got = matchOffsets(t, "ab?c", "ac abc abbc")
+	want = []int{1, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ab?c offsets = %v, want %v", got, want)
+	}
+}
+
+func TestClassesAndEscapes(t *testing.T) {
+	got := matchOffsets(t, `[a-c]x`, "ax bx cx dx")
+	want := []int{1, 4, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("offsets = %v, want %v", got, want)
+	}
+	got = matchOffsets(t, `\d\d`, "a12b3")
+	if !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("digits = %v", got)
+	}
+	got = matchOffsets(t, `[^ab]z`, "az bz cz")
+	if !reflect.DeepEqual(got, []int{7}) {
+		t.Fatalf("negated class = %v", got)
+	}
+	got = matchOffsets(t, `a\.b`, "a.b axb")
+	if !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("escaped dot = %v", got)
+	}
+}
+
+func TestDotAndCounted(t *testing.T) {
+	got := matchOffsets(t, "a.c", "abc axc ac")
+	if !reflect.DeepEqual(got, []int{2, 6}) {
+		t.Fatalf("dot = %v", got)
+	}
+	got = matchOffsets(t, "a{3}", "aa aaa aaaa")
+	if !reflect.DeepEqual(got, []int{5, 9, 10}) {
+		t.Fatalf("a{3} = %v", got)
+	}
+	got = matchOffsets(t, "ab{1,3}c", "ac abc abbc abbbc abbbbc")
+	if !reflect.DeepEqual(got, []int{5, 10, 16}) {
+		t.Fatalf("ab{1,3}c = %v", got)
+	}
+	got = matchOffsets(t, "ab{2,}c", "abc abbc abbbc")
+	if !reflect.DeepEqual(got, []int{7, 13}) {
+		t.Fatalf("ab{2,}c = %v", got)
+	}
+}
+
+func TestGroups(t *testing.T) {
+	got := matchOffsets(t, "(ab)+c", "abc ababc")
+	if !reflect.DeepEqual(got, []int{2, 8}) {
+		t.Fatalf("(ab)+c = %v", got)
+	}
+	got = matchOffsets(t, "x(a|b)y", "xay xby xcy")
+	if !reflect.DeepEqual(got, []int{2, 6}) {
+		t.Fatalf("x(a|b)y = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, pattern := range []string{
+		"(ab", "ab)", "a**", "*a", "+", "a{", "a{2", "a{3,1}", "a{9999999}",
+		"[abc", "[z-a]", `a\`, `\x1`, `\xgg`, "", "()",
+	} {
+		if _, err := Compile(pattern, nil); err == nil {
+			t.Errorf("Compile(%q) should fail", pattern)
+		}
+	}
+}
+
+func TestCompileSet(t *testing.T) {
+	net, err := CompileSet([]string{"ab", "cd"}, "set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := net.Run([]byte("abcd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := map[int]int{}
+	for _, r := range reports {
+		codes[r.Code] = r.Offset
+	}
+	if codes[0] != 1 || codes[1] != 3 {
+		t.Fatalf("reports = %v", reports)
+	}
+}
+
+// TestDifferentialAgainstGoRegexp cross-checks random patterns against the
+// standard library on random inputs.
+func TestDifferentialAgainstGoRegexp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	patterns := []string{
+		"abc", "a(b|c)d", "ab*c", "ab+c", "ab?c", "[ab]+c", "a.c",
+		"(ab|cd)+", "a{2,3}b", "x[^a]y", "a(bc)*d",
+	}
+	alphabet := "abcdxy"
+	for _, pattern := range patterns {
+		for trial := 0; trial < 10; trial++ {
+			n := 1 + rng.Intn(12)
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			input := string(buf)
+			got := matchOffsets(t, pattern, input)
+			want := goMatchEnds(t, pattern, input)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("pattern %q input %q: automaton %v != go %v", pattern, input, got, want)
+			}
+		}
+	}
+}
+
+func TestSTEEconomy(t *testing.T) {
+	// Glushkov uses exactly one STE per symbol position.
+	net, err := Compile("ab*c(d|e)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Stats().STEs; got != 5 {
+		t.Fatalf("STEs = %d, want 5", got)
+	}
+}

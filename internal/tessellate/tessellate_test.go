@@ -1,0 +1,170 @@
+package tessellate
+
+import (
+	"testing"
+
+	"repro/internal/ap"
+	"repro/internal/automata"
+	"repro/internal/charclass"
+	"repro/internal/place"
+)
+
+func chain(word string) *automata.Network {
+	n := automata.NewNetwork("unit")
+	prev := automata.NoElement
+	for i := 0; i < len(word); i++ {
+		start := automata.StartNone
+		if i == 0 {
+			start = automata.StartAllInput
+		}
+		id := n.AddSTE(charclass.Single(word[i]), start)
+		if prev != automata.NoElement {
+			n.Connect(prev, id, automata.PortIn)
+		}
+		prev = id
+	}
+	n.SetReport(prev, 0)
+	return n
+}
+
+func TestTessellateDensity(t *testing.T) {
+	unit := chain("abcdefghij") // 10 STEs
+	r, err := Tessellate(unit, 1000, place.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256/10 = 25 instances per block by resources; routing may reduce it.
+	if r.PerBlock < 16 || r.PerBlock > 25 {
+		t.Fatalf("PerBlock = %d, want within [16,25]", r.PerBlock)
+	}
+	wantBlocks := (1000 + r.PerBlock - 1) / r.PerBlock
+	if r.TotalBlocks != wantBlocks {
+		t.Fatalf("TotalBlocks = %d, want %d", r.TotalBlocks, wantBlocks)
+	}
+	if r.Metrics.STEUtilization < 0.7 {
+		t.Fatalf("utilization = %f, want >= 0.7", r.Metrics.STEUtilization)
+	}
+	if got := r.BlockDesign.Stats().STEs; got != 10*r.PerBlock {
+		t.Fatalf("block design STEs = %d, want %d", got, 10*r.PerBlock)
+	}
+}
+
+func TestTessellateBeatsStamping(t *testing.T) {
+	unit := chain("abcdefghij")
+	r, err := Tessellate(unit, 1000, place.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stamped, err := place.PlaceStamped(unit, 1000, place.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalBlocks > stamped.TotalBlocks {
+		t.Fatalf("tessellation %d blocks > stamping %d blocks", r.TotalBlocks, stamped.TotalBlocks)
+	}
+}
+
+func TestTessellateCounterUnit(t *testing.T) {
+	// A unit with one counter is limited to 4 per block by counters.
+	unit := automata.NewNetwork("cu")
+	a := unit.AddSTE(charclass.Single('a'), automata.StartAllInput)
+	c := unit.AddCounter(2)
+	unit.Connect(a, c, automata.PortCount)
+	unit.SetReport(c, 0)
+	r, err := Tessellate(unit, 100, place.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerBlock != 4 {
+		t.Fatalf("PerBlock = %d, want 4 (counter capacity)", r.PerBlock)
+	}
+	if r.TotalBlocks != 25 {
+		t.Fatalf("TotalBlocks = %d, want 25", r.TotalBlocks)
+	}
+}
+
+func TestTessellateOversizedUnit(t *testing.T) {
+	// A unit with 300 STEs cannot fit one block.
+	big := automata.NewNetwork("big")
+	prev := automata.NoElement
+	for i := 0; i < 300; i++ {
+		start := automata.StartNone
+		if i == 0 {
+			start = automata.StartAllInput
+		}
+		id := big.AddSTE(charclass.Single(byte('a'+i%26)), start)
+		if prev != automata.NoElement {
+			big.Connect(prev, id, automata.PortIn)
+		}
+		prev = id
+	}
+	big.SetReport(prev, 0)
+	r, err := Tessellate(big, 10, place.Config{SkipOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UnitBlocks < 2 {
+		t.Fatalf("UnitBlocks = %d, want >= 2", r.UnitBlocks)
+	}
+	if r.TotalBlocks != r.UnitBlocks*10 {
+		t.Fatalf("TotalBlocks = %d, want %d", r.TotalBlocks, r.UnitBlocks*10)
+	}
+}
+
+func TestTessellateInstanceCountValidation(t *testing.T) {
+	if _, err := Tessellate(chain("ab"), 0, place.Config{}); err == nil {
+		t.Fatal("zero instances should fail")
+	}
+}
+
+func TestTessellateFewerInstancesThanDensity(t *testing.T) {
+	r, err := Tessellate(chain("ab"), 3, place.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerBlock > 3 {
+		t.Fatalf("PerBlock = %d exceeds instance count 3", r.PerBlock)
+	}
+	if r.TotalBlocks != 1 {
+		t.Fatalf("TotalBlocks = %d, want 1", r.TotalBlocks)
+	}
+}
+
+func TestLoadBoard(t *testing.T) {
+	r, err := Tessellate(chain("abcdefghij"), 1000, place.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	board := ap.NewBoard(ap.FirstGeneration())
+	if err := r.LoadBoard(board); err != nil {
+		t.Fatal(err)
+	}
+	if board.BlocksUsed() != r.TotalBlocks {
+		t.Fatalf("board blocks = %d, want %d", board.BlocksUsed(), r.TotalBlocks)
+	}
+	// The loaded block design still matches its patterns.
+	reports, err := board.Run([]byte("xxabcdefghij"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("loaded design should report")
+	}
+}
+
+func TestTessellateRoutingLimit(t *testing.T) {
+	// A unit with heavy cross-row structure (long chain of 20 STEs = 2
+	// rows) consumes BR lines per copy; density must respect the 48-line
+	// budget rather than raw STE capacity.
+	unit := chain("abcdefghijklmnopqrst") // 20 STEs, crosses a row boundary
+	r, err := Tessellate(unit, 500, place.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerBlock < 1 || r.PerBlock > 12 {
+		t.Fatalf("PerBlock = %d, want 1..12 (256/20)", r.PerBlock)
+	}
+	if r.Metrics.MeanBRAlloc > 1 {
+		t.Fatalf("BR alloc = %f", r.Metrics.MeanBRAlloc)
+	}
+}

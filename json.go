@@ -1,0 +1,52 @@
+package rapid
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/lang/value"
+)
+
+// valuesFromJSON converts a JSON array into network argument values.
+func valuesFromJSON(data []byte) ([]Value, error) {
+	var raw []interface{}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("rapid: arguments must be a JSON array: %w", err)
+	}
+	out := make([]Value, len(raw))
+	for i, r := range raw {
+		v, err := jsonValue(r)
+		if err != nil {
+			return nil, fmt.Errorf("rapid: argument %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func jsonValue(r interface{}) (Value, error) {
+	switch r := r.(type) {
+	case string:
+		return value.Str(r), nil
+	case bool:
+		return value.Bool(r), nil
+	case float64:
+		if r != math.Trunc(r) {
+			return nil, fmt.Errorf("non-integer number %v (RAPID has no floats)", r)
+		}
+		return value.Int(int64(r)), nil
+	case []interface{}:
+		arr := make(value.Array, len(r))
+		for i, e := range r {
+			v, err := jsonValue(e)
+			if err != nil {
+				return nil, err
+			}
+			arr[i] = v
+		}
+		return arr, nil
+	default:
+		return nil, fmt.Errorf("unsupported JSON value %T", r)
+	}
+}

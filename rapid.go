@@ -1,0 +1,397 @@
+// Package rapid is a from-scratch implementation of RAPID, the high-level
+// language for programming pattern-recognition processors introduced by
+// Angstadt, Weimer, and Skadron (ASPLOS 2016).
+//
+// The package compiles RAPID programs — a combined imperative/declarative
+// model built around macros, networks, and the parallel control structures
+// either/orelse, some, and whenever — into homogeneous non-deterministic
+// finite automata for Micron's Automata Processor (AP), and provides:
+//
+//   - a functional device model that executes compiled designs in
+//     lock-step against input streams and produces report events;
+//   - a reference interpreter executing the language's parallel-thread
+//     semantics directly (useful as an oracle and for debugging);
+//   - ANML (Automata Network Markup Language) import and export;
+//   - placement and routing with the paper's three compilation flows,
+//     including the auto-tuning tessellation optimization of Section 6;
+//   - a regular-expression front end (Glushkov construction) for baseline
+//     comparisons.
+//
+// # Quick start
+//
+//	prog, err := rapid.Parse(src)            // parse + type check
+//	design, err := prog.Compile(args...)     // staged compilation to NFA
+//	reports, err := design.Run(input)        // simulate the device
+//	anmlBytes, err := design.ANML()          // export ANML
+//	tess, err := prog.Tessellate(args...)    // Section 6 tessellation
+package rapid
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/anml"
+	"repro/internal/ap"
+	"repro/internal/automata"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/lang/interp"
+	"repro/internal/lang/value"
+	"repro/internal/place"
+	"repro/internal/regexcomp"
+)
+
+// StartOfInput is the reserved stream symbol (0xFF) marking the start of
+// data and separating logical records. Negated character classes and
+// ALL_INPUT never match it.
+const StartOfInput byte = 0xFF
+
+// Value is a compile-time value passed as a network argument.
+type Value = value.Value
+
+// Str returns a RAPID String value.
+func Str(s string) Value { return value.Str(s) }
+
+// Int returns a RAPID int value.
+func Int(n int) Value { return value.Int(int64(n)) }
+
+// Char returns a RAPID char value.
+func Char(b byte) Value { return value.Char(b) }
+
+// Bool returns a RAPID bool value.
+func Bool(b bool) Value { return value.Bool(b) }
+
+// Strings returns a RAPID String[] value.
+func Strings(ss []string) Value { return value.Strings(ss) }
+
+// Ints returns a RAPID int[] value.
+func Ints(xs []int) Value { return value.Ints(xs) }
+
+// Array returns a RAPID array of the given elements.
+func Array(elems ...Value) Value { return value.Array(elems) }
+
+// Program is a parsed and type-checked RAPID program.
+type Program struct {
+	p *core.Program
+}
+
+// Parse parses and type-checks RAPID source code.
+func Parse(src string) (*Program, error) {
+	p, err := core.Load(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{p: p}, nil
+}
+
+// ParseFile parses and type-checks a RAPID source file.
+func ParseFile(path string) (*Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(string(data))
+}
+
+// Params returns the network parameter names in declaration order.
+func (p *Program) Params() []string { return p.p.Params() }
+
+// Compile lowers the program applied to the given network arguments into a
+// device design via staged computation: imperative statements execute now,
+// stream comparisons and counters become automaton structures.
+func (p *Program) Compile(args ...Value) (*Design, error) {
+	return p.CompileNamed("rapid", args...)
+}
+
+// CompileNamed is Compile with an explicit network name for the ANML
+// output.
+func (p *Program) CompileNamed(name string, args ...Value) (*Design, error) {
+	res, err := p.p.Compile(args, &codegen.Options{NetworkName: name})
+	if err != nil {
+		return nil, err
+	}
+	return &Design{net: res.Network, reports: res.Reports}, nil
+}
+
+// Interpret executes the program's parallel-thread semantics directly over
+// input (the reference interpreter) and returns the distinct report
+// offsets in increasing order.
+func (p *Program) Interpret(args []Value, input []byte) ([]int, error) {
+	reports, err := p.p.Interpret(args, input, nil)
+	if err != nil {
+		return nil, err
+	}
+	return interp.Offsets(reports), nil
+}
+
+// Design is a compiled automaton network ready for simulation, export, or
+// placement.
+type Design struct {
+	net     *automata.Network
+	reports map[int]string
+}
+
+// Stats summarizes a design's composition.
+type Stats struct {
+	STEs         int
+	Counters     int
+	BooleanGates int
+	Edges        int
+	Reporting    int
+	ClockDivisor int
+}
+
+// Stats returns the design's composition statistics.
+func (d *Design) Stats() Stats {
+	s := d.net.Stats()
+	return Stats{
+		STEs:         s.STEs,
+		Counters:     s.Counters,
+		BooleanGates: s.Gates,
+		Edges:        s.Edges,
+		Reporting:    s.Reporting,
+		ClockDivisor: d.net.ClockDivisor(),
+	}
+}
+
+// Report is a report event produced by simulation: a reporting element was
+// active while processing the symbol at Offset. Code identifies the report
+// statement instance; Site describes its source location when known.
+type Report struct {
+	Offset int
+	Code   int
+	Site   string
+}
+
+// Run simulates the design in lock-step over input, exactly as the AP
+// executes it, and returns all report events in offset order.
+func (d *Design) Run(input []byte) ([]Report, error) {
+	raw, err := d.net.Run(input)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Report, len(raw))
+	for i, r := range raw {
+		out[i] = Report{Offset: r.Offset, Code: r.Code, Site: d.reports[r.Code]}
+	}
+	return out, nil
+}
+
+// Offsets returns the distinct report offsets of a report list, sorted.
+func Offsets(reports []Report) []int {
+	var rs []interp.Report
+	for _, r := range reports {
+		rs = append(rs, interp.Report{Offset: r.Offset})
+	}
+	return interp.Offsets(rs)
+}
+
+// ANML renders the design in the Automata Network Markup Language.
+func (d *Design) ANML() ([]byte, error) { return anml.Marshal(d.net) }
+
+// WriteANML writes the design's ANML to w.
+func (d *Design) WriteANML(w io.Writer) error { return anml.Write(w, d.net) }
+
+// LoadANML parses an ANML document into a design.
+func LoadANML(data []byte) (*Design, error) {
+	net, err := anml.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{net: net, reports: map[int]string{}}, nil
+}
+
+// OptimizeForDevice applies the transformations placement tools perform
+// before mapping a design onto the device (pruning, prefix/suffix sharing,
+// fan-in splitting) and returns the optimized design.
+func (d *Design) OptimizeForDevice() *Design {
+	return &Design{net: d.net.OptimizeForDevice(16), reports: d.reports}
+}
+
+// Placement reports the Table 5 placement-and-routing statistics of a
+// design on a first-generation AP board.
+type Placement struct {
+	TotalBlocks      int
+	ClockDivisor     int
+	STEUtilization   float64
+	MeanBRAllocation float64
+	EstimatedRuntime func(symbols int) time.Duration
+}
+
+// PlaceAndRoute runs the baseline global placement flow on the design.
+func (d *Design) PlaceAndRoute() (*Placement, error) {
+	p, err := place.Place(d.net, place.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return newPlacement(p.Metrics), nil
+}
+
+func newPlacement(m place.Metrics) *Placement {
+	div := m.ClockDivisor
+	return &Placement{
+		TotalBlocks:      m.TotalBlocks,
+		ClockDivisor:     div,
+		STEUtilization:   m.STEUtilization,
+		MeanBRAllocation: m.MeanBRAlloc,
+		EstimatedRuntime: func(symbols int) time.Duration {
+			secs := float64(symbols) * float64(div) / float64(ap.SymbolRate)
+			return time.Duration(secs * float64(time.Second))
+		},
+	}
+}
+
+// Tessellation is the result of the Section 6 auto-tuning tessellation
+// optimization.
+type Tessellation struct {
+	// InstancesPerBlock is the auto-tuned tile density.
+	InstancesPerBlock int
+	// Instances is the number of pattern instances tiled.
+	Instances int
+	// TotalBlocks is the board footprint.
+	TotalBlocks int
+	// Placement reports the board-level statistics of the tiled design.
+	Placement *Placement
+	// BlockDesign is the repeated one-block design.
+	BlockDesign *Design
+}
+
+// Tessellate detects the program's repetition structure (a top-level some
+// over a network parameter), compiles a single-instance unit, auto-tunes
+// how many instances fill one device block, and tiles the result. It fails
+// for designs without a tileable repetition.
+func (p *Program) Tessellate(args ...Value) (*Tessellation, error) {
+	r, err := p.p.Tessellate(args, place.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &Tessellation{
+		InstancesPerBlock: r.PerBlock,
+		Instances:         r.Instances,
+		TotalBlocks:       r.TotalBlocks,
+		Placement:         newPlacement(r.Metrics),
+		BlockDesign:       &Design{net: r.BlockDesign, reports: map[int]string{}},
+	}, nil
+}
+
+// Runner is a reusable high-throughput executor for one design: it
+// precomputes per-symbol acceptance tables once and can then stream many
+// inputs.
+type Runner struct {
+	sim     *automata.FastSimulator
+	reports map[int]string
+}
+
+// NewRunner builds the design's fast execution path.
+func (d *Design) NewRunner() (*Runner, error) {
+	sim, err := automata.NewFastSimulator(d.net)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{sim: sim, reports: d.reports}, nil
+}
+
+// Run streams input through the design and returns the report events. The
+// runner resets between calls and is not safe for concurrent use.
+func (r *Runner) Run(input []byte) []Report {
+	raw := r.sim.Run(input)
+	out := make([]Report, len(raw))
+	for i, rep := range raw {
+		out[i] = Report{Offset: rep.Offset, Code: rep.Code, Site: r.reports[rep.Code]}
+	}
+	return out
+}
+
+// WriteDot renders the design in Graphviz DOT format for visualization.
+func (d *Design) WriteDot(w io.Writer) error { return d.net.WriteDot(w) }
+
+// WriteTrace simulates the design over input and writes a per-cycle
+// execution trace (active elements, reports) — the debugging visibility
+// the paper's future-work section calls for.
+func (d *Design) WriteTrace(w io.Writer, input []byte) error {
+	return d.net.WriteTrace(w, input)
+}
+
+// FindWitness searches for a shortest input stream that makes the design
+// report — the corner-case-input generation tool the paper's future-work
+// section calls for. maxLength bounds the search (0 uses the default).
+func (d *Design) FindWitness(maxLength int) ([]byte, error) {
+	return d.net.FindWitness(&automata.WitnessOptions{MaxLength: maxLength})
+}
+
+// Equivalent proves that two counter-free designs report at identical
+// offsets on every possible input, via a joint subset construction. It
+// returns nil when equivalent, an error carrying a counterexample when
+// not, and ErrHasSpecials-wrapped errors for designs with counters or
+// gates (whose equivalence is out of scope).
+func (d *Design) Equivalent(other *Design) error {
+	return automata.Equivalent(d.net, other.net)
+}
+
+// CPUMatcher is a design compiled to a deterministic finite automaton for
+// direct CPU execution — the alternative backend the paper's conclusion
+// anticipates. Only counter-free designs can be determinized.
+type CPUMatcher struct {
+	d       *dfa.DFA
+	reports map[int]string
+}
+
+// CompileCPU determinizes the design (subset construction + minimization)
+// for fast table-driven CPU execution.
+func (d *Design) CompileCPU() (*CPUMatcher, error) {
+	m, err := dfa.FromNetwork(d.net, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &CPUMatcher{d: m, reports: d.reports}, nil
+}
+
+// States returns the number of DFA states.
+func (m *CPUMatcher) States() int { return m.d.States() }
+
+// Run executes the matcher over input. Reports are deduplicated by
+// (offset, code).
+func (m *CPUMatcher) Run(input []byte) []Report {
+	raw := m.d.Run(input)
+	out := make([]Report, len(raw))
+	for i, r := range raw {
+		out[i] = Report{Offset: r.Offset, Code: r.Code, Site: m.reports[r.Code]}
+	}
+	return out
+}
+
+// CompileRegex compiles a regular expression into a design via the
+// Glushkov construction — the baseline programming model the paper
+// compares against. Patterns are unanchored unless they begin with ^.
+func CompileRegex(pattern string) (*Design, error) {
+	net, err := regexcomp.Compile(pattern, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{net: net, reports: map[int]string{}}, nil
+}
+
+// CompileRegexSet compiles several patterns into one design; pattern i
+// reports with code i.
+func CompileRegexSet(patterns []string) (*Design, error) {
+	net, err := regexcomp.CompileSet(patterns, "regex-set")
+	if err != nil {
+		return nil, err
+	}
+	reports := make(map[int]string, len(patterns))
+	for i, p := range patterns {
+		reports[i] = fmt.Sprintf("pattern %q", p)
+	}
+	return &Design{net: net, reports: reports}, nil
+}
+
+// ValuesFromJSON decodes network arguments from a JSON array: strings
+// become String values, numbers int values, booleans bool values, and
+// arrays nested arrays. It is the argument format of the command-line
+// tools.
+func ValuesFromJSON(data []byte) ([]Value, error) {
+	return valuesFromJSON(data)
+}
