@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	rapid "repro"
@@ -33,6 +35,10 @@ func main() {
 		trace     = flag.Bool("trace", false, "print a per-cycle execution trace (active elements, reports)")
 	)
 	flag.Parse()
+	// SIGINT cancels the run: rapidrun drains the reports gathered so
+	// far, says where it stopped, and exits instead of dying mid-stream.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if *srcPath == "" {
 		fmt.Fprintln(os.Stderr, "rapidrun: -src is required")
 		flag.Usage()
@@ -89,12 +95,13 @@ func main() {
 		}
 		return
 	}
-	reports, err := design.Run(input)
-	if err != nil {
-		fatal(err)
-	}
+	reports, err := design.RunContext(ctx, input)
 	for _, r := range reports {
 		fmt.Printf("report offset=%d code=%d %s\n", r.Offset, r.Code, r.Site)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapidrun: interrupted: %v (%d reports before cancellation)\n", err, len(reports))
+		os.Exit(130)
 	}
 	fmt.Printf("%d report events\n", len(reports))
 }

@@ -1,0 +1,242 @@
+package rapid
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/resilience"
+)
+
+// Matcher is one execution backend for a compiled design: the functional
+// device model, the determinized CPU DFA, or the reference simulator. A
+// Matcher owns its mutable state and is not safe for concurrent use unless
+// documented otherwise.
+type Matcher interface {
+	// Name identifies the backend in stream records and errors.
+	Name() string
+	// Match executes the design over one input stream.
+	Match(ctx context.Context, input []byte) ([]Report, error)
+}
+
+// Matcher adapts the runner (the fast device-model path) to the backend
+// interface under the name "device".
+func (r *Runner) Matcher() Matcher { return &runnerMatcher{r} }
+
+type runnerMatcher struct{ r *Runner }
+
+func (m *runnerMatcher) Name() string { return "device" }
+func (m *runnerMatcher) Match(ctx context.Context, input []byte) ([]Report, error) {
+	return m.r.RunContext(ctx, input)
+}
+
+// Matcher adapts the determinized CPU path to the backend interface under
+// the name "cpu-dfa".
+func (m *CPUMatcher) Matcher() Matcher { return &cpuBackend{m} }
+
+type cpuBackend struct{ m *CPUMatcher }
+
+func (b *cpuBackend) Name() string { return "cpu-dfa" }
+func (b *cpuBackend) Match(ctx context.Context, input []byte) ([]Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.m.Run(input), nil
+}
+
+// ReferenceMatcher adapts the design's reference simulator — the slowest,
+// most trusted path — to the backend interface under the name "reference".
+func (d *Design) ReferenceMatcher() Matcher { return &referenceMatcher{d} }
+
+type referenceMatcher struct{ d *Design }
+
+func (m *referenceMatcher) Name() string { return "reference" }
+func (m *referenceMatcher) Match(ctx context.Context, input []byte) ([]Report, error) {
+	return m.d.RunContext(ctx, input)
+}
+
+// BackendError attributes a backend failure (including a recovered panic)
+// to the backend that produced it.
+type BackendError struct {
+	Backend string
+	Err     error
+}
+
+func (e *BackendError) Error() string {
+	return fmt.Sprintf("rapid: backend %q: %v", e.Backend, e.Err)
+}
+
+func (e *BackendError) Unwrap() error { return e.Err }
+
+// DivergenceError records that a backend's report set disagreed with the
+// chain's reference backend on a stream.
+type DivergenceError struct {
+	Backend   string
+	Reference string
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("rapid: backend %q diverged from %q", e.Backend, e.Reference)
+}
+
+// StreamRecord describes how one stream was served by a failover chain.
+type StreamRecord struct {
+	// Backend is the backend whose result was returned.
+	Backend string
+	// Failures lists the backends tried before Backend, with the error
+	// (or recovered panic, or divergence) that disqualified each.
+	Failures []*BackendError
+	// Diverged reports whether cross-checking caught a divergence on
+	// this stream.
+	Diverged bool
+}
+
+// FailoverChain executes streams against an ordered list of backends,
+// falling to the next on failure. Panics in any backend are recovered into
+// structured errors instead of crashing the process, and every stream's
+// serving backend is recorded. With CrossCheck enabled, each non-reference
+// result is verified against the chain's last backend and divergent
+// backends are failed over — the degradation ladder heterogeneous matching
+// deployments use (device → CPU DFA → reference interpreter).
+type FailoverChain struct {
+	// CrossCheck verifies every result from a non-final backend against
+	// the final backend's and fails over on divergence.
+	CrossCheck bool
+
+	backends []Matcher
+
+	mu      sync.Mutex
+	records []StreamRecord
+}
+
+// NewFailoverChain builds a chain over the given backends, tried in order.
+func NewFailoverChain(backends ...Matcher) *FailoverChain {
+	return &FailoverChain{backends: append([]Matcher(nil), backends...)}
+}
+
+// FailoverChain builds the design's standard degradation ladder: the fast
+// device model, then the determinized CPU DFA (skipped when the design
+// cannot be determinized, e.g. counters), then the reference simulator.
+func (d *Design) FailoverChain() (*FailoverChain, error) {
+	runner, err := d.NewRunner()
+	if err != nil {
+		return nil, err
+	}
+	backends := []Matcher{runner.Matcher()}
+	if cpu, err := d.CompileCPU(); err == nil {
+		backends = append(backends, cpu.Matcher())
+	}
+	backends = append(backends, d.ReferenceMatcher())
+	return NewFailoverChain(backends...), nil
+}
+
+// Backends returns the backend names in failover order.
+func (c *FailoverChain) Backends() []string {
+	out := make([]string, len(c.backends))
+	for i, b := range c.backends {
+		out[i] = b.Name()
+	}
+	return out
+}
+
+// Records returns a copy of the per-stream serving records, in Run order.
+func (c *FailoverChain) Records() []StreamRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]StreamRecord(nil), c.records...)
+}
+
+func (c *FailoverChain) record(rec StreamRecord) {
+	c.mu.Lock()
+	c.records = append(c.records, rec)
+	c.mu.Unlock()
+}
+
+// match runs one backend with panic recovery.
+func matchRecovered(ctx context.Context, b Matcher, input []byte) (reports []Report, err error) {
+	err = resilience.Recover(func() error {
+		var merr error
+		reports, merr = b.Match(ctx, input)
+		return merr
+	})
+	return reports, err
+}
+
+// Run executes one stream, trying each backend in order and returning the
+// first trustworthy result. It returns ctx.Err() once the context is done,
+// and an error wrapping the last *BackendError when every backend failed.
+func (c *FailoverChain) Run(ctx context.Context, input []byte) ([]Report, error) {
+	var rec StreamRecord
+	for i, b := range c.backends {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		reports, err := matchRecovered(ctx, b, input)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			rec.Failures = append(rec.Failures, &BackendError{Backend: b.Name(), Err: err})
+			continue
+		}
+		if c.CrossCheck && i < len(c.backends)-1 {
+			ref := c.backends[len(c.backends)-1]
+			refReports, refErr := matchRecovered(ctx, ref, input)
+			if refErr == nil && !sameReportSet(reports, refReports) {
+				rec.Diverged = true
+				rec.Failures = append(rec.Failures, &BackendError{
+					Backend: b.Name(),
+					Err:     &DivergenceError{Backend: b.Name(), Reference: ref.Name()},
+				})
+				rec.Backend = ref.Name()
+				c.record(rec)
+				return refReports, nil
+			}
+		}
+		rec.Backend = b.Name()
+		c.record(rec)
+		return reports, nil
+	}
+	c.record(rec)
+	if n := len(rec.Failures); n > 0 {
+		return nil, fmt.Errorf("rapid: all %d backends failed: %w", n, rec.Failures[n-1])
+	}
+	return nil, fmt.Errorf("rapid: failover chain has no backends")
+}
+
+// sameReportSet compares the distinct (offset, code) sets of two report
+// lists — the backend-independent observable of a stream.
+func sameReportSet(a, b []Report) bool {
+	return reportSetKeyEqual(reportSet(a), reportSet(b))
+}
+
+func reportSet(rs []Report) [][2]int {
+	set := make(map[[2]int]bool, len(rs))
+	for _, r := range rs {
+		set[[2]int{r.Offset, r.Code}] = true
+	}
+	out := make([][2]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func reportSetKeyEqual(a, b [][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,64 @@
+package anml
+
+import (
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/charclass"
+)
+
+// FuzzUnmarshal asserts that no ANML document — however malformed — can
+// panic the importer: every input either parses into a validatable,
+// re-marshalable network or returns an error.
+//
+// Run with: go test -fuzz=FuzzUnmarshal ./internal/anml
+func FuzzUnmarshal(f *testing.F) {
+	// A well-formed document from the exporter seeds the structure.
+	n := automata.NewNetwork("seed")
+	a := n.AddSTE(charclass.Single('a'), automata.StartAllInput)
+	b := n.AddSTE(charclass.Range('a', 'z'), automata.StartNone)
+	c := n.AddCounter(3)
+	g := n.AddGate(automata.GateAnd)
+	n.Connect(a, b, automata.PortIn)
+	n.Connect(b, c, automata.PortCount)
+	n.Connect(a, c, automata.PortReset)
+	n.Connect(c, g, automata.PortIn)
+	n.SetReport(g, 7)
+	valid, err := Marshal(n)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+
+	for _, seed := range []string{
+		"",
+		"<",
+		"not xml at all",
+		"<automata-network></automata-network>",
+		`<automata-network name="x"><state-transition-element/></automata-network>`,
+		`<automata-network><state-transition-element id="a" symbol-set="["/></automata-network>`,
+		`<automata-network><state-transition-element id="a" symbol-set="x" start-of-data="maybe"/></automata-network>`,
+		`<automata-network><state-transition-element id="a" symbol-set="x"><activate-on-match element="ghost"/></state-transition-element></automata-network>`,
+		`<automata-network><counter id="c" target="-1"/></automata-network>`,
+		`<automata-network><counter id="c" target="zz" at-target="pulse"/></automata-network>`,
+		`<automata-network><and id="g"><activate-on-match element="g"/></and></automata-network>`,
+		`<anml version="1.0"><automata-network name="n"/></anml>`,
+		`<automata-network><state-transition-element id="a" symbol-set="x"/><state-transition-element id="a" symbol-set="y"/></automata-network>`,
+	} {
+		f.Add([]byte(seed))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if net == nil {
+			t.Fatal("Unmarshal returned nil network and nil error")
+		}
+		// Anything the importer accepts must survive the exporter.
+		if _, err := Marshal(net); err != nil {
+			t.Fatalf("accepted network does not re-marshal: %v", err)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package automata
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/charclass"
+)
+
+// counterNet builds a network with a counter so snapshots must capture
+// counter values, not just enables: report after two 'x' symbols, reset on
+// 'r'.
+func counterNet(t *testing.T) *FastSimulator {
+	t.Helper()
+	n := NewNetwork("ckpt")
+	x := n.AddSTE(charclass.Single('x'), StartAllInput)
+	r := n.AddSTE(charclass.Single('r'), StartAllInput)
+	c := n.AddCounter(2)
+	n.Connect(x, c, PortCount)
+	n.Connect(r, c, PortReset)
+	n.SetReport(c, 1)
+	s, err := NewFastSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSnapshotRestoreResumesExactly(t *testing.T) {
+	s := counterNet(t)
+	input := []byte("xrxxrxxx")
+	want := s.Run(append([]byte(nil), input...))
+
+	// Re-run, snapshotting at every offset, restoring, and finishing.
+	for cut := 0; cut <= len(input); cut++ {
+		s.Reset()
+		for _, b := range input[:cut] {
+			s.Step(b)
+		}
+		snap := s.Snapshot()
+		if snap.Offset() != cut {
+			t.Fatalf("snapshot offset = %d, want %d", snap.Offset(), cut)
+		}
+		// Wander off down a different stream, then rewind.
+		for _, b := range []byte("xxxxrrxx") {
+			s.Step(b)
+		}
+		s.Restore(snap)
+		if s.Offset() != cut {
+			t.Fatalf("restored offset = %d, want %d", s.Offset(), cut)
+		}
+		for _, b := range input[cut:] {
+			s.Step(b)
+		}
+		if got := s.Reports(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut %d: reports %v != fault-free %v", cut, got, want)
+		}
+	}
+}
+
+func TestCloneSharesTablesNotState(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, _ := randomChainNetwork(rng)
+	s, err := NewFastSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]byte, 200)
+	for i := range input {
+		input[i] = byte('a' + rng.Intn(3))
+	}
+	want := s.Run(append([]byte(nil), input...))
+
+	// A clone taken mid-run starts fresh and agrees with the original.
+	s.Reset()
+	for _, b := range input[:50] {
+		s.Step(b)
+	}
+	c := s.Clone()
+	if c.Offset() != 0 {
+		t.Fatalf("clone offset = %d, want 0", c.Offset())
+	}
+	if got := c.Run(input); !reflect.DeepEqual(got, want) {
+		t.Fatalf("clone reports %v != original %v", got, want)
+	}
+	// Running the clone did not disturb the original mid-run state.
+	if s.Offset() != 50 {
+		t.Fatalf("original offset = %d after clone ran, want 50", s.Offset())
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	s := counterNet(t)
+	input := make([]byte, 3*CancelCheckInterval)
+	for i := range input {
+		input[i] = 'x'
+	}
+	want := s.Run(append([]byte(nil), input...))
+
+	// Completed runs return nil error.
+	got, err := s.RunContext(context.Background(), input)
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("RunContext = %d reports, %v; want %d, nil", len(got), err, len(want))
+	}
+
+	// An already-cancelled context aborts before any symbol...
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err = s.RunContext(ctx, input)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(got) != 0 || s.Offset() != 0 {
+		t.Fatalf("cancelled run consumed %d symbols, %d reports", s.Offset(), len(got))
+	}
+	// ...and leaves the simulator restorable: snapshot, resume manually,
+	// and the stream completes with fault-free reports.
+	snap := s.Snapshot()
+	s.Restore(snap)
+	for _, b := range input {
+		s.Step(b)
+	}
+	if got := s.Reports(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-cancel resume reports %v != %v", len(got), len(want))
+	}
+}

@@ -1,6 +1,9 @@
 package automata
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // FastSimulator is a throughput-oriented simulator: it precomputes, for
 // every input symbol, the bitset of STEs accepting that symbol, and for
@@ -99,6 +102,75 @@ func (s *FastSimulator) Reset() {
 
 // Reports returns the report events generated so far.
 func (s *FastSimulator) Reports() []Report { return s.reports }
+
+// Offset returns the number of symbols consumed so far.
+func (s *FastSimulator) Offset() int { return s.offset }
+
+// Clone returns an independent simulator for the same network that shares
+// the precomputed acceptance and enable tables (immutable after
+// construction) but owns fresh mutable state. Cloning is O(elements/64),
+// not the O(elements × alphabet) of NewFastSimulator, so servers can fan
+// one design out across goroutines cheaply. The clone starts reset.
+func (s *FastSimulator) Clone() *FastSimulator {
+	n := s.n.Len()
+	return &FastSimulator{
+		n:           s.n,
+		specials:    s.specials,
+		accept:      s.accept,
+		startData:   s.startData,
+		startAll:    s.startAll,
+		outMask:     s.outMask,
+		reporting:   s.reporting,
+		hasSpecials: s.hasSpecials,
+		enabled:     newBitset(n),
+		nextEnabled: newBitset(n),
+		active:      newBitset(n),
+		counterVal:  make([]int, n),
+	}
+}
+
+// SimState is a checkpoint of a FastSimulator's mutable execution state,
+// taken with Snapshot and reinstated with Restore. It captures the enable
+// vector, counter values, stream offset, and report-log length, so a long
+// stream interrupted by a transient fault can resume from the checkpoint
+// instead of the beginning.
+type SimState struct {
+	enabled    bitset
+	counterVal []int
+	offset     int
+	nreports   int
+}
+
+// Offset returns the stream offset at which the snapshot was taken.
+func (st *SimState) Offset() int { return st.offset }
+
+// Snapshot captures the simulator's current mutable state. The snapshot is
+// independent of later stepping and may be restored any number of times.
+func (s *FastSimulator) Snapshot() *SimState {
+	st := &SimState{
+		enabled:    newBitset(s.n.Len()),
+		counterVal: make([]int, len(s.counterVal)),
+		offset:     s.offset,
+		nreports:   len(s.reports),
+	}
+	copy(st.enabled, s.enabled)
+	copy(st.counterVal, s.counterVal)
+	return st
+}
+
+// Restore reinstates a snapshot previously taken from this simulator (or a
+// clone sharing its network): execution state rewinds to the snapshot's
+// offset and reports recorded after it are discarded.
+func (s *FastSimulator) Restore(st *SimState) {
+	copy(s.enabled, st.enabled)
+	copy(s.counterVal, st.counterVal)
+	s.active.reset()
+	s.nextEnabled.reset()
+	s.offset = st.offset
+	if len(s.reports) > st.nreports {
+		s.reports = s.reports[:st.nreports]
+	}
+}
 
 // Step processes one input symbol.
 func (s *FastSimulator) Step(symbol byte) {
@@ -214,6 +286,35 @@ func (s *FastSimulator) Run(input []byte) []Report {
 		s.Step(b)
 	}
 	return s.Reports()
+}
+
+// CancelCheckInterval is the number of symbols simulators process between
+// context-cancellation checks in the RunContext variants: long enough that
+// the check is free on the hot path, short enough that cancellation is
+// prompt (a chunk is microseconds of work).
+const CancelCheckInterval = 4096
+
+// RunContext resets the simulator and processes input in chunks of
+// CancelCheckInterval symbols, checking ctx between chunks. On
+// cancellation it returns the reports produced so far together with
+// ctx.Err(); the simulator is left at the offset it reached, in a state
+// Snapshot/Restore can still operate on.
+func (s *FastSimulator) RunContext(ctx context.Context, input []byte) ([]Report, error) {
+	s.Reset()
+	for len(input) > 0 {
+		if err := ctx.Err(); err != nil {
+			return s.Reports(), err
+		}
+		chunk := input
+		if len(chunk) > CancelCheckInterval {
+			chunk = chunk[:CancelCheckInterval]
+		}
+		for _, b := range chunk {
+			s.Step(b)
+		}
+		input = input[len(chunk):]
+	}
+	return s.Reports(), nil
 }
 
 // RunFast simulates the network over input using the precomputed fast

@@ -1,6 +1,9 @@
 package automata
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Report is a report event generated during simulation: a reporting element
 // was active while processing the symbol at Offset (0-based) in the input
@@ -201,6 +204,28 @@ func (s *Simulator) Run(input []byte) []Report {
 	return s.Reports()
 }
 
+// RunContext resets the simulator and processes input in chunks of
+// CancelCheckInterval symbols, checking ctx between chunks. On
+// cancellation it returns the reports produced so far together with
+// ctx.Err().
+func (s *Simulator) RunContext(ctx context.Context, input []byte) ([]Report, error) {
+	s.Reset()
+	for len(input) > 0 {
+		if err := ctx.Err(); err != nil {
+			return s.Reports(), err
+		}
+		chunk := input
+		if len(chunk) > CancelCheckInterval {
+			chunk = chunk[:CancelCheckInterval]
+		}
+		for _, b := range chunk {
+			s.Step(b)
+		}
+		input = input[len(chunk):]
+	}
+	return s.Reports(), nil
+}
+
 // Run is a convenience that simulates the network over input and returns
 // its report events.
 func (n *Network) Run(input []byte) ([]Report, error) {
@@ -209,4 +234,15 @@ func (n *Network) Run(input []byte) ([]Report, error) {
 		return nil, err
 	}
 	return s.Run(input), nil
+}
+
+// RunContext is Run with cooperative cancellation: simulation proceeds in
+// chunks and aborts with ctx.Err() (returning the reports produced so far)
+// once ctx is done.
+func (n *Network) RunContext(ctx context.Context, input []byte) ([]Report, error) {
+	s, err := NewSimulator(n)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunContext(ctx, input)
 }

@@ -60,8 +60,29 @@ type Placement struct {
 	BlockOf []int
 	// RowOf maps element id to its row within its block.
 	RowOf []int
+	// PhysicalBlocks maps each logical block index to the physical board
+	// block it occupies. With a defect map configured, defective blocks
+	// are routed around and never appear here.
+	PhysicalBlocks []int
 	// Metrics are the Table 5 statistics.
 	Metrics Metrics
+}
+
+// CapacityError is returned when a design does not fit the board's healthy
+// capacity — either because the design is too large or because too many
+// blocks are defective. It is matched with errors.As.
+type CapacityError struct {
+	Design    string
+	Needed    int // blocks the placed design requires
+	Healthy   int // usable blocks on the board
+	Defective int // blocks lost to defects
+	Total     int // physical blocks on the board
+}
+
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf(
+		"place: design %q needs %d blocks but only %d of %d board blocks are healthy (%d defective); shrink the design, raise Config.MaxBlocks, or provision a board with fewer defects",
+		e.Design, e.Needed, e.Healthy, e.Total, e.Defective)
 }
 
 // Config controls placement.
@@ -77,6 +98,13 @@ type Config struct {
 	// RefinePasses is the number of refinement sweeps of the baseline
 	// global placement; <= 0 uses 6.
 	RefinePasses int
+	// Defects marks physically defective board blocks; placement assigns
+	// logical blocks only to healthy physical blocks. nil means a
+	// defect-free board.
+	Defects *ap.DefectMap
+	// MaxBlocks caps the physical blocks available; 0 means the defect
+	// map's size when one is set, otherwise the full board.
+	MaxBlocks int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -548,9 +576,48 @@ func (p *partitioner) finish() (*Placement, error) {
 		blockOf[id] = remap[p.blockOf[id]]
 	}
 
+	phys, err := physicalAssignment(p.net.Name, blocks, p.cfg)
+	if err != nil {
+		return nil, err
+	}
 	rowOf := assignRows(p.net, blockOf, blocks, res, p.assignOrder)
 	m := computeMetrics(p.net, blockOf, rowOf, blocks, p.broadcast, res)
-	return &Placement{Network: p.net, BlockOf: blockOf, RowOf: rowOf, Metrics: m}, nil
+	return &Placement{Network: p.net, BlockOf: blockOf, RowOf: rowOf, PhysicalBlocks: phys, Metrics: m}, nil
+}
+
+// physicalAssignment maps the needed logical blocks onto healthy physical
+// board blocks in increasing order, routing around defects, and returns a
+// typed *CapacityError when the healthy capacity is insufficient.
+func physicalAssignment(design string, needed int, cfg Config) ([]int, error) {
+	total := cfg.MaxBlocks
+	if total <= 0 {
+		if cfg.Defects != nil {
+			total = cfg.Defects.Total()
+		} else {
+			total = cfg.Res.TotalBlocks()
+		}
+	}
+	defective := 0
+	phys := make([]int, 0, needed)
+	for b := 0; b < total; b++ {
+		if cfg.Defects != nil && cfg.Defects.Defective(b) {
+			defective++
+			continue
+		}
+		if len(phys) < needed {
+			phys = append(phys, b)
+		}
+	}
+	if len(phys) < needed {
+		return nil, &CapacityError{
+			Design:    design,
+			Needed:    needed,
+			Healthy:   total - defective,
+			Defective: defective,
+			Total:     total,
+		}
+	}
+	return phys, nil
 }
 
 // assignRows packs each block's STEs into rows of STEsPerRow following the

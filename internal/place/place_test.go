@@ -1,6 +1,8 @@
 package place
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/ap"
@@ -237,5 +239,76 @@ func TestMetricsBounds(t *testing.T) {
 	}
 	if m.MeanBRAlloc < 0 || m.MeanBRAlloc > 1 {
 		t.Fatalf("BR alloc out of range: %f", m.MeanBRAlloc)
+	}
+}
+
+func TestPlacePhysicalBlocksIdentityWithoutDefects(t *testing.T) {
+	p, err := Place(manyChains(30, 10), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.PhysicalBlocks) != p.Metrics.TotalBlocks {
+		t.Fatalf("physical mapping covers %d blocks, want %d", len(p.PhysicalBlocks), p.Metrics.TotalBlocks)
+	}
+	for logical, phys := range p.PhysicalBlocks {
+		if phys != logical {
+			t.Fatalf("defect-free board: logical %d → physical %d, want identity", logical, phys)
+		}
+	}
+}
+
+func TestPlaceRoutesAroundDefectiveBlocks(t *testing.T) {
+	defects := ap.NewDefectMap(64, 0, 1, 3)
+	p, err := Place(manyChains(100, 20), Config{SkipOptimize: true, Defects: defects})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Metrics.TotalBlocks < 2 {
+		t.Fatalf("test design too small: %d blocks", p.Metrics.TotalBlocks)
+	}
+	seen := map[int]bool{}
+	for _, phys := range p.PhysicalBlocks {
+		if defects.Defective(phys) {
+			t.Fatalf("logical block mapped onto defective physical block %d", phys)
+		}
+		if seen[phys] {
+			t.Fatalf("physical block %d assigned twice", phys)
+		}
+		seen[phys] = true
+	}
+	// Blocks 0, 1, 3 are bad, so placement must start at 2 then 4, 5, ...
+	if p.PhysicalBlocks[0] != 2 {
+		t.Fatalf("first healthy block = %d, want 2", p.PhysicalBlocks[0])
+	}
+}
+
+func TestPlaceInsufficientCapacityAfterDefects(t *testing.T) {
+	// A board of 8 blocks with 6 defective cannot hold a multi-block
+	// design: expect the typed, actionable capacity error.
+	defects := ap.NewDefectMap(8, 0, 1, 2, 3, 4, 5)
+	_, err := Place(manyChains(100, 20), Config{SkipOptimize: true, Defects: defects})
+	var ce *CapacityError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CapacityError", err)
+	}
+	if ce.Healthy != 2 || ce.Defective != 6 || ce.Total != 8 {
+		t.Fatalf("capacity error fields = %+v", ce)
+	}
+	if ce.Needed <= ce.Healthy {
+		t.Fatalf("needed %d should exceed healthy %d", ce.Needed, ce.Healthy)
+	}
+	if !strings.Contains(ce.Error(), "defective") {
+		t.Fatalf("error not actionable: %v", ce)
+	}
+}
+
+func TestPlaceMaxBlocksCapsBoard(t *testing.T) {
+	_, err := Place(manyChains(100, 20), Config{SkipOptimize: true, MaxBlocks: 1})
+	var ce *CapacityError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CapacityError", err)
+	}
+	if ce.Total != 1 || ce.Defective != 0 {
+		t.Fatalf("capacity error fields = %+v", ce)
 	}
 }

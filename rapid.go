@@ -27,6 +27,7 @@
 package rapid
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -173,11 +174,23 @@ func (d *Design) Run(input []byte) ([]Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	return convertReports(raw, d.reports), nil
+}
+
+// RunContext is Run with cooperative cancellation: the simulation proceeds
+// in chunks and aborts promptly with ctx.Err() once ctx is done, returning
+// the reports produced up to that point.
+func (d *Design) RunContext(ctx context.Context, input []byte) ([]Report, error) {
+	raw, err := d.net.RunContext(ctx, input)
+	return convertReports(raw, d.reports), err
+}
+
+func convertReports(raw []automata.Report, sites map[int]string) []Report {
 	out := make([]Report, len(raw))
 	for i, r := range raw {
-		out[i] = Report{Offset: r.Offset, Code: r.Code, Site: d.reports[r.Code]}
+		out[i] = Report{Offset: r.Offset, Code: r.Code, Site: sites[r.Code]}
 	}
-	return out, nil
+	return out
 }
 
 // Offsets returns the distinct report offsets of a report list, sorted.
@@ -295,14 +308,27 @@ func (d *Design) NewRunner() (*Runner, error) {
 }
 
 // Run streams input through the design and returns the report events. The
-// runner resets between calls and is not safe for concurrent use.
+// runner resets between calls and is not safe for concurrent use; Clone
+// gives each goroutine its own cheap copy.
 func (r *Runner) Run(input []byte) []Report {
-	raw := r.sim.Run(input)
-	out := make([]Report, len(raw))
-	for i, rep := range raw {
-		out[i] = Report{Offset: rep.Offset, Code: rep.Code, Site: r.reports[rep.Code]}
-	}
-	return out
+	return convertReports(r.sim.Run(input), r.reports)
+}
+
+// RunContext is Run with cooperative cancellation: the stream is processed
+// in chunks and aborts promptly with ctx.Err() once ctx is done, returning
+// the reports produced up to that point.
+func (r *Runner) RunContext(ctx context.Context, input []byte) ([]Report, error) {
+	raw, err := r.sim.RunContext(ctx, input)
+	return convertReports(raw, r.reports), err
+}
+
+// Clone returns an independent runner for the same design that shares the
+// precomputed O(elements × alphabet) acceptance tables but owns its own
+// mutable execution state. Cloning is cheap (O(elements/64)), so a server
+// can run one compiled design across many goroutines — one clone each —
+// without rebuilding the tables.
+func (r *Runner) Clone() *Runner {
+	return &Runner{sim: r.sim.Clone(), reports: r.reports}
 }
 
 // WriteDot renders the design in Graphviz DOT format for visualization.

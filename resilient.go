@@ -1,0 +1,98 @@
+package rapid
+
+import (
+	"context"
+
+	"repro/internal/automata"
+	"repro/internal/resilience"
+)
+
+// RunOptions configures fault-tolerant streaming execution.
+type RunOptions struct {
+	// Checkpoint is the number of symbols between simulator snapshots;
+	// a transient fault replays only from the last snapshot. <= 0 uses
+	// 4096 (the cancellation-check interval).
+	Checkpoint int
+	// Policy bounds and paces retries of each checkpoint segment. The
+	// zero value means 3 attempts with jittered exponential backoff.
+	Policy resilience.Policy
+	// BeforeSymbol, when non-nil, is consulted before each stream offset
+	// is processed; returning an error models a device fault at that
+	// offset (ap.Injector.BeforeSymbol fits this hook). The error aborts
+	// the current segment, which is retried from its checkpoint under
+	// Policy.
+	BeforeSymbol func(offset int) error
+	// MapSymbol, when non-nil, transforms the symbol the device sees at
+	// each offset (ap.Injector.Apply fits this hook) — the model of a
+	// corrupting data path.
+	MapSymbol func(offset int, sym byte) byte
+}
+
+func (o *RunOptions) withDefaults() RunOptions {
+	var out RunOptions
+	if o != nil {
+		out = *o
+	}
+	if out.Checkpoint <= 0 {
+		out.Checkpoint = automata.CancelCheckInterval
+	}
+	return out
+}
+
+// RunStats describes what fault handling a resilient run performed.
+type RunStats struct {
+	// Checkpoints is the number of snapshots taken.
+	Checkpoints int
+	// Retries is the number of segment replays after transient faults.
+	Retries int
+	// ReplayedSymbols is the total symbols re-processed across replays.
+	ReplayedSymbols int
+}
+
+// RunResilient streams input through the design with checkpoint-replay
+// fault tolerance: the simulator state is snapshotted every
+// opts.Checkpoint symbols, and when a fault interrupts a segment the run
+// backs off, restores the last snapshot, and replays only that segment —
+// bounded by opts.Policy. Reports are byte-identical to a fault-free run
+// whenever the faults are transient (they heal within the retry budget).
+// Cancellation via ctx aborts between segments and returns ctx.Err().
+func (r *Runner) RunResilient(ctx context.Context, input []byte, opts *RunOptions) ([]Report, RunStats, error) {
+	o := opts.withDefaults()
+	var stats RunStats
+	sim := r.sim
+	sim.Reset()
+	snap := sim.Snapshot()
+	for start := 0; start < len(input); {
+		end := start + o.Checkpoint
+		if end > len(input) {
+			end = len(input)
+		}
+		err := resilience.Retry(ctx, o.Policy, func(attempt int) error {
+			if attempt > 0 {
+				stats.Retries++
+				stats.ReplayedSymbols += sim.Offset() - snap.Offset()
+				sim.Restore(snap)
+			}
+			for off := sim.Offset(); off < end; off++ {
+				if o.BeforeSymbol != nil {
+					if err := o.BeforeSymbol(off); err != nil {
+						return err
+					}
+				}
+				sym := input[off]
+				if o.MapSymbol != nil {
+					sym = o.MapSymbol(off, sym)
+				}
+				sim.Step(sym)
+			}
+			return nil
+		})
+		if err != nil {
+			return convertReports(sim.Reports(), r.reports), stats, err
+		}
+		snap = sim.Snapshot()
+		stats.Checkpoints++
+		start = end
+	}
+	return convertReports(sim.Reports(), r.reports), stats, nil
+}
