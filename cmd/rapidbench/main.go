@@ -7,25 +7,73 @@
 //	rapidbench -table 4              # program size and STE usage
 //	rapidbench -table 5              # placement and routing statistics
 //	rapidbench -table 6 -scale 1     # tessellation at full paper sizes
+//	rapidbench -throughput           # CPU-tier MB/s + BENCH_throughput.json
 //
 // Table 6 builds full-board designs; -scale shrinks the paper's problem
 // sizes proportionally (e.g. 0.05 runs at 5%).
+//
+// -cpuprofile and -memprofile write pprof profiles of whichever mode ran,
+// for digging into compiler or engine hot spots:
+//
+//	rapidbench -throughput -cpuprofile cpu.pprof
+//	go tool pprof cpu.pprof
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	rapid "repro"
+	"repro/internal/bench"
 	"repro/internal/harness"
 )
 
 func main() {
 	var (
-		table = flag.String("table", "all", "which table to regenerate: 4, 5, 6, or all")
-		scale = flag.Float64("scale", 1.0, "Table 6 problem-size scale in (0, 1]")
+		table      = flag.String("table", "all", "which table to regenerate: 4, 5, 6, or all")
+		scale      = flag.Float64("scale", 1.0, "Table 6 problem-size scale in (0, 1]")
+		throughput = flag.Bool("throughput", false, "measure CPU execution-tier throughput instead of the paper tables")
+		streamMiB  = flag.Int("mib", 1, "throughput stream size per benchmark, in MiB")
+		outJSON    = flag.String("out", "BENCH_throughput.json", "throughput JSON output path (empty to skip)")
+		aotMax     = flag.Int("aotmax", 50_000, "AOT DFA state budget; designs exceeding it fall back to the lazy tier")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	if *throughput {
+		runThroughput(*streamMiB, *aotMax, *outJSON)
+		return
+	}
 
 	run4 := *table == "4" || *table == "all"
 	run5 := *table == "5" || *table == "all"
@@ -57,6 +105,61 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(harness.FormatTable6(rows))
+	}
+}
+
+// runThroughput measures the single-stream CPU tiers on every benchmark,
+// then the multi-stream batch engine on the Exact workload at 1 worker and
+// at the host's parallelism, and prints the table (plus JSON when -out is
+// set).
+func runThroughput(streamMiB, aotMax int, outJSON string) {
+	rows, err := harness.Throughput(&harness.ThroughputConfig{
+		StreamBytes:  streamMiB << 20,
+		AOTMaxStates: aotMax,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	mb := bench.Exact()
+	src, args := mb.RAPID(mb.DefaultInstances)
+	prog, err := rapid.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	design, err := prog.Compile(args...)
+	if err != nil {
+		fatal(err)
+	}
+	streams := harness.MultiStreamWorkload(mb, 2*runtime.GOMAXPROCS(0), streamMiB<<17, 2)
+	workerSet := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerSet = append(workerSet, n)
+	}
+	for _, workers := range workerSet {
+		eng, err := design.NewEngine(&rapid.EngineOptions{Workers: workers})
+		if err != nil {
+			fatal(err)
+		}
+		r, err := harness.BatchThroughput(mb.Name, "engine-batch", workers, streams,
+			func(ss [][]byte) (int, error) {
+				res, err := eng.RunBatch(context.Background(), ss)
+				total := 0
+				for _, reports := range res {
+					total += len(reports)
+				}
+				return total, err
+			})
+		if err != nil {
+			fatal(err)
+		}
+		rows = append(rows, r)
+	}
+	fmt.Print(harness.FormatThroughput(rows))
+	if outJSON != "" {
+		if err := harness.WriteThroughputJSON(outJSON, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", outJSON)
 	}
 }
 

@@ -7,6 +7,7 @@
 //	rapidrun -src program.rapid -args '[["rapid"]]' -input data.bin
 //	rapidrun -src program.rapid -args '[["rapid"]]' -text "xxrapidxx"
 //	rapidrun ... -interp     # use the reference interpreter instead
+//	rapidrun ... -engine     # use the lazy-DFA CPU engine instead
 //
 // With -sep, the input text is split on commas and streamed as records
 // separated by the reserved START_OF_INPUT symbol (0xFF), with a leading
@@ -32,6 +33,7 @@ func main() {
 		text      = flag.String("text", "", "input stream text (alternative to -input)")
 		sep       = flag.Bool("sep", false, "treat -text as comma-separated records joined by the reserved separator")
 		useInterp = flag.Bool("interp", false, "run the reference interpreter instead of the compiled design")
+		useEngine = flag.Bool("engine", false, "run on the lazy-DFA CPU engine instead of the functional AP model")
 		trace     = flag.Bool("trace", false, "print a per-cycle execution trace (active elements, reports)")
 	)
 	flag.Parse()
@@ -95,7 +97,22 @@ func main() {
 		}
 		return
 	}
-	reports, err := design.RunContext(ctx, input)
+	var reports []rapid.Report
+	if *useEngine {
+		eng, err := design.NewEngine(nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rapidrun: engine tiers: %s\n", eng.Tiers())
+		reports, err = eng.Run(ctx, input)
+		printReports(reports, err)
+		return
+	}
+	reports, err = design.RunContext(ctx, input)
+	printReports(reports, err)
+}
+
+func printReports(reports []rapid.Report, err error) {
 	for _, r := range reports {
 		fmt.Printf("report offset=%d code=%d %s\n", r.Offset, r.Code, r.Site)
 	}

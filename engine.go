@@ -1,0 +1,218 @@
+package rapid
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lazydfa"
+)
+
+// EngineOptions tune a Design's batch execution engine.
+type EngineOptions struct {
+	// Workers is the worker-pool size for RunBatch and RunRecords.
+	// Default GOMAXPROCS.
+	Workers int
+	// MaxCachedStates caps each worker's lazy-DFA state cache; the cache
+	// flushes and restarts when full, so memory stays bounded without
+	// aborting. Default lazydfa.DefaultMaxCachedStates.
+	MaxCachedStates int
+}
+
+// Engine is a reusable high-throughput executor for one design, built on
+// the lazy-DFA matching tier (with the bitset-simulator fallback for
+// counter and gate components). One engine serves many goroutines: each
+// worker draws an independent matcher clone and a recycled report buffer
+// from internal pools, so per-stream setup cost is a pool hit, not a
+// table rebuild.
+//
+// Engines are safe for concurrent use.
+type Engine struct {
+	proto   *lazydfa.Matcher
+	reports map[int]string
+	workers int
+
+	matchers sync.Pool // *lazydfa.Matcher
+	bufs     sync.Pool // *[]lazydfa.Report
+}
+
+// NewEngine builds the design's batch execution engine. Pass nil for
+// default options. Unlike CompileCPU, engine construction never aborts on
+// design size: the lazy tier's memory is bounded by the state-cache cap,
+// and counters and gates run on the bitset fallback.
+func (d *Design) NewEngine(opts *EngineOptions) (*Engine, error) {
+	var o EngineOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	proto, err := lazydfa.New(d.net, &lazydfa.Options{MaxCachedStates: o.MaxCachedStates})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{proto: proto, reports: d.reports, workers: o.Workers}
+	e.matchers.New = func() any { return e.proto.Clone() }
+	e.bufs.New = func() any { return new([]lazydfa.Report) }
+	return e, nil
+}
+
+// Workers returns the engine's worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Tiers describes the engine's execution split: "lazy-dfa",
+// "lazy-dfa+bitset", or "bitset".
+func (e *Engine) Tiers() string {
+	switch {
+	case e.proto.HasLazyTier() && e.proto.HasBitsetTier():
+		return "lazy-dfa+bitset"
+	case e.proto.HasLazyTier():
+		return "lazy-dfa"
+	default:
+		return "bitset"
+	}
+}
+
+// Run executes one stream on a pooled matcher and returns the report
+// events in (offset, code) order, deduplicated by (offset, code).
+func (e *Engine) Run(ctx context.Context, input []byte) ([]Report, error) {
+	m := e.matchers.Get().(*lazydfa.Matcher)
+	defer e.matchers.Put(m)
+	return e.runOn(ctx, m, input)
+}
+
+func (e *Engine) runOn(ctx context.Context, m *lazydfa.Matcher, input []byte) ([]Report, error) {
+	bufp := e.bufs.Get().(*[]lazydfa.Report)
+	defer e.bufs.Put(bufp)
+	raw, err := m.RunAppend(ctx, input, (*bufp)[:0])
+	*bufp = raw[:0]
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Report, len(raw))
+	for i, r := range raw {
+		out[i] = Report{Offset: r.Offset, Code: r.Code, Site: e.reports[r.Code]}
+	}
+	return out, nil
+}
+
+// RunBatch shards independent streams across the engine's worker pool and
+// returns one report slice per input, in input order regardless of
+// completion order. The first error (or ctx cancellation) stops the
+// remaining work; results for streams already completed are still
+// returned alongside the error.
+func (e *Engine) RunBatch(ctx context.Context, inputs [][]byte) ([][]Report, error) {
+	results := make([][]Report, len(inputs))
+	if len(inputs) == 0 {
+		return results, ctx.Err()
+	}
+	workers := e.workers
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers <= 1 {
+		m := e.matchers.Get().(*lazydfa.Matcher)
+		defer e.matchers.Put(m)
+		for i, input := range inputs {
+			reports, err := e.runOn(ctx, m, input)
+			if err != nil {
+				return results, fmt.Errorf("rapid: engine stream %d: %w", i, err)
+			}
+			results[i] = reports
+		}
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next.Store(-1)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := e.matchers.Get().(*lazydfa.Matcher)
+			defer e.matchers.Put(m)
+			for {
+				i := int(next.Add(1))
+				if i >= len(inputs) {
+					return
+				}
+				reports, err := e.runOn(ctx, m, inputs[i])
+				if err != nil {
+					fail(fmt.Errorf("rapid: engine stream %d: %w", i, err))
+					return
+				}
+				results[i] = reports
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// RecordReports is the result of executing one record of a framed stream.
+type RecordReports struct {
+	// Index is the record's position in the stream.
+	Index int
+	// Offset is the stream offset of the record's first symbol.
+	Offset int
+	// Reports carries the record's report events with offsets rebased to
+	// the enclosing stream, so they line up with a whole-stream run.
+	Reports []Report
+}
+
+// RunRecords splits a stream framed with the reserved START_OF_INPUT
+// separator (see FrameRecords) into records and executes each as an
+// independent stream across the worker pool. Every record is re-framed
+// with a leading and trailing separator, so designs written against the
+// paper's flattened-array convention see each record exactly as they
+// would in the whole stream; report offsets are rebased to stream
+// coordinates. Records must be independent — automaton state does not
+// carry across separators, which is the convention's intent.
+func (e *Engine) RunRecords(ctx context.Context, stream []byte) ([]RecordReports, error) {
+	records, offsets := SplitRecords(stream)
+	framed := make([][]byte, len(records))
+	for i, rec := range records {
+		framed[i] = FrameRecords(rec)
+	}
+	results, err := e.RunBatch(ctx, framed)
+	out := make([]RecordReports, len(records))
+	for i := range records {
+		rr := RecordReports{Index: i, Offset: offsets[i]}
+		// Framed symbol k maps to stream offset offsets[i]-1+k: index 0 is
+		// the record's leading separator, which sits one symbol before the
+		// record in the stream.
+		for _, r := range results[i] {
+			r.Offset += offsets[i] - 1
+			rr.Reports = append(rr.Reports, r)
+		}
+		out[i] = rr
+	}
+	return out, err
+}
+
+// Matcher adapts the engine to the failover backend interface under the
+// name "lazy-dfa".
+func (e *Engine) Matcher() Matcher { return &engineMatcher{e} }
+
+type engineMatcher struct{ e *Engine }
+
+func (m *engineMatcher) Name() string { return "lazy-dfa" }
+func (m *engineMatcher) Match(ctx context.Context, input []byte) ([]Report, error) {
+	return m.e.Run(ctx, input)
+}

@@ -1,0 +1,265 @@
+package rapid
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestEngineMatchesSimulatorOnBenchmarks is the paper-benchmark half of the
+// lazy-DFA cross-check property: on all five benchmark apps the engine's
+// report set equals both the reference simulator's and the fast bitset
+// simulator's. Brill and MOTOMATA contain counters, so this also exercises
+// the hybrid fallback on real designs.
+func TestEngineMatchesSimulatorOnBenchmarks(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			src, args := b.RAPID(b.DefaultInstances)
+			prog, err := Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			design, err := prog.Compile(args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := design.NewEngine(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			small, err := design.NewEngine(&EngineOptions{MaxCachedStates: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runner, err := design.NewRunner()
+			if err != nil {
+				t.Fatal(err)
+			}
+			input := b.Input(rng, 2048)
+			want, err := design.Run(input) // reference simulator
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSet := reportSet(want)
+			if fast := reportSet(runner.Run(input)); !reflect.DeepEqual(fast, wantSet) {
+				t.Fatalf("fast simulator diverged from reference")
+			}
+			got, err := eng.Run(context.Background(), input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotSet := reportSet(got); !reflect.DeepEqual(gotSet, wantSet) {
+				t.Fatalf("engine report set %v != simulator %v", gotSet, wantSet)
+			}
+			gotSmall, err := small.Run(context.Background(), input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if smallSet := reportSet(gotSmall); !reflect.DeepEqual(smallSet, wantSet) {
+				t.Fatalf("cache-bound engine diverged (tiers %s)", small.Tiers())
+			}
+		})
+	}
+}
+
+// TestEngineRunBatchOrder checks RunBatch returns results in input order,
+// identical to stream-at-a-time execution, across a multi-worker pool.
+func TestEngineRunBatchOrder(t *testing.T) {
+	design := mustDesign(t, slidingSrc, Str("abc"))
+	eng, err := design.NewEngine(&EngineOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Workers() != 8 {
+		t.Fatalf("workers = %d", eng.Workers())
+	}
+	rng := rand.New(rand.NewSource(3))
+	inputs := make([][]byte, 37)
+	for i := range inputs {
+		in := make([]byte, 100+rng.Intn(400))
+		for j := range in {
+			in[j] = byte('a' + rng.Intn(3))
+		}
+		inputs[i] = in
+	}
+	got, err := eng.RunBatch(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(inputs) {
+		t.Fatalf("results = %d, want %d", len(got), len(inputs))
+	}
+	for i, input := range inputs {
+		want, err := eng.Run(context.Background(), input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(reportSet(got[i]), reportSet(want)) {
+			t.Fatalf("stream %d out of order or wrong: %v != %v", i, got[i], want)
+		}
+	}
+	// Repeated batches on warm pools stay stable.
+	again, err := eng.RunBatch(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(reportSet(got[i]), reportSet(again[i])) {
+			t.Fatalf("warm batch diverged on stream %d", i)
+		}
+	}
+}
+
+// TestEngineRunBatchCancel checks cancellation surfaces an error.
+func TestEngineRunBatchCancel(t *testing.T) {
+	design := mustDesign(t, slidingSrc, Str("abc"))
+	eng, err := design.NewEngine(&EngineOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inputs := make([][]byte, 16)
+	for i := range inputs {
+		inputs[i] = make([]byte, 1<<17)
+	}
+	if _, err := eng.RunBatch(ctx, inputs); err == nil {
+		t.Fatal("cancelled batch should error")
+	}
+}
+
+// TestEngineRunRecords checks the framed-record path: per-record parallel
+// execution with offsets rebased to stream coordinates matches a
+// whole-stream run for record-independent designs.
+func TestEngineRunRecords(t *testing.T) {
+	design := mustDesign(t, slidingSrc, Str("abc"))
+	eng, err := design.NewEngine(&EngineOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []string{"xxabcx", "abc", "bca", "aabcabc", "zzz"}
+	stream := FrameStrings(records...)
+	want, err := design.Run(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.RunRecords(context.Background(), stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("records = %d, want %d", len(got), len(records))
+	}
+	var merged []Report
+	for i, rr := range got {
+		if rr.Index != i {
+			t.Fatalf("record %d has index %d", i, rr.Index)
+		}
+		merged = append(merged, rr.Reports...)
+	}
+	if !reflect.DeepEqual(reportSet(merged), reportSet(want)) {
+		t.Fatalf("record reports %v != whole-stream %v", reportSet(merged), reportSet(want))
+	}
+}
+
+// TestEngineReportSites checks the engine resolves report sites like the
+// other backends.
+func TestEngineReportSites(t *testing.T) {
+	design := mustDesign(t, slidingSrc, Str("ab"))
+	eng, err := design.NewEngine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := eng.Run(context.Background(), []byte("xabx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 || reports[0].Site == "" {
+		t.Fatalf("engine lost report sites: %v", reports)
+	}
+}
+
+// TestEngineCounterDesign checks an all-counter design (no lazy tier) still
+// runs through the engine, including batches.
+func TestEngineCounterDesign(t *testing.T) {
+	const src = `
+network (String s) {
+  Counter cnt;
+  whenever (ALL_INPUT == input()) {
+    foreach (char c : s) c == input();
+    cnt.count();
+    cnt >= 2;
+    report;
+  }
+}`
+	design := mustDesign(t, src, Str("ab"))
+	eng, err := design.NewEngine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Tiers() != "bitset" {
+		t.Fatalf("tiers = %q, want bitset", eng.Tiers())
+	}
+	input := []byte("abxabxab")
+	want, err := design.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Run(context.Background(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reportSet(got), reportSet(want)) {
+		t.Fatalf("engine %v != simulator %v", reportSet(got), reportSet(want))
+	}
+}
+
+// BenchmarkEngineBatch measures multi-stream scaling: the same byte volume
+// through Engine.Run one stream at a time versus RunBatch across the
+// worker pool. On multi-core hosts the batch path approaches
+// workers × single-stream throughput; BENCH_throughput.json records the
+// measured ratio.
+func BenchmarkEngineBatch(b *testing.B) {
+	design, err := mustProgramBench(slidingSrc).Compile(Str("abc"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	const streams, streamBytes = 32, 1 << 15
+	inputs := make([][]byte, streams)
+	for i := range inputs {
+		in := make([]byte, streamBytes)
+		for j := range in {
+			in[j] = byte('a' + rng.Intn(3))
+		}
+		inputs[i] = in
+	}
+	for _, workers := range []int{1, 8} {
+		eng, err := design.NewEngine(&EngineOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(streams * streamBytes))
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RunBatch(context.Background(), inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func mustProgramBench(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}

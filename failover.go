@@ -117,7 +117,9 @@ func NewFailoverChain(backends ...Matcher) *FailoverChain {
 
 // FailoverChain builds the design's standard degradation ladder: the fast
 // device model, then the determinized CPU DFA (skipped when the design
-// cannot be determinized, e.g. counters), then the reference simulator.
+// cannot be determinized, e.g. counters), then the bounded-memory lazy-DFA
+// engine (always available — counters run on its bitset fallback), then
+// the reference simulator.
 func (d *Design) FailoverChain() (*FailoverChain, error) {
 	runner, err := d.NewRunner()
 	if err != nil {
@@ -126,6 +128,9 @@ func (d *Design) FailoverChain() (*FailoverChain, error) {
 	backends := []Matcher{runner.Matcher()}
 	if cpu, err := d.CompileCPU(); err == nil {
 		backends = append(backends, cpu.Matcher())
+	}
+	if eng, err := d.NewEngine(nil); err == nil {
+		backends = append(backends, eng.Matcher())
 	}
 	backends = append(backends, d.ReferenceMatcher())
 	return NewFailoverChain(backends...), nil

@@ -1,0 +1,114 @@
+package automata
+
+// Component splitting for hybrid CPU execution: a network's weakly-connected
+// components are independent automata that never exchange activations, so a
+// CPU backend may execute each with whatever engine fits it best. In
+// particular, components free of counters and gates can be determinized,
+// while components containing special elements must run on an NFA simulator.
+
+// SplitSpecials partitions the network's weakly-connected components into a
+// counter-free subnetwork (the union of components containing only STEs) and
+// a special subnetwork (the union of components containing at least one
+// counter or gate). Components with no start STE can never activate —
+// every enable ultimately originates at a start STE within the same
+// component — and are dropped. Either result may be nil when empty.
+//
+// Element names, classes, start kinds, report flags, and report codes are
+// preserved; IDs are renumbered densely within each subnetwork.
+func SplitSpecials(n *Network) (pure, special *Network) {
+	uf := newUnionFind(n.Len())
+	for id := range n.elems {
+		for _, out := range n.outs[id] {
+			uf.union(id, int(out.To))
+		}
+	}
+	hasSpecial := map[int]bool{}
+	hasStart := map[int]bool{}
+	for i := range n.elems {
+		root := uf.find(i)
+		e := &n.elems[i]
+		if e.Kind != KindSTE {
+			hasSpecial[root] = true
+		} else if e.Start != StartNone {
+			hasStart[root] = true
+		}
+	}
+	keepPure := func(i int) bool {
+		root := uf.find(i)
+		return !hasSpecial[root] && hasStart[root]
+	}
+	keepSpecial := func(i int) bool {
+		root := uf.find(i)
+		return hasSpecial[root] && hasStart[root]
+	}
+	return extract(n, n.Name+"-pure", keepPure), extract(n, n.Name+"-special", keepSpecial)
+}
+
+// extract builds the subnetwork of elements selected by keep, remapping IDs
+// densely. Edges between kept elements are preserved; a weakly-connected
+// selection never has edges crossing the cut. Returns nil when no element is
+// kept.
+func extract(n *Network, name string, keep func(int) bool) *Network {
+	remap := make([]ElementID, n.Len())
+	for i := range remap {
+		remap[i] = NoElement
+	}
+	out := NewNetwork(name)
+	for i := range n.elems {
+		if !keep(i) {
+			continue
+		}
+		e := n.elems[i] // copy; add reassigns ID
+		remap[i] = out.add(e)
+	}
+	if out.Len() == 0 {
+		return nil
+	}
+	for i := range n.elems {
+		if remap[i] == NoElement {
+			continue
+		}
+		for _, edge := range n.outs[i] {
+			if to := remap[edge.To]; to != NoElement {
+				out.Connect(remap[i], to, edge.Port)
+			}
+		}
+	}
+	return out
+}
+
+// unionFind is a standard disjoint-set forest with path halving and union
+// by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}

@@ -1,0 +1,107 @@
+package automata
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/charclass"
+)
+
+func splitChain(n *Network, word string, start StartKind) ElementID {
+	prev := NoElement
+	for i := 0; i < len(word); i++ {
+		kind := StartNone
+		if i == 0 {
+			kind = start
+		}
+		id := n.AddSTE(charclass.Single(word[i]), kind)
+		if prev != NoElement {
+			n.Connect(prev, id, PortIn)
+		}
+		prev = id
+	}
+	return prev
+}
+
+func TestSplitSpecialsPartition(t *testing.T) {
+	n := NewNetwork("mix")
+	// Component 1: pure chain, reporting.
+	a := splitChain(n, "ab", StartAllInput)
+	n.SetReport(a, 1)
+	// Component 2: chain driving a counter.
+	b := splitChain(n, "x", StartAllInput)
+	ctr := n.AddCounter(2)
+	n.Connect(b, ctr, PortCount)
+	n.SetReport(ctr, 2)
+	// Component 3: dead chain (no start STE) — must be dropped.
+	dead := n.AddSTE(charclass.Single('z'), StartNone)
+	n.SetReport(dead, 3)
+
+	pure, special := SplitSpecials(n)
+	if pure == nil || special == nil {
+		t.Fatalf("pure=%v special=%v, want both non-nil", pure, special)
+	}
+	ps, ss := pure.Stats(), special.Stats()
+	if ps.STEs != 2 || ps.Counters != 0 || ps.Reporting != 1 {
+		t.Fatalf("pure stats = %+v", ps)
+	}
+	if ss.STEs != 1 || ss.Counters != 1 || ss.Reporting != 1 {
+		t.Fatalf("special stats = %+v", ss)
+	}
+	if err := pure.Validate(); err != nil {
+		t.Fatalf("pure subnetwork invalid: %v", err)
+	}
+	if err := special.Validate(); err != nil {
+		t.Fatalf("special subnetwork invalid: %v", err)
+	}
+
+	// Behavior is preserved: the halves' merged report sets equal the
+	// whole network's.
+	input := []byte("abxxab")
+	whole, err := n.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := pure.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := special.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := func(rs []Report) map[[2]int]bool {
+		m := map[[2]int]bool{}
+		for _, r := range rs {
+			m[[2]int{r.Offset, r.Code}] = true
+		}
+		return m
+	}
+	want := offsets(whole)
+	got := offsets(append(pr, sr...))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("split run %v != whole run %v", got, want)
+	}
+}
+
+func TestSplitSpecialsAllPure(t *testing.T) {
+	n := NewNetwork("pure")
+	a := splitChain(n, "ab", StartAllInput)
+	n.SetReport(a, 0)
+	pure, special := SplitSpecials(n)
+	if pure == nil || special != nil {
+		t.Fatalf("pure=%v special=%v, want pure only", pure, special)
+	}
+}
+
+func TestSplitSpecialsAllSpecial(t *testing.T) {
+	n := NewNetwork("ctr")
+	a := splitChain(n, "a", StartAllInput)
+	ctr := n.AddCounter(1)
+	n.Connect(a, ctr, PortCount)
+	n.SetReport(ctr, 0)
+	pure, special := SplitSpecials(n)
+	if pure != nil || special == nil {
+		t.Fatalf("pure=%v special=%v, want special only", pure, special)
+	}
+}

@@ -32,6 +32,11 @@ type Report struct {
 type DFA struct {
 	// next[state*256 + symbol] is the successor state.
 	next []int32
+	// hasReport is a dense bitmask over (state, symbol) pairs: bit
+	// state*256+symbol is set when the pair reports. The hot byte loop
+	// tests this mask — one table load and one branch — and consults the
+	// reportsAt map only on the rare reporting path.
+	hasReport []uint64
 	// reportsAt maps (state, symbol) pairs that report to the report
 	// codes emitted.
 	reportsAt map[int64][]int
@@ -145,6 +150,7 @@ func (b *builder) intern(enabled []automata.ElementID, first bool) int32 {
 	b.ids[k] = id
 	b.keys = append(b.keys, stateKey{enabled: enabled, first: first})
 	b.dfa.next = append(b.dfa.next, make([]int32, 256)...)
+	b.dfa.hasReport = append(b.dfa.hasReport, 0, 0, 0, 0) // 256 bits per state
 	b.queue = append(b.queue, id)
 	return id
 }
@@ -166,6 +172,7 @@ func (b *builder) expand(state int32) error {
 			b.dfa.next[int(state)*256+sym] = nextID
 			if len(reports) > 0 {
 				b.dfa.reportsAt[pairKey(state, byte(sym))] = reports
+				b.dfa.setReportBit(state, byte(sym))
 			}
 		}
 	}
@@ -173,6 +180,11 @@ func (b *builder) expand(state int32) error {
 }
 
 func pairKey(state int32, sym byte) int64 { return int64(state)<<8 | int64(sym) }
+
+func (d *DFA) setReportBit(state int32, sym byte) {
+	idx := int(state)<<8 | int(sym)
+	d.hasReport[idx>>6] |= 1 << (uint(idx) & 63)
+}
 
 // step advances an NFA configuration by one symbol.
 func (b *builder) step(k stateKey, sym byte) ([]automata.ElementID, []int) {
@@ -214,17 +226,19 @@ func (b *builder) step(k stateKey, sym byte) ([]automata.ElementID, []int) {
 }
 
 // Run executes the DFA over input and returns report events in offset
-// order.
+// order. The common no-report symbol costs one bitmask load and one
+// branch; the reportsAt map is consulted only when the mask bit is set.
 func (d *DFA) Run(input []byte) []Report {
 	var out []Report
 	state := d.start
 	for offset, sym := range input {
-		if codes, ok := d.reportsAt[pairKey(state, sym)]; ok {
-			for _, code := range codes {
+		idx := int(state)<<8 | int(sym)
+		if d.hasReport[idx>>6]&(1<<(uint(idx)&63)) != 0 {
+			for _, code := range d.reportsAt[pairKey(state, sym)] {
 				out = append(out, Report{Offset: offset, Code: code})
 			}
 		}
-		state = d.next[int(state)*256+int(sym)]
+		state = d.next[idx]
 	}
 	return out
 }
@@ -300,12 +314,15 @@ func (d *DFA) minimize() {
 	}
 	newNext := make([]int32, count*256)
 	newReports := map[int64][]int{}
+	newHasReport := make([]uint64, count*4)
+	d.hasReport, newHasReport = newHasReport, d.hasReport
 	for g := 0; g < count; g++ {
 		s := rep[g]
 		for sym := 0; sym < 256; sym++ {
 			newNext[g*256+sym] = int32(group[d.next[s*256+sym]])
 			if codes, ok := d.reportsAt[pairKey(int32(s), byte(sym))]; ok {
 				newReports[pairKey(int32(g), byte(sym))] = codes
+				d.setReportBit(int32(g), byte(sym))
 			}
 		}
 	}

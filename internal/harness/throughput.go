@@ -1,0 +1,208 @@
+package harness
+
+// Throughput measurement for the CPU execution tiers, tracked from PR 2
+// onward via BENCH_throughput.json: every benchmark app is streamed
+// through the NFA bitset simulator, the ahead-of-time DFA (where the
+// design determinizes within the state budget), and the bounded-memory
+// lazy DFA, and the resulting MB/s rows are serialized so the perf
+// trajectory is visible across PRs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/lazydfa"
+)
+
+// ThroughputConfig sizes a throughput run.
+type ThroughputConfig struct {
+	// StreamBytes is the input-stream length per benchmark. Default 1<<20.
+	StreamBytes int
+	// AOTMaxStates bounds the ahead-of-time subset construction; designs
+	// exceeding it get an "unavailable" row (the lazy tier still runs —
+	// that is the point of the comparison). Default 50,000.
+	AOTMaxStates int
+	// Seed drives workload generation. Default 1.
+	Seed int64
+}
+
+func (c *ThroughputConfig) withDefaults() ThroughputConfig {
+	out := ThroughputConfig{StreamBytes: 1 << 20, AOTMaxStates: 50_000, Seed: 1}
+	if c != nil {
+		if c.StreamBytes > 0 {
+			out.StreamBytes = c.StreamBytes
+		}
+		if c.AOTMaxStates > 0 {
+			out.AOTMaxStates = c.AOTMaxStates
+		}
+		if c.Seed != 0 {
+			out.Seed = c.Seed
+		}
+	}
+	return out
+}
+
+// ThroughputRow is one (benchmark, engine) throughput measurement.
+type ThroughputRow struct {
+	Benchmark string  `json:"benchmark"`
+	Engine    string  `json:"engine"`
+	Streams   int     `json:"streams"`
+	Bytes     int64   `json:"bytes"`
+	Seconds   float64 `json:"seconds"`
+	MBPerSec  float64 `json:"mb_per_s"`
+	Reports   int     `json:"reports"`
+	Workers   int     `json:"workers,omitempty"`
+	Note      string  `json:"note,omitempty"`
+}
+
+func row(benchmark, engine string, streams int, nbytes int64, elapsed time.Duration, reports int) ThroughputRow {
+	r := ThroughputRow{
+		Benchmark: benchmark,
+		Engine:    engine,
+		Streams:   streams,
+		Bytes:     nbytes,
+		Seconds:   elapsed.Seconds(),
+		Reports:   reports,
+	}
+	if elapsed > 0 {
+		r.MBPerSec = float64(nbytes) / (1 << 20) / elapsed.Seconds()
+	}
+	return r
+}
+
+// Throughput streams each benchmark app through the three single-stream
+// CPU tiers and returns one row per (benchmark, engine). The lazy tier is
+// measured warm (its state cache persists across streams in serving
+// scenarios), after a short prewarming prefix.
+func Throughput(cfg *ThroughputConfig) ([]ThroughputRow, error) {
+	c := cfg.withDefaults()
+	var rows []ThroughputRow
+	for _, b := range bench.All() {
+		net, err := benchNetwork(b)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(c.Seed))
+		input := b.Input(rng, c.StreamBytes)
+		nbytes := int64(len(input))
+
+		sim, err := automata.NewFastSimulator(net)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		start := time.Now()
+		reports := sim.Run(input)
+		rows = append(rows, row(b.Name, "nfa-bitset", 1, nbytes, time.Since(start), len(reports)))
+
+		if d, err := dfa.FromNetwork(net, &dfa.Options{MaxStates: c.AOTMaxStates}); err != nil {
+			r := row(b.Name, "aot-dfa", 1, 0, 0, 0)
+			r.Note = fmt.Sprintf("unavailable: %v", err)
+			rows = append(rows, r)
+		} else {
+			start := time.Now()
+			dreports := d.Run(input)
+			rows = append(rows, row(b.Name, "aot-dfa", 1, nbytes, time.Since(start), len(dreports)))
+		}
+
+		m, err := lazydfa.New(net, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		warm := input
+		if len(warm) > 1<<12 {
+			warm = warm[:1<<12]
+		}
+		m.Run(warm)
+		start = time.Now()
+		lreports := m.Run(input)
+		r := row(b.Name, "lazy-dfa", 1, nbytes, time.Since(start), len(lreports))
+		r.Note = fmt.Sprintf("states=%d flushes=%d", m.CachedStates(), m.Flushes())
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// benchNetwork compiles the benchmark's RAPID design at its Table 4/5
+// instance size.
+func benchNetwork(b *bench.Benchmark) (*automata.Network, error) {
+	src, args := b.RAPID(b.DefaultInstances)
+	prog, err := core.Load(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	res, err := prog.Compile(args, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return res.Network, nil
+}
+
+// MultiStreamWorkload generates the multi-stream batch workload: streams
+// independent inputs from the benchmark's generator.
+func MultiStreamWorkload(b *bench.Benchmark, streams, streamBytes int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, streams)
+	for i := range out {
+		out[i] = b.Input(rng, streamBytes)
+	}
+	return out
+}
+
+// BatchThroughput times a caller-supplied batch executor (typically
+// Engine.RunBatch from the root package, which harness cannot import)
+// over a multi-stream workload and returns its row. run must process
+// every stream and return the total report count.
+func BatchThroughput(benchmark, engine string, workers int, streams [][]byte, run func([][]byte) (int, error)) (ThroughputRow, error) {
+	var nbytes int64
+	for _, s := range streams {
+		nbytes += int64(len(s))
+	}
+	start := time.Now()
+	reports, err := run(streams)
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	r := row(benchmark, engine, len(streams), nbytes, time.Since(start), reports)
+	r.Workers = workers
+	return r, nil
+}
+
+// throughputFile is the BENCH_throughput.json layout.
+type throughputFile struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Rows       []ThroughputRow `json:"rows"`
+}
+
+// WriteThroughputJSON serializes rows (plus the host parallelism they were
+// measured under) to path.
+func WriteThroughputJSON(path string, rows []ThroughputRow) error {
+	data, err := json.MarshalIndent(throughputFile{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Rows:       rows,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatThroughput renders rows as a table.
+func FormatThroughput(rows []ThroughputRow) string {
+	out := fmt.Sprintf("%-10s %-12s %8s %10s %10s %9s  %s\n",
+		"Benchmark", "Engine", "Streams", "MiB", "MB/s", "Reports", "Note")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-10s %-12s %8d %10.2f %10.1f %9d  %s\n",
+			r.Benchmark, r.Engine, r.Streams, float64(r.Bytes)/(1<<20), r.MBPerSec, r.Reports, r.Note)
+	}
+	return out
+}

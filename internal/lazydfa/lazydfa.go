@@ -1,0 +1,482 @@
+// Package lazydfa executes automaton networks on the CPU through an
+// on-the-fly (RE2-style) determinization: DFA states are NFA enabled-sets
+// discovered as input is consumed, interned in a bounded cache, and reused
+// across streams. Where internal/dfa's ahead-of-time subset construction
+// aborts once the state space exceeds MaxStates, the lazy engine never
+// aborts — when the cache cap is hit it flushes the cache and restarts from
+// the current configuration, so memory stays bounded at the cost of
+// recomputing hot transitions.
+//
+// Designs containing counters or boolean gates are handled by a hybrid
+// split: weakly-connected components made only of STEs run on the lazy
+// DFA, while components containing special elements run on a cloned
+// FastSimulator bitset path. Both halves see the same input stream, and
+// their reports are merged in offset order.
+//
+// The hot byte loop costs one table load plus one branch per symbol on the
+// common no-report path: each cached state carries a dense 256-bit report
+// mask, so the per-symbol report lookup never touches a map unless the
+// state actually reports on that symbol.
+package lazydfa
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/automata"
+)
+
+// Report is a report event produced by lazy-DFA execution. Reports are
+// deduplicated by (offset, code): several NFA elements reporting the same
+// code at one offset produce a single event, exactly as internal/dfa does.
+type Report struct {
+	Offset int
+	Code   int
+}
+
+// Options bound the engine's memory use.
+type Options struct {
+	// MaxCachedStates caps the number of DFA states interned at once.
+	// Exceeding the cap flushes the cache and restarts from the current
+	// configuration — execution always completes, unlike the ahead-of-time
+	// construction's MaxStates abort. Values below 2 are raised to 2 (the
+	// minimum needed to hold a state and its successor). Default 4096.
+	MaxCachedStates int
+}
+
+// DefaultMaxCachedStates is the default state-cache cap. At roughly 1 KiB
+// of transition table per state it bounds the cache at a few MiB.
+const DefaultMaxCachedStates = 4096
+
+func (o *Options) withDefaults() Options {
+	out := Options{MaxCachedStates: DefaultMaxCachedStates}
+	if o != nil && o.MaxCachedStates > 0 {
+		out.MaxCachedStates = o.MaxCachedStates
+	}
+	if out.MaxCachedStates < 2 {
+		out.MaxCachedStates = 2
+	}
+	return out
+}
+
+// Matcher executes one design. It owns mutable state (the DFA cache and,
+// for hybrid designs, a bitset simulator) and is not safe for concurrent
+// use; Clone gives each goroutine an independent matcher sharing the
+// immutable compiled tables.
+type Matcher struct {
+	prog *program                // lazy tier (nil when every component has specials)
+	sim  *automata.FastSimulator // bitset tier (nil for counter-free designs)
+
+	cache     *stateCache
+	activeBuf []uint64
+	nextBuf   []uint64
+	flushes   int
+}
+
+// New validates the network, splits it into the counter-free and special
+// component sets, and compiles the lazy tier's tables. Construction is
+// O(elements × alphabet) like NewFastSimulator; the DFA itself materializes
+// during execution.
+func New(n *automata.Network, opts *Options) (*Matcher, error) {
+	o := opts.withDefaults()
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("lazydfa: %w", err)
+	}
+	pure, special := automata.SplitSpecials(n)
+	m := &Matcher{}
+	if pure != nil {
+		m.prog = compile(pure, o.MaxCachedStates)
+		m.activeBuf = make([]uint64, m.prog.nwords)
+		m.nextBuf = make([]uint64, m.prog.nwords)
+		m.cache = newStateCache(o.MaxCachedStates)
+	}
+	if special != nil {
+		sim, err := automata.NewFastSimulator(special)
+		if err != nil {
+			return nil, fmt.Errorf("lazydfa: %w", err)
+		}
+		m.sim = sim
+	}
+	if m.prog == nil && m.sim == nil {
+		return nil, fmt.Errorf("lazydfa: design has no live components")
+	}
+	return m, nil
+}
+
+// Clone returns an independent matcher sharing the immutable compiled
+// tables but owning a fresh (empty) DFA cache and simulator state, so a
+// server can fan one design out across goroutines.
+func (m *Matcher) Clone() *Matcher {
+	c := &Matcher{prog: m.prog}
+	if m.prog != nil {
+		c.activeBuf = make([]uint64, m.prog.nwords)
+		c.nextBuf = make([]uint64, m.prog.nwords)
+		c.cache = newStateCache(m.cache.max)
+	}
+	if m.sim != nil {
+		c.sim = m.sim.Clone()
+	}
+	return c
+}
+
+// HasLazyTier reports whether any component runs on the lazy DFA.
+func (m *Matcher) HasLazyTier() bool { return m.prog != nil }
+
+// HasBitsetTier reports whether any component (one containing counters or
+// gates) runs on the bitset simulator fallback.
+func (m *Matcher) HasBitsetTier() bool { return m.sim != nil }
+
+// CachedStates returns the number of DFA states currently interned. The
+// cache persists across runs, so repeated streams reuse hot transitions.
+func (m *Matcher) CachedStates() int {
+	if m.cache == nil {
+		return 0
+	}
+	return len(m.cache.states)
+}
+
+// Flushes returns how many times the state cache hit its cap and was
+// flushed.
+func (m *Matcher) Flushes() int { return m.flushes }
+
+// Run executes the design over one input stream and returns the merged
+// report events in (offset, code) order.
+func (m *Matcher) Run(input []byte) []Report {
+	out, _ := m.run(nil, input, nil)
+	return out
+}
+
+// RunContext is Run with cooperative cancellation: input is processed in
+// chunks and the run aborts with ctx.Err() once ctx is done, returning the
+// reports produced so far.
+func (m *Matcher) RunContext(ctx context.Context, input []byte) ([]Report, error) {
+	return m.run(ctx, input, nil)
+}
+
+// RunAppend is RunContext appending into dst (which may be nil), letting
+// callers recycle report buffers across streams.
+func (m *Matcher) RunAppend(ctx context.Context, input []byte, dst []Report) ([]Report, error) {
+	return m.run(ctx, input, dst)
+}
+
+func (m *Matcher) run(ctx context.Context, input []byte, out []Report) ([]Report, error) {
+	base := len(out)
+	if m.prog != nil {
+		var err error
+		out, err = m.runLazy(ctx, input, out)
+		if err != nil {
+			return out, err
+		}
+	}
+	if m.sim != nil {
+		var raw []automata.Report
+		var err error
+		if ctx == nil {
+			raw = m.sim.Run(input)
+		} else {
+			raw, err = m.sim.RunContext(ctx, input)
+		}
+		for _, r := range raw {
+			out = append(out, Report{Offset: r.Offset, Code: r.Code})
+		}
+		if err != nil {
+			return out, err
+		}
+		// The lazy tier emits reports already canonical (offset-ordered,
+		// codes sorted and distinct per offset); merging in the simulator
+		// tier requires a re-sort and dedup of the combined tail.
+		tail := canonicalize(out[base:])
+		out = out[:base+len(tail)]
+	}
+	return out, nil
+}
+
+// runLazy walks the lazy DFA over input, materializing transitions on
+// demand.
+func (m *Matcher) runLazy(ctx context.Context, input []byte, out []Report) ([]Report, error) {
+	cur := m.startState()
+	base := 0
+	for len(input) > 0 {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+		}
+		chunk := input
+		if len(chunk) > automata.CancelCheckInterval {
+			chunk = chunk[:automata.CancelCheckInterval]
+		}
+		for i := 0; i < len(chunk); i++ {
+			sym := chunk[i]
+			st := m.cache.states[cur]
+			nxt := st.next[sym]
+			if nxt < 0 {
+				cur, nxt = m.miss(cur, sym)
+				st = m.cache.states[cur]
+			}
+			if st.repMask[sym>>6]&(1<<uint(sym&63)) != 0 {
+				for _, c := range st.reps[sym] {
+					out = append(out, Report{Offset: base + i, Code: c})
+				}
+			}
+			cur = nxt
+		}
+		base += len(chunk)
+		input = input[len(chunk):]
+	}
+	return out, nil
+}
+
+// startState interns the start-of-data configuration (no enables, first
+// symbol pending). The cache is kept warm across runs, so this is a map
+// hit on every stream after the first.
+func (m *Matcher) startState() int32 {
+	empty := make([]uint64, m.prog.nwords)
+	id, ok := m.cache.intern(empty, true)
+	if !ok {
+		m.flushes++
+		m.cache.flush()
+		id, _ = m.cache.intern(empty, true)
+	}
+	return id
+}
+
+// miss materializes the transition of state cur on symbol sym (and, since
+// equivalent symbols behave identically, on sym's whole partition group).
+// When interning the successor would exceed the cache cap, the cache is
+// flushed and the current state re-interned, so the returned current-state
+// id may differ from cur.
+func (m *Matcher) miss(cur int32, sym byte) (newCur, succ int32) {
+	p := m.prog
+	st := m.cache.states[cur]
+	next, codes := m.step(st, sym)
+	succEnabled := append(make([]uint64, 0, p.nwords), next...)
+	succID, ok := m.cache.intern(succEnabled, false)
+	if !ok {
+		m.flushes++
+		enabled, first := st.enabled, st.first
+		m.cache.flush()
+		cur, _ = m.cache.intern(enabled, first)
+		st = m.cache.states[cur]
+		succID, _ = m.cache.intern(succEnabled, false)
+	}
+	for _, s := range p.groupSyms[p.part.GroupOf[sym]] {
+		st.next[s] = succID
+		if len(codes) > 0 {
+			st.repMask[s>>6] |= 1 << uint(s&63)
+			if st.reps == nil {
+				st.reps = make(map[byte][]int)
+			}
+			st.reps[s] = codes
+		}
+	}
+	return cur, succID
+}
+
+// step computes the successor configuration and report codes of st on sym.
+// The returned word slice aliases the matcher's scratch buffer and must be
+// copied before interning.
+func (m *Matcher) step(st *state, sym byte) ([]uint64, []int) {
+	p := m.prog
+	accept := p.accept[sym]
+	active := m.activeBuf
+	for i := range active {
+		w := st.enabled[i] | p.startAll[i]
+		if st.first {
+			w |= p.startData[i]
+		}
+		active[i] = w & accept[i]
+	}
+	next := m.nextBuf
+	for i := range next {
+		next[i] = 0
+	}
+	var codes []int
+	for wi, w := range active {
+		for w != 0 {
+			id := wi*64 + bits.TrailingZeros64(w)
+			for _, mw := range p.outMask[id] {
+				next[mw.word] |= mw.bits
+			}
+			if p.isReporting[id] {
+				codes = append(codes, p.reportCode[id])
+			}
+			w &= w - 1
+		}
+	}
+	if len(codes) > 1 {
+		sort.Ints(codes)
+		codes = compactInts(codes)
+	}
+	return next, codes
+}
+
+// canonicalize sorts rs by (offset, code) and drops duplicates in place,
+// returning the shortened slice.
+func canonicalize(rs []Report) []Report {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Offset != rs[j].Offset {
+			return rs[i].Offset < rs[j].Offset
+		}
+		return rs[i].Code < rs[j].Code
+	})
+	out := rs[:0]
+	for i, r := range rs {
+		if i == 0 || r != rs[i-1] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func compactInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ------------------------------------------------------------ compiled tables
+
+// maskWord is one nonzero word of a sparse enable mask.
+type maskWord struct {
+	word int
+	bits uint64
+}
+
+// program holds the immutable per-design tables the lazy tier steps with:
+// per-symbol acceptance bitsets, start bitsets, sparse enable masks, report
+// codes, and the symbol partition used to fill whole transition groups per
+// cache miss.
+type program struct {
+	nwords      int
+	accept      [256][]uint64
+	startData   []uint64
+	startAll    []uint64
+	outMask     [][]maskWord
+	isReporting []bool
+	reportCode  []int
+	part        *automata.SymbolPartition
+	groupSyms   [][]byte
+}
+
+func compile(pure *automata.Network, maxStates int) *program {
+	n := pure.Len()
+	p := &program{
+		nwords:      (n + 63) / 64,
+		startData:   make([]uint64, (n+63)/64),
+		startAll:    make([]uint64, (n+63)/64),
+		outMask:     make([][]maskWord, n),
+		isReporting: make([]bool, n),
+		reportCode:  make([]int, n),
+		part:        automata.Partition(pure),
+	}
+	for sym := 0; sym < 256; sym++ {
+		p.accept[sym] = make([]uint64, p.nwords)
+	}
+	setBit := func(b []uint64, id automata.ElementID) { b[id>>6] |= 1 << (uint(id) & 63) }
+	pure.Elements(func(e *automata.Element) {
+		if e.Report {
+			p.isReporting[e.ID] = true
+			p.reportCode[e.ID] = e.ReportCode
+		}
+		mask := make([]uint64, p.nwords)
+		for _, out := range pure.Outs(e.ID) {
+			if out.Port == automata.PortIn {
+				setBit(mask, out.To)
+			}
+		}
+		for wi, w := range mask {
+			if w != 0 {
+				p.outMask[e.ID] = append(p.outMask[e.ID], maskWord{word: wi, bits: w})
+			}
+		}
+		for sym := 0; sym < 256; sym++ {
+			if e.Class.Contains(byte(sym)) {
+				setBit(p.accept[sym], e.ID)
+			}
+		}
+		switch e.Start {
+		case automata.StartOfData:
+			setBit(p.startData, e.ID)
+		case automata.StartAllInput:
+			setBit(p.startAll, e.ID)
+		}
+	})
+	p.groupSyms = make([][]byte, len(p.part.Representatives))
+	for sym := 0; sym < 256; sym++ {
+		g := p.part.GroupOf[sym]
+		p.groupSyms[g] = append(p.groupSyms[g], byte(sym))
+	}
+	return p
+}
+
+// ------------------------------------------------------------------ cache
+
+// state is one interned DFA state: an NFA configuration plus its lazily
+// filled transition row and dense report mask.
+type state struct {
+	key     string
+	enabled []uint64
+	first   bool
+	next    [256]int32
+	repMask [4]uint64
+	reps    map[byte][]int // codes per reporting symbol; nil for most states
+}
+
+type stateCache struct {
+	ids    map[string]int32
+	states []*state
+	max    int
+}
+
+func newStateCache(max int) *stateCache {
+	return &stateCache{ids: make(map[string]int32), max: max}
+}
+
+// intern returns the id of the configuration, creating the state when new.
+// It fails (ok=false) when creating the state would exceed the cap.
+func (c *stateCache) intern(enabled []uint64, first bool) (id int32, ok bool) {
+	key := configKey(enabled, first)
+	if id, ok := c.ids[key]; ok {
+		return id, true
+	}
+	if len(c.states) >= c.max {
+		return -1, false
+	}
+	st := &state{key: key, enabled: enabled, first: first}
+	for i := range st.next {
+		st.next[i] = -1
+	}
+	id = int32(len(c.states))
+	c.states = append(c.states, st)
+	c.ids[key] = id
+	return id, true
+}
+
+// flush empties the cache. Interned configurations survive only if the
+// caller re-interns them.
+func (c *stateCache) flush() {
+	c.ids = make(map[string]int32)
+	c.states = c.states[:0]
+}
+
+func configKey(enabled []uint64, first bool) string {
+	buf := make([]byte, 0, len(enabled)*8+1)
+	if first {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	for _, w := range enabled {
+		buf = append(buf,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return string(buf)
+}

@@ -1,0 +1,279 @@
+package lazydfa
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/charclass"
+)
+
+// addChain appends a word-matching STE chain to n and returns the last
+// element.
+func addChain(n *automata.Network, word []byte, start automata.StartKind) automata.ElementID {
+	prev := automata.NoElement
+	for i, ch := range word {
+		kind := automata.StartNone
+		if i == 0 {
+			kind = start
+		}
+		id := n.AddSTE(charclass.Single(ch), kind)
+		if prev != automata.NoElement {
+			n.Connect(prev, id, automata.PortIn)
+		}
+		prev = id
+	}
+	return prev
+}
+
+func randomWord(rng *rand.Rand) []byte {
+	word := make([]byte, 1+rng.Intn(4))
+	for i := range word {
+		word[i] = byte('a' + rng.Intn(3))
+	}
+	return word
+}
+
+// randomNetwork builds 1–4 independent components: plain reporting chains,
+// chains feeding a latching counter, and chain pairs feeding an AND gate —
+// exercising both the lazy tier and the hybrid bitset fallback.
+func randomNetwork(rng *rand.Rand) *automata.Network {
+	n := automata.NewNetwork("rand")
+	comps := 1 + rng.Intn(4)
+	for c := 0; c < comps; c++ {
+		start := automata.StartAllInput
+		if rng.Intn(3) == 0 {
+			start = automata.StartOfData
+		}
+		switch rng.Intn(3) {
+		case 0:
+			last := addChain(n, randomWord(rng), start)
+			n.SetReport(last, c)
+		case 1:
+			last := addChain(n, randomWord(rng), start)
+			ctr := n.AddCounter(1 + rng.Intn(3))
+			n.Connect(last, ctr, automata.PortCount)
+			n.SetReport(ctr, c)
+		default:
+			a := addChain(n, randomWord(rng), start)
+			b := addChain(n, randomWord(rng), automata.StartAllInput)
+			g := n.AddGate(automata.GateAnd)
+			n.Connect(a, g, automata.PortIn)
+			n.Connect(b, g, automata.PortIn)
+			n.SetReport(g, c)
+		}
+	}
+	return n
+}
+
+func randomInput(rng *rand.Rand, size int) []byte {
+	input := make([]byte, size)
+	for i := range input {
+		input[i] = byte('a' + rng.Intn(3))
+	}
+	return input
+}
+
+// simSet converts NFA simulator reports to the lazy engine's canonical
+// (offset, code) set representation.
+func simSet(rs []automata.Report) []Report {
+	var out []Report
+	for _, r := range rs {
+		out = append(out, Report{Offset: r.Offset, Code: r.Code})
+	}
+	return canonicalize(out)
+}
+
+// TestCrossCheckRandom is the cross-check property: on randomized networks
+// (including counter and gate designs exercising the hybrid fallback) the
+// lazy engine's report set equals both reference simulators', at the
+// default cache size and at tiny caps that force flush-and-restart.
+func TestCrossCheckRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 120; trial++ {
+		n := randomNetwork(rng)
+		sim, err := automata.NewSimulator(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cap := range []int{0, 2, 7} { // 0 = default
+			m, err := New(n, &Options{MaxCachedStates: cap})
+			if err != nil {
+				t.Fatalf("trial %d cap %d: %v", trial, cap, err)
+			}
+			for inTrial := 0; inTrial < 4; inTrial++ {
+				input := randomInput(rng, rng.Intn(40))
+				want := simSet(sim.Run(input))
+				got := m.Run(input)
+				if len(got) == 0 {
+					got = nil
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d cap %d input %q: lazy %v != sim %v", trial, cap, input, got, want)
+				}
+				fast, err := n.RunFast(input)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(simSet(fast), want) {
+					t.Fatalf("trial %d input %q: fastsim diverged from sim", trial, input)
+				}
+			}
+		}
+	}
+}
+
+// TestTinyCapFlushes checks that a cap-2 cache actually thrashes (so the
+// flush path is exercised) while still completing — the bounded-memory
+// guarantee that replaces the AOT construction's abort.
+func TestTinyCapFlushes(t *testing.T) {
+	n := automata.NewNetwork("w")
+	last := addChain(n, []byte("abc"), automata.StartAllInput)
+	n.SetReport(last, 0)
+	m, err := New(n, &Options{MaxCachedStates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Run([]byte("ababcabcab"))
+	want := []Report{{Offset: 4, Code: 0}, {Offset: 7, Code: 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reports = %v, want %v", got, want)
+	}
+	if m.Flushes() == 0 {
+		t.Fatal("cap-2 cache should have flushed")
+	}
+	if m.CachedStates() > 2 {
+		t.Fatalf("cache grew past cap: %d states", m.CachedStates())
+	}
+}
+
+// TestCacheWarmAcrossRuns checks transitions persist between streams and
+// results stay identical.
+func TestCacheWarmAcrossRuns(t *testing.T) {
+	n := automata.NewNetwork("w")
+	last := addChain(n, []byte("ab"), automata.StartAllInput)
+	n.SetReport(last, 3)
+	m, err := New(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.Run([]byte("xabxab"))
+	states := m.CachedStates()
+	if states == 0 {
+		t.Fatal("no states cached")
+	}
+	second := m.Run([]byte("xabxab"))
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("warm run diverged: %v != %v", second, first)
+	}
+	if m.CachedStates() != states {
+		t.Fatalf("warm run grew cache: %d -> %d", states, m.CachedStates())
+	}
+}
+
+// TestHybridTiers checks tier selection: pure designs get only the lazy
+// tier, counter designs only the bitset tier, mixed designs both.
+func TestHybridTiers(t *testing.T) {
+	pure := automata.NewNetwork("pure")
+	pl := addChain(pure, []byte("ab"), automata.StartAllInput)
+	pure.SetReport(pl, 0)
+	m, err := New(pure, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasLazyTier() || m.HasBitsetTier() {
+		t.Fatalf("pure design tiers: lazy=%v bitset=%v", m.HasLazyTier(), m.HasBitsetTier())
+	}
+
+	counter := automata.NewNetwork("counter")
+	cl := addChain(counter, []byte("x"), automata.StartAllInput)
+	ctr := counter.AddCounter(2)
+	counter.Connect(cl, ctr, automata.PortCount)
+	counter.SetReport(ctr, 0)
+	m, err = New(counter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HasLazyTier() || !m.HasBitsetTier() {
+		t.Fatalf("counter design tiers: lazy=%v bitset=%v", m.HasLazyTier(), m.HasBitsetTier())
+	}
+
+	mixed := automata.NewNetwork("mixed")
+	ml := addChain(mixed, []byte("ab"), automata.StartAllInput)
+	mixed.SetReport(ml, 0)
+	m2 := addChain(mixed, []byte("y"), automata.StartAllInput)
+	ctr2 := mixed.AddCounter(1)
+	mixed.Connect(m2, ctr2, automata.PortCount)
+	mixed.SetReport(ctr2, 1)
+	m, err = New(mixed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasLazyTier() || !m.HasBitsetTier() {
+		t.Fatalf("mixed design tiers: lazy=%v bitset=%v", m.HasLazyTier(), m.HasBitsetTier())
+	}
+	// The latched counter reaches its target at offset 0 and stays active
+	// every cycle thereafter; the "ab" chain reports at offset 2.
+	got := m.Run([]byte("yab"))
+	want := []Report{{Offset: 0, Code: 1}, {Offset: 1, Code: 1}, {Offset: 2, Code: 0}, {Offset: 2, Code: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mixed reports = %v, want %v", got, want)
+	}
+}
+
+// TestCloneIndependent checks clones share tables but not mutable state.
+func TestCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := randomNetwork(rng)
+	m, err := New(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := randomInput(rng, 64)
+	want := m.Run(input)
+	c := m.Clone()
+	if c.CachedStates() != 0 && c.HasLazyTier() {
+		t.Fatal("clone should start with an empty cache")
+	}
+	got := c.Run(input)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("clone diverged: %v != %v", got, want)
+	}
+}
+
+// TestRunContextCancel checks a cancelled context aborts the run.
+func TestRunContextCancel(t *testing.T) {
+	n := automata.NewNetwork("w")
+	last := addChain(n, []byte("ab"), automata.StartAllInput)
+	n.SetReport(last, 0)
+	m, err := New(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	input := make([]byte, 100000)
+	if _, err := m.RunContext(ctx, input); err == nil {
+		t.Fatal("cancelled run should error")
+	}
+}
+
+// TestStartOfDataAnchoring checks the first-symbol context is modeled as a
+// distinct DFA state.
+func TestStartOfDataAnchoring(t *testing.T) {
+	n := automata.NewNetwork("anchor")
+	last := addChain(n, []byte("ab"), automata.StartOfData)
+	n.SetReport(last, 0)
+	m, err := New(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Run([]byte("ab")); len(got) != 1 || got[0] != (Report{Offset: 1, Code: 0}) {
+		t.Fatalf("anchored run = %v", got)
+	}
+	if got := m.Run([]byte("xab")); len(got) != 0 {
+		t.Fatalf("anchored matched shifted input: %v", got)
+	}
+}

@@ -227,12 +227,12 @@ func TestFailoverChain(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The standard ladder: device → cpu-dfa → reference.
+	// The standard ladder: device → cpu-dfa → lazy-dfa → reference.
 	chain, err := design.FailoverChain()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := chain.Backends(); !reflect.DeepEqual(got, []string{"device", "cpu-dfa", "reference"}) {
+	if got := chain.Backends(); !reflect.DeepEqual(got, []string{"device", "cpu-dfa", "lazy-dfa", "reference"}) {
 		t.Fatalf("backends = %v", got)
 	}
 	got, err := chain.Run(context.Background(), input)
