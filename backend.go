@@ -1,0 +1,94 @@
+package rapid
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BackendKind names one of the design's execution tiers. The constants
+// are the canonical ladder order, fastest-and-least-trusted first.
+type BackendKind string
+
+// The four execution tiers of a compiled design.
+const (
+	// BackendDevice is the functional AP device model on the
+	// precomputed-table bitset simulator (Runner).
+	BackendDevice BackendKind = "device"
+	// BackendCPUDFA is the ahead-of-time determinized DFA (CompileCPU);
+	// unavailable for designs with counters or gates, or whose subset
+	// construction exceeds the state budget.
+	BackendCPUDFA BackendKind = "cpu-dfa"
+	// BackendLazyDFA is the bounded-memory lazy-DFA engine (NewEngine);
+	// always available — counters run on its bitset fallback.
+	BackendLazyDFA BackendKind = "lazy-dfa"
+	// BackendReference is the lock-step reference simulator — the
+	// slowest, most trusted path.
+	BackendReference BackendKind = "reference"
+)
+
+// BackendKinds returns every backend kind in ladder order.
+func BackendKinds() []BackendKind {
+	return []BackendKind{BackendDevice, BackendCPUDFA, BackendLazyDFA, BackendReference}
+}
+
+// UnknownBackendError reports a string that names no backend kind, and
+// lists the valid kinds. Both CLIs surface it verbatim for -backend.
+type UnknownBackendError struct {
+	Got string
+}
+
+func (e *UnknownBackendError) Error() string {
+	kinds := BackendKinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = string(k)
+	}
+	return fmt.Sprintf("rapid: unknown backend %q (valid kinds: %s)",
+		e.Got, strings.Join(names, ", "))
+}
+
+// ParseBackendKind parses a -backend flag value into a BackendKind,
+// returning an *UnknownBackendError listing the valid kinds on a bad
+// value. It is the one helper both rapidrun and rapidbench parse with.
+func ParseBackendKind(s string) (BackendKind, error) {
+	for _, k := range BackendKinds() {
+		if s == string(k) {
+			return k, nil
+		}
+	}
+	return "", &UnknownBackendError{Got: s}
+}
+
+// Backend constructs the named execution tier behind the uniform Matcher
+// interface — the one entry point the failover chain, the CLIs, and the
+// harness build backends through. Options apply where relevant (workers
+// and cache caps to the lazy-DFA tier, telemetry to every tier); the
+// legacy per-path constructors (NewRunner, CompileCPU, NewEngine,
+// ReferenceMatcher) remain as thin wrappers around the same paths.
+func (d *Design) Backend(kind BackendKind, opts ...Option) (Matcher, error) {
+	cfg := applyOptions(opts)
+	switch kind {
+	case BackendDevice:
+		runner, err := d.NewRunner(opts...)
+		if err != nil {
+			return nil, err
+		}
+		return runner.Matcher(), nil
+	case BackendCPUDFA:
+		cpu, err := d.CompileCPU(opts...)
+		if err != nil {
+			return nil, err
+		}
+		return cpu.Matcher(), nil
+	case BackendLazyDFA:
+		eng, err := d.NewEngine(opts...)
+		if err != nil {
+			return nil, err
+		}
+		return eng.Matcher(), nil
+	case BackendReference:
+		return &referenceMatcher{d: d, tel: newBackendMetrics(cfg.tel, string(BackendReference))}, nil
+	default:
+		return nil, &UnknownBackendError{Got: string(kind)}
+	}
+}

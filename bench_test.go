@@ -121,7 +121,7 @@ network (String[] ws) {
 		b.Run(fmt.Sprintf("symbols=%d", size), func(b *testing.B) {
 			b.SetBytes(int64(size))
 			for i := 0; i < b.N; i++ {
-				if _, err := design.Run(input); err != nil {
+				if _, err := design.RunBytes(input); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -165,7 +165,7 @@ func BenchmarkThroughput(b *testing.B) {
 		streams := harness.MultiStreamWorkload(mb, 16, 1<<15, 2)
 		batchMBps := map[int]float64{}
 		for _, workers := range []int{1, 8} {
-			eng, err := design.NewEngine(&EngineOptions{Workers: workers})
+			eng, err := design.NewEngine(WithWorkers(workers))
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -50,7 +50,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	reports, err := design.Run(input)
+	reports, err := design.RunBytes(input)
 	if err != nil {
 		fatal(err)
 	}

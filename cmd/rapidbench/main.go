@@ -23,6 +23,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -30,20 +32,35 @@ import (
 	rapid "repro"
 	"repro/internal/bench"
 	"repro/internal/harness"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "which table to regenerate: 4, 5, 6, or all")
-		scale      = flag.Float64("scale", 1.0, "Table 6 problem-size scale in (0, 1]")
-		throughput = flag.Bool("throughput", false, "measure CPU execution-tier throughput instead of the paper tables")
-		streamMiB  = flag.Int("mib", 1, "throughput stream size per benchmark, in MiB")
-		outJSON    = flag.String("out", "BENCH_throughput.json", "throughput JSON output path (empty to skip)")
-		aotMax     = flag.Int("aotmax", 50_000, "AOT DFA state budget; designs exceeding it fall back to the lazy tier")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		table       = flag.String("table", "all", "which table to regenerate: 4, 5, 6, or all")
+		scale       = flag.Float64("scale", 1.0, "Table 6 problem-size scale in (0, 1]")
+		throughput  = flag.Bool("throughput", false, "measure CPU execution-tier throughput instead of the paper tables")
+		streamMiB   = flag.Int("mib", 1, "throughput stream size per benchmark, in MiB")
+		outJSON     = flag.String("out", "BENCH_throughput.json", "throughput JSON output path (empty to skip)")
+		aotMax      = flag.Int("aotmax", 50_000, "AOT DFA state budget; designs exceeding it fall back to the lazy tier")
+		backendFlag = flag.String("backend", "all", "throughput tier to measure: all, device, cpu-dfa, or lazy-dfa")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address during the run")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		reg := telemetry.Default()
+		rapid.RegisterBackendMetrics(reg)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, telemetry.Handler(reg)) }()
+		fmt.Fprintf(os.Stderr, "rapidbench: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -71,7 +88,11 @@ func main() {
 	}
 
 	if *throughput {
-		runThroughput(*streamMiB, *aotMax, *outJSON)
+		engines, batch, err := throughputTiers(*backendFlag)
+		if err != nil {
+			fatal(err)
+		}
+		runThroughput(*streamMiB, *aotMax, *outJSON, engines, batch, *metricsAddr != "")
 		return
 	}
 
@@ -108,51 +129,81 @@ func main() {
 	}
 }
 
+// throughputTiers resolves the shared -backend flag into the harness
+// engine names to measure and whether the batch-engine rows run. The
+// reference tier is a correctness oracle, not a measured engine.
+func throughputTiers(backend string) (engines []string, batch bool, err error) {
+	if backend == "" || backend == "all" {
+		return nil, true, nil
+	}
+	kind, err := rapid.ParseBackendKind(backend)
+	if err != nil {
+		return nil, false, err
+	}
+	switch kind {
+	case rapid.BackendDevice:
+		return []string{"nfa-bitset"}, false, nil
+	case rapid.BackendCPUDFA:
+		return []string{"aot-dfa"}, false, nil
+	case rapid.BackendLazyDFA:
+		return []string{"lazy-dfa"}, true, nil
+	default:
+		return nil, false, fmt.Errorf("rapidbench: backend %q is not a measured throughput tier", backend)
+	}
+}
+
 // runThroughput measures the single-stream CPU tiers on every benchmark,
 // then the multi-stream batch engine on the Exact workload at 1 worker and
 // at the host's parallelism, and prints the table (plus JSON when -out is
 // set).
-func runThroughput(streamMiB, aotMax int, outJSON string) {
+func runThroughput(streamMiB, aotMax int, outJSON string, engines []string, batch, withTelemetry bool) {
 	rows, err := harness.Throughput(&harness.ThroughputConfig{
 		StreamBytes:  streamMiB << 20,
 		AOTMaxStates: aotMax,
+		Engines:      engines,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	mb := bench.Exact()
-	src, args := mb.RAPID(mb.DefaultInstances)
-	prog, err := rapid.Parse(src)
-	if err != nil {
-		fatal(err)
-	}
-	design, err := prog.Compile(args...)
-	if err != nil {
-		fatal(err)
-	}
-	streams := harness.MultiStreamWorkload(mb, 2*runtime.GOMAXPROCS(0), streamMiB<<17, 2)
-	workerSet := []int{1}
-	if n := runtime.GOMAXPROCS(0); n > 1 {
-		workerSet = append(workerSet, n)
-	}
-	for _, workers := range workerSet {
-		eng, err := design.NewEngine(&rapid.EngineOptions{Workers: workers})
+	if batch {
+		mb := bench.Exact()
+		src, args := mb.RAPID(mb.DefaultInstances)
+		prog, err := rapid.Parse(src)
 		if err != nil {
 			fatal(err)
 		}
-		r, err := harness.BatchThroughput(mb.Name, "engine-batch", workers, streams,
-			func(ss [][]byte) (int, error) {
-				res, err := eng.RunBatch(context.Background(), ss)
-				total := 0
-				for _, reports := range res {
-					total += len(reports)
-				}
-				return total, err
-			})
+		design, err := prog.Compile(args...)
 		if err != nil {
 			fatal(err)
 		}
-		rows = append(rows, r)
+		streams := harness.MultiStreamWorkload(mb, 2*runtime.GOMAXPROCS(0), streamMiB<<17, 2)
+		workerSet := []int{1}
+		if n := runtime.GOMAXPROCS(0); n > 1 {
+			workerSet = append(workerSet, n)
+		}
+		for _, workers := range workerSet {
+			opts := []rapid.Option{rapid.WithWorkers(workers)}
+			if withTelemetry {
+				opts = append(opts, rapid.WithTelemetry(telemetry.Default()))
+			}
+			eng, err := design.NewEngine(opts...)
+			if err != nil {
+				fatal(err)
+			}
+			r, err := harness.BatchThroughput(mb.Name, "engine-batch", workers, streams,
+				func(ss [][]byte) (int, error) {
+					res, err := eng.RunBatch(context.Background(), ss)
+					total := 0
+					for _, reports := range res {
+						total += len(reports)
+					}
+					return total, err
+				})
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, r)
+		}
 	}
 	fmt.Print(harness.FormatThroughput(rows))
 	if outJSON != "" {

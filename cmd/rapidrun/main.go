@@ -1,13 +1,24 @@
 // Command rapidrun compiles a RAPID program and executes it against an
-// input stream on the functional Automata Processor model, printing report
+// input stream on one of the design's execution backends, printing report
 // events.
 //
 // Usage:
 //
 //	rapidrun -src program.rapid -args '[["rapid"]]' -input data.bin
 //	rapidrun -src program.rapid -args '[["rapid"]]' -text "xxrapidxx"
-//	rapidrun ... -interp     # use the reference interpreter instead
-//	rapidrun ... -engine     # use the lazy-DFA CPU engine instead
+//	rapidrun ... -backend lazy-dfa        # pick an execution tier
+//	rapidrun ... -backend failover        # full cross-checked chain
+//	rapidrun ... -interp                  # reference interpreter instead
+//	rapidrun ... -metrics-addr :9190      # serve /metrics and /debug/vars
+//
+// -backend selects the execution tier by BackendKind (device, cpu-dfa,
+// lazy-dfa, reference) or "failover" for the whole cross-checked
+// degradation ladder; it replaces the old -engine flag.
+//
+// With -metrics-addr, rapidrun serves Prometheus text format at /metrics
+// and expvar-style JSON at /debug/vars for the duration of the run, and
+// every backend records per-stream telemetry. -repeat streams the input
+// several times, for soak runs worth scraping.
 //
 // With -sep, the input text is split on commas and streamed as records
 // separated by the reserved START_OF_INPUT symbol (0xFF), with a leading
@@ -18,23 +29,28 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 
 	rapid "repro"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		srcPath   = flag.String("src", "", "RAPID source file (required)")
-		argsJSON  = flag.String("args", "[]", "network arguments as a JSON array")
-		inputPath = flag.String("input", "", "input stream file")
-		text      = flag.String("text", "", "input stream text (alternative to -input)")
-		sep       = flag.Bool("sep", false, "treat -text as comma-separated records joined by the reserved separator")
-		useInterp = flag.Bool("interp", false, "run the reference interpreter instead of the compiled design")
-		useEngine = flag.Bool("engine", false, "run on the lazy-DFA CPU engine instead of the functional AP model")
-		trace     = flag.Bool("trace", false, "print a per-cycle execution trace (active elements, reports)")
+		srcPath     = flag.String("src", "", "RAPID source file (required)")
+		argsJSON    = flag.String("args", "[]", "network arguments as a JSON array")
+		inputPath   = flag.String("input", "", "input stream file")
+		text        = flag.String("text", "", "input stream text (alternative to -input)")
+		sep         = flag.Bool("sep", false, "treat -text as comma-separated records joined by the reserved separator")
+		useInterp   = flag.Bool("interp", false, "run the reference interpreter instead of a compiled backend")
+		trace       = flag.Bool("trace", false, "print a per-cycle execution trace (active elements, reports)")
+		backendFlag = flag.String("backend", "device", "execution backend: device, cpu-dfa, lazy-dfa, reference, or failover (cross-checked chain)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address during the run")
+		repeat      = flag.Int("repeat", 1, "stream the input this many times (soak mode; reports printed once)")
 	)
 	flag.Parse()
 	// SIGINT cancels the run: rapidrun drains the reports gathered so
@@ -45,6 +61,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rapidrun: -src is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var opts []rapid.Option
+	if *metricsAddr != "" {
+		reg := telemetry.Default()
+		rapid.RegisterBackendMetrics(reg)
+		opts = append(opts, rapid.WithTelemetry(reg))
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, telemetry.Handler(reg)) }()
+		fmt.Fprintf(os.Stderr, "rapidrun: serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	var input []byte
@@ -97,19 +127,43 @@ func main() {
 		}
 		return
 	}
-	var reports []rapid.Report
-	if *useEngine {
-		eng, err := design.NewEngine(nil)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "rapidrun: engine tiers: %s\n", eng.Tiers())
-		reports, err = eng.Run(ctx, input)
-		printReports(reports, err)
-		return
+
+	run, err := selectBackend(design, *backendFlag, opts)
+	if err != nil {
+		fatal(err)
 	}
-	reports, err = design.RunContext(ctx, input)
+	var reports []rapid.Report
+	for i := 0; i < *repeat || i == 0; i++ {
+		reports, err = run(ctx, input)
+		if err != nil {
+			break
+		}
+	}
 	printReports(reports, err)
+}
+
+// selectBackend resolves the shared -backend flag value: a BackendKind
+// parsed by rapid.ParseBackendKind, or "failover" for the full
+// cross-checked chain.
+func selectBackend(design *rapid.Design, name string, opts []rapid.Option) (func(context.Context, []byte) ([]rapid.Report, error), error) {
+	if name == "failover" {
+		chain, err := design.FailoverChain(opts...)
+		if err != nil {
+			return nil, err
+		}
+		chain.CrossCheck = true
+		fmt.Fprintf(os.Stderr, "rapidrun: failover chain: %s\n", strings.Join(chain.Backends(), " → "))
+		return chain.Run, nil
+	}
+	kind, err := rapid.ParseBackendKind(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := design.Backend(kind, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return m.Match, nil
 }
 
 func printReports(reports []rapid.Report, err error) {

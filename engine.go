@@ -6,20 +6,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lazydfa"
+	"repro/internal/telemetry"
 )
-
-// EngineOptions tune a Design's batch execution engine.
-type EngineOptions struct {
-	// Workers is the worker-pool size for RunBatch and RunRecords.
-	// Default GOMAXPROCS.
-	Workers int
-	// MaxCachedStates caps each worker's lazy-DFA state cache; the cache
-	// flushes and restarts when full, so memory stays bounded without
-	// aborting. Default lazydfa.DefaultMaxCachedStates.
-	MaxCachedStates int
-}
 
 // Engine is a reusable high-throughput executor for one design, built on
 // the lazy-DFA matching tier (with the bitset-simulator fallback for
@@ -33,28 +24,57 @@ type Engine struct {
 	proto   *lazydfa.Matcher
 	reports map[int]string
 	workers int
+	tel     *engineMetrics
 
 	matchers sync.Pool // *lazydfa.Matcher
 	bufs     sync.Pool // *[]lazydfa.Report
 }
 
-// NewEngine builds the design's batch execution engine. Pass nil for
-// default options. Unlike CompileCPU, engine construction never aborts on
-// design size: the lazy tier's memory is bounded by the state-cache cap,
-// and counters and gates run on the bitset fallback.
-func (d *Design) NewEngine(opts *EngineOptions) (*Engine, error) {
-	var o EngineOptions
-	if opts != nil {
-		o = *opts
+// engineMetrics is the engine's instrument set: the shared per-backend
+// stream accounting plus the engine-specific worker-queue gauge and
+// lazy-DFA cache counters. nil means telemetry disabled — the hot path
+// pays one pointer test per stream, never per byte.
+type engineMetrics struct {
+	bm           *backendMetrics
+	queueDepth   *telemetry.Gauge
+	batches      *telemetry.Counter
+	cacheFills   *telemetry.Counter
+	cacheFlushes *telemetry.Counter
+}
+
+func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
+	if reg == nil {
+		return nil
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
+	return &engineMetrics{
+		bm: newBackendMetrics(reg, string(BackendLazyDFA)),
+		queueDepth: reg.Gauge("rapid_engine_queue_depth",
+			"Streams accepted by RunBatch/RunRecords and not yet finished."),
+		batches: reg.Counter("rapid_engine_batches_total",
+			"RunBatch/RunRecords invocations."),
+		cacheFills: reg.Counter("rapid_lazydfa_cache_fills_total",
+			"Lazy-DFA transitions materialized on cache miss."),
+		cacheFlushes: reg.Counter("rapid_lazydfa_cache_flushes_total",
+			"Lazy-DFA state-cache flush-and-restart events."),
 	}
-	proto, err := lazydfa.New(d.net, &lazydfa.Options{MaxCachedStates: o.MaxCachedStates})
+}
+
+// NewEngine builds the design's batch execution engine. Options:
+// WithWorkers, WithMaxCachedStates, WithTelemetry. Unlike CompileCPU,
+// engine construction never aborts on design size: the lazy tier's memory
+// is bounded by the state-cache cap, and counters and gates run on the
+// bitset fallback.
+func (d *Design) NewEngine(opts ...Option) (*Engine, error) {
+	cfg := applyOptions(opts)
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	proto, err := lazydfa.New(d.net, &lazydfa.Options{MaxCachedStates: cfg.maxCachedStates})
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{proto: proto, reports: d.reports, workers: o.Workers}
+	e := &Engine{proto: proto, reports: d.reports, workers: workers, tel: newEngineMetrics(cfg.tel)}
 	e.matchers.New = func() any { return e.proto.Clone() }
 	e.bufs.New = func() any { return new([]lazydfa.Report) }
 	return e, nil
@@ -84,11 +104,27 @@ func (e *Engine) Run(ctx context.Context, input []byte) ([]Report, error) {
 	return e.runOn(ctx, m, input)
 }
 
+// RunBytes is Run with context.Background().
+func (e *Engine) RunBytes(input []byte) ([]Report, error) {
+	return e.Run(context.Background(), input)
+}
+
 func (e *Engine) runOn(ctx context.Context, m *lazydfa.Matcher, input []byte) ([]Report, error) {
+	var start time.Time
+	var fills0, flushes0 int
+	if e.tel != nil {
+		start = time.Now()
+		fills0, flushes0 = m.Fills(), m.Flushes()
+	}
 	bufp := e.bufs.Get().(*[]lazydfa.Report)
 	defer e.bufs.Put(bufp)
 	raw, err := m.RunAppend(ctx, input, (*bufp)[:0])
 	*bufp = raw[:0]
+	if e.tel != nil {
+		e.tel.bm.record(len(input), len(raw), err, start)
+		e.tel.cacheFills.Add(uint64(m.Fills() - fills0))
+		e.tel.cacheFlushes.Add(uint64(m.Flushes() - flushes0))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +145,19 @@ func (e *Engine) RunBatch(ctx context.Context, inputs [][]byte) ([][]Report, err
 	if len(inputs) == 0 {
 		return results, ctx.Err()
 	}
+	var finished atomic.Int64
+	if e.tel != nil {
+		e.tel.batches.Inc()
+		e.tel.queueDepth.Add(int64(len(inputs)))
+		// Streams skipped after an early error leave the queue here.
+		defer func() { e.tel.queueDepth.Add(finished.Load() - int64(len(inputs))) }()
+	}
+	done := func() {
+		if e.tel != nil {
+			finished.Add(1)
+			e.tel.queueDepth.Dec()
+		}
+	}
 	workers := e.workers
 	if workers > len(inputs) {
 		workers = len(inputs)
@@ -122,6 +171,7 @@ func (e *Engine) RunBatch(ctx context.Context, inputs [][]byte) ([][]Report, err
 				return results, fmt.Errorf("rapid: engine stream %d: %w", i, err)
 			}
 			results[i] = reports
+			done()
 		}
 		return results, nil
 	}
@@ -158,6 +208,7 @@ func (e *Engine) RunBatch(ctx context.Context, inputs [][]byte) ([][]Report, err
 					return
 				}
 				results[i] = reports
+				done()
 			}
 		}()
 	}
@@ -212,7 +263,7 @@ func (e *Engine) Matcher() Matcher { return &engineMatcher{e} }
 
 type engineMatcher struct{ e *Engine }
 
-func (m *engineMatcher) Name() string { return "lazy-dfa" }
+func (m *engineMatcher) Name() string { return string(BackendLazyDFA) }
 func (m *engineMatcher) Match(ctx context.Context, input []byte) ([]Report, error) {
 	return m.e.Run(ctx, input)
 }

@@ -29,11 +29,11 @@ func TestEngineMatchesSimulatorOnBenchmarks(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			eng, err := design.NewEngine(nil)
+			eng, err := design.NewEngine()
 			if err != nil {
 				t.Fatal(err)
 			}
-			small, err := design.NewEngine(&EngineOptions{MaxCachedStates: 16})
+			small, err := design.NewEngine(WithMaxCachedStates(16))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -42,12 +42,12 @@ func TestEngineMatchesSimulatorOnBenchmarks(t *testing.T) {
 				t.Fatal(err)
 			}
 			input := b.Input(rng, 2048)
-			want, err := design.Run(input) // reference simulator
+			want, err := design.RunBytes(input) // reference simulator
 			if err != nil {
 				t.Fatal(err)
 			}
 			wantSet := reportSet(want)
-			if fast := reportSet(runner.Run(input)); !reflect.DeepEqual(fast, wantSet) {
+			if fast := reportSet(mustRunBytes(t, runner, input)); !reflect.DeepEqual(fast, wantSet) {
 				t.Fatalf("fast simulator diverged from reference")
 			}
 			got, err := eng.Run(context.Background(), input)
@@ -72,7 +72,7 @@ func TestEngineMatchesSimulatorOnBenchmarks(t *testing.T) {
 // identical to stream-at-a-time execution, across a multi-worker pool.
 func TestEngineRunBatchOrder(t *testing.T) {
 	design := mustDesign(t, slidingSrc, Str("abc"))
-	eng, err := design.NewEngine(&EngineOptions{Workers: 8})
+	eng, err := design.NewEngine(WithWorkers(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestEngineRunBatchOrder(t *testing.T) {
 // TestEngineRunBatchCancel checks cancellation surfaces an error.
 func TestEngineRunBatchCancel(t *testing.T) {
 	design := mustDesign(t, slidingSrc, Str("abc"))
-	eng, err := design.NewEngine(&EngineOptions{Workers: 4})
+	eng, err := design.NewEngine(WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,13 +139,13 @@ func TestEngineRunBatchCancel(t *testing.T) {
 // whole-stream run for record-independent designs.
 func TestEngineRunRecords(t *testing.T) {
 	design := mustDesign(t, slidingSrc, Str("abc"))
-	eng, err := design.NewEngine(&EngineOptions{Workers: 4})
+	eng, err := design.NewEngine(WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	records := []string{"xxabcx", "abc", "bca", "aabcabc", "zzz"}
 	stream := FrameStrings(records...)
-	want, err := design.Run(stream)
+	want, err := design.RunBytes(stream)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestEngineRunRecords(t *testing.T) {
 // other backends.
 func TestEngineReportSites(t *testing.T) {
 	design := mustDesign(t, slidingSrc, Str("ab"))
-	eng, err := design.NewEngine(nil)
+	eng, err := design.NewEngine()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ network (String s) {
   }
 }`
 	design := mustDesign(t, src, Str("ab"))
-	eng, err := design.NewEngine(nil)
+	eng, err := design.NewEngine()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ network (String s) {
 		t.Fatalf("tiers = %q, want bitset", eng.Tiers())
 	}
 	input := []byte("abxabxab")
-	want, err := design.Run(input)
+	want, err := design.RunBytes(input)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +241,7 @@ func BenchmarkEngineBatch(b *testing.B) {
 		inputs[i] = in
 	}
 	for _, workers := range []int{1, 8} {
-		eng, err := design.NewEngine(&EngineOptions{Workers: workers})
+		eng, err := design.NewEngine(WithWorkers(workers))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -62,7 +62,7 @@ func main() {
 		stream = append(stream, rapid.StartOfInput)
 	}
 
-	reports, err := design.Run(stream)
+	reports, err := design.RunBytes(stream)
 	if err != nil {
 		log.Fatal(err)
 	}

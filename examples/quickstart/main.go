@@ -53,7 +53,7 @@ func main() {
 	// Simulate the device against a few inputs. "tepid" differs from
 	// "rapid" in two positions — inside the distance-2 threshold.
 	for _, input := range []string{"rapid", "tepid", "taped", "motif", "mofif"} {
-		reports, err := design.Run([]byte(input))
+		reports, err := design.RunBytes([]byte(input))
 		if err != nil {
 			log.Fatal(err)
 		}

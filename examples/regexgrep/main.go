@@ -26,7 +26,7 @@ func main() {
 	fmt.Printf("pattern set: %d STEs, %d reporting positions\n", s.STEs, s.Reporting)
 
 	logLines := "GET /index POST /api/v2 GET /LOGIN POST /apix"
-	reports, err := design.Run([]byte(logLines))
+	reports, err := design.RunBytes([]byte(logLines))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +40,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("DFA backend: %d states\n", cpu.States())
-	if got, want := len(cpu.Run([]byte(logLines))), len(rapid.Offsets(reports)); got < 1 || want < 1 {
+	cpuReports, err := cpu.RunBytes([]byte(logLines))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if got, want := len(cpuReports), len(rapid.Offsets(reports)); got < 1 || want < 1 {
 		log.Fatal("backends disagree")
 	}
 

@@ -2,19 +2,24 @@ package rapid
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 )
 
-// Matcher is one execution backend for a compiled design: the functional
-// device model, the determinized CPU DFA, or the reference simulator. A
-// Matcher owns its mutable state and is not safe for concurrent use unless
-// documented otherwise.
+// Matcher is one execution backend for a compiled design behind the
+// uniform interface every tier implements: the functional device model,
+// the determinized CPU DFA, the lazy-DFA engine, or the reference
+// simulator. Construct one with Design.Backend. A Matcher owns its
+// mutable state and is not safe for concurrent use unless documented
+// otherwise.
 type Matcher interface {
-	// Name identifies the backend in stream records and errors.
+	// Name identifies the backend in stream records, metrics labels, and
+	// errors; it matches the BackendKind for the built-in tiers.
 	Name() string
 	// Match executes the design over one input stream.
 	Match(ctx context.Context, input []byte) ([]Report, error)
@@ -26,9 +31,9 @@ func (r *Runner) Matcher() Matcher { return &runnerMatcher{r} }
 
 type runnerMatcher struct{ r *Runner }
 
-func (m *runnerMatcher) Name() string { return "device" }
+func (m *runnerMatcher) Name() string { return string(BackendDevice) }
 func (m *runnerMatcher) Match(ctx context.Context, input []byte) ([]Report, error) {
-	return m.r.RunContext(ctx, input)
+	return m.r.Run(ctx, input)
 }
 
 // Matcher adapts the determinized CPU path to the backend interface under
@@ -37,23 +42,26 @@ func (m *CPUMatcher) Matcher() Matcher { return &cpuBackend{m} }
 
 type cpuBackend struct{ m *CPUMatcher }
 
-func (b *cpuBackend) Name() string { return "cpu-dfa" }
+func (b *cpuBackend) Name() string { return string(BackendCPUDFA) }
 func (b *cpuBackend) Match(ctx context.Context, input []byte) ([]Report, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return b.m.Run(input), nil
+	return b.m.Run(ctx, input)
 }
 
 // ReferenceMatcher adapts the design's reference simulator — the slowest,
 // most trusted path — to the backend interface under the name "reference".
-func (d *Design) ReferenceMatcher() Matcher { return &referenceMatcher{d} }
+func (d *Design) ReferenceMatcher() Matcher { return &referenceMatcher{d: d} }
 
-type referenceMatcher struct{ d *Design }
+type referenceMatcher struct {
+	d   *Design
+	tel *backendMetrics
+}
 
-func (m *referenceMatcher) Name() string { return "reference" }
+func (m *referenceMatcher) Name() string { return string(BackendReference) }
 func (m *referenceMatcher) Match(ctx context.Context, input []byte) ([]Report, error) {
-	return m.d.RunContext(ctx, input)
+	start := m.tel.start()
+	reports, err := m.d.Run(ctx, input)
+	m.tel.record(len(input), len(reports), err, start)
+	return reports, err
 }
 
 // BackendError attributes a backend failure (including a recovered panic)
@@ -92,19 +100,72 @@ type StreamRecord struct {
 	Diverged bool
 }
 
+// chainMetrics is the failover chain's instrument set; nil means
+// telemetry disabled.
+type chainMetrics struct {
+	reg         *telemetry.Registry
+	attempts    *telemetry.CounterVec // backend
+	served      *telemetry.CounterVec // backend
+	failures    *telemetry.CounterVec // backend, cause
+	divergences *telemetry.CounterVec // backend
+	exhausted   *telemetry.Counter
+}
+
+func newChainMetrics(reg *telemetry.Registry, backends []Matcher) *chainMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &chainMetrics{
+		reg: reg,
+		attempts: reg.CounterVec("rapid_failover_attempts_total",
+			"Backend attempts by the failover chain.", "backend"),
+		served: reg.CounterVec("rapid_failover_served_total",
+			"Streams whose result a backend served.", "backend"),
+		failures: reg.CounterVec("rapid_failover_failures_total",
+			"Failovers fired, by failing backend and cause (error, panic, divergence).",
+			"backend", "cause"),
+		divergences: reg.CounterVec("rapid_failover_divergences_total",
+			"Cross-check divergences caught, by diverging backend.", "backend"),
+		exhausted: reg.Counter("rapid_failover_exhausted_total",
+			"Streams every backend failed on."),
+	}
+	// Pre-touch each chain backend's series so a scrape shows every rung
+	// of the ladder from the first request.
+	for _, b := range backends {
+		m.attempts.With(b.Name())
+		m.served.With(b.Name())
+	}
+	return m
+}
+
+// failureCause classifies a backend failure for the failovers-by-cause
+// counter.
+func failureCause(err error) string {
+	var pe *resilience.PanicError
+	if errors.As(err, &pe) {
+		return "panic"
+	}
+	var de *DivergenceError
+	if errors.As(err, &de) {
+		return "divergence"
+	}
+	return "error"
+}
+
 // FailoverChain executes streams against an ordered list of backends,
 // falling to the next on failure. Panics in any backend are recovered into
 // structured errors instead of crashing the process, and every stream's
 // serving backend is recorded. With CrossCheck enabled, each non-reference
 // result is verified against the chain's last backend and divergent
 // backends are failed over — the degradation ladder heterogeneous matching
-// deployments use (device → CPU DFA → reference interpreter).
+// deployments use (device → CPU DFA → lazy DFA → reference interpreter).
 type FailoverChain struct {
 	// CrossCheck verifies every result from a non-final backend against
 	// the final backend's and fails over on divergence.
 	CrossCheck bool
 
 	backends []Matcher
+	tel      *chainMetrics
 
 	mu      sync.Mutex
 	records []StreamRecord
@@ -115,25 +176,39 @@ func NewFailoverChain(backends ...Matcher) *FailoverChain {
 	return &FailoverChain{backends: append([]Matcher(nil), backends...)}
 }
 
+// UseTelemetry routes the chain's failover metrics (attempts, failures by
+// cause, divergences, served streams) and per-stream spans into reg, and
+// returns the chain for chaining. A nil reg disables.
+func (c *FailoverChain) UseTelemetry(reg *telemetry.Registry) *FailoverChain {
+	c.tel = newChainMetrics(reg, c.backends)
+	return c
+}
+
 // FailoverChain builds the design's standard degradation ladder: the fast
 // device model, then the determinized CPU DFA (skipped when the design
 // cannot be determinized, e.g. counters), then the bounded-memory lazy-DFA
 // engine (always available — counters run on its bitset fallback), then
-// the reference simulator.
-func (d *Design) FailoverChain() (*FailoverChain, error) {
-	runner, err := d.NewRunner()
+// the reference simulator. Options apply to every backend; WithTelemetry
+// additionally wires the chain's own failover metrics.
+func (d *Design) FailoverChain(opts ...Option) (*FailoverChain, error) {
+	cfg := applyOptions(opts)
+	device, err := d.Backend(BackendDevice, opts...)
 	if err != nil {
 		return nil, err
 	}
-	backends := []Matcher{runner.Matcher()}
-	if cpu, err := d.CompileCPU(); err == nil {
-		backends = append(backends, cpu.Matcher())
+	backends := []Matcher{device}
+	if cpu, err := d.Backend(BackendCPUDFA, opts...); err == nil {
+		backends = append(backends, cpu)
 	}
-	if eng, err := d.NewEngine(nil); err == nil {
-		backends = append(backends, eng.Matcher())
+	if eng, err := d.Backend(BackendLazyDFA, opts...); err == nil {
+		backends = append(backends, eng)
 	}
-	backends = append(backends, d.ReferenceMatcher())
-	return NewFailoverChain(backends...), nil
+	ref, err := d.Backend(BackendReference, opts...)
+	if err != nil {
+		return nil, err
+	}
+	backends = append(backends, ref)
+	return NewFailoverChain(backends...).UseTelemetry(cfg.tel), nil
 }
 
 // Backends returns the backend names in failover order.
@@ -168,21 +243,39 @@ func matchRecovered(ctx context.Context, b Matcher, input []byte) (reports []Rep
 	return reports, err
 }
 
+// noteFailure accounts one disqualified backend attempt.
+func (c *FailoverChain) noteFailure(rec *StreamRecord, name string, err error) {
+	rec.Failures = append(rec.Failures, &BackendError{Backend: name, Err: err})
+	if c.tel != nil {
+		c.tel.failures.With(name, failureCause(err)).Inc()
+	}
+}
+
 // Run executes one stream, trying each backend in order and returning the
 // first trustworthy result. It returns ctx.Err() once the context is done,
 // and an error wrapping the last *BackendError when every backend failed.
 func (c *FailoverChain) Run(ctx context.Context, input []byte) ([]Report, error) {
+	var span *telemetry.Span
+	if c.tel != nil {
+		span = c.tel.reg.StartSpan("failover.stream")
+		defer span.End()
+	}
 	var rec StreamRecord
 	for i, b := range c.backends {
 		if err := ctx.Err(); err != nil {
+			span.Fail(err)
 			return nil, err
+		}
+		if c.tel != nil {
+			c.tel.attempts.With(b.Name()).Inc()
 		}
 		reports, err := matchRecovered(ctx, b, input)
 		if err != nil {
 			if ctx.Err() != nil {
+				span.Fail(ctx.Err())
 				return nil, ctx.Err()
 			}
-			rec.Failures = append(rec.Failures, &BackendError{Backend: b.Name(), Err: err})
+			c.noteFailure(&rec, b.Name(), err)
 			continue
 		}
 		if c.CrossCheck && i < len(c.backends)-1 {
@@ -190,10 +283,11 @@ func (c *FailoverChain) Run(ctx context.Context, input []byte) ([]Report, error)
 			refReports, refErr := matchRecovered(ctx, ref, input)
 			if refErr == nil && !sameReportSet(reports, refReports) {
 				rec.Diverged = true
-				rec.Failures = append(rec.Failures, &BackendError{
-					Backend: b.Name(),
-					Err:     &DivergenceError{Backend: b.Name(), Reference: ref.Name()},
-				})
+				c.noteFailure(&rec, b.Name(), &DivergenceError{Backend: b.Name(), Reference: ref.Name()})
+				if c.tel != nil {
+					c.tel.divergences.With(b.Name()).Inc()
+					c.tel.served.With(ref.Name()).Inc()
+				}
 				rec.Backend = ref.Name()
 				c.record(rec)
 				return refReports, nil
@@ -201,13 +295,23 @@ func (c *FailoverChain) Run(ctx context.Context, input []byte) ([]Report, error)
 		}
 		rec.Backend = b.Name()
 		c.record(rec)
+		if c.tel != nil {
+			c.tel.served.With(b.Name()).Inc()
+		}
 		return reports, nil
 	}
 	c.record(rec)
-	if n := len(rec.Failures); n > 0 {
-		return nil, fmt.Errorf("rapid: all %d backends failed: %w", n, rec.Failures[n-1])
+	if c.tel != nil {
+		c.tel.exhausted.Inc()
 	}
-	return nil, fmt.Errorf("rapid: failover chain has no backends")
+	if n := len(rec.Failures); n > 0 {
+		err := fmt.Errorf("rapid: all %d backends failed: %w", n, rec.Failures[n-1])
+		span.Fail(err)
+		return nil, err
+	}
+	err := fmt.Errorf("rapid: failover chain has no backends")
+	span.Fail(err)
+	return nil, err
 }
 
 // sameReportSet compares the distinct (offset, code) sets of two report

@@ -50,7 +50,7 @@ func FuzzCompileRegex(f *testing.F) {
 			return
 		}
 		// Accepted patterns must yield a simulatable design.
-		if _, err := design.Run([]byte("aab\xffc")); err != nil {
+		if _, err := design.RunBytes([]byte("aab\xffc")); err != nil {
 			t.Fatalf("compiled design does not run: %v", err)
 		}
 	})

@@ -3,6 +3,20 @@ package ap
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// Injected faults are rare, cold events, so they report unconditionally
+// into the process-wide registry — no plumbing needed to observe a fault
+// plan from /metrics or rapid.Metrics().
+var (
+	telInjectedTransients = telemetry.Default().Counter(
+		"rapid_ap_injected_transient_faults_total",
+		"Transient device faults fired by fault plans.")
+	telInjectedCorruptions = telemetry.Default().Counter(
+		"rapid_ap_injected_corruptions_total",
+		"Input symbols corrupted by fault plans.")
 )
 
 // Fault injection. Defective blocks and transient faults are facts of life
@@ -158,6 +172,7 @@ func (p *FaultPlan) NewInjector() *Injector {
 func (in *Injector) BeforeSymbol(offset int) error {
 	if left, ok := in.remaining[offset]; ok && left > 0 {
 		in.remaining[offset] = left - 1
+		telInjectedTransients.Inc()
 		return &TransientFault{Offset: offset}
 	}
 	return nil
@@ -170,6 +185,7 @@ func (in *Injector) Apply(offset int, sym byte) byte {
 	for _, off := range in.plan.CorruptAt {
 		if off == offset {
 			flip := byte(in.plan.rand(uint64(offset)^0xC0DE)&0xFF) | 1
+			telInjectedCorruptions.Inc()
 			return sym ^ flip
 		}
 	}

@@ -32,6 +32,21 @@ type ThroughputConfig struct {
 	AOTMaxStates int
 	// Seed drives workload generation. Default 1.
 	Seed int64
+	// Engines restricts the single-stream tiers measured, by engine name
+	// ("nfa-bitset", "aot-dfa", "lazy-dfa"). Empty measures all of them.
+	Engines []string
+}
+
+func (c ThroughputConfig) wants(engine string) bool {
+	if len(c.Engines) == 0 {
+		return true
+	}
+	for _, e := range c.Engines {
+		if e == engine {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *ThroughputConfig) withDefaults() ThroughputConfig {
@@ -46,6 +61,7 @@ func (c *ThroughputConfig) withDefaults() ThroughputConfig {
 		if c.Seed != 0 {
 			out.Seed = c.Seed
 		}
+		out.Engines = c.Engines
 	}
 	return out
 }
@@ -94,38 +110,44 @@ func Throughput(cfg *ThroughputConfig) ([]ThroughputRow, error) {
 		input := b.Input(rng, c.StreamBytes)
 		nbytes := int64(len(input))
 
-		sim, err := automata.NewFastSimulator(net)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		start := time.Now()
-		reports := sim.Run(input)
-		rows = append(rows, row(b.Name, "nfa-bitset", 1, nbytes, time.Since(start), len(reports)))
-
-		if d, err := dfa.FromNetwork(net, &dfa.Options{MaxStates: c.AOTMaxStates}); err != nil {
-			r := row(b.Name, "aot-dfa", 1, 0, 0, 0)
-			r.Note = fmt.Sprintf("unavailable: %v", err)
-			rows = append(rows, r)
-		} else {
+		if c.wants("nfa-bitset") {
+			sim, err := automata.NewFastSimulator(net)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", b.Name, err)
+			}
 			start := time.Now()
-			dreports := d.Run(input)
-			rows = append(rows, row(b.Name, "aot-dfa", 1, nbytes, time.Since(start), len(dreports)))
+			reports := sim.Run(input)
+			rows = append(rows, row(b.Name, "nfa-bitset", 1, nbytes, time.Since(start), len(reports)))
 		}
 
-		m, err := lazydfa.New(net, nil)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		if c.wants("aot-dfa") {
+			if d, err := dfa.FromNetwork(net, &dfa.Options{MaxStates: c.AOTMaxStates}); err != nil {
+				r := row(b.Name, "aot-dfa", 1, 0, 0, 0)
+				r.Note = fmt.Sprintf("unavailable: %v", err)
+				rows = append(rows, r)
+			} else {
+				start := time.Now()
+				dreports := d.Run(input)
+				rows = append(rows, row(b.Name, "aot-dfa", 1, nbytes, time.Since(start), len(dreports)))
+			}
 		}
-		warm := input
-		if len(warm) > 1<<12 {
-			warm = warm[:1<<12]
+
+		if c.wants("lazy-dfa") {
+			m, err := lazydfa.New(net, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", b.Name, err)
+			}
+			warm := input
+			if len(warm) > 1<<12 {
+				warm = warm[:1<<12]
+			}
+			m.Run(warm)
+			start := time.Now()
+			lreports := m.Run(input)
+			r := row(b.Name, "lazy-dfa", 1, nbytes, time.Since(start), len(lreports))
+			r.Note = fmt.Sprintf("states=%d flushes=%d", m.CachedStates(), m.Flushes())
+			rows = append(rows, r)
 		}
-		m.Run(warm)
-		start = time.Now()
-		lreports := m.Run(input)
-		r := row(b.Name, "lazy-dfa", 1, nbytes, time.Since(start), len(lreports))
-		r.Note = fmt.Sprintf("states=%d flushes=%d", m.CachedStates(), m.Flushes())
-		rows = append(rows, r)
 	}
 	return rows, nil
 }

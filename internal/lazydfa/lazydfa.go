@@ -72,6 +72,7 @@ type Matcher struct {
 	cache     *stateCache
 	activeBuf []uint64
 	nextBuf   []uint64
+	fills     int
 	flushes   int
 }
 
@@ -136,6 +137,11 @@ func (m *Matcher) CachedStates() int {
 	}
 	return len(m.cache.states)
 }
+
+// Fills returns how many transitions the matcher has materialized on
+// cache misses (one per (state, symbol-class) filled). Together with
+// Flushes it is the cache-efficiency signal the telemetry layer surfaces.
+func (m *Matcher) Fills() int { return m.fills }
 
 // Flushes returns how many times the state cache hit its cap and was
 // flushed.
@@ -250,6 +256,7 @@ func (m *Matcher) startState() int32 {
 // id may differ from cur.
 func (m *Matcher) miss(cur int32, sym byte) (newCur, succ int32) {
 	p := m.prog
+	m.fills++
 	st := m.cache.states[cur]
 	next, codes := m.step(st, sym)
 	succEnabled := append(make([]uint64, 0, p.nwords), next...)

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/ap"
 	"repro/internal/automata"
+	"repro/internal/telemetry"
 )
 
 // BRLinesPerBlock is the modeled number of block-level routing lines: one
@@ -120,10 +121,35 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
+// Placement attempts are cold-path events, so they report unconditionally
+// into the process-wide registry.
+var (
+	telPlaceAttempts = telemetry.Default().Counter(
+		"rapid_place_attempts_total",
+		"Placement flows started (baseline and stamped).")
+	telPlaceFailures = telemetry.Default().Counter(
+		"rapid_place_failures_total",
+		"Placement flows that returned an error.")
+	telPlaceCapacityErrors = telemetry.Default().Counter(
+		"rapid_place_capacity_errors_total",
+		"Placement failures where the design exceeded healthy board capacity.")
+)
+
+// notePlacement accounts one finished placement flow. Capacity errors are
+// counted at their construction site in physicalAssignment, which both
+// the baseline and stamped flows reach.
+func notePlacement(err error) {
+	telPlaceAttempts.Inc()
+	if err != nil {
+		telPlaceFailures.Inc()
+	}
+}
+
 // Place runs the baseline global placement of Table 6: the entire design is
 // partitioned at element granularity with iterative refinement. Cost grows
 // with design size; this is the deliberately thorough flow.
-func Place(net *automata.Network, cfg Config) (*Placement, error) {
+func Place(net *automata.Network, cfg Config) (pl *Placement, err error) {
+	defer func() { notePlacement(err) }()
 	cfg = cfg.withDefaults()
 	work := net
 	if !cfg.SkipOptimize {
@@ -609,6 +635,7 @@ func physicalAssignment(design string, needed int, cfg Config) ([]int, error) {
 		}
 	}
 	if len(phys) < needed {
+		telPlaceCapacityErrors.Inc()
 		return nil, &CapacityError{
 			Design:    design,
 			Needed:    needed,

@@ -1,0 +1,49 @@
+package rapid
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Option is a functional option accepted by the execution-path
+// constructors (NewRunner, NewEngine, CompileCPU, Backend,
+// FailoverChain). Options irrelevant to a given constructor are ignored,
+// so one option slice can configure a whole chain of backends.
+type Option func(*config)
+
+// config is the resolved option set.
+type config struct {
+	workers         int
+	maxCachedStates int
+	tel             *telemetry.Registry
+}
+
+func applyOptions(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+// WithWorkers sets the worker-pool size for Engine.RunBatch and
+// Engine.RunRecords. Values <= 0 mean GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithMaxCachedStates caps each lazy-DFA matcher's state cache; the cache
+// flushes and restarts when full, so memory stays bounded without
+// aborting. Values <= 0 mean lazydfa.DefaultMaxCachedStates.
+func WithMaxCachedStates(n int) Option {
+	return func(c *config) { c.maxCachedStates = n }
+}
+
+// WithTelemetry routes the execution path's metrics and spans into reg —
+// typically telemetry.Default(), so rapid.Metrics() and the -metrics-addr
+// exporters see them. The default is nil: telemetry disabled, at zero
+// measurable cost on the hot path.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *config) { c.tel = reg }
+}

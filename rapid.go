@@ -21,9 +21,16 @@
 //
 //	prog, err := rapid.Parse(src)            // parse + type check
 //	design, err := prog.Compile(args...)     // staged compilation to NFA
-//	reports, err := design.Run(input)        // simulate the device
+//	reports, err := design.RunBytes(input)   // simulate the device
 //	anmlBytes, err := design.ANML()          // export ANML
 //	tess, err := prog.Tessellate(args...)    // Section 6 tessellation
+//
+// Every execution path follows one signature convention: the primary run
+// methods are context-first — Run(ctx, input) ([]Report, error) — and each
+// has a RunBytes convenience wrapper using context.Background(). Backends
+// are constructed uniformly through Design.Backend(kind), with functional
+// options (WithWorkers, WithMaxCachedStates, WithTelemetry) shared across
+// constructors.
 package rapid
 
 import (
@@ -168,21 +175,17 @@ type Report struct {
 }
 
 // Run simulates the design in lock-step over input, exactly as the AP
-// executes it, and returns all report events in offset order.
-func (d *Design) Run(input []byte) ([]Report, error) {
-	raw, err := d.net.Run(input)
-	if err != nil {
-		return nil, err
-	}
-	return convertReports(raw, d.reports), nil
-}
-
-// RunContext is Run with cooperative cancellation: the simulation proceeds
-// in chunks and aborts promptly with ctx.Err() once ctx is done, returning
-// the reports produced up to that point.
-func (d *Design) RunContext(ctx context.Context, input []byte) ([]Report, error) {
+// executes it, and returns all report events in offset order. The
+// simulation proceeds in chunks and aborts promptly with ctx.Err() once
+// ctx is done, returning the reports produced up to that point.
+func (d *Design) Run(ctx context.Context, input []byte) ([]Report, error) {
 	raw, err := d.net.RunContext(ctx, input)
 	return convertReports(raw, d.reports), err
+}
+
+// RunBytes is Run with context.Background().
+func (d *Design) RunBytes(input []byte) ([]Report, error) {
+	return d.Run(context.Background(), input)
 }
 
 func convertReports(raw []automata.Report, sites map[int]string) []Report {
@@ -292,43 +295,49 @@ func (p *Program) Tessellate(args ...Value) (*Tessellation, error) {
 
 // Runner is a reusable high-throughput executor for one design: it
 // precomputes per-symbol acceptance tables once and can then stream many
-// inputs.
+// inputs. It is the "device" backend of the failover ladder.
 type Runner struct {
 	sim     *automata.FastSimulator
 	reports map[int]string
+	tel     *runnerMetrics
 }
 
-// NewRunner builds the design's fast execution path.
-func (d *Design) NewRunner() (*Runner, error) {
+// NewRunner builds the design's fast execution path. Options: WithTelemetry.
+func (d *Design) NewRunner(opts ...Option) (*Runner, error) {
+	cfg := applyOptions(opts)
 	sim, err := automata.NewFastSimulator(d.net)
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{sim: sim, reports: d.reports}, nil
+	return &Runner{sim: sim, reports: d.reports, tel: newRunnerMetrics(cfg.tel)}, nil
 }
 
 // Run streams input through the design and returns the report events. The
+// stream is processed in chunks and aborts promptly with ctx.Err() once
+// ctx is done, returning the reports produced up to that point. The
 // runner resets between calls and is not safe for concurrent use; Clone
 // gives each goroutine its own cheap copy.
-func (r *Runner) Run(input []byte) []Report {
-	return convertReports(r.sim.Run(input), r.reports)
+func (r *Runner) Run(ctx context.Context, input []byte) ([]Report, error) {
+	start := r.tel.start()
+	raw, err := r.sim.RunContext(ctx, input)
+	out := convertReports(raw, r.reports)
+	r.tel.record(len(input), len(out), err, start)
+	return out, err
 }
 
-// RunContext is Run with cooperative cancellation: the stream is processed
-// in chunks and aborts promptly with ctx.Err() once ctx is done, returning
-// the reports produced up to that point.
-func (r *Runner) RunContext(ctx context.Context, input []byte) ([]Report, error) {
-	raw, err := r.sim.RunContext(ctx, input)
-	return convertReports(raw, r.reports), err
+// RunBytes is Run with context.Background().
+func (r *Runner) RunBytes(input []byte) ([]Report, error) {
+	return r.Run(context.Background(), input)
 }
 
 // Clone returns an independent runner for the same design that shares the
 // precomputed O(elements × alphabet) acceptance tables but owns its own
 // mutable execution state. Cloning is cheap (O(elements/64)), so a server
 // can run one compiled design across many goroutines — one clone each —
-// without rebuilding the tables.
+// without rebuilding the tables. Clones share the parent's telemetry
+// instruments (counters are concurrency-safe).
 func (r *Runner) Clone() *Runner {
-	return &Runner{sim: r.sim.Clone(), reports: r.reports}
+	return &Runner{sim: r.sim.Clone(), reports: r.reports, tel: r.tel}
 }
 
 // WriteDot renders the design in Graphviz DOT format for visualization.
@@ -363,30 +372,43 @@ func (d *Design) Equivalent(other *Design) error {
 type CPUMatcher struct {
 	d       *dfa.DFA
 	reports map[int]string
+	tel     *backendMetrics
 }
 
 // CompileCPU determinizes the design (subset construction + minimization)
-// for fast table-driven CPU execution.
-func (d *Design) CompileCPU() (*CPUMatcher, error) {
+// for fast table-driven CPU execution. Options: WithTelemetry.
+func (d *Design) CompileCPU(opts ...Option) (*CPUMatcher, error) {
+	cfg := applyOptions(opts)
 	m, err := dfa.FromNetwork(d.net, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &CPUMatcher{d: m, reports: d.reports}, nil
+	return &CPUMatcher{d: m, reports: d.reports, tel: newBackendMetrics(cfg.tel, string(BackendCPUDFA))}, nil
 }
 
 // States returns the number of DFA states.
 func (m *CPUMatcher) States() int { return m.d.States() }
 
 // Run executes the matcher over input. Reports are deduplicated by
-// (offset, code).
-func (m *CPUMatcher) Run(input []byte) []Report {
+// (offset, code). The table-driven loop is not interruptible mid-stream;
+// ctx is checked on entry.
+func (m *CPUMatcher) Run(ctx context.Context, input []byte) ([]Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := m.tel.start()
 	raw := m.d.Run(input)
 	out := make([]Report, len(raw))
 	for i, r := range raw {
 		out[i] = Report{Offset: r.Offset, Code: r.Code, Site: m.reports[r.Code]}
 	}
-	return out
+	m.tel.record(len(input), len(out), nil, start)
+	return out, nil
+}
+
+// RunBytes is Run with context.Background().
+func (m *CPUMatcher) RunBytes(input []byte) ([]Report, error) {
+	return m.Run(context.Background(), input)
 }
 
 // CompileRegex compiles a regular expression into a design via the

@@ -7,6 +7,19 @@ import (
 	"testing"
 )
 
+// mustRunBytes runs a backend over input and fails the test on error —
+// for the many sites where the run is expected to succeed.
+func mustRunBytes(t *testing.T, r interface {
+	RunBytes([]byte) ([]Report, error)
+}, input []byte) []Report {
+	t.Helper()
+	reports, err := r.RunBytes(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reports
+}
+
 const hammingSrc = `
 macro hamming_distance(String s, int d) {
   Counter cnt;
@@ -36,7 +49,7 @@ func TestParseCompileRun(t *testing.T) {
 	if stats.STEs == 0 || stats.Counters != 1 || stats.ClockDivisor != 2 {
 		t.Fatalf("stats = %+v", stats)
 	}
-	reports, err := design.Run([]byte("tepid"))
+	reports, err := design.RunBytes([]byte("tepid"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +77,7 @@ func TestInterpretMatchesDevice(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		reports, err := design.Run([]byte(in))
+		reports, err := design.RunBytes([]byte(in))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,11 +113,11 @@ func TestANMLRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := design.Run([]byte("rapid"))
+	r1, err := design.RunBytes([]byte("rapid"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := loaded.Run([]byte("rapid"))
+	r2, err := loaded.RunBytes([]byte("rapid"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +196,7 @@ func TestCompileRegex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reports, err := design.Run([]byte("xxraapid"))
+	reports, err := design.RunBytes([]byte("xxraapid"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +207,7 @@ func TestCompileRegex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reports, err = set.Run([]byte("abcd"))
+	reports, err = set.RunBytes([]byte("abcd"))
 	if err != nil {
 		t.Fatal(err)
 	}

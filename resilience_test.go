@@ -57,7 +57,7 @@ func TestEndToEndFaultTolerance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := runner.Run(input)
+	want := mustRunBytes(t, runner, input)
 	if len(want) == 0 {
 		t.Fatal("fault-free run produced no reports; bad test design")
 	}
@@ -123,12 +123,12 @@ func TestRunContextCancelsPromptly(t *testing.T) {
 	// Already-cancelled context: immediate ctx.Err(), no work.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	reports, err := runner.RunContext(ctx, input)
+	reports, err := runner.Run(ctx, input)
 	if !errors.Is(err, context.Canceled) || len(reports) != 0 {
 		t.Fatalf("pre-cancelled: %d reports, err %v", len(reports), err)
 	}
 	// The runner remains usable after a cancelled run.
-	if got := runner.Run(repeatStream("xxabcx", 10)); len(got) != 10 {
+	if got := mustRunBytes(t, runner, repeatStream("xxabcx", 10)); len(got) != 10 {
 		t.Fatalf("post-cancel run: %d reports, want 10", len(got))
 	}
 
@@ -139,7 +139,7 @@ func TestRunContextCancelsPromptly(t *testing.T) {
 	var runErr error
 	go func() {
 		defer close(done)
-		partial, runErr = runner.RunContext(ctx2, input)
+		partial, runErr = runner.Run(ctx2, input)
 	}()
 	time.Sleep(2 * time.Millisecond)
 	cancel2()
@@ -155,7 +155,7 @@ func TestRunContextCancelsPromptly(t *testing.T) {
 		t.Fatalf("run completed (%d reports) despite cancellation", len(partial))
 	}
 	// Design-level variant honors cancellation too.
-	if _, err := design.RunContext(ctx, repeatStream("abc", 10)); !errors.Is(err, context.Canceled) {
+	if _, err := design.Run(ctx, repeatStream("abc", 10)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Design.RunContext err = %v", err)
 	}
 }
@@ -174,7 +174,7 @@ func TestRunnerCloneConcurrent(t *testing.T) {
 	}
 	wants := make([][]Report, len(inputs))
 	for i, in := range inputs {
-		wants[i] = runner.Run(in)
+		wants[i] = mustRunBytes(t, runner, in)
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)
@@ -185,8 +185,9 @@ func TestRunnerCloneConcurrent(t *testing.T) {
 			defer wg.Done()
 			for trial := 0; trial < 20; trial++ {
 				i := (g + trial) % len(inputs)
-				if got := r.Run(inputs[i]); !reflect.DeepEqual(got, wants[i]) {
-					errs <- fmt.Errorf("goroutine %d input %d: %d reports, want %d", g, i, len(got), len(wants[i]))
+				got, err := r.RunBytes(inputs[i])
+				if err != nil || !reflect.DeepEqual(got, wants[i]) {
+					errs <- fmt.Errorf("goroutine %d input %d: %d reports, want %d (err %v)", g, i, len(got), len(wants[i]), err)
 					return
 				}
 			}
@@ -222,7 +223,7 @@ func (m corruptMatcher) Match(ctx context.Context, input []byte) ([]Report, erro
 func TestFailoverChain(t *testing.T) {
 	design := mustDesign(t, slidingSrc, Str("abc"))
 	input := repeatStream("xxabcx", 50)
-	want, err := design.Run(input)
+	want, err := design.RunBytes(input)
 	if err != nil {
 		t.Fatal(err)
 	}

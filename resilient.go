@@ -2,10 +2,56 @@ package rapid
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/automata"
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 )
+
+// runnerMetrics is the Runner's instrument set: the shared per-backend
+// stream accounting plus the checkpoint-replay counters RunResilient
+// maintains. nil means telemetry disabled.
+type runnerMetrics struct {
+	reg         *telemetry.Registry
+	bm          *backendMetrics
+	checkpoints *telemetry.Counter
+	retries     *telemetry.Counter
+	replayed    *telemetry.Counter
+	restores    *telemetry.Counter
+}
+
+func newRunnerMetrics(reg *telemetry.Registry) *runnerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &runnerMetrics{
+		reg: reg,
+		bm:  newBackendMetrics(reg, string(BackendDevice)),
+		checkpoints: reg.Counter("rapid_resilient_checkpoints_total",
+			"Simulator snapshots taken by RunResilient."),
+		retries: reg.Counter("rapid_resilient_retries_total",
+			"Segment replays after transient faults."),
+		replayed: reg.Counter("rapid_resilient_replayed_bytes_total",
+			"Input bytes re-processed across segment replays."),
+		restores: reg.Counter("rapid_resilient_restores_total",
+			"Checkpoint restores performed before replaying a segment."),
+	}
+}
+
+func (m *runnerMetrics) start() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return m.bm.start()
+}
+
+func (m *runnerMetrics) record(inputBytes, reports int, err error, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.bm.record(inputBytes, reports, err, start)
+}
 
 // RunOptions configures fault-tolerant streaming execution.
 type RunOptions struct {
@@ -56,21 +102,37 @@ type RunStats struct {
 // bounded by opts.Policy. Reports are byte-identical to a fault-free run
 // whenever the faults are transient (they heal within the retry budget).
 // Cancellation via ctx aborts between segments and returns ctx.Err().
+//
+// With telemetry enabled on the runner, checkpoints, retries, restores,
+// and replayed bytes land in the rapid_resilient_* counters and each run
+// emits a "runner.resilient" span.
 func (r *Runner) RunResilient(ctx context.Context, input []byte, opts *RunOptions) ([]Report, RunStats, error) {
 	o := opts.withDefaults()
 	var stats RunStats
+	var span *telemetry.Span
+	if r.tel != nil {
+		span = r.tel.reg.StartSpan("runner.resilient")
+		defer span.End()
+	}
+	start := r.tel.start()
 	sim := r.sim
 	sim.Reset()
 	snap := sim.Snapshot()
-	for start := 0; start < len(input); {
-		end := start + o.Checkpoint
+	for segStart := 0; segStart < len(input); {
+		end := segStart + o.Checkpoint
 		if end > len(input) {
 			end = len(input)
 		}
 		err := resilience.Retry(ctx, o.Policy, func(attempt int) error {
 			if attempt > 0 {
+				replayed := sim.Offset() - snap.Offset()
 				stats.Retries++
-				stats.ReplayedSymbols += sim.Offset() - snap.Offset()
+				stats.ReplayedSymbols += replayed
+				if r.tel != nil {
+					r.tel.retries.Inc()
+					r.tel.restores.Inc()
+					r.tel.replayed.Add(uint64(replayed))
+				}
 				sim.Restore(snap)
 			}
 			for off := sim.Offset(); off < end; off++ {
@@ -88,11 +150,19 @@ func (r *Runner) RunResilient(ctx context.Context, input []byte, opts *RunOption
 			return nil
 		})
 		if err != nil {
-			return convertReports(sim.Reports(), r.reports), stats, err
+			span.Fail(err)
+			out := convertReports(sim.Reports(), r.reports)
+			r.tel.record(len(input), len(out), err, start)
+			return out, stats, err
 		}
 		snap = sim.Snapshot()
 		stats.Checkpoints++
-		start = end
+		if r.tel != nil {
+			r.tel.checkpoints.Inc()
+		}
+		segStart = end
 	}
-	return convertReports(sim.Reports(), r.reports), stats, nil
+	out := convertReports(sim.Reports(), r.reports)
+	r.tel.record(len(input), len(out), nil, start)
+	return out, stats, nil
 }

@@ -1,0 +1,311 @@
+package rapid
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ap"
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+)
+
+// stubMatcher is a scriptable backend for failover tests.
+type stubMatcher struct {
+	name string
+	fn   func(ctx context.Context, input []byte) ([]Report, error)
+}
+
+func (s *stubMatcher) Name() string { return s.name }
+func (s *stubMatcher) Match(ctx context.Context, input []byte) ([]Report, error) {
+	return s.fn(ctx, input)
+}
+
+func TestParseBackendKind(t *testing.T) {
+	for _, kind := range BackendKinds() {
+		got, err := ParseBackendKind(string(kind))
+		if err != nil || got != kind {
+			t.Fatalf("ParseBackendKind(%q) = %v, %v", kind, got, err)
+		}
+	}
+	_, err := ParseBackendKind("gpu")
+	var ube *UnknownBackendError
+	if !errors.As(err, &ube) {
+		t.Fatalf("ParseBackendKind(gpu) error = %v, want *UnknownBackendError", err)
+	}
+	msg := err.Error()
+	for _, kind := range BackendKinds() {
+		if !strings.Contains(msg, string(kind)) {
+			t.Fatalf("error %q does not list kind %q", msg, kind)
+		}
+	}
+}
+
+// TestBackendEveryKind exercises the uniform constructor: each tier is
+// built through Design.Backend, reports its kind as its name, and agrees
+// with the reference simulator on the observable report set.
+func TestBackendEveryKind(t *testing.T) {
+	design := mustDesign(t, slidingSrc, Str("abc"))
+	input := []byte("xxabcxabc")
+	want, err := design.RunBytes(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range BackendKinds() {
+		m, err := design.Backend(kind)
+		if err != nil {
+			t.Fatalf("Backend(%s): %v", kind, err)
+		}
+		if m.Name() != string(kind) {
+			t.Fatalf("Backend(%s).Name() = %q", kind, m.Name())
+		}
+		got, err := m.Match(context.Background(), input)
+		if err != nil {
+			t.Fatalf("backend %s: %v", kind, err)
+		}
+		if !reportSetKeyEqual(reportSet(got), reportSet(want)) {
+			t.Fatalf("backend %s report set %v != reference %v", kind, reportSet(got), reportSet(want))
+		}
+	}
+
+	// Counter designs cannot determinize; the typed error surfaces through
+	// Backend while the lazy tier still works.
+	counterDesign := mustDesign(t, hammingSrc, Strings([]string{"rapid"}))
+	if _, err := counterDesign.Backend(BackendCPUDFA); err == nil {
+		t.Fatal("Backend(cpu-dfa) on a counter design should fail")
+	}
+	if _, err := counterDesign.Backend(BackendLazyDFA); err != nil {
+		t.Fatalf("Backend(lazy-dfa) on a counter design: %v", err)
+	}
+}
+
+// TestBackendTelemetryRecorded runs one stream through each tier with a
+// private registry and checks the per-backend stream accounting.
+func TestBackendTelemetryRecorded(t *testing.T) {
+	design := mustDesign(t, slidingSrc, Str("abc"))
+	input := []byte("xxabcxabc")
+	reg := telemetry.NewRegistry()
+	for _, kind := range BackendKinds() {
+		m, err := design.Backend(kind, WithTelemetry(reg))
+		if err != nil {
+			t.Fatalf("Backend(%s): %v", kind, err)
+		}
+		want, err := m.Match(context.Background(), input)
+		if err != nil {
+			t.Fatalf("backend %s: %v", kind, err)
+		}
+		snap := reg.Snapshot()
+		if got := snap.Counter(metricBackendStreams, "backend", string(kind)); got != 1 {
+			t.Errorf("%s streams = %d, want 1", kind, got)
+		}
+		if got := snap.Counter(metricBackendBytes, "backend", string(kind)); got != uint64(len(input)) {
+			t.Errorf("%s bytes = %d, want %d", kind, got, len(input))
+		}
+		if got := snap.Counter(metricBackendReports, "backend", string(kind)); got != uint64(len(want)) {
+			t.Errorf("%s reports = %d, want %d", kind, got, len(want))
+		}
+	}
+}
+
+// TestRegisterBackendMetricsScrape checks the pre-registration contract:
+// a scrape taken before any traffic still carries a zero-valued series for
+// every tier.
+func TestRegisterBackendMetricsScrape(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	RegisterBackendMetrics(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, kind := range BackendKinds() {
+		want := `rapid_backend_streams_total{backend="` + string(kind) + `"} 0`
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestEngineTelemetryRace hammers one instrumented Engine from concurrent
+// batches while other goroutines snapshot and scrape the registry — the
+// race-detector test the concurrency contract is pinned by.
+func TestEngineTelemetryRace(t *testing.T) {
+	design := mustDesign(t, slidingSrc, Str("abc"))
+	reg := telemetry.NewRegistry()
+	eng, err := design.NewEngine(WithWorkers(4), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{
+		[]byte("xxabcx"),
+		repeatStream("abc", 40),
+		repeatStream("xabcx", 30),
+		[]byte("no matches here"),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := eng.RunBatch(context.Background(), inputs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				reg.Snapshot()
+				var buf bytes.Buffer
+				if err := reg.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	const wantStreams = 8 * 10 * 4
+	if got := snap.Counter(metricBackendStreams, "backend", string(BackendLazyDFA)); got != wantStreams {
+		t.Fatalf("lazy-dfa streams = %d, want %d", got, wantStreams)
+	}
+	if got := snap.Counter("rapid_engine_batches_total"); got != 8*10 {
+		t.Fatalf("batches = %d, want %d", got, 8*10)
+	}
+	if got, ok := snap.Value("rapid_engine_queue_depth"); !ok || got != 0 {
+		t.Fatalf("queue depth after drain = %v (ok=%v), want 0", got, ok)
+	}
+}
+
+// TestFailoverChainMetrics forces a failover (error), a panic, and a
+// cross-check divergence through an instrumented chain and checks the
+// attempt/served/failure accounting for each cause.
+func TestFailoverChainMetrics(t *testing.T) {
+	design := mustDesign(t, slidingSrc, Str("abc"))
+	input := []byte("xxabcx")
+	ref, err := design.Backend(BackendReference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("device offline")
+	failing := &stubMatcher{name: "device", fn: func(context.Context, []byte) ([]Report, error) {
+		return nil, boom
+	}}
+	panicking := &stubMatcher{name: "cpu-dfa", fn: func(context.Context, []byte) ([]Report, error) {
+		panic("table corrupted")
+	}}
+	diverging := &stubMatcher{name: "lazy-dfa", fn: func(context.Context, []byte) ([]Report, error) {
+		return []Report{{Offset: 1, Code: 99}}, nil
+	}}
+
+	reg := telemetry.NewRegistry()
+	chain := NewFailoverChain(failing, panicking, diverging, ref).UseTelemetry(reg)
+	chain.CrossCheck = true
+	reports, err := chain.Run(context.Background(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no reports from reference rung")
+	}
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{"device": 1, "cpu-dfa": 1, "lazy-dfa": 1} {
+		if got := snap.Counter("rapid_failover_attempts_total", "backend", name); got != want {
+			t.Errorf("attempts{%s} = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Counter("rapid_failover_served_total", "backend", "reference"); got != 1 {
+		t.Errorf("served{reference} = %d, want 1", got)
+	}
+	for _, tc := range []struct{ backend, cause string }{
+		{"device", "error"}, {"cpu-dfa", "panic"}, {"lazy-dfa", "divergence"},
+	} {
+		if got := snap.Counter("rapid_failover_failures_total", "backend", tc.backend, "cause", tc.cause); got != 1 {
+			t.Errorf("failures{%s,%s} = %d, want 1", tc.backend, tc.cause, got)
+		}
+	}
+	if got := snap.Counter("rapid_failover_divergences_total", "backend", "lazy-dfa"); got != 1 {
+		t.Errorf("divergences{lazy-dfa} = %d, want 1", got)
+	}
+	if got := snap.Counter("rapid_spans_total", "span", "failover.stream", "status", "ok"); got != 1 {
+		t.Errorf("spans{failover.stream,ok} = %d, want 1", got)
+	}
+
+	// Exhaustion: a chain with only failing rungs counts one exhausted
+	// stream and returns the last backend error.
+	reg2 := telemetry.NewRegistry()
+	dead := NewFailoverChain(failing).UseTelemetry(reg2)
+	if _, err := dead.Run(context.Background(), input); err == nil {
+		t.Fatal("exhausted chain should error")
+	}
+	if got := reg2.Snapshot().Counter("rapid_failover_exhausted_total"); got != 1 {
+		t.Errorf("exhausted = %d, want 1", got)
+	}
+}
+
+// TestRunResilientMetrics checks that checkpoint-replay fault handling
+// lands in the rapid_resilient_* counters and matches the returned stats.
+func TestRunResilientMetrics(t *testing.T) {
+	design := mustDesign(t, slidingSrc, Str("abc"))
+	reg := telemetry.NewRegistry()
+	runner, err := design.NewRunner(WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &ap.FaultPlan{TransientAt: []int{100}, TransientRepeat: 1}
+	inj := plan.NewInjector()
+	input := repeatStream("xxabcx", 100)
+	_, stats, err := runner.RunResilient(context.Background(), input, &RunOptions{
+		Checkpoint:   64,
+		Policy:       resilience.Policy{MaxAttempts: 3, Sleep: noSleep},
+		BeforeSymbol: inj.BeforeSymbol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retries == 0 || stats.ReplayedSymbols == 0 {
+		t.Fatalf("fault did not trigger a replay: %+v", stats)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("rapid_resilient_retries_total"); got != uint64(stats.Retries) {
+		t.Errorf("retries counter = %d, stats %d", got, stats.Retries)
+	}
+	if got := snap.Counter("rapid_resilient_replayed_bytes_total"); got != uint64(stats.ReplayedSymbols) {
+		t.Errorf("replayed counter = %d, stats %d", got, stats.ReplayedSymbols)
+	}
+	if got := snap.Counter("rapid_resilient_checkpoints_total"); got != uint64(stats.Checkpoints) {
+		t.Errorf("checkpoints counter = %d, stats %d", got, stats.Checkpoints)
+	}
+	if got := snap.Counter("rapid_spans_total", "span", "runner.resilient", "status", "ok"); got != 1 {
+		t.Errorf("spans{runner.resilient,ok} = %d, want 1", got)
+	}
+}
+
+// TestMetricsSnapshotDefault checks the public rapid.Metrics() surface:
+// always-on cold-path instruments land in the default registry and the
+// snapshot resolves them by name.
+func TestMetricsSnapshotDefault(t *testing.T) {
+	design := mustDesign(t, slidingSrc, Str("abc"))
+	before := Metrics().Counter(metricBackendStreams, "backend", string(BackendDevice))
+	m, err := design.Backend(BackendDevice, WithTelemetry(telemetry.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Match(context.Background(), []byte("xxabcx")); err != nil {
+		t.Fatal(err)
+	}
+	after := Metrics().Counter(metricBackendStreams, "backend", string(BackendDevice))
+	if after != before+1 {
+		t.Fatalf("default-registry device streams went %d -> %d, want +1", before, after)
+	}
+}

@@ -42,7 +42,7 @@ func TestRunner(t *testing.T) {
 	}
 	// The design is anchored at stream start (no sliding idiom).
 	for trial := 0; trial < 3; trial++ { // reusable across runs
-		reports := runner.Run([]byte("abc"))
+		reports := mustRunBytes(t, runner, []byte("abc"))
 		if got := Offsets(reports); !reflect.DeepEqual(got, []int{2}) {
 			t.Fatalf("trial %d: offsets = %v", trial, got)
 		}
@@ -51,11 +51,11 @@ func TestRunner(t *testing.T) {
 		}
 	}
 	// Runner agrees with the reference path.
-	want, err := design.Run([]byte("abcabc"))
+	want, err := design.RunBytes([]byte("abcabc"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := runner.Run([]byte("abcabc"))
+	got := mustRunBytes(t, runner, []byte("abcabc"))
 	if !reflect.DeepEqual(Offsets(got), Offsets(want)) {
 		t.Fatalf("runner %v != reference %v", Offsets(got), Offsets(want))
 	}
@@ -78,7 +78,7 @@ func TestDesignFindWitness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reports, err := design.Run(w)
+	reports, err := design.RunBytes(w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,8 +113,8 @@ func TestCompileCPU(t *testing.T) {
 	if m.States() < 2 {
 		t.Fatalf("states = %d", m.States())
 	}
-	got := Offsets(m.Run([]byte("xabcdx")))
-	want, err := design.Run([]byte("xabcdx"))
+	got := Offsets(mustRunBytes(t, m, []byte("xabcdx")))
+	want, err := design.RunBytes([]byte("xabcdx"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ network () {
 			// Prefix the counter stream, then the 'q'-triggered check:
 			// q then one filler symbol, then the check fires.
 			full := input + "q."
-			reports, err := design.Run([]byte(full))
+			reports, err := design.RunBytes([]byte(full))
 			if err != nil {
 				t.Fatal(err)
 			}
