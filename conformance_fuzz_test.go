@@ -1,0 +1,154 @@
+package rapid_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/codegen"
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/lang/ast"
+	"repro/internal/lang/interp"
+	"repro/internal/lang/parser"
+	"repro/internal/lang/printer"
+	"repro/internal/lang/value"
+)
+
+// corpusSeeds loads the conformance corpus as fuzz seed material; the
+// reproducer files are themselves valid RAPID source.
+func corpusSeeds(f *testing.F) []*conformance.CorpusCase {
+	cases, err := conformance.LoadCorpus(filepath.Join("testdata", "conformance"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return cases
+}
+
+// FuzzParsePrintParse asserts the printer round-trip on every parseable
+// input: print(parse(src)) must re-parse, and printing is idempotent
+// from the first round-trip on.
+//
+// Run with: go test -fuzz=FuzzParsePrintParse .
+func FuzzParsePrintParse(f *testing.F) {
+	for _, c := range corpusSeeds(f) {
+		f.Add(c.Source)
+	}
+	f.Add("network () { { 'a' == input(); report; } }")
+	f.Add("macro m(char c) { c == input(); } network (String s) { m(s[0]); }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		p1, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		s1 := printer.Print(p1)
+		p2, err := parser.Parse(s1)
+		if err != nil {
+			t.Fatalf("printed source does not re-parse: %v\n--- printed ---\n%s", err, s1)
+		}
+		if s2 := printer.Print(p2); s2 != s1 {
+			t.Fatalf("printing is not idempotent:\n--- first ---\n%s\n--- second ---\n%s", s1, s2)
+		}
+	})
+}
+
+// FuzzInterpVsReference cross-checks the interpreter oracle against the
+// compiled reference simulation on every program the front end accepts,
+// with arguments synthesized from the network's parameter types.
+//
+// Run with: go test -fuzz=FuzzInterpVsReference .
+func FuzzInterpVsReference(f *testing.F) {
+	for _, c := range corpusSeeds(f) {
+		input := []byte{}
+		if len(c.Inputs) > 1 {
+			input = c.Inputs[1]
+		}
+		f.Add(c.Source, input)
+	}
+
+	f.Fuzz(func(t *testing.T, src string, input []byte) {
+		if len(src) > 4096 || len(input) > 256 {
+			return
+		}
+		prog, err := core.Load(src)
+		if err != nil {
+			return
+		}
+		args, ok := synthArgs(prog.AST.Network.Params)
+		if !ok {
+			return
+		}
+		res, err := prog.Compile(args, &codegen.Options{MaxSteps: 200_000})
+		if err != nil {
+			return
+		}
+		reps, err := prog.Interpret(args, input, &interp.Options{MaxSpawns: 50_000, MaxSteps: 500_000})
+		if err != nil {
+			return // resource limit or thread death; nothing to compare
+		}
+		sim, err := automata.NewFastSimulator(res.Network)
+		if err != nil {
+			t.Fatalf("compiled network does not simulate: %v", err)
+		}
+		got := offsetSet(sim.Run(input))
+		want := interp.Offsets(reps)
+		if len(got) != len(want) {
+			t.Fatalf("interpreter offsets %v, reference %v\n--- src ---\n%s\ninput: %q", want, keysOf(got), src, input)
+		}
+		for _, o := range want {
+			if !got[o] {
+				t.Fatalf("interpreter offsets %v, reference %v\n--- src ---\n%s\ninput: %q", want, keysOf(got), src, input)
+			}
+		}
+	})
+}
+
+// synthArgs builds default arguments for a fuzzed network's parameter
+// list. Types without a sensible default (Counter, deep arrays) abort.
+func synthArgs(params []*ast.Param) ([]value.Value, bool) {
+	var out []value.Value
+	for _, p := range params {
+		var base value.Value
+		switch p.Type.Base {
+		case ast.TypeChar:
+			base = value.Char('a')
+		case ast.TypeInt:
+			base = value.Int(2)
+		case ast.TypeBool:
+			base = value.Bool(true)
+		case ast.TypeString:
+			base = value.Str("ab")
+		default:
+			return nil, false
+		}
+		switch p.Type.Dims {
+		case 0:
+			out = append(out, base)
+		case 1:
+			out = append(out, value.Array{base, base})
+		default:
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+func offsetSet(rs []automata.Report) map[int]bool {
+	m := make(map[int]bool, len(rs))
+	for _, r := range rs {
+		m[r.Offset] = true
+	}
+	return m
+}
+
+func keysOf(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -105,3 +105,132 @@ func TestSplitSpecialsAllSpecial(t *testing.T) {
 		t.Fatalf("pure=%v special=%v, want special only", pure, special)
 	}
 }
+
+// TestSplitSpecialsAllSpecialMulti: every component carries a special
+// element (one a counter, one a gate), so the pure half is empty and
+// the special half preserves behavior exactly.
+func TestSplitSpecialsAllSpecialMulti(t *testing.T) {
+	n := NewNetwork("specials")
+	a := splitChain(n, "a", StartAllInput)
+	ctr := n.AddCounter(2)
+	n.Connect(a, ctr, PortCount)
+	n.SetReport(ctr, 1)
+
+	b := splitChain(n, "b", StartAllInput)
+	c := splitChain(n, "c", StartAllInput)
+	gate := n.AddGate(GateOr)
+	n.Connect(b, gate, PortIn)
+	n.Connect(c, gate, PortIn)
+	n.SetReport(gate, 2)
+
+	pure, special := SplitSpecials(n)
+	if pure != nil || special == nil {
+		t.Fatalf("pure=%v special=%v, want special only", pure, special)
+	}
+	ss := special.Stats()
+	if ss.STEs != 3 || ss.Counters != 1 || ss.Gates != 1 || ss.Reporting != 2 {
+		t.Fatalf("special stats = %+v", ss)
+	}
+	if err := special.Validate(); err != nil {
+		t.Fatalf("special subnetwork invalid: %v", err)
+	}
+	input := []byte("abcab")
+	whole, err := n.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := special.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reportSet(half), reportSet(whole)) {
+		t.Fatalf("special run %v != whole run %v", half, whole)
+	}
+}
+
+// TestSplitSpecialsSingletons: single-element components — a lone
+// reporting start STE on the pure side, a lone start STE feeding a
+// counter on the special side — survive with IDs renumbered densely.
+func TestSplitSpecialsSingletons(t *testing.T) {
+	n := NewNetwork("singletons")
+	lone := n.AddSTE(charclass.Single('s'), StartAllInput)
+	n.SetReport(lone, 7)
+	drv := n.AddSTE(charclass.Single('t'), StartAllInput)
+	ctr := n.AddCounter(1)
+	n.Connect(drv, ctr, PortCount)
+	n.SetReport(ctr, 8)
+
+	pure, special := SplitSpecials(n)
+	if pure == nil || special == nil {
+		t.Fatalf("pure=%v special=%v, want both", pure, special)
+	}
+	if pure.Len() != 1 {
+		t.Fatalf("pure has %d elements, want 1", pure.Len())
+	}
+	if special.Len() != 2 {
+		t.Fatalf("special has %d elements, want 2", special.Len())
+	}
+	for _, sub := range []*Network{pure, special} {
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("subnetwork invalid: %v", err)
+		}
+	}
+	input := []byte("stst")
+	whole, _ := n.Run(input)
+	pr, _ := pure.Run(input)
+	sr, _ := special.Run(input)
+	if !reflect.DeepEqual(reportSet(append(pr, sr...)), reportSet(whole)) {
+		t.Fatalf("split runs %v+%v != whole %v", pr, sr, whole)
+	}
+}
+
+// TestSplitSpecialsDeadComponents: components with no start STE can
+// never activate and are dropped — from both halves — even when they
+// contain reporting elements or specials.
+func TestSplitSpecialsDeadComponents(t *testing.T) {
+	n := NewNetwork("dead")
+	// Live pure component.
+	live := splitChain(n, "ok", StartAllInput)
+	n.SetReport(live, 1)
+	// Dead pure chain: multi-element, reporting, no start anywhere.
+	dp := splitChain(n, "no", StartNone)
+	n.SetReport(dp, 2)
+	// Dead special component: counter driven by a startless STE.
+	dd := n.AddSTE(charclass.Single('q'), StartNone)
+	dctr := n.AddCounter(1)
+	n.Connect(dd, dctr, PortCount)
+	n.SetReport(dctr, 3)
+
+	pure, special := SplitSpecials(n)
+	if pure == nil {
+		t.Fatal("live pure component was dropped")
+	}
+	if special != nil {
+		t.Fatalf("dead special component survived: %+v", special.Stats())
+	}
+	ps := pure.Stats()
+	if ps.STEs != 2 || ps.Reporting != 1 {
+		t.Fatalf("pure stats = %+v, want only the live chain", ps)
+	}
+
+	// A network that is nothing but dead components yields nil halves.
+	n2 := NewNetwork("alldead")
+	x := splitChain(n2, "xy", StartNone)
+	n2.SetReport(x, 1)
+	y := n2.AddSTE(charclass.Single('z'), StartNone)
+	c2 := n2.AddCounter(1)
+	n2.Connect(y, c2, PortCount)
+	n2.SetReport(c2, 2)
+	p2, s2 := SplitSpecials(n2)
+	if p2 != nil || s2 != nil {
+		t.Fatalf("all-dead network split to pure=%v special=%v, want nil/nil", p2, s2)
+	}
+}
+
+func reportSet(rs []Report) map[[2]int]bool {
+	m := map[[2]int]bool{}
+	for _, r := range rs {
+		m[[2]int{r.Offset, r.Code}] = true
+	}
+	return m
+}

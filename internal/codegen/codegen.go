@@ -302,7 +302,11 @@ func (c *compiler) stmt(env *eval.Env, s ast.Stmt, in frontier) (frontier, error
 		}
 		out := frontier{}
 		for _, elem := range seq {
-			iterEnv := eval.NewEnv(env)
+			// Parallel elaborations are independent: each element's
+			// thread gets its own copy of the compile-time state, and the
+			// continuation (compiled once, below the union) resumes the
+			// pre-statement state — mirroring the interpreter.
+			iterEnv := eval.NewEnv(env.Fork())
 			iterEnv.Declare(s.Var, elem)
 			branchOut, err := c.stmt(iterEnv, s.Body, in)
 			if err != nil {
@@ -315,7 +319,8 @@ func (c *compiler) stmt(env *eval.Env, s ast.Stmt, in frontier) (frontier, error
 	case *ast.EitherStmt:
 		out := frontier{}
 		for _, blk := range s.Blocks {
-			branchOut, err := c.stmt(env, blk, in)
+			// Each arm is an independent static elaboration (see SomeStmt).
+			branchOut, err := c.stmt(env.Fork(), blk, in)
 			if err != nil {
 				return frontier{}, err
 			}
@@ -441,7 +446,11 @@ func (c *compiler) ifStmt(env *eval.Env, s *ast.IfStmt, in frontier) (frontier, 
 	if err != nil {
 		return frontier{}, err
 	}
-	thenOut, err := c.stmt(env, s.Then, thenIn)
+	// The branches are parallel elaborations: each works on its own copy
+	// of the compile-time state, and the statement's continuation
+	// (compiled once against the union of the branch frontiers) resumes
+	// the pre-statement state, matching the interpreter.
+	thenOut, err := c.stmt(env.Fork(), s.Then, thenIn)
 	if err != nil {
 		return frontier{}, err
 	}
@@ -451,7 +460,7 @@ func (c *compiler) ifStmt(env *eval.Env, s *ast.IfStmt, in frontier) (frontier, 
 	}
 	elseOut := elseIn
 	if s.Else != nil {
-		elseOut, err = c.stmt(env, s.Else, elseIn)
+		elseOut, err = c.stmt(env.Fork(), s.Else, elseIn)
 		if err != nil {
 			return frontier{}, err
 		}
@@ -494,7 +503,11 @@ func (c *compiler) whileStmt(env *eval.Env, s *ast.WhileStmt, in frontier) (fron
 	if err != nil {
 		return frontier{}, err
 	}
-	bodyOut, err := c.stmt(env, s.Body, bodyIn)
+	// The body is elaborated once against a copy of the loop-entry state:
+	// every dynamic iteration replays that single elaboration, and the
+	// exit continuation resumes the entry state (the compiled automaton
+	// cannot distinguish iterations statically).
+	bodyOut, err := c.stmt(env.Fork(), s.Body, bodyIn)
 	if err != nil {
 		return frontier{}, err
 	}

@@ -1,0 +1,203 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	rapid "repro"
+	"repro/internal/lang/value"
+)
+
+// Corpus reproducer files are valid RAPID source whose leading line
+// comments carry the harness metadata:
+//
+//	// args: ["ab", 3]
+//	// input: "\xffab" reports: [2, 5]
+//	// input: "" reports: []
+//	network (String s, int n) { ... }
+//
+// The args directive is a JSON array matching the network's parameter
+// list (omitted when the network takes no arguments). Each input
+// directive pairs a Go-quoted input stream with the interpreter
+// oracle's distinct report offsets for it. Because comments are legal
+// RAPID, the whole file doubles as a parser/fuzzer seed.
+
+// CorpusCase is one parsed reproducer file.
+type CorpusCase struct {
+	Path     string
+	Source   string // entire file text (valid RAPID source)
+	Args     []value.Value
+	Inputs   [][]byte
+	Expected [][]int // oracle report offsets, one slice per input
+}
+
+// ReadCorpusFile parses one reproducer file.
+func ReadCorpusFile(path string) (*CorpusCase, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c := &CorpusCase{Path: path, Source: string(data)}
+	for _, line := range strings.Split(c.Source, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "// args:"):
+			argsJSON := strings.TrimSpace(strings.TrimPrefix(line, "// args:"))
+			args, err := rapid.ValuesFromJSON([]byte(argsJSON))
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad args directive: %w", path, err)
+			}
+			c.Args = args
+		case strings.HasPrefix(line, "// input:"):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "// input:"))
+			quoted, tail, err := splitQuoted(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad input directive: %w", path, err)
+			}
+			input, err := strconv.Unquote(quoted)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad input quoting: %w", path, err)
+			}
+			tail = strings.TrimSpace(tail)
+			if !strings.HasPrefix(tail, "reports:") {
+				return nil, fmt.Errorf("%s: input directive missing reports clause: %q", path, line)
+			}
+			var offs []int
+			if err := json.Unmarshal([]byte(strings.TrimSpace(strings.TrimPrefix(tail, "reports:"))), &offs); err != nil {
+				return nil, fmt.Errorf("%s: bad reports clause: %w", path, err)
+			}
+			c.Inputs = append(c.Inputs, []byte(input))
+			c.Expected = append(c.Expected, offs)
+		}
+	}
+	if len(c.Inputs) == 0 {
+		return nil, fmt.Errorf("%s: no input directives", path)
+	}
+	return c, nil
+}
+
+// splitQuoted splits a leading Go-quoted string from its tail.
+func splitQuoted(s string) (quoted, tail string, err error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted string, have %q", s)
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return s[:i+1], s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string: %q", s)
+}
+
+// LoadCorpus reads every .rapid file in dir, sorted by name.
+func LoadCorpus(dir string) ([]*CorpusCase, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.rapid"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []*CorpusCase
+	for _, p := range paths {
+		c, err := ReadCorpusFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// WriteCorpusFile renders a reproducer. expected holds the oracle
+// offsets per input, aligned with inputs. Directive lines already in
+// source are stripped first, so rewriting a previously read case (e.g.
+// go test -update-conformance) does not duplicate them.
+func WriteCorpusFile(path, source string, args []value.Value, inputs [][]byte, expected [][]int) error {
+	source = stripDirectives(source)
+	var sb strings.Builder
+	if len(args) > 0 {
+		aj, err := ArgsJSON(args)
+		if err != nil {
+			return err
+		}
+		sb.WriteString("// args: " + aj + "\n")
+	}
+	for i, in := range inputs {
+		offs := expected[i]
+		oj, err := json.Marshal(offs)
+		if err != nil {
+			return err
+		}
+		if offs == nil {
+			oj = []byte("[]")
+		}
+		sb.WriteString("// input: " + strconv.Quote(string(in)) + " reports: " + string(oj) + "\n")
+	}
+	sb.WriteString(source)
+	if !strings.HasSuffix(source, "\n") {
+		sb.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+func stripDirectives(source string) string {
+	var out []string
+	for _, line := range strings.Split(source, "\n") {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "// args:") || strings.HasPrefix(t, "// input:") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.TrimLeft(strings.Join(out, "\n"), "\n")
+}
+
+// ArgsJSON renders network arguments as the JSON array the args
+// directive (and the CLIs' -args flag) accept. Only JSON-representable
+// values are supported: strings, ints, bools, and arrays thereof —
+// exactly the parameter types the generator emits.
+func ArgsJSON(args []value.Value) (string, error) {
+	var render func(v value.Value) (interface{}, error)
+	render = func(v value.Value) (interface{}, error) {
+		switch v := v.(type) {
+		case value.Str:
+			return string(v), nil
+		case value.Int:
+			return int64(v), nil
+		case value.Bool:
+			return bool(v), nil
+		case value.Array:
+			out := make([]interface{}, len(v))
+			for i, e := range v {
+				r, err := render(e)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = r
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("conformance: argument type %T has no JSON form", v)
+		}
+	}
+	out := make([]interface{}, len(args))
+	for i, a := range args {
+		r, err := render(a)
+		if err != nil {
+			return "", err
+		}
+		out[i] = r
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}

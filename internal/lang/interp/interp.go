@@ -379,17 +379,23 @@ func (m *machine) execStmt(ctx string, env *eval.Env, s ast.Stmt, k cont) {
 			// Both branches explore in parallel, consuming the same
 			// symbols (the compiled form of Figure 8); each branch is an
 			// independent thread with its own compile-time state.
+			// The continuation is a single static elaboration shared by
+			// both branches (the compiler compiles it once against the
+			// union of the branch frontiers), so it resumes the
+			// pre-statement compile-time state rather than either
+			// branch's.
+			resume := func(*eval.Env) { k(env.Fork()) }
 			thenEnv := env.Fork()
 			m.runPredExpr(thenEnv, s.Cond, false, func(e *eval.Env) {
-				m.execStmt(ctx+"/t", e, s.Then, k)
+				m.execStmt(ctx+"/t", e, s.Then, resume)
 			})
 			elseEnv := env.Fork()
 			if s.Else != nil {
 				m.runPredExpr(elseEnv, s.Cond, true, func(e *eval.Env) {
-					m.execStmt(ctx+"/x", e, s.Else, k)
+					m.execStmt(ctx+"/x", e, s.Else, resume)
 				})
 			} else {
-				m.runPredExpr(elseEnv, s.Cond, true, k)
+				m.runPredExpr(elseEnv, s.Cond, true, resume)
 			}
 			return
 		}
@@ -444,8 +450,12 @@ func (m *machine) execStmt(ctx string, env *eval.Env, s ast.Stmt, k cont) {
 			threadEnv := eval.NewEnv(env.Fork())
 			threadEnv.Declare(s.Var, elem)
 			m.spawn(func() {
+				// As with either/orelse, the continuation resumes the
+				// pre-statement compile-time state: the compiler
+				// elaborates it once below the union of all element
+				// frontiers.
 				m.execStmt(fmt.Sprintf("%s/s%d", ctx, i), threadEnv, s.Body,
-					func(after *eval.Env) { k(after.Parent()) })
+					func(*eval.Env) { k(env.Fork()) })
 			})
 		}
 
@@ -453,7 +463,12 @@ func (m *machine) execStmt(ctx string, env *eval.Env, s ast.Stmt, k cont) {
 		for i, blk := range s.Blocks {
 			i, blk := i, blk
 			forked := env.Fork()
-			m.spawn(func() { m.execStmt(fmt.Sprintf("%s/e%d", ctx, i), forked, blk, k) })
+			// Arms are independent elaborations; the continuation resumes
+			// the pre-statement compile-time state (see SomeStmt).
+			m.spawn(func() {
+				m.execStmt(fmt.Sprintf("%s/e%d", ctx, i), forked, blk,
+					func(*eval.Env) { k(env.Fork()) })
+			})
 		}
 
 	case *ast.WheneverStmt:
@@ -485,20 +500,24 @@ func (m *machine) execStmts(ctx string, env *eval.Env, stmts []ast.Stmt, i int, 
 
 func (m *machine) execWhile(ctx string, env *eval.Env, s *ast.WhileStmt, k cont) {
 	if m.info.IsRuntime(s.Cond) {
-		// A runtime loop body is elaborated once: every iteration shares
-		// the static context.
+		// A runtime loop body is elaborated once: every dynamic iteration
+		// replays the same static timeline from the loop-entry
+		// environment, and the exit continuation resumes the entry state.
+		// This mirrors the compiler, which elaborates the body a single
+		// time against a fork of the entry environment and compiles the
+		// continuation against the untouched entry state.
 		bodyCtx := ctx + "/W"
 		var loop func(e *eval.Env)
-		loop = func(e *eval.Env) {
+		loop = func(*eval.Env) {
 			if !m.step(s.Pos()) {
 				return
 			}
-			bodyEnv := e.Fork()
+			bodyEnv := env.Fork()
 			m.runPredExpr(bodyEnv, s.Cond, false, func(pe *eval.Env) {
 				m.execStmt(bodyCtx, pe, s.Body, loop)
 			})
-			exitEnv := e.Fork()
-			m.runPredExpr(exitEnv, s.Cond, true, k)
+			exitEnv := env.Fork()
+			m.runPredExpr(exitEnv, s.Cond, true, func(*eval.Env) { k(env.Fork()) })
 		}
 		loop(env)
 		return

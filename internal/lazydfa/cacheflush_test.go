@@ -1,0 +1,83 @@
+package lazydfa_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/lazydfa"
+	"repro/internal/rapidgen"
+)
+
+// TestCacheFlushBoundaries runs the lazy-DFA matcher at the tightest
+// legal state-cache sizes — MaxCachedStates 1 (clamped to the floor of
+// 2) and 2 — over counter-heavy generated programs, comparing every
+// report against the bitset reference simulator. Tiny caches force a
+// flush on almost every interned state, so the flush/refill path is
+// exercised continuously rather than never.
+func TestCacheFlushBoundaries(t *testing.T) {
+	cfg := rapidgen.DefaultConfig()
+	cfg.MaxCounters = 2
+	g := rapidgen.NewWithConfig(31, cfg)
+
+	flushes := 0
+	lazyTiers := 0
+	for i := 0; i < 25; i++ {
+		p := g.Program()
+		prog, err := core.Load(p.Source)
+		if err != nil {
+			t.Fatalf("program %d does not load: %v", i, err)
+		}
+		res, err := prog.Compile(p.Args, nil)
+		if err != nil {
+			t.Fatalf("program %d does not compile: %v", i, err)
+		}
+		sim, err := automata.NewFastSimulator(res.Network)
+		if err != nil {
+			t.Fatalf("program %d: fast simulator: %v", i, err)
+		}
+		inputs := rapidgen.Inputs(p, 5)
+
+		for _, cap := range []int{1, 2} {
+			m, err := lazydfa.New(res.Network, &lazydfa.Options{MaxCachedStates: cap})
+			if err != nil {
+				t.Fatalf("program %d cap %d: %v", i, cap, err)
+			}
+			if m.HasLazyTier() {
+				lazyTiers++
+			}
+			for _, input := range inputs {
+				want := reportKeys(sim.Clone().Run(input))
+				got := lazyKeys(m.Run(input))
+				if fmt.Sprint(want) != fmt.Sprint(got) {
+					t.Errorf("program %d cap %d input %q: lazy %v, bitset %v\n%s",
+						i, cap, input, got, want, p.Source)
+				}
+			}
+			flushes += m.Flushes()
+		}
+	}
+	if lazyTiers == 0 {
+		t.Error("no generated program produced a lazy (counter-free) tier; the cache was never exercised")
+	}
+	if flushes == 0 {
+		t.Error("no cache flush occurred at the minimum cache size; boundary untested")
+	}
+}
+
+func reportKeys(rs []automata.Report) map[[2]int]bool {
+	m := map[[2]int]bool{}
+	for _, r := range rs {
+		m[[2]int{r.Offset, r.Code}] = true
+	}
+	return m
+}
+
+func lazyKeys(rs []lazydfa.Report) map[[2]int]bool {
+	m := map[[2]int]bool{}
+	for _, r := range rs {
+		m[[2]int{r.Offset, r.Code}] = true
+	}
+	return m
+}

@@ -1,0 +1,93 @@
+package rapidgen
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/value"
+)
+
+// Inputs derives n input streams for a generated program,
+// deterministically from the program's own seed. The streams mix symbols
+// from the program's alphabet (so patterns actually fire), embedded
+// occurrences of the program's String arguments, record separators
+// (START_OF_INPUT), and occasional out-of-alphabet noise. Streams stay
+// short: the interpreter oracle explores every parallel thread.
+func Inputs(p *Program, n int) [][]byte {
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x5eed1e55))
+	alpha := p.Alphabet
+	if len(alpha) == 0 {
+		alpha = []byte("ab")
+	}
+
+	// Collect String argument values (including array elements) as
+	// embeddable needles.
+	var needles []string
+	var collect func(v value.Value)
+	collect = func(v value.Value) {
+		switch v := v.(type) {
+		case value.Str:
+			if len(v) > 0 {
+				needles = append(needles, string(v))
+			}
+		case value.Array:
+			for _, e := range v {
+				collect(e)
+			}
+		}
+	}
+	for _, a := range p.Args {
+		collect(a)
+	}
+
+	randRun := func(maxLen int) []byte {
+		ln := rng.Intn(maxLen + 1)
+		out := make([]byte, 0, ln)
+		for i := 0; i < ln; i++ {
+			switch {
+			case rng.Intn(100) < 6:
+				out = append(out, ast.StartOfInputSymbol)
+			case rng.Intn(100) < 5:
+				out = append(out, byte(33+rng.Intn(90))) // noise
+			default:
+				out = append(out, alpha[rng.Intn(len(alpha))])
+			}
+		}
+		return out
+	}
+
+	var streams [][]byte
+	for i := 0; i < n; i++ {
+		switch {
+		case i == 0:
+			// Always include the empty stream.
+			streams = append(streams, []byte{})
+		case i == 1 && len(needles) > 0:
+			// Records of argument strings, separator-joined with a
+			// leading separator: the paper's flattened-array convention.
+			var sb strings.Builder
+			sb.WriteByte(ast.StartOfInputSymbol)
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				sb.WriteString(needles[rng.Intn(len(needles))])
+				sb.WriteByte(ast.StartOfInputSymbol)
+			}
+			streams = append(streams, []byte(sb.String()))
+		case len(needles) > 0 && rng.Intn(100) < 45:
+			// Random run with needles spliced in.
+			out := randRun(24)
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				needle := needles[rng.Intn(len(needles))]
+				pos := 0
+				if len(out) > 0 {
+					pos = rng.Intn(len(out) + 1)
+				}
+				out = append(out[:pos], append([]byte(needle), out[pos:]...)...)
+			}
+			streams = append(streams, out)
+		default:
+			streams = append(streams, randRun(40))
+		}
+	}
+	return streams
+}

@@ -1,0 +1,206 @@
+package rapidgen
+
+import (
+	"repro/internal/core"
+	"repro/internal/lang/ast"
+	"repro/internal/lang/parser"
+	"repro/internal/lang/printer"
+)
+
+// Shrink minimizes a failing RAPID program at the statement level. keep
+// reports whether a candidate source still exhibits the failure of
+// interest; the input source is assumed to satisfy it. Candidate
+// mutations — dropping whole macros, dropping statements, replacing a
+// compound statement with one of its bodies or arms — are only offered
+// to keep after they pass core.Load, so keep never sees ill-formed
+// source. Greedy fixpoint: every accepted candidate restarts the pass
+// list, and the final result is 1-minimal with respect to the mutation
+// set.
+func Shrink(src string, keep func(string) bool) string {
+	for rounds := 0; rounds < 10000; rounds++ {
+		improved := false
+		for target := 0; ; target++ {
+			prog, err := parser.Parse(src)
+			if err != nil {
+				return src
+			}
+			m := &mutator{target: target}
+			m.program(prog)
+			if !m.applied {
+				break // every mutation site tried this round
+			}
+			cand := printer.Print(prog)
+			if cand == src {
+				continue
+			}
+			if _, err := core.Load(cand); err != nil {
+				continue
+			}
+			if keep(cand) {
+				src = cand
+				improved = true
+				break // restart enumeration on the smaller program
+			}
+		}
+		if !improved {
+			return src
+		}
+	}
+	return src
+}
+
+// ShrinkInput minimizes a failing input stream by removing chunks of
+// decreasing size (a light ddmin). keep reports whether the candidate
+// stream still fails; the input is assumed to satisfy it.
+func ShrinkInput(input []byte, keep func([]byte) bool) []byte {
+	cur := append([]byte(nil), input...)
+	for chunk := len(cur); chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(cur); {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := append(append([]byte(nil), cur[:start]...), cur[end:]...)
+			if len(cand) < len(cur) && keep(cand) {
+				cur = cand // retry the same offset on the shorter stream
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return cur
+}
+
+// mutator applies exactly one mutation — the target'th site in a
+// deterministic pre-order walk — to a freshly parsed tree. Parsing is
+// deterministic, so site numbering is stable between candidates.
+type mutator struct {
+	target  int
+	count   int
+	applied bool
+}
+
+func (m *mutator) hit() bool {
+	if m.applied {
+		return false
+	}
+	ok := m.count == m.target
+	m.count++
+	if ok {
+		m.applied = true
+	}
+	return ok
+}
+
+func (m *mutator) program(p *ast.Program) {
+	for i := range p.Macros {
+		if m.hit() {
+			p.Macros = append(p.Macros[:i], p.Macros[i+1:]...)
+			return
+		}
+	}
+	for _, mac := range p.Macros {
+		m.block(mac.Body)
+	}
+	if p.Network != nil {
+		m.block(p.Network.Body)
+	}
+}
+
+// block enumerates removal sites, then replace-with-child sites, then
+// recurses into children.
+func (m *mutator) block(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	for i := range b.Stmts {
+		if m.hit() {
+			b.Stmts = append(b.Stmts[:i], b.Stmts[i+1:]...)
+			return
+		}
+	}
+	for i, s := range b.Stmts {
+		if r, ok := m.replacement(s); ok {
+			b.Stmts[i] = r
+			return
+		}
+	}
+	for _, s := range b.Stmts {
+		m.stmt(s)
+	}
+}
+
+// replacement offers hoisting a compound statement's body (or one
+// either arm) into its place, and dropping optional parts.
+func (m *mutator) replacement(s ast.Stmt) (ast.Stmt, bool) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if m.hit() {
+			return s.Then, true
+		}
+		if s.Else != nil {
+			if m.hit() {
+				return s.Else, true
+			}
+			if m.hit() {
+				s.Else = nil
+				return s, true
+			}
+		}
+	case *ast.WhileStmt:
+		if m.hit() {
+			return s.Body, true
+		}
+	case *ast.ForeachStmt:
+		if m.hit() {
+			return s.Body, true
+		}
+	case *ast.SomeStmt:
+		if m.hit() {
+			return s.Body, true
+		}
+	case *ast.WheneverStmt:
+		if m.hit() {
+			return s.Body, true
+		}
+	case *ast.EitherStmt:
+		for _, blk := range s.Blocks {
+			if m.hit() {
+				return blk, true
+			}
+		}
+		if len(s.Blocks) > 2 {
+			for i := range s.Blocks {
+				if m.hit() {
+					s.Blocks = append(s.Blocks[:i], s.Blocks[i+1:]...)
+					return s, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+func (m *mutator) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		m.block(s)
+	case *ast.IfStmt:
+		m.stmt(s.Then)
+		if s.Else != nil {
+			m.stmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		m.stmt(s.Body)
+	case *ast.ForeachStmt:
+		m.stmt(s.Body)
+	case *ast.SomeStmt:
+		m.stmt(s.Body)
+	case *ast.WheneverStmt:
+		m.stmt(s.Body)
+	case *ast.EitherStmt:
+		for _, b := range s.Blocks {
+			m.block(b)
+		}
+	}
+}

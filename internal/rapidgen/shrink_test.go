@@ -1,0 +1,102 @@
+package rapidgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestShrinkHandcrafted: a program with lots of irrelevant structure
+// shrinks to something that still has the property of interest (a
+// report inside a whenever), with the noise stripped.
+func TestShrinkHandcrafted(t *testing.T) {
+	src := `macro noise(char c) {
+  c == input();
+  report;
+}
+network () {
+  int x = 3;
+  either {
+    'a' == input();
+    'b' == input();
+  } orelse {
+    'c' == input();
+  } orelse {
+    noise('d');
+  }
+  whenever ('e' == input()) {
+    'f' == input();
+    report;
+  }
+}
+`
+	keep := func(s string) bool {
+		return strings.Contains(s, "whenever") && strings.Contains(s, "report")
+	}
+	if !keep(src) {
+		t.Fatal("precondition: original must satisfy keep")
+	}
+	got := Shrink(src, keep)
+	if !keep(got) {
+		t.Fatalf("shrunk program lost the property:\n%s", got)
+	}
+	if _, err := core.Load(got); err != nil {
+		t.Fatalf("shrunk program does not load: %v\n%s", err, got)
+	}
+	if len(got) >= len(src) {
+		t.Fatalf("no shrinking happened (len %d -> %d):\n%s", len(src), len(got), got)
+	}
+	if strings.Contains(got, "either") || strings.Contains(got, "macro") {
+		t.Errorf("irrelevant structure survived shrinking:\n%s", got)
+	}
+}
+
+// TestShrinkGenerated: shrinking a generated program preserves the
+// chosen property, stays loadable, and keeps the original argument
+// arity (shrinking never drops network parameters).
+func TestShrinkGenerated(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 5; i++ {
+		p := g.Program()
+		keep := func(s string) bool {
+			prog, err := core.Load(s)
+			if err != nil {
+				return false
+			}
+			if _, err := prog.Compile(p.Args, nil); err != nil {
+				return false
+			}
+			return strings.Contains(s, "report")
+		}
+		if !keep(p.Source) {
+			t.Fatalf("program %d: original fails precondition", i)
+		}
+		got := Shrink(p.Source, keep)
+		if !keep(got) {
+			t.Fatalf("program %d: shrunk result fails keep:\n%s", i, got)
+		}
+		if len(got) > len(p.Source) {
+			t.Fatalf("program %d: shrinking grew the source", i)
+		}
+	}
+}
+
+// TestShrinkInput: chunk removal converges on the single relevant byte.
+func TestShrinkInput(t *testing.T) {
+	in := []byte("aaaaaaaaaaXbbbbbbbbbbbbcccccc")
+	got := ShrinkInput(in, func(b []byte) bool { return bytes.ContainsRune(b, 'X') })
+	if string(got) != "X" {
+		t.Errorf("expected %q, got %q", "X", got)
+	}
+
+	// A predicate needing two separated bytes.
+	in2 := []byte("pppXqqqqqqqqYrrr")
+	got2 := ShrinkInput(in2, func(b []byte) bool {
+		return bytes.ContainsRune(b, 'X') && bytes.ContainsRune(b, 'Y')
+	})
+	if string(got2) != "XY" {
+		t.Errorf("expected %q, got %q", "XY", got2)
+	}
+}
