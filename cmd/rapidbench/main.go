@@ -9,6 +9,12 @@
 //	rapidbench -table 6 -scale 1     # tessellation at full paper sizes
 //	rapidbench -throughput           # CPU-tier MB/s + BENCH_throughput.json
 //
+// The CI benchmark-regression gate is the compare mode: measure a fresh
+// run and fail (exit 1) when any tier's MB/s fell more than -tolerance
+// below the committed baseline:
+//
+//	rapidbench -throughput -baseline BENCH_throughput.json -tolerance 0.35
+//
 // Table 6 builds full-board designs; -scale shrinks the paper's problem
 // sizes proportionally (e.g. 0.05 runs at 5%).
 //
@@ -23,11 +29,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	rapid "repro"
 	"repro/internal/bench"
@@ -44,6 +49,8 @@ func main() {
 		outJSON     = flag.String("out", "BENCH_throughput.json", "throughput JSON output path (empty to skip)")
 		aotMax      = flag.Int("aotmax", 50_000, "AOT DFA state budget; designs exceeding it fall back to the lazy tier")
 		backendFlag = flag.String("backend", "all", "throughput tier to measure: all, device, cpu-dfa, or lazy-dfa")
+		baseline    = flag.String("baseline", "", "compare throughput against this baseline JSON and exit 1 on regression")
+		tolerance   = flag.Float64("tolerance", 0.35, "allowed fractional throughput drop before -baseline fails the run")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address during the run")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -53,13 +60,16 @@ func main() {
 	if *metricsAddr != "" {
 		reg := telemetry.Default()
 		rapid.RegisterBackendMetrics(reg)
-		ln, err := net.Listen("tcp", *metricsAddr)
+		ms, err := telemetry.ListenAndServe(*metricsAddr, reg)
 		if err != nil {
 			fatal(err)
 		}
-		defer ln.Close()
-		go func() { _ = http.Serve(ln, telemetry.Handler(reg)) }()
-		fmt.Fprintf(os.Stderr, "rapidbench: serving metrics on http://%s/metrics\n", ln.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = ms.Shutdown(ctx)
+		}()
+		fmt.Fprintf(os.Stderr, "rapidbench: serving metrics on http://%s/metrics\n", ms.Addr())
 	}
 
 	if *cpuProfile != "" {
@@ -92,7 +102,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runThroughput(*streamMiB, *aotMax, *outJSON, engines, batch, *metricsAddr != "")
+		rows := runThroughput(*streamMiB, *aotMax, *outJSON, engines, batch, *metricsAddr != "")
+		if *baseline != "" {
+			if err := gateThroughput(*baseline, rows, *tolerance); err != nil {
+				fmt.Fprintln(os.Stderr, "rapidbench:", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 
@@ -156,7 +172,23 @@ func throughputTiers(backend string) (engines []string, batch bool, err error) {
 // then the multi-stream batch engine on the Exact workload at 1 worker and
 // at the host's parallelism, and prints the table (plus JSON when -out is
 // set).
-func runThroughput(streamMiB, aotMax int, outJSON string, engines []string, batch, withTelemetry bool) {
+// gateThroughput is the benchmark-regression gate: it compares the fresh
+// rows against the committed baseline within the tolerance band.
+func gateThroughput(baselinePath string, rows []harness.ThroughputRow, tolerance float64) error {
+	base, err := harness.ReadThroughputJSON(baselinePath)
+	if err != nil {
+		return err
+	}
+	regressions, skipped := harness.CompareThroughput(base, rows, tolerance)
+	fmt.Print(harness.FormatComparison(regressions, skipped, tolerance))
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d throughput regression(s) beyond %.0f%% tolerance of %s",
+			len(regressions), 100*tolerance, baselinePath)
+	}
+	return nil
+}
+
+func runThroughput(streamMiB, aotMax int, outJSON string, engines []string, batch, withTelemetry bool) []harness.ThroughputRow {
 	rows, err := harness.Throughput(&harness.ThroughputConfig{
 		StreamBytes:  streamMiB << 20,
 		AOTMaxStates: aotMax,
@@ -212,6 +244,7 @@ func runThroughput(streamMiB, aotMax int, outJSON string, engines []string, batc
 		}
 		fmt.Printf("wrote %s\n", outJSON)
 	}
+	return rows
 }
 
 func fatal(err error) {

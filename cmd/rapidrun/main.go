@@ -29,11 +29,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	rapid "repro"
 	"repro/internal/telemetry"
@@ -64,18 +63,31 @@ func main() {
 	}
 
 	var opts []rapid.Option
+	var metricsSrv *telemetry.MetricsServer
 	if *metricsAddr != "" {
 		reg := telemetry.Default()
 		rapid.RegisterBackendMetrics(reg)
 		opts = append(opts, rapid.WithTelemetry(reg))
-		ln, err := net.Listen("tcp", *metricsAddr)
+		ms, err := telemetry.ListenAndServe(*metricsAddr, reg)
 		if err != nil {
 			fatal(err)
 		}
-		defer ln.Close()
-		go func() { _ = http.Serve(ln, telemetry.Handler(reg)) }()
-		fmt.Fprintf(os.Stderr, "rapidrun: serving metrics on http://%s/metrics\n", ln.Addr())
+		metricsSrv = ms
+		fmt.Fprintf(os.Stderr, "rapidrun: serving metrics on http://%s/metrics\n", ms.Addr())
 	}
+	// shutdownMetrics is part of the drain path: it lets an in-flight
+	// final scrape finish instead of racing process exit. A fresh timeout
+	// context — not the (possibly already cancelled) run context — so the
+	// scrape window survives SIGINT.
+	shutdownMetrics := func() {
+		if metricsSrv == nil {
+			return
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = metricsSrv.Shutdown(sctx)
+	}
+	defer shutdownMetrics()
 
 	var input []byte
 	switch {
@@ -139,6 +151,9 @@ func main() {
 			break
 		}
 	}
+	// Explicit (not just deferred) because printReports may os.Exit on an
+	// interrupted run — the SIGINT drain still closes the listener cleanly.
+	shutdownMetrics()
 	printReports(reports, err)
 }
 

@@ -1,0 +1,198 @@
+// Command rapidserve puts compiled RAPID/ANML designs behind a network
+// match endpoint — the serving layer of the reproduction. It mounts one
+// or more designs, coalesces small concurrent requests into batched
+// engine runs, refuses over-capacity load with 429 + Retry-After instead
+// of queuing unboundedly, and drains gracefully on SIGTERM.
+//
+// Usage:
+//
+//	rapidserve -src program.rapid -args '[["rapid"]]'
+//	rapidserve -designs designs.json -addr :8765 -metrics-addr :9190
+//	rapidserve -src p.rapid -args '[]' -backend failover -crosscheck
+//
+// With -designs, the manifest is a JSON array of design entries:
+//
+//	[{"name": "spam", "src": "spam.rapid", "args": [["viagra"]],
+//	  "backend": "engine"},
+//	 {"name": "motif", "anml": "motif.anml"}]
+//
+// Endpoints: POST /v1/match (single-shot JSON), POST /v1/match/stream
+// (separator-framed record stream in, NDJSON results out), GET
+// /v1/designs, /healthz, /readyz, and — when -metrics-addr is set —
+// /metrics and /debug/vars on a dedicated telemetry listener that is shut
+// down last during the drain. See docs/SERVING.md.
+//
+// SIGTERM (or SIGINT) starts the graceful drain: admissions stop,
+// in-flight batches flush, then the process exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	rapid "repro"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8765", "serve address")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this dedicated address")
+		srcPath      = flag.String("src", "", "RAPID source file for a single design")
+		anmlPath     = flag.String("anml", "", "ANML file for a single design (alternative to -src)")
+		argsJSON     = flag.String("args", "[]", "network arguments for -src as a JSON array")
+		name         = flag.String("name", "default", "design name for -src/-anml")
+		backend      = flag.String("backend", serve.BackendEngine, "execution mode for -src/-anml: engine, failover, or a backend kind (device, cpu-dfa, lazy-dfa, reference)")
+		designsPath  = flag.String("designs", "", "JSON manifest mounting multiple designs")
+		queueDepth   = flag.Int("queue", 64, "per-design admission queue capacity (backpressure bound)")
+		maxBatch     = flag.Int("max-batch", 16, "micro-batch size bound")
+		batchWindow  = flag.Duration("batch-window", 500*time.Microsecond, "micro-batch latency bound")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		workers      = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		crossCheck   = flag.Bool("crosscheck", false, "failover-mode designs verify results against the reference backend")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline after SIGTERM")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Addr:        *addr,
+		MetricsAddr: *metricsAddr,
+		QueueDepth:  *queueDepth,
+		MaxBatch:    *maxBatch,
+		BatchWindow: *batchWindow,
+		RetryAfter:  *retryAfter,
+		Workers:     *workers,
+		CrossCheck:  *crossCheck,
+	}
+	if *metricsAddr != "" {
+		cfg.Telemetry = telemetry.Default()
+		rapid.RegisterBackendMetrics(cfg.Telemetry)
+	}
+	s := serve.New(cfg)
+
+	specs, err := loadSpecs(*designsPath, *srcPath, *anmlPath, *argsJSON, *name, *backend)
+	if err != nil {
+		fatal(err)
+	}
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "rapidserve: no designs: pass -src, -anml, or -designs")
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, spec := range specs {
+		info, err := s.AddDesign(spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rapidserve: mounted design %q hash=%s backend=%s stes=%d\n",
+			info.Name, info.Hash, info.Backend, info.STEs)
+	}
+
+	if err := s.Start(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "rapidserve: serving on http://%s\n", s.Addr())
+	if ma := s.MetricsAddr(); ma != "" {
+		fmt.Fprintf(os.Stderr, "rapidserve: serving metrics on http://%s/metrics\n", ma)
+	}
+
+	// SIGTERM/SIGINT starts the graceful drain: stop admissions, flush
+	// in-flight batches, then take the telemetry listener down.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "rapidserve: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	fmt.Fprintln(os.Stderr, "rapidserve: drained cleanly")
+}
+
+// designEntry is one -designs manifest entry.
+type designEntry struct {
+	Name    string          `json:"name"`
+	Src     string          `json:"src,omitempty"`
+	ANML    string          `json:"anml,omitempty"`
+	Args    json.RawMessage `json:"args,omitempty"`
+	Backend string          `json:"backend,omitempty"`
+}
+
+// loadSpecs resolves the single-design flags and/or the -designs manifest
+// into mountable specs.
+func loadSpecs(designsPath, srcPath, anmlPath, argsJSON, name, backend string) ([]serve.DesignSpec, error) {
+	var specs []serve.DesignSpec
+	if srcPath != "" || anmlPath != "" {
+		args, err := rapid.ValuesFromJSON([]byte(argsJSON))
+		if err != nil {
+			return nil, err
+		}
+		spec := serve.DesignSpec{Name: name, Args: args, Backend: backend}
+		if srcPath != "" {
+			data, err := os.ReadFile(srcPath)
+			if err != nil {
+				return nil, err
+			}
+			spec.Source = string(data)
+		} else {
+			data, err := os.ReadFile(anmlPath)
+			if err != nil {
+				return nil, err
+			}
+			spec.ANML = data
+		}
+		specs = append(specs, spec)
+	}
+	if designsPath == "" {
+		return specs, nil
+	}
+	data, err := os.ReadFile(designsPath)
+	if err != nil {
+		return nil, err
+	}
+	var entries []designEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("rapidserve: bad -designs manifest: %w", err)
+	}
+	for _, e := range entries {
+		spec := serve.DesignSpec{Name: e.Name, Backend: e.Backend}
+		if len(e.Args) > 0 {
+			args, err := rapid.ValuesFromJSON(e.Args)
+			if err != nil {
+				return nil, fmt.Errorf("rapidserve: design %q: %w", e.Name, err)
+			}
+			spec.Args = args
+		}
+		switch {
+		case e.Src != "":
+			data, err := os.ReadFile(e.Src)
+			if err != nil {
+				return nil, err
+			}
+			spec.Source = string(data)
+		case e.ANML != "":
+			data, err := os.ReadFile(e.ANML)
+			if err != nil {
+				return nil, err
+			}
+			spec.ANML = data
+		default:
+			return nil, fmt.Errorf("rapidserve: design %q has neither src nor anml", e.Name)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rapidserve:", err)
+	os.Exit(1)
+}

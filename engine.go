@@ -216,6 +216,72 @@ func (e *Engine) RunBatch(ctx context.Context, inputs [][]byte) ([][]Report, err
 	return results, firstErr
 }
 
+// BatchResult is one stream's outcome from RunBatchSettled.
+type BatchResult struct {
+	Reports []Report
+	Err     error
+}
+
+// RunBatchSettled is RunBatch with per-stream error isolation: every
+// stream runs to completion regardless of its neighbors' failures, and
+// each result carries its own error instead of one failure aborting the
+// batch. Serving layers that coalesce independent requests into one batch
+// use this so a bad request degrades only itself. Context cancellation
+// still stops the batch: streams not yet finished settle with ctx.Err().
+func (e *Engine) RunBatchSettled(ctx context.Context, inputs [][]byte) []BatchResult {
+	results := make([]BatchResult, len(inputs))
+	if len(inputs) == 0 {
+		return results
+	}
+	var finished atomic.Int64
+	if e.tel != nil {
+		e.tel.batches.Inc()
+		e.tel.queueDepth.Add(int64(len(inputs)))
+		defer func() { e.tel.queueDepth.Add(finished.Load() - int64(len(inputs))) }()
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	work := func(m *lazydfa.Matcher) {
+		for {
+			i := int(next.Add(1))
+			if i >= len(inputs) {
+				return
+			}
+			reports, err := e.runOn(ctx, m, inputs[i])
+			if err != nil {
+				err = fmt.Errorf("rapid: engine stream %d: %w", i, err)
+			}
+			results[i] = BatchResult{Reports: reports, Err: err}
+			if e.tel != nil {
+				finished.Add(1)
+				e.tel.queueDepth.Dec()
+			}
+		}
+	}
+	workers := e.workers
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers <= 1 {
+		m := e.matchers.Get().(*lazydfa.Matcher)
+		defer e.matchers.Put(m)
+		work(m)
+		return results
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := e.matchers.Get().(*lazydfa.Matcher)
+			defer e.matchers.Put(m)
+			work(m)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
 // RecordReports is the result of executing one record of a framed stream.
 type RecordReports struct {
 	// Index is the record's position in the stream.

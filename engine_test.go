@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/bench"
@@ -262,4 +263,70 @@ func mustProgramBench(src string) *Program {
 		panic(err)
 	}
 	return prog
+}
+
+// TestEngineRunBatchSettledParity checks the settled batch path returns
+// the same per-stream reports as RunBatch, with nil per-stream errors.
+func TestEngineRunBatchSettledParity(t *testing.T) {
+	design := mustDesign(t, slidingSrc, Str("abc"))
+	eng, err := design.NewEngine(WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	inputs := make([][]byte, 23)
+	for i := range inputs {
+		in := make([]byte, 50+rng.Intn(200))
+		for j := range in {
+			in[j] = byte('a' + rng.Intn(3))
+		}
+		inputs[i] = in
+	}
+	want, err := eng.RunBatch(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eng.RunBatchSettled(context.Background(), inputs)
+	if len(got) != len(inputs) {
+		t.Fatalf("results = %d, want %d", len(got), len(inputs))
+	}
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("stream %d: %v", i, got[i].Err)
+		}
+		if !reflect.DeepEqual(reportSet(got[i].Reports), reportSet(want[i])) {
+			t.Fatalf("stream %d diverged from RunBatch", i)
+		}
+	}
+	if res := eng.RunBatchSettled(context.Background(), nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+}
+
+// TestEngineRunBatchSettledCancel checks cancellation settles per-stream
+// errors carrying the stream index instead of aborting the whole batch.
+func TestEngineRunBatchSettledCancel(t *testing.T) {
+	design := mustDesign(t, slidingSrc, Str("abc"))
+	eng, err := design.NewEngine(WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inputs := make([][]byte, 8)
+	for i := range inputs {
+		inputs[i] = make([]byte, 1<<17)
+	}
+	results := eng.RunBatchSettled(ctx, inputs)
+	if len(results) != len(inputs) {
+		t.Fatalf("results = %d, want %d", len(results), len(inputs))
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("stream %d settled without an error under a cancelled context", i)
+		}
+		if want := fmt.Sprintf("stream %d", i); !strings.Contains(r.Err.Error(), want) {
+			t.Fatalf("stream %d error %q does not name its stream", i, r.Err)
+		}
+	}
 }

@@ -159,6 +159,11 @@ func failureCause(err error) string {
 // result is verified against the chain's last backend and divergent
 // backends are failed over — the degradation ladder heterogeneous matching
 // deployments use (device → CPU DFA → lazy DFA → reference interpreter).
+//
+// A chain is safe for concurrent use: Run serializes streams, because the
+// underlying backends own mutable execution state. The chain is the
+// trusted-degradation path, not the throughput path — concurrent serving
+// layers batch on Engine and fall back to a chain per design.
 type FailoverChain struct {
 	// CrossCheck verifies every result from a non-final backend against
 	// the final backend's and fails over on divergence.
@@ -166,6 +171,10 @@ type FailoverChain struct {
 
 	backends []Matcher
 	tel      *chainMetrics
+
+	// runMu serializes stream execution across the chain's backends,
+	// which are single-threaded matchers.
+	runMu sync.Mutex
 
 	mu      sync.Mutex
 	records []StreamRecord
@@ -254,7 +263,10 @@ func (c *FailoverChain) noteFailure(rec *StreamRecord, name string, err error) {
 // Run executes one stream, trying each backend in order and returning the
 // first trustworthy result. It returns ctx.Err() once the context is done,
 // and an error wrapping the last *BackendError when every backend failed.
+// Concurrent calls are safe and execute one stream at a time.
 func (c *FailoverChain) Run(ctx context.Context, input []byte) ([]Report, error) {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
 	var span *telemetry.Span
 	if c.tel != nil {
 		span = c.tel.reg.StartSpan("failover.stream")

@@ -14,14 +14,14 @@ import (
 
 // SoakConfig parameterizes a generate-and-check campaign.
 type SoakConfig struct {
-	Seed     int64
-	Programs int           // number of programs to generate (≤0: run until Duration)
-	Duration time.Duration // wall-clock bound (0: until Programs)
-	Inputs   int           // input streams per program (default 6)
-	Gen      *rapidgen.Config
-	OutDir   string // directory for shrunk reproducer files ("" = don't write)
+	Seed          int64
+	Programs      int           // number of programs to generate (≤0: run until Duration)
+	Duration      time.Duration // wall-clock bound (0: until Programs)
+	Inputs        int           // input streams per program (default 6)
+	Gen           *rapidgen.Config
+	OutDir        string // directory for shrunk reproducer files ("" = don't write)
 	StopOnFailure bool
-	Log      func(format string, args ...interface{}) // optional progress sink
+	Log           func(format string, args ...interface{}) // optional progress sink
 }
 
 // SoakFailure is one divergence, shrunk to a minimal reproducer.

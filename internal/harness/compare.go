@@ -1,0 +1,123 @@
+package harness
+
+// Throughput-regression comparison: the CI bench gate measures a fresh
+// throughput run and compares each (benchmark, engine, workers) row's
+// MB/s against the committed BENCH_throughput.json baseline with a
+// fractional tolerance band. rapidbench -baseline/-tolerance makes the
+// gate one command, reproducible locally.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ReadThroughputJSON loads the rows of a BENCH_throughput.json file.
+func ReadThroughputJSON(path string) ([]ThroughputRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f throughputFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("harness: bad throughput JSON %s: %w", path, err)
+	}
+	return f.Rows, nil
+}
+
+// Regression is one measurement that fell below the tolerance band.
+type Regression struct {
+	Benchmark string
+	Engine    string
+	Workers   int
+	// BaselineMBs and CurrentMBs are the compared MB/s readings; Ratio is
+	// current/baseline.
+	BaselineMBs float64
+	CurrentMBs  float64
+	Ratio       float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s/%s%s: %.1f MB/s vs baseline %.1f MB/s (%.0f%%)",
+		r.Benchmark, r.Engine, workerSuffix(r.Workers), r.CurrentMBs, r.BaselineMBs, 100*r.Ratio)
+}
+
+func workerSuffix(workers int) string {
+	if workers == 0 {
+		return ""
+	}
+	return fmt.Sprintf("@%dw", workers)
+}
+
+func compareKey(r ThroughputRow) string {
+	return fmt.Sprintf("%s\x00%s\x00%d", r.Benchmark, r.Engine, r.Workers)
+}
+
+// comparable reports whether a row carries a real measurement (tiers that
+// were unavailable — e.g. the AOT DFA on counter designs — have no MB/s
+// to compare).
+func comparable(r ThroughputRow) bool {
+	return r.MBPerSec > 0 && !strings.HasPrefix(r.Note, "unavailable")
+}
+
+// CompareThroughput flags every current row whose MB/s fell below
+// baseline*(1-tolerance). Rows present on only one side, or unavailable
+// on either side, are skipped and listed for visibility — a tier
+// silently disappearing from the measurement set should be noticed, not
+// gate-failed (worker counts legitimately differ across hosts).
+func CompareThroughput(baseline, current []ThroughputRow, tolerance float64) (regressions []Regression, skipped []string) {
+	base := make(map[string]ThroughputRow, len(baseline))
+	for _, r := range baseline {
+		base[compareKey(r)] = r
+	}
+	seen := make(map[string]bool, len(current))
+	for _, cur := range current {
+		key := compareKey(cur)
+		seen[key] = true
+		b, ok := base[key]
+		if !ok {
+			skipped = append(skipped, fmt.Sprintf("%s/%s%s: not in baseline", cur.Benchmark, cur.Engine, workerSuffix(cur.Workers)))
+			continue
+		}
+		if !comparable(b) || !comparable(cur) {
+			skipped = append(skipped, fmt.Sprintf("%s/%s%s: unavailable", cur.Benchmark, cur.Engine, workerSuffix(cur.Workers)))
+			continue
+		}
+		ratio := cur.MBPerSec / b.MBPerSec
+		if ratio < 1-tolerance {
+			regressions = append(regressions, Regression{
+				Benchmark:   cur.Benchmark,
+				Engine:      cur.Engine,
+				Workers:     cur.Workers,
+				BaselineMBs: b.MBPerSec,
+				CurrentMBs:  cur.MBPerSec,
+				Ratio:       ratio,
+			})
+		}
+	}
+	for _, r := range baseline {
+		if !seen[compareKey(r)] {
+			skipped = append(skipped, fmt.Sprintf("%s/%s%s: not measured", r.Benchmark, r.Engine, workerSuffix(r.Workers)))
+		}
+	}
+	return regressions, skipped
+}
+
+// FormatComparison renders the gate's verdict: one line per regression
+// and skip, plus a summary line.
+func FormatComparison(regressions []Regression, skipped []string, tolerance float64) string {
+	var b strings.Builder
+	for _, r := range regressions {
+		fmt.Fprintf(&b, "REGRESSION %s\n", r)
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(&b, "skipped %s\n", s)
+	}
+	if len(regressions) == 0 {
+		fmt.Fprintf(&b, "throughput gate: ok (tolerance %.0f%%, %d rows skipped)\n", 100*tolerance, len(skipped))
+	} else {
+		fmt.Fprintf(&b, "throughput gate: %d regression(s) beyond %.0f%% tolerance\n", len(regressions), 100*tolerance)
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func trow(bench, engine string, workers int, mbs float64, note string) ThroughputRow {
+	return ThroughputRow{Benchmark: bench, Engine: engine, Workers: workers, MBPerSec: mbs, Note: note}
+}
+
+func TestCompareThroughputPassesWithinTolerance(t *testing.T) {
+	baseline := []ThroughputRow{
+		trow("Exact", "lazy-dfa", 0, 100, ""),
+		trow("Exact", "engine-batch", 4, 400, ""),
+	}
+	current := []ThroughputRow{
+		trow("Exact", "lazy-dfa", 0, 80, ""),      // -20%, inside 35%
+		trow("Exact", "engine-batch", 4, 390, ""), // noise
+	}
+	regressions, skipped := CompareThroughput(baseline, current, 0.35)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none", regressions)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v, want none", skipped)
+	}
+}
+
+func TestCompareThroughputFlagsRegression(t *testing.T) {
+	baseline := []ThroughputRow{trow("Exact", "lazy-dfa", 0, 100, "")}
+	current := []ThroughputRow{trow("Exact", "lazy-dfa", 0, 50, "")} // -50%
+	regressions, _ := CompareThroughput(baseline, current, 0.35)
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want 1", regressions)
+	}
+	r := regressions[0]
+	if r.Ratio != 0.5 || r.BaselineMBs != 100 || r.CurrentMBs != 50 {
+		t.Fatalf("regression = %+v", r)
+	}
+	if s := r.String(); !strings.Contains(s, "Exact/lazy-dfa") || !strings.Contains(s, "50%") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestCompareThroughputSkipsIncomparableRows(t *testing.T) {
+	baseline := []ThroughputRow{
+		trow("Brill", "aot-dfa", 0, 0, "unavailable: counters"),
+		trow("Exact", "engine-batch", 8, 500, ""), // host-specific worker count
+		trow("Exact", "lazy-dfa", 0, 100, ""),
+	}
+	current := []ThroughputRow{
+		trow("Brill", "aot-dfa", 0, 0, "unavailable: counters"),
+		trow("Exact", "engine-batch", 4, 300, ""), // different GOMAXPROCS
+		trow("Exact", "lazy-dfa", 0, 95, ""),
+	}
+	regressions, skipped := CompareThroughput(baseline, current, 0.35)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none — incomparable rows must not gate-fail", regressions)
+	}
+	// Three skips: the unavailable tier, the current-only worker count, the
+	// baseline-only worker count.
+	if len(skipped) != 3 {
+		t.Fatalf("skipped = %v, want 3 entries", skipped)
+	}
+	text := strings.Join(skipped, "\n")
+	for _, want := range []string{"unavailable", "not in baseline", "not measured"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("skip reasons %q missing %q", text, want)
+		}
+	}
+}
+
+func TestFormatComparison(t *testing.T) {
+	regressions := []Regression{{Benchmark: "Exact", Engine: "lazy-dfa", BaselineMBs: 100, CurrentMBs: 50, Ratio: 0.5}}
+	out := FormatComparison(regressions, []string{"Exact/x: not measured"}, 0.35)
+	for _, want := range []string{"REGRESSION", "skipped", "1 regression(s) beyond 35% tolerance"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatComparison missing %q in:\n%s", want, out)
+		}
+	}
+	ok := FormatComparison(nil, nil, 0.35)
+	if !strings.Contains(ok, "throughput gate: ok") {
+		t.Fatalf("FormatComparison = %q", ok)
+	}
+}
+
+func TestReadThroughputJSONRoundTrip(t *testing.T) {
+	rows := []ThroughputRow{trow("Exact", "lazy-dfa", 0, 123.4, "")}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteThroughputJSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadThroughputJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != rows[0] {
+		t.Fatalf("round-trip = %+v, want %+v", got, rows)
+	}
+	if _, err := ReadThroughputJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}

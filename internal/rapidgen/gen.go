@@ -268,10 +268,10 @@ func (s *scope) collect(floor *scope, pred func(*binding) bool) []*binding {
 type stCtx struct {
 	sc       *scope
 	depth    int
-	consumed bool   // ≥1 input symbol consumed on every path reaching here
-	countOK  bool   // count() sites here are compiled (statically live)
-	dead     bool   // statically untaken: code typechecks but never compiles
-	noShared bool   // next statement sits at network top level: bare
+	consumed bool // ≥1 input symbol consumed on every path reaching here
+	countOK  bool // count() sites here are compiled (statically live)
+	dead     bool // statically untaken: code typechecks but never compiles
+	noShared bool // next statement sits at network top level: bare
 	// declarations/assignments there execute into the shared environment
 	// in source order rather than becoming parallel matchers
 	floor   *scope // assignment floor: only vars below it are assignable (nil = all)
@@ -798,7 +798,7 @@ func (p *progGen) ifStatic(c stCtx, ind string) (string, bool) {
 		cT := c
 		cT.sc = c.sc.clone()
 		cT.countOK = false
-		cT.dead = true // which branch compiles varies per elaboration
+		cT.dead = true   // which branch compiles varies per elaboration
 		cT.floor = cT.sc // branch-neutral: locals only
 		cT.depth++
 		thenB, thenC := p.blockIn(cT, ind)

@@ -121,6 +121,38 @@ func IsPermanent(err error) bool {
 	return errors.As(err, &pe)
 }
 
+// retryAfterError carries a server-suggested minimum delay before the
+// next attempt (e.g. an HTTP 429 Retry-After hint).
+type retryAfterError struct {
+	err   error
+	delay time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// RetryAfter wraps err with a server-suggested minimum delay before the
+// next attempt. Retry honors it as a floor on the backoff: the wait
+// before the retry is max(computed backoff, d). Serving clients mark 429
+// responses with the parsed Retry-After header this way, so backpressure
+// hints from the server override an impatient local policy.
+func RetryAfter(err error, d time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &retryAfterError{err: err, delay: d}
+}
+
+// RetryAfterDelay extracts the delay attached with RetryAfter, or 0 when
+// err carries none.
+func RetryAfterDelay(err error) time.Duration {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.delay
+	}
+	return 0
+}
+
 // ExhaustedError is returned by Retry when every attempt failed; it wraps
 // the last attempt's error.
 type ExhaustedError struct {
@@ -160,7 +192,11 @@ func Retry(ctx context.Context, p Policy, op func(attempt int) error) error {
 		}
 		last = err
 		if attempt+1 < p.MaxAttempts {
-			if serr := p.Sleep(ctx, p.backoff(attempt, rng)); serr != nil {
+			d := p.backoff(attempt, rng)
+			if ra := RetryAfterDelay(err); ra > d {
+				d = ra
+			}
+			if serr := p.Sleep(ctx, d); serr != nil {
 				return serr
 			}
 		}

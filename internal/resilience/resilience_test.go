@@ -151,3 +151,59 @@ func TestRecover(t *testing.T) {
 		t.Fatalf("panic not captured: %+v", pe)
 	}
 }
+
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	var delays []time.Duration
+	calls := 0
+	hint := 250 * time.Millisecond
+	err := Retry(context.Background(), Policy{MaxAttempts: 3, BaseDelay: time.Millisecond,
+		MaxDelay: 2 * time.Millisecond, Sleep: recordSleep(&delays)}, func(int) error {
+		calls++
+		if calls < 3 {
+			return RetryAfter(errors.New("over capacity"), hint)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry = %v", err)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(delays))
+	}
+	for i, d := range delays {
+		if d < hint {
+			t.Fatalf("delay %d = %v, want >= the %v Retry-After floor", i, d, hint)
+		}
+	}
+}
+
+func TestRetryAfterSmallerThanBackoffIsIgnored(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond, MaxDelay: 50 * time.Millisecond,
+		Jitter: -1, Sleep: recordSleep(&delays)}
+	err := Retry(context.Background(), p, func(attempt int) error {
+		if attempt == 0 {
+			return RetryAfter(errors.New("hint below backoff"), time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry = %v", err)
+	}
+	if len(delays) != 1 || delays[0] != 50*time.Millisecond {
+		t.Fatalf("delays = %v, want the 50ms computed backoff", delays)
+	}
+}
+
+func TestRetryAfterDelay(t *testing.T) {
+	if d := RetryAfterDelay(errors.New("plain")); d != 0 {
+		t.Fatalf("unmarked error has delay %v", d)
+	}
+	marked := RetryAfter(fmt.Errorf("wrap: %w", errors.New("inner")), time.Second)
+	if d := RetryAfterDelay(marked); d != time.Second {
+		t.Fatalf("delay = %v, want 1s", d)
+	}
+	if RetryAfter(nil, time.Second) != nil {
+		t.Fatal("RetryAfter(nil) should be nil")
+	}
+}

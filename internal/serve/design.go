@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	rapid "repro"
+)
+
+// BackendEngine is the default per-design execution mode: the batched
+// lazy-DFA Engine, the only backend the micro-batching dispatcher can
+// coalesce requests into. BackendFailover runs the full cross-checkable
+// degradation ladder instead; any rapid.BackendKind name selects that
+// single tier. Non-engine modes execute requests one at a time.
+const (
+	BackendEngine   = "engine"
+	BackendFailover = "failover"
+)
+
+// DesignSpec describes one design to mount on the server.
+type DesignSpec struct {
+	// Name is the design's endpoint name. Required.
+	Name string
+	// Source is RAPID source text; ANML is an ANML document. Exactly one
+	// must be set (unless Matcher is supplied).
+	Source string
+	ANML   []byte
+	// Args are the network arguments applied at compile time.
+	Args []rapid.Value
+	// Backend selects the execution mode: BackendEngine (default),
+	// BackendFailover, or a rapid.BackendKind name.
+	Backend string
+	// Matcher, when non-nil, mounts a caller-supplied backend instead of
+	// compiling Source/ANML — custom tiers and test doubles.
+	Matcher rapid.Matcher
+}
+
+// DesignInfo is a mounted design's public description.
+type DesignInfo struct {
+	Name      string `json:"name"`
+	Hash      string `json:"hash"`
+	Backend   string `json:"backend"`
+	STEs      int    `json:"stes,omitempty"`
+	Counters  int    `json:"counters,omitempty"`
+	Gates     int    `json:"gates,omitempty"`
+	Reporting int    `json:"reporting,omitempty"`
+	// Tiers describes the engine's execution split in engine mode, or the
+	// failover ladder in failover mode.
+	Tiers string `json:"tiers,omitempty"`
+}
+
+// design is one mounted design: its compiled artifact, executor, bounded
+// admission queue, and instrument set.
+type design struct {
+	info    DesignInfo
+	engine  *rapid.Engine // engine mode: the batching path
+	matcher rapid.Matcher // other modes: executed one request at a time
+	queue   chan *job
+	tel     designMetrics
+}
+
+// programHash fingerprints the compilable identity of a spec — the
+// program text and its network arguments. Designs with equal hashes share
+// one compiled artifact.
+func programHash(spec DesignSpec) string {
+	h := sha256.New()
+	if len(spec.ANML) > 0 {
+		io.WriteString(h, "anml\x00")
+		h.Write(spec.ANML)
+	} else {
+		io.WriteString(h, "rapid\x00")
+		io.WriteString(h, spec.Source)
+	}
+	io.WriteString(h, "\x00")
+	for _, a := range spec.Args {
+		fmt.Fprintf(h, "%v\x00", a)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// chainMatcher adapts a FailoverChain to the Matcher interface under the
+// name "failover".
+type chainMatcher struct{ chain *rapid.FailoverChain }
+
+func (m *chainMatcher) Name() string { return BackendFailover }
+func (m *chainMatcher) Match(ctx context.Context, input []byte) ([]rapid.Report, error) {
+	return m.chain.Run(ctx, input)
+}
+
+// compileDesign resolves a spec into a compiled artifact (through the
+// server's hash-keyed cache) plus its executor.
+func (s *Server) compileDesign(spec DesignSpec) (*design, error) {
+	d := &design{info: DesignInfo{Name: spec.Name, Backend: spec.Backend}}
+	if d.info.Backend == "" {
+		d.info.Backend = BackendEngine
+	}
+
+	if spec.Matcher != nil {
+		d.matcher = spec.Matcher
+		d.info.Backend = spec.Matcher.Name()
+		d.info.Hash = "custom:" + spec.Name
+		return d, nil
+	}
+
+	d.info.Hash = programHash(spec)
+	compiled, err := s.compiledDesign(spec, d.info.Hash)
+	if err != nil {
+		return nil, err
+	}
+	stats := compiled.Stats()
+	d.info.STEs = stats.STEs
+	d.info.Counters = stats.Counters
+	d.info.Gates = stats.BooleanGates
+	d.info.Reporting = stats.Reporting
+
+	opts := []rapid.Option{}
+	if s.cfg.Workers > 0 {
+		opts = append(opts, rapid.WithWorkers(s.cfg.Workers))
+	}
+	if s.cfg.MaxCachedStates > 0 {
+		opts = append(opts, rapid.WithMaxCachedStates(s.cfg.MaxCachedStates))
+	}
+	if s.cfg.Telemetry != nil {
+		opts = append(opts, rapid.WithTelemetry(s.cfg.Telemetry))
+	}
+
+	switch d.info.Backend {
+	case BackendEngine:
+		eng, err := compiled.NewEngine(opts...)
+		if err != nil {
+			return nil, fmt.Errorf("serve: design %q: %w", spec.Name, err)
+		}
+		d.engine = eng
+		d.info.Tiers = eng.Tiers()
+	case BackendFailover:
+		chain, err := compiled.FailoverChain(opts...)
+		if err != nil {
+			return nil, fmt.Errorf("serve: design %q: %w", spec.Name, err)
+		}
+		chain.CrossCheck = s.cfg.CrossCheck
+		d.matcher = &chainMatcher{chain: chain}
+		d.info.Tiers = joinArrow(chain.Backends())
+	default:
+		kind, err := rapid.ParseBackendKind(d.info.Backend)
+		if err != nil {
+			return nil, fmt.Errorf("serve: design %q: %w", spec.Name, err)
+		}
+		m, err := compiled.Backend(kind, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("serve: design %q: %w", spec.Name, err)
+		}
+		d.matcher = m
+	}
+	return d, nil
+}
+
+// compiledDesign returns the cached compiled artifact for hash, compiling
+// and caching it on first use. The caller holds s.mu.
+func (s *Server) compiledDesign(spec DesignSpec, hash string) (*rapid.Design, error) {
+	if compiled, ok := s.compiled[hash]; ok {
+		return compiled, nil
+	}
+	var compiled *rapid.Design
+	var err error
+	switch {
+	case len(spec.ANML) > 0:
+		compiled, err = rapid.LoadANML(spec.ANML)
+	case spec.Source != "":
+		var prog *rapid.Program
+		prog, err = rapid.Parse(spec.Source)
+		if err == nil {
+			compiled, err = prog.Compile(spec.Args...)
+		}
+	default:
+		err = fmt.Errorf("spec has neither Source, ANML, nor Matcher")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: design %q: %w", spec.Name, err)
+	}
+	s.compiled[hash] = compiled
+	return compiled, nil
+}
+
+func joinArrow(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " → "
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	rapid "repro"
+)
+
+// Admission errors. The HTTP layer maps ErrOverCapacity to 429 and
+// ErrDraining to 503, both with a Retry-After hint; the serve/client
+// package retries them with the hint as a backoff floor.
+var (
+	// ErrOverCapacity means the design's bounded admission queue was full.
+	ErrOverCapacity = errors.New("serve: over capacity, queue full")
+	// ErrDraining means the server has stopped admitting requests and is
+	// flushing in-flight work before shutting down.
+	ErrDraining = errors.New("serve: draining, not admitting requests")
+)
+
+// job is one admitted match request traveling from the admission
+// controller through a design's queue to its dispatcher.
+type job struct {
+	input    []byte
+	done     chan jobResult // buffered(1): dispatcher never blocks on delivery
+	enqueued time.Time
+}
+
+type jobResult struct {
+	reports []rapid.Report
+	err     error
+}
+
+// submit is the admission controller: it either enqueues the request into
+// the design's bounded queue and waits for the result, or refuses
+// immediately — with ErrOverCapacity when the queue is full (the caller
+// answers 429 + Retry-After) or ErrDraining during shutdown. Admitted
+// requests are never dropped: the drain path flushes every queue before
+// the dispatchers exit.
+func (s *Server) submit(ctx context.Context, d *design, input []byte) ([]rapid.Report, error) {
+	s.admitMu.RLock()
+	if s.draining.Load() {
+		s.admitMu.RUnlock()
+		d.tel.rejectedDraining.Inc()
+		return nil, ErrDraining
+	}
+	j := &job{input: input, done: make(chan jobResult, 1), enqueued: time.Now()}
+	select {
+	case d.queue <- j:
+		s.admitMu.RUnlock()
+		d.tel.queueDepth.Inc()
+	default:
+		s.admitMu.RUnlock()
+		d.tel.rejectedCapacity.Inc()
+		return nil, ErrOverCapacity
+	}
+	select {
+	case res := <-j.done:
+		d.tel.finish(res.err, j.enqueued)
+		return res.reports, res.err
+	case <-ctx.Done():
+		// The caller is gone; the job still runs to completion in its
+		// batch (results are discarded via the buffered channel).
+		return nil, ctx.Err()
+	}
+}
+
+// dispatch is a design's dispatcher loop: it pulls admitted jobs off the
+// bounded queue, coalesces concurrent small requests into micro-batches
+// (engine mode), and executes them. It exits when the queue is closed and
+// fully drained, so shutdown never drops an admitted request.
+func (s *Server) dispatch(d *design) {
+	defer s.dispatchers.Done()
+	maxBatch := 1
+	if d.engine != nil {
+		maxBatch = s.cfg.MaxBatch
+	}
+	for j := range d.queue {
+		batch := collectBatch(d.queue, j, maxBatch, s.cfg.BatchWindow)
+		d.tel.queueDepth.Add(-int64(len(batch)))
+		d.tel.inflight.Add(int64(len(batch)))
+		d.tel.batches.Inc()
+		d.tel.batchSize.Observe(int64(len(batch)))
+		s.runBatch(d, batch)
+		d.tel.inflight.Add(-int64(len(batch)))
+	}
+}
+
+// collectBatch gathers up to max jobs starting from first: jobs already
+// queued are taken immediately, and the dispatcher waits at most window
+// (measured from the first job) for stragglers — the dynamic-batching
+// size/latency bound. With max <= 1 or a closed empty queue it returns
+// just the first job.
+func collectBatch(queue <-chan *job, first *job, max int, window time.Duration) []*job {
+	batch := []*job{first}
+	if max <= 1 {
+		return batch
+	}
+	// Drain what is already waiting before arming the timer: a backlog
+	// fills the batch with zero added latency.
+	for len(batch) < max {
+		select {
+		case j, ok := <-queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, j)
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) >= max || window <= 0 {
+		return batch
+	}
+	timer := time.NewTimer(window)
+	defer timer.Stop()
+	for len(batch) < max {
+		select {
+		case j, ok := <-queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch executes one coalesced batch. Engine mode uses the settled
+// batch path so one bad stream degrades only itself; single-matcher modes
+// run jobs in admission order.
+func (s *Server) runBatch(d *design, batch []*job) {
+	if d.engine != nil {
+		inputs := make([][]byte, len(batch))
+		for i, j := range batch {
+			inputs[i] = j.input
+		}
+		results := d.engine.RunBatchSettled(s.baseCtx, inputs)
+		for i, j := range batch {
+			j.done <- jobResult{reports: results[i].Reports, err: results[i].Err}
+		}
+		return
+	}
+	for _, j := range batch {
+		reports, err := d.matcher.Match(s.baseCtx, j.input)
+		j.done <- jobResult{reports: reports, err: err}
+	}
+}

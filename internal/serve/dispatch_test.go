@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	rapid "repro"
+)
+
+func newJob(s string) *job {
+	return &job{input: []byte(s), done: make(chan jobResult, 1), enqueued: time.Now()}
+}
+
+// TestCollectBatchSizeBound: a backlog fills the batch to max immediately,
+// leaving the rest queued.
+func TestCollectBatchSizeBound(t *testing.T) {
+	queue := make(chan *job, 16)
+	for i := 0; i < 7; i++ {
+		queue <- newJob("queued")
+	}
+	batch := collectBatch(queue, newJob("first"), 4, time.Hour)
+	if len(batch) != 4 {
+		t.Fatalf("batch size %d, want max=4", len(batch))
+	}
+	if len(queue) != 4 {
+		t.Fatalf("%d jobs left queued, want 4", len(queue))
+	}
+	if string(batch[0].input) != "first" {
+		t.Fatal("first job not at batch head")
+	}
+}
+
+// TestCollectBatchLatencyBound: with an empty queue the window expires and
+// the first job ships alone.
+func TestCollectBatchLatencyBound(t *testing.T) {
+	queue := make(chan *job, 16)
+	start := time.Now()
+	batch := collectBatch(queue, newJob("first"), 8, 5*time.Millisecond)
+	if len(batch) != 1 {
+		t.Fatalf("batch size %d, want 1", len(batch))
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("waited %v, window is 5ms", waited)
+	}
+}
+
+// TestCollectBatchStraggler: a job arriving inside the window joins the
+// batch.
+func TestCollectBatchStraggler(t *testing.T) {
+	queue := make(chan *job, 16)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		queue <- newJob("straggler")
+	}()
+	batch := collectBatch(queue, newJob("first"), 8, 500*time.Millisecond)
+	if len(batch) != 2 {
+		t.Fatalf("batch size %d, want 2 (straggler missed the window)", len(batch))
+	}
+}
+
+// TestCollectBatchClosedQueue: a closed queue ends collection without
+// waiting out the window.
+func TestCollectBatchClosedQueue(t *testing.T) {
+	queue := make(chan *job, 16)
+	queue <- newJob("queued")
+	close(queue)
+	start := time.Now()
+	batch := collectBatch(queue, newJob("first"), 8, time.Hour)
+	if len(batch) != 2 {
+		t.Fatalf("batch size %d, want 2", len(batch))
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("blocked on a closed queue")
+	}
+}
+
+// TestCollectBatchMaxOne: non-engine designs never coalesce.
+func TestCollectBatchMaxOne(t *testing.T) {
+	queue := make(chan *job, 16)
+	queue <- newJob("queued")
+	if batch := collectBatch(queue, newJob("first"), 1, time.Hour); len(batch) != 1 {
+		t.Fatalf("batch size %d, want 1", len(batch))
+	}
+}
+
+// TestRecordScanner carves framed records and tracks their stream offsets
+// per the flattened-array convention.
+func TestRecordScanner(t *testing.T) {
+	stream := rapid.FrameStrings("ab", "cde", "f")
+	sc := newRecordScanner(bytes.NewReader(stream))
+	type rec struct {
+		text   string
+		offset int
+	}
+	// FrameStrings lays out: \xff ab \xff cde \xff f \xff — "ab" starts at
+	// stream offset 1, "cde" at 4, "f" at 8.
+	want := []rec{{"ab", 1}, {"cde", 4}, {"f", 8}}
+	var got []rec
+	for {
+		r, off, err := sc.next()
+		if r == nil {
+			if err != io.EOF {
+				t.Fatal(err)
+			}
+			break
+		}
+		got = append(got, rec{string(r), off})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRecordScannerUnterminated: a final record without a trailing
+// separator is still delivered.
+func TestRecordScannerUnterminated(t *testing.T) {
+	stream := append([]byte{rapid.StartOfInput}, "tail"...)
+	sc := newRecordScanner(bytes.NewReader(stream))
+	r, off, err := sc.next()
+	if err != nil || string(r) != "tail" || off != 1 {
+		t.Fatalf("got (%q, %d, %v), want (tail, 1, nil)", r, off, err)
+	}
+	if r, _, err := sc.next(); r != nil || err != io.EOF {
+		t.Fatalf("got (%q, %v) after final record, want (nil, EOF)", r, err)
+	}
+}
+
+// TestRecordScannerEmptyRecords: consecutive separators produce no empty
+// records.
+func TestRecordScannerEmptyRecords(t *testing.T) {
+	stream := []byte{rapid.StartOfInput, rapid.StartOfInput, 'a', rapid.StartOfInput, rapid.StartOfInput}
+	sc := newRecordScanner(bytes.NewReader(stream))
+	r, off, err := sc.next()
+	if err != nil || string(r) != "a" || off != 2 {
+		t.Fatalf("got (%q, %d, %v), want (a, 2, nil)", r, off, err)
+	}
+	if r, _, err := sc.next(); r != nil || err != io.EOF {
+		t.Fatalf("got (%q, %v), want (nil, EOF)", r, err)
+	}
+}
+
+// TestRecordScannerLargeRecord: records spanning multiple reads survive
+// the chunked refill path with correct offsets.
+func TestRecordScannerLargeRecord(t *testing.T) {
+	big := strings.Repeat("x", 100<<10)
+	stream := rapid.FrameStrings("a", big, "b")
+	sc := newRecordScanner(iotest(bytes.NewReader(stream), 7))
+	wantOff := []int{1, 3, 3 + len(big) + 1}
+	wantText := []string{"a", big, "b"}
+	for i := range wantText {
+		r, off, err := sc.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(r) != wantText[i] || off != wantOff[i] {
+			t.Fatalf("record %d: len=%d off=%d, want len=%d off=%d", i, len(r), off, len(wantText[i]), wantOff[i])
+		}
+	}
+}
+
+// iotest wraps r so every Read returns at most n bytes, exercising refill
+// boundaries.
+func iotest(r io.Reader, n int) io.Reader { return &smallReader{r: r, n: n} }
+
+type smallReader struct {
+	r io.Reader
+	n int
+}
+
+func (s *smallReader) Read(p []byte) (int, error) {
+	if len(p) > s.n {
+		p = p[:s.n]
+	}
+	return s.r.Read(p)
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The serve.* metric family — the serving layer's own instruments,
+// separate from the per-backend stream accounting the execution tiers
+// record. Every metric carries a design label so one scrape compares the
+// mounted designs directly. See docs/OBSERVABILITY.md for the catalog.
+const (
+	metricQueueDepth = "rapid_serve_queue_depth"
+	metricInflight   = "rapid_serve_inflight"
+	metricRejections = "rapid_serve_admission_rejections_total"
+	metricBatches    = "rapid_serve_batches_total"
+	metricBatchSize  = "rapid_serve_batch_size"
+	metricRequests   = "rapid_serve_requests_total"
+	metricLatency    = "rapid_serve_request_duration_us"
+)
+
+// serveMetrics is the serving layer's instrument families. All fields are
+// nil when telemetry is disabled; every instrument method no-ops on nil,
+// so the request path never branches on enablement.
+type serveMetrics struct {
+	queueDepth *telemetry.GaugeVec   // design
+	inflight   *telemetry.GaugeVec   // design
+	rejections *telemetry.CounterVec // design, reason
+	batches    *telemetry.CounterVec // design
+	batchSize  *telemetry.HistogramVec
+	requests   *telemetry.CounterVec // design, outcome
+	latency    *telemetry.HistogramVec
+}
+
+func newServeMetrics(reg *telemetry.Registry) *serveMetrics {
+	return &serveMetrics{
+		queueDepth: reg.GaugeVec(metricQueueDepth,
+			"Requests admitted and waiting in a design's bounded queue.", "design"),
+		inflight: reg.GaugeVec(metricInflight,
+			"Requests a design's dispatcher is currently executing.", "design"),
+		rejections: reg.CounterVec(metricRejections,
+			"Requests refused at admission, by design and reason (capacity, draining).",
+			"design", "reason"),
+		batches: reg.CounterVec(metricBatches,
+			"Coalesced batches dispatched, by design.", "design"),
+		batchSize: reg.HistogramVec(metricBatchSize,
+			"Requests coalesced into each dispatched batch.", "design"),
+		requests: reg.CounterVec(metricRequests,
+			"Completed match requests, by design and outcome (ok, error).",
+			"design", "outcome"),
+		latency: reg.HistogramVec(metricLatency,
+			"Request latency from admission to completion, microseconds.", "design"),
+	}
+}
+
+// designMetrics is one design's resolved instrument set.
+type designMetrics struct {
+	queueDepth       *telemetry.Gauge
+	inflight         *telemetry.Gauge
+	rejectedCapacity *telemetry.Counter
+	rejectedDraining *telemetry.Counter
+	batches          *telemetry.Counter
+	batchSize        *telemetry.Histogram
+	requestsOK       *telemetry.Counter
+	requestsError    *telemetry.Counter
+	latency          *telemetry.Histogram
+	telemetryEnabled bool
+}
+
+func (m *serveMetrics) forDesign(name string) designMetrics {
+	return designMetrics{
+		queueDepth:       m.queueDepth.With(name),
+		inflight:         m.inflight.With(name),
+		rejectedCapacity: m.rejections.With(name, "capacity"),
+		rejectedDraining: m.rejections.With(name, "draining"),
+		batches:          m.batches.With(name),
+		batchSize:        m.batchSize.With(name),
+		requestsOK:       m.requests.With(name, "ok"),
+		requestsError:    m.requests.With(name, "error"),
+		latency:          m.latency.With(name),
+		telemetryEnabled: m.queueDepth != nil,
+	}
+}
+
+// finish accounts one completed (not rejected) request.
+func (m *designMetrics) finish(err error, enqueued time.Time) {
+	if err != nil {
+		m.requestsError.Inc()
+	} else {
+		m.requestsOK.Inc()
+	}
+	if m.telemetryEnabled {
+		m.latency.Observe(time.Since(enqueued).Microseconds())
+	}
+}

@@ -1,0 +1,570 @@
+// Package serve is the pattern-match serving layer: it mounts compiled
+// RAPID/ANML designs behind an HTTP match API with the request path a
+// production matching service needs — an admission controller with a
+// bounded queue (429 + Retry-After under overload instead of unbounded
+// queuing), a micro-batching dispatcher that coalesces small concurrent
+// requests into Engine.RunBatch calls (size- and latency-bounded, like
+// inference-server dynamic batching), per-design backend selection with
+// automatic failover, health/readiness endpoints, and graceful drain that
+// stops admissions, flushes in-flight batches, and shuts the telemetry
+// listener down last so a final scrape can observe the drain.
+//
+// Command rapidserve is the CLI front end; package repro/serve/client is
+// the Go client. See docs/SERVING.md for the API and capacity-planning
+// guidance.
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rapid "repro"
+	"repro/internal/telemetry"
+)
+
+// Config sizes and wires a Server. The zero value serves on :8765 with
+// telemetry disabled and production-shaped defaults for the queue and
+// batching knobs.
+type Config struct {
+	// Addr is the main listen address. Default ":8765".
+	Addr string
+	// MetricsAddr optionally serves /metrics and /debug/vars on a separate
+	// telemetry listener, shut down last during drain. The main listener
+	// also exposes both paths when Telemetry is set.
+	MetricsAddr string
+	// QueueDepth caps each design's admission queue; requests beyond it
+	// are refused with 429 + Retry-After. Default 64.
+	QueueDepth int
+	// MaxBatch bounds how many queued requests one Engine.RunBatch call
+	// coalesces. Default 16.
+	MaxBatch int
+	// BatchWindow bounds how long the dispatcher waits (from the first
+	// queued request) for more requests to coalesce. Default 500µs.
+	BatchWindow time.Duration
+	// RetryAfter is the backpressure hint attached to 429/503 responses.
+	// Default 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes caps request bodies. Default 64 MiB.
+	MaxBodyBytes int64
+	// Workers and MaxCachedStates configure each design's engine.
+	Workers         int
+	MaxCachedStates int
+	// CrossCheck makes failover-mode designs verify results against their
+	// reference backend.
+	CrossCheck bool
+	// Telemetry routes the serve.* metric family (and every backend's
+	// stream accounting) into reg. nil disables.
+	Telemetry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8765"
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 500 * time.Microsecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the pattern-match serving layer over one or more mounted
+// designs. Construct with New, mount designs with AddDesign, then either
+// Start a listener or mount Handler yourself; Shutdown drains gracefully.
+type Server struct {
+	cfg Config
+	tel *serveMetrics
+	mux *http.ServeMux
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	draining   atomic.Bool
+
+	// admitMu fences admissions against queue teardown: submit holds a
+	// read lock while enqueuing, Shutdown holds the write lock while
+	// closing the queues, so an in-flight admission can never hit a
+	// closed channel.
+	admitMu     sync.RWMutex
+	closeQueues sync.Once
+
+	mu       sync.Mutex
+	designs  map[string]*design
+	order    []string
+	compiled map[string]*rapid.Design
+
+	dispatchers sync.WaitGroup
+
+	httpSrv    *http.Server
+	ln         net.Listener
+	serveDone  chan struct{}
+	serveErr   error
+	metricsSrv *telemetry.MetricsServer
+}
+
+// New builds a server with no designs mounted.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		designs:  make(map[string]*design),
+		compiled: make(map[string]*rapid.Design),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.tel = newServeMetrics(s.cfg.Telemetry)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/designs", s.handleDesigns)
+	s.mux.HandleFunc("POST /v1/match", s.handleMatch)
+	s.mux.HandleFunc("POST /v1/match/stream", s.handleMatchStream)
+	if s.cfg.Telemetry != nil {
+		h := telemetry.Handler(s.cfg.Telemetry)
+		s.mux.Handle("/metrics", h)
+		s.mux.Handle("/debug/vars", h)
+	}
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "rapidserve endpoints: /healthz /readyz /v1/designs POST /v1/match POST /v1/match/stream")
+	})
+	return s
+}
+
+// AddDesign compiles (or fetches from the hash-keyed artifact cache) and
+// mounts a design, starting its dispatcher. Safe to call before or after
+// Start; re-using a mounted name is an error.
+func (s *Server) AddDesign(spec DesignSpec) (DesignInfo, error) {
+	if spec.Name == "" {
+		return DesignInfo{}, fmt.Errorf("serve: design name is required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.designs[spec.Name]; ok {
+		return DesignInfo{}, fmt.Errorf("serve: design %q already mounted", spec.Name)
+	}
+	d, err := s.compileDesign(spec)
+	if err != nil {
+		return DesignInfo{}, err
+	}
+	d.queue = make(chan *job, s.cfg.QueueDepth)
+	d.tel = s.tel.forDesign(spec.Name)
+	s.designs[spec.Name] = d
+	s.order = append(s.order, spec.Name)
+	s.dispatchers.Add(1)
+	go s.dispatch(d)
+	return d.info, nil
+}
+
+// Designs returns the mounted designs' descriptions in mount order.
+func (s *Server) Designs() []DesignInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DesignInfo, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, s.designs[name].info)
+	}
+	return out
+}
+
+// lookup resolves a request's design name; an empty name resolves when
+// exactly one design is mounted.
+func (s *Server) lookup(name string) (*design, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" {
+		if len(s.order) == 1 {
+			return s.designs[s.order[0]], nil
+		}
+		return nil, fmt.Errorf("serve: %d designs mounted, request must name one", len(s.order))
+	}
+	d, ok := s.designs[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown design %q", name)
+	}
+	return d, nil
+}
+
+// Handler returns the server's HTTP handler, for mounting without Start.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds the configured listeners and serves in the background.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	s.serveDone = make(chan struct{})
+	go func() {
+		defer close(s.serveDone)
+		if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.serveErr = err
+		}
+	}()
+	if s.cfg.MetricsAddr != "" && s.cfg.Telemetry != nil {
+		ms, err := telemetry.ListenAndServe(s.cfg.MetricsAddr, s.cfg.Telemetry)
+		if err != nil {
+			_ = s.httpSrv.Close()
+			<-s.serveDone
+			return err
+		}
+		s.metricsSrv = ms
+	}
+	return nil
+}
+
+// Addr returns the main listener's address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// MetricsAddr returns the telemetry listener's address, or "".
+func (s *Server) MetricsAddr() string {
+	if s.metricsSrv == nil {
+		return ""
+	}
+	return s.metricsSrv.Addr()
+}
+
+// Shutdown drains the server gracefully: it stops admissions (readiness
+// flips to 503, new requests are refused with Retry-After), waits for
+// in-flight requests and their batches to flush, stops the dispatchers,
+// and shuts the telemetry listener down last. If ctx expires first, the
+// remaining batch work is cancelled and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+
+	var errs []error
+	// Stop accepting connections and wait for in-flight handlers — each
+	// admitted request completes inside its handler, so once the HTTP
+	// server is down every queue is empty.
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			// Drain window expired: abort in-flight batch work.
+			s.cancelBase()
+			_ = s.httpSrv.Close()
+			errs = append(errs, err)
+		}
+		<-s.serveDone
+		if s.serveErr != nil {
+			errs = append(errs, s.serveErr)
+		}
+	}
+
+	// Flush and stop the dispatchers.
+	s.closeQueues.Do(func() {
+		s.mu.Lock()
+		queues := make([]chan *job, 0, len(s.order))
+		for _, name := range s.order {
+			queues = append(queues, s.designs[name].queue)
+		}
+		s.mu.Unlock()
+		s.admitMu.Lock()
+		for _, q := range queues {
+			close(q)
+		}
+		s.admitMu.Unlock()
+	})
+	done := make(chan struct{})
+	go func() {
+		s.dispatchers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancelBase()
+		<-done
+		errs = append(errs, ctx.Err())
+	}
+	s.cancelBase()
+
+	// The telemetry listener goes down last, so a final scrape can
+	// observe the completed drain.
+	if s.metricsSrv != nil {
+		if err := s.metricsSrv.Shutdown(ctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// --- HTTP handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		s.retryAfterHeader(w)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleDesigns(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Designs())
+}
+
+// matchRequest is the single-shot match API request body. Exactly one of
+// Text, InputBase64, or Records supplies the input stream.
+type matchRequest struct {
+	// Design names the mounted design; optional when one design is mounted.
+	Design string `json:"design,omitempty"`
+	// Text is the input stream as literal text.
+	Text string `json:"text,omitempty"`
+	// InputBase64 is the input stream as base64 bytes.
+	InputBase64 string `json:"input_base64,omitempty"`
+	// Records is framed with the reserved separator per the paper's
+	// flattened-array convention (leading separator, one after each record).
+	Records []string `json:"records,omitempty"`
+}
+
+type reportJSON struct {
+	Offset int    `json:"offset"`
+	Code   int    `json:"code"`
+	Site   string `json:"site,omitempty"`
+}
+
+type matchResponse struct {
+	Design  string       `json:"design"`
+	Hash    string       `json:"hash"`
+	Backend string       `json:"backend"`
+	Count   int          `json:"count"`
+	Reports []reportJSON `json:"reports"`
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req matchRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	d, err := s.lookup(req.Design)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var input []byte
+	switch {
+	case req.InputBase64 != "":
+		input, err = base64.StdEncoding.DecodeString(req.InputBase64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad input_base64: %w", err))
+			return
+		}
+	case len(req.Records) > 0:
+		input = rapid.FrameStrings(req.Records...)
+	default:
+		input = []byte(req.Text)
+	}
+	reports, err := s.submit(r.Context(), d, input)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, matchResponse{
+		Design:  d.info.Name,
+		Hash:    d.info.Hash,
+		Backend: d.info.Backend,
+		Count:   len(reports),
+		Reports: toReportJSON(reports, 0),
+	})
+}
+
+// streamResult is one NDJSON line of the streaming endpoint: the reports
+// of one record, with offsets rebased to stream coordinates.
+type streamResult struct {
+	Index   int          `json:"index"`
+	Offset  int          `json:"offset"`
+	Count   int          `json:"count"`
+	Reports []reportJSON `json:"reports"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// handleMatchStream is the chunked streaming endpoint: the request body
+// is a record stream framed with the reserved separator (0xFF), and the
+// response streams one NDJSON result line per record as it completes.
+// Each record passes through the same admission controller and batching
+// dispatcher as single-shot requests, so streaming clients are subject to
+// the same backpressure (surfaced as per-record error lines).
+func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
+	d, err := s.lookup(r.URL.Query().Get("design"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	body := newRecordScanner(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	index := 0
+	for {
+		rec, offset, err := body.next()
+		if rec == nil {
+			if err != nil && err != io.EOF {
+				_ = enc.Encode(streamResult{Index: index, Error: err.Error()})
+			}
+			return
+		}
+		line := streamResult{Index: index, Offset: offset}
+		reports, err := s.submit(r.Context(), d, rapid.FrameRecords(rec))
+		if err != nil {
+			line.Error = err.Error()
+		} else {
+			// Framed symbol k maps to stream offset offset-1+k (the
+			// record's leading separator sits one symbol before it).
+			line.Reports = toReportJSON(reports, offset-1)
+			line.Count = len(line.Reports)
+		}
+		if encErr := enc.Encode(line); encErr != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		index++
+		if errors.Is(err, ErrDraining) || errors.Is(err, context.Canceled) {
+			return
+		}
+	}
+}
+
+func (s *Server) retryAfterHeader(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// writeSubmitError maps admission and execution errors to HTTP statuses:
+// 429 for a full queue, 503 while draining (both with Retry-After), 500
+// for execution failures.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverCapacity):
+		s.retryAfterHeader(w)
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		s.retryAfterHeader(w)
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The client went away; the status code is moot.
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func toReportJSON(reports []rapid.Report, rebase int) []reportJSON {
+	out := make([]reportJSON, len(reports))
+	for i, r := range reports {
+		out[i] = reportJSON{Offset: r.Offset + rebase, Code: r.Code, Site: r.Site}
+	}
+	return out
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// recordScanner carves separator-framed records out of a streaming body,
+// tracking each record's stream offset.
+type recordScanner struct {
+	r      io.Reader
+	buf    []byte
+	off    int // stream offset of buf[0]
+	err    error
+	closed bool
+}
+
+func newRecordScanner(r io.Reader) *recordScanner {
+	return &recordScanner{r: r}
+}
+
+// next returns the next non-empty record and the stream offset of its
+// first symbol. It returns (nil, 0, err) at end of stream (err == io.EOF)
+// or on a read error.
+func (s *recordScanner) next() ([]byte, int, error) {
+	for {
+		// Look for a complete record in the buffer.
+		start := 0
+		for start < len(s.buf) && s.buf[start] == rapid.StartOfInput {
+			start++
+		}
+		for i := start; i < len(s.buf); i++ {
+			if s.buf[i] == rapid.StartOfInput {
+				rec := append([]byte(nil), s.buf[start:i]...)
+				recOff := s.off + start
+				s.buf = s.buf[i+1:]
+				s.off = recOff + len(rec) + 1
+				return rec, recOff, nil
+			}
+		}
+		if s.closed {
+			// Final unterminated record, if any.
+			if start < len(s.buf) {
+				rec := append([]byte(nil), s.buf[start:]...)
+				recOff := s.off + start
+				s.buf = nil
+				return rec, recOff, nil
+			}
+			if s.err == nil {
+				s.err = io.EOF
+			}
+			return nil, 0, s.err
+		}
+		// Separators consumed so far can be discarded.
+		s.off += start
+		s.buf = s.buf[start:]
+		chunk := make([]byte, 32<<10)
+		n, err := s.r.Read(chunk)
+		s.buf = append(s.buf, chunk[:n]...)
+		if err != nil {
+			s.closed = true
+			if err != io.EOF {
+				s.err = err
+			}
+		}
+	}
+}
