@@ -1,0 +1,69 @@
+package rapid
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// ArtifactFormat is the version tag of the compiled-artifact envelope
+// produced by MarshalArtifact. Bump it whenever the envelope or the
+// semantics of its fields change; UnmarshalArtifact refuses unknown
+// versions so a stale on-disk cache is recompiled rather than
+// misinterpreted.
+const ArtifactFormat = 1
+
+// artifactEnvelope is the serialized form of a compiled design: the
+// automaton network as ANML plus the report-site table that ANML does not
+// carry. It is the unit the serving layer's persistent artifact cache
+// stores, keyed by program hash.
+type artifactEnvelope struct {
+	Format int               `json:"format"`
+	ANML   string            `json:"anml"`
+	Sites  map[string]string `json:"sites,omitempty"`
+}
+
+// MarshalArtifact serializes the compiled design — automaton network and
+// report-site table — into a self-describing versioned envelope that
+// UnmarshalArtifact restores without recompiling. This is what makes
+// restart cheap: a serving process with a large manifest loads persisted
+// artifacts instead of re-running the compiler.
+func (d *Design) MarshalArtifact() ([]byte, error) {
+	anmlBytes, err := d.ANML()
+	if err != nil {
+		return nil, fmt.Errorf("rapid: marshal artifact: %w", err)
+	}
+	env := artifactEnvelope{Format: ArtifactFormat, ANML: string(anmlBytes)}
+	if len(d.reports) > 0 {
+		env.Sites = make(map[string]string, len(d.reports))
+		for code, site := range d.reports {
+			env.Sites[strconv.Itoa(code)] = site
+		}
+	}
+	return json.MarshalIndent(env, "", " ")
+}
+
+// UnmarshalArtifact restores a design serialized with MarshalArtifact.
+// It fails on an unknown format version — callers treat that as a cache
+// miss and recompile.
+func UnmarshalArtifact(data []byte) (*Design, error) {
+	var env artifactEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("rapid: unmarshal artifact: %w", err)
+	}
+	if env.Format != ArtifactFormat {
+		return nil, fmt.Errorf("rapid: unmarshal artifact: format %d, want %d", env.Format, ArtifactFormat)
+	}
+	d, err := LoadANML([]byte(env.ANML))
+	if err != nil {
+		return nil, fmt.Errorf("rapid: unmarshal artifact: %w", err)
+	}
+	for codeStr, site := range env.Sites {
+		code, err := strconv.Atoi(codeStr)
+		if err != nil {
+			return nil, fmt.Errorf("rapid: unmarshal artifact: bad report code %q", codeStr)
+		}
+		d.reports[code] = site
+	}
+	return d, nil
+}

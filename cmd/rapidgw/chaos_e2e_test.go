@@ -1,0 +1,475 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	rapid "repro"
+	"repro/internal/serve"
+)
+
+// TestChaosE2E is the multi-process chaos harness the CI chaos-e2e job
+// runs: real rapidserve and rapidgw binaries, three replica processes
+// sharing one on-disk artifact cache, 64 concurrent clients, one replica
+// SIGKILLed mid-stream and restarted on the same port.
+//
+// Proven end to end:
+//   - zero lost admitted requests across the kill: every stream response
+//     is complete (one line per record, in order) with only typed errors,
+//     every match is a 200 or a typed retryable refusal;
+//   - the restarted replica mounts its designs from the shared artifact
+//     cache without recompiling, observable as a disk-tier cache hit in
+//     its /debug/vars;
+//   - the gateway's breaker for the victim walks back to closed;
+//   - SIGTERM drains the gateway cleanly with exit status 0.
+func TestChaosE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos test skipped in -short mode")
+	}
+	bin := buildBinaries(t)
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "artifacts")
+
+	src := filepath.Join(dir, "d.rapid")
+	writeFile(t, src, `
+macro find(String s) {
+  whenever (ALL_INPUT == input()) {
+    foreach (char c : s) c == input();
+    report;
+  }
+}
+network (String[] pats) { some (String p : pats) find(p); }
+`)
+	manifest := filepath.Join(dir, "designs.json")
+	writeFile(t, manifest, fmt.Sprintf(
+		`[{"name": "d", "src": %q, "args": [["abc","bcd"]]}]`, src))
+
+	ports := freePorts(t, 7) // 3 serve + 3 metrics + 1 gateway
+	replicas := make([]*replicaProc, 3)
+	for i := range replicas {
+		replicas[i] = &replicaProc{
+			bin:      bin.rapidserve,
+			addr:     fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			metrics:  fmt.Sprintf("127.0.0.1:%d", ports[3+i]),
+			manifest: manifest,
+			cacheDir: cacheDir,
+		}
+		replicas[i].start(t)
+	}
+	for _, rep := range replicas {
+		waitHTTP(t, "replica "+rep.addr, "http://"+rep.addr+"/readyz")
+	}
+
+	gwAddr := fmt.Sprintf("127.0.0.1:%d", ports[6])
+	gw := startProc(t, bin.rapidgw,
+		"-addr", gwAddr,
+		"-replicas", replicas[0].addr+","+replicas[1].addr+","+replicas[2].addr,
+		"-probe-interval", "50ms",
+		"-probe-timeout", "500ms",
+		"-retry-after", "50ms",
+		"-breaker-threshold", "3",
+		"-breaker-open", "300ms",
+		"-drain-timeout", "20s",
+	)
+	waitHTTP(t, "gateway", "http://"+gwAddr+"/readyz")
+	base := "http://" + gwAddr
+
+	recs := [][]byte{
+		[]byte("xxabcxx"), []byte("yyy"), []byte("zzabc"), []byte("bcdbcd"),
+		[]byte("qqqq"), []byte("ababc"), []byte("noise"), []byte("abcbcd"),
+	}
+	stream := rapid.FrameRecords(recs...)
+	records, offsets := rapid.SplitRecords(stream)
+
+	// Baseline traffic, then find the design's owner replica: the one
+	// whose request counter moved.
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	for i := 0; i < 4; i++ {
+		if msg := e2eMatch(httpc, base); msg != "" {
+			t.Fatalf("baseline: %s", msg)
+		}
+	}
+	owner := -1
+	for i, rep := range replicas {
+		if scrapeVar(t, rep.metrics, `rapid_serve_requests_total{design=d,outcome=ok}`) > 0 {
+			owner = i
+			break
+		}
+	}
+	if owner < 0 {
+		t.Fatal("no replica served the baseline matches")
+	}
+	t.Logf("design owner is replica %d (%s)", owner, replicas[owner].addr)
+
+	const clients = 64
+	var (
+		stop      atomic.Bool
+		streamsOK atomic.Int64
+		matchesOK atomic.Int64
+		refusals  atomic.Int64
+		failures  = make(chan string, clients)
+		wg        sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for !stop.Load() {
+				var msg string
+				if c%2 == 0 {
+					msg = e2eStream(httpc, base, stream, records, offsets, &streamsOK, &refusals)
+				} else {
+					msg = e2eMatch(httpc, base)
+					if msg == "" {
+						matchesOK.Add(1)
+					}
+				}
+				if msg != "" {
+					select {
+					case failures <- msg:
+					default:
+					}
+					return
+				}
+			}
+		}(c)
+	}
+
+	// SIGKILL the owner mid-load; streams in flight on it must fail over.
+	time.Sleep(400 * time.Millisecond)
+	victim := replicas[owner]
+	if err := victim.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = victim.cmd.Wait()
+	time.Sleep(600 * time.Millisecond)
+
+	// Restart on the same port against the shared artifact cache.
+	victim.start(t)
+	waitHTTP(t, "restarted replica", "http://"+victim.addr+"/readyz")
+
+	// The restarted replica mounted from the disk cache, not a recompile.
+	if hits := scrapeVar(t, victim.metrics, `rapid_serve_cache_hits_total{tier=disk}`); hits < 1 {
+		t.Errorf("restarted replica disk cache hits = %v, want >= 1 (it recompiled)", hits)
+	}
+
+	// The gateway's breaker for the victim walks back to closed.
+	waitFor(t, "victim breaker to close at the gateway", func() bool {
+		for _, st := range gatewayReplicas(t, base) {
+			if st.Replica == victim.addr {
+				return st.Ready && st.Breaker == "closed"
+			}
+		}
+		return false
+	})
+
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	close(failures)
+	for msg := range failures {
+		t.Error(msg)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	t.Logf("chaos: streams ok=%d matches ok=%d typed refusals=%d",
+		streamsOK.Load(), matchesOK.Load(), refusals.Load())
+	if streamsOK.Load() == 0 || matchesOK.Load() == 0 {
+		t.Fatal("no successful traffic during the chaos run")
+	}
+
+	// SIGTERM the gateway: it must drain and exit 0.
+	if err := gw.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitExit(gw.cmd, 25*time.Second); err != nil {
+		t.Fatalf("gateway did not drain cleanly: %v\nstderr:\n%s", err, gw.stderr.String())
+	}
+	if !strings.Contains(gw.stderr.String(), "drained cleanly") {
+		t.Fatalf("gateway stderr missing drain confirmation:\n%s", gw.stderr.String())
+	}
+}
+
+type builtBinaries struct {
+	rapidserve string
+	rapidgw    string
+}
+
+func buildBinaries(t *testing.T) builtBinaries {
+	t.Helper()
+	dir := t.TempDir()
+	bin := builtBinaries{
+		rapidserve: filepath.Join(dir, "rapidserve"),
+		rapidgw:    filepath.Join(dir, "rapidgw"),
+	}
+	for _, b := range []struct{ out, pkg string }{
+		{bin.rapidserve, "repro/cmd/rapidserve"},
+		{bin.rapidgw, "repro/cmd/rapidgw"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+	return bin
+}
+
+// replicaProc is one rapidserve process, restartable on its fixed port.
+type replicaProc struct {
+	bin      string
+	addr     string
+	metrics  string
+	manifest string
+	cacheDir string
+
+	cmd    *exec.Cmd
+	stderr *bytes.Buffer
+}
+
+func (rep *replicaProc) start(t *testing.T) {
+	t.Helper()
+	p := startProc(t, rep.bin,
+		"-addr", rep.addr,
+		"-metrics-addr", rep.metrics,
+		"-designs", rep.manifest,
+		"-artifact-cache", rep.cacheDir,
+	)
+	rep.cmd = p.cmd
+	rep.stderr = p.stderr
+}
+
+type proc struct {
+	cmd    *exec.Cmd
+	stderr *bytes.Buffer
+}
+
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+	return &proc{cmd: cmd, stderr: &stderr}
+}
+
+func waitExit(cmd *exec.Cmd, timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		return fmt.Errorf("no exit within %v", timeout)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// freePorts reserves n distinct ports by binding and releasing them. The
+// processes rebind shortly after, so collisions are unlikely; fixed ports
+// are what lets the killed replica restart at the same address.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	listeners := make([]net.Listener, n)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return ports
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func waitHTTP(t *testing.T, what, url string) {
+	t.Helper()
+	httpc := &http.Client{Timeout: time.Second}
+	waitFor(t, what+" to answer 200 at "+url, func() bool {
+		resp, err := httpc.Get(url)
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode == http.StatusOK
+	})
+}
+
+// scrapeVar reads one series from a process's /debug/vars JSON; the key is
+// "name{label=value,...}" with labels in registration order. Missing keys
+// read as 0 (the series has not been touched yet).
+func scrapeVar(t *testing.T, metricsAddr, key string) float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + metricsAddr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("scraping %s: %v", metricsAddr, err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("scraping %s: %v", metricsAddr, err)
+	}
+	raw, ok := vars[key]
+	if !ok {
+		return 0
+	}
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("series %q is not a number: %s", key, raw)
+	}
+	return v
+}
+
+func gatewayReplicas(t *testing.T, base string) []gwReplicaStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/replicas")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var statuses []gwReplicaStatus
+	if err := json.NewDecoder(resp.Body).Decode(&statuses); err != nil {
+		return nil
+	}
+	return statuses
+}
+
+// gwReplicaStatus mirrors gateway.ReplicaStatus on the wire.
+type gwReplicaStatus struct {
+	Replica string `json:"replica"`
+	Ready   bool   `json:"ready"`
+	Breaker string `json:"breaker"`
+}
+
+// e2eLine mirrors the gateway's NDJSON stream line on the wire.
+type e2eLine struct {
+	Index        int    `json:"index"`
+	Offset       int    `json:"offset"`
+	Count        int    `json:"count"`
+	Error        string `json:"error,omitempty"`
+	Code         string `json:"code,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// e2eStream runs one framed stream through the gateway and enforces the
+// zero-loss contract; returns a failure description or "".
+func e2eStream(httpc *http.Client, base string, stream []byte, records [][]byte, offsets []int,
+	ok, refusals *atomic.Int64) string {
+	resp, err := httpc.Post(base+"/v1/match/stream?design=d", "application/octet-stream",
+		bytes.NewReader(stream))
+	if err != nil {
+		return fmt.Sprintf("stream transport error through gateway: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Sprintf("stream status %d through gateway: %s", resp.StatusCode, body)
+	}
+	var lines []e2eLine
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line e2eLine
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Sprintf("torn stream line from gateway: %v", err)
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) != len(records) {
+		return fmt.Sprintf("stream lost records: %d lines for %d records", len(lines), len(records))
+	}
+	refused := 0
+	for i, line := range lines {
+		if line.Index != i || line.Offset != offsets[i] {
+			return fmt.Sprintf("record %d misnumbered: index=%d offset=%d want offset %d",
+				i, line.Index, line.Offset, offsets[i])
+		}
+		if line.Error != "" {
+			if line.Code == "" || !serve.RetryableCode(line.Code) {
+				return fmt.Sprintf("record %d failed without a typed retryable code: %q %s",
+					i, line.Code, line.Error)
+			}
+			refused++
+		}
+	}
+	if refused == 0 {
+		ok.Add(1)
+	} else {
+		refusals.Add(1)
+	}
+	return ""
+}
+
+// e2eMatch runs one match; 200 with a count, or a typed retryable
+// refusal, is acceptable — anything else is a failure description.
+func e2eMatch(httpc *http.Client, base string) string {
+	body, _ := json.Marshal(map[string]string{"design": "d", "text": "xxabc"})
+	resp, err := httpc.Post(base+"/v1/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Sprintf("match transport error through gateway: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		var out struct {
+			Count int `json:"count"`
+		}
+		if err := json.Unmarshal(data, &out); err != nil || out.Count == 0 {
+			return fmt.Sprintf("match 200 with bad body %q (err %v)", data, err)
+		}
+		return ""
+	}
+	var eb serve.ErrorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Code == "" || !serve.RetryableCode(eb.Code) {
+		return fmt.Sprintf("match refused without a typed retryable code: status=%d body=%q",
+			resp.StatusCode, data)
+	}
+	return ""
+}

@@ -1,0 +1,99 @@
+// Command rapidgw fronts a fleet of rapidserve replicas with
+// health-driven routing: requests route by consistent hashing on the
+// design name, each replica is probed actively and guarded by a circuit
+// breaker, and admitted requests fail over to the next replica in ring
+// order when one dies — including streams, which resume at the first
+// unacknowledged record.
+//
+// Usage:
+//
+//	rapidgw -replicas 10.0.0.1:8765,10.0.0.2:8765,10.0.0.3:8765
+//	rapidgw -replicas host1:8765,host2:8765 -addr :8764 -metrics-addr :9191
+//
+// Endpoints mirror rapidserve (POST /v1/match, POST /v1/match/stream,
+// GET /v1/designs, /healthz, /readyz) plus GET /v1/replicas, which
+// reports each replica's readiness and breaker state. SIGTERM (or
+// SIGINT) drains gracefully: readiness flips to 503, in-flight requests
+// and stream failovers complete, then the process exits 0. See
+// docs/OPERATIONS.md for topology and tuning.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8764", "gateway listen address")
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this dedicated address")
+		replicas      = flag.String("replicas", "", "comma-separated rapidserve base URLs or host:port pairs (required)")
+		vnodes        = flag.Int("vnodes", 64, "consistent-hash points per replica")
+		probeInterval = flag.Duration("probe-interval", time.Second, "active /readyz probe period")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
+		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After hint on gateway-originated 503s")
+		maxAttempts   = flag.Int("max-attempts", 0, "failover attempts per request (0 = replicas+1)")
+		breakerTrip   = flag.Int("breaker-threshold", 5, "consecutive failures that open a replica's breaker")
+		breakerReopen = flag.Duration("breaker-open", 5*time.Second, "how long an open breaker waits before admitting probes")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline after SIGTERM")
+	)
+	flag.Parse()
+
+	if *replicas == "" {
+		fmt.Fprintln(os.Stderr, "rapidgw: -replicas is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := gateway.Config{
+		Addr:          *addr,
+		MetricsAddr:   *metricsAddr,
+		Replicas:      strings.Split(*replicas, ","),
+		Vnodes:        *vnodes,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		RetryAfter:    *retryAfter,
+		Policy:        resilience.Policy{MaxAttempts: *maxAttempts},
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: *breakerTrip,
+			OpenTimeout:      *breakerReopen,
+		},
+	}
+	if *metricsAddr != "" {
+		cfg.Telemetry = telemetry.Default()
+	}
+	g, err := gateway.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "rapidgw: routing %d replicas on http://%s\n",
+		len(cfg.Replicas), g.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "rapidgw: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := g.Shutdown(drainCtx); err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	fmt.Fprintln(os.Stderr, "rapidgw: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rapidgw:", err)
+	os.Exit(1)
+}

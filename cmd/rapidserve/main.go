@@ -8,6 +8,7 @@
 //
 //	rapidserve -src program.rapid -args '[["rapid"]]'
 //	rapidserve -designs designs.json -addr :8765 -metrics-addr :9190
+//	rapidserve -designs designs.json -artifact-cache /var/cache/rapid
 //	rapidserve -src p.rapid -args '[]' -backend failover -crosscheck
 //
 // With -designs, the manifest is a JSON array of design entries:
@@ -16,23 +17,36 @@
 //	  "backend": "engine"},
 //	 {"name": "motif", "anml": "motif.anml"}]
 //
+// The manifest is validated up front — duplicate names, unknown backend
+// kinds, missing files, and malformed args are all reported in one pass
+// with file:line context, instead of failing on the first mount.
+//
+// With -artifact-cache, compiled designs are persisted to a versioned
+// on-disk cache keyed by program hash; a restart (or another replica
+// sharing the directory) mounts them without recompiling.
+//
 // Endpoints: POST /v1/match (single-shot JSON), POST /v1/match/stream
 // (separator-framed record stream in, NDJSON results out), GET
 // /v1/designs, /healthz, /readyz, and — when -metrics-addr is set —
 // /metrics and /debug/vars on a dedicated telemetry listener that is shut
 // down last during the drain. See docs/SERVING.md.
 //
-// SIGTERM (or SIGINT) starts the graceful drain: admissions stop,
-// in-flight batches flush, then the process exits 0.
+// SIGHUP re-reads the -designs manifest and hot-reloads it: new designs
+// mount, changed designs swap, removed designs unmount — without
+// dropping any in-flight request. SIGTERM (or SIGINT) starts the
+// graceful drain: admissions stop, in-flight batches flush, then the
+// process exits 0.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,11 +64,14 @@ func main() {
 		argsJSON     = flag.String("args", "[]", "network arguments for -src as a JSON array")
 		name         = flag.String("name", "default", "design name for -src/-anml")
 		backend      = flag.String("backend", serve.BackendEngine, "execution mode for -src/-anml: engine, failover, or a backend kind (device, cpu-dfa, lazy-dfa, reference)")
-		designsPath  = flag.String("designs", "", "JSON manifest mounting multiple designs")
+		designsPath  = flag.String("designs", "", "JSON manifest mounting multiple designs (SIGHUP hot-reloads it)")
+		artifactDir  = flag.String("artifact-cache", "", "persist compiled designs to this directory, keyed by program hash; restarts mount from it without recompiling")
 		queueDepth   = flag.Int("queue", 64, "per-design admission queue capacity (backpressure bound)")
 		maxBatch     = flag.Int("max-batch", 16, "micro-batch size bound")
 		batchWindow  = flag.Duration("batch-window", 500*time.Microsecond, "micro-batch latency bound")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		tenantRate   = flag.Float64("tenant-rate", 0, "per-tenant admission rate (requests/sec, X-Tenant header); 0 disables quotas")
+		tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant burst size (0 = ceil(rate))")
 		workers      = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 		crossCheck   = flag.Bool("crosscheck", false, "failover-mode designs verify results against the reference backend")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline after SIGTERM")
@@ -68,16 +85,25 @@ func main() {
 		MaxBatch:    *maxBatch,
 		BatchWindow: *batchWindow,
 		RetryAfter:  *retryAfter,
+		TenantRate:  *tenantRate,
+		TenantBurst: *tenantBurst,
 		Workers:     *workers,
 		CrossCheck:  *crossCheck,
+		ArtifactDir: *artifactDir,
 	}
 	if *metricsAddr != "" {
 		cfg.Telemetry = telemetry.Default()
 		rapid.RegisterBackendMetrics(cfg.Telemetry)
 	}
-	s := serve.New(cfg)
+	s, err := serve.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
 
-	specs, err := loadSpecs(*designsPath, *srcPath, *anmlPath, *argsJSON, *name, *backend)
+	loadAll := func() ([]serve.DesignSpec, error) {
+		return loadSpecs(*designsPath, *srcPath, *anmlPath, *argsJSON, *name, *backend)
+	}
+	specs, err := loadAll()
 	if err != nil {
 		fatal(err)
 	}
@@ -103,11 +129,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rapidserve: serving metrics on http://%s/metrics\n", ma)
 	}
 
-	// SIGTERM/SIGINT starts the graceful drain: stop admissions, flush
-	// in-flight batches, then take the telemetry listener down.
+	// SIGHUP hot-reloads the manifest; SIGTERM/SIGINT starts the graceful
+	// drain: stop admissions, flush in-flight batches, then take the
+	// telemetry listener down.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	<-ctx.Done()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	for done := false; !done; {
+		select {
+		case <-hup:
+			specs, err := loadAll()
+			if err != nil {
+				// A bad manifest must never take down a serving process:
+				// report and keep the mounted set.
+				fmt.Fprintf(os.Stderr, "rapidserve: reload rejected:\n%v\n", err)
+				continue
+			}
+			summary, err := s.ApplyManifest(specs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rapidserve: reload failed: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "rapidserve: reloaded: %s\n", summary)
+		case <-ctx.Done():
+			done = true
+		}
+	}
 	fmt.Fprintln(os.Stderr, "rapidserve: draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -154,42 +202,140 @@ func loadSpecs(designsPath, srcPath, anmlPath, argsJSON, name, backend string) (
 	if designsPath == "" {
 		return specs, nil
 	}
-	data, err := os.ReadFile(designsPath)
+	manifest, err := loadManifest(designsPath, specs)
 	if err != nil {
 		return nil, err
 	}
-	var entries []designEntry
-	if err := json.Unmarshal(data, &entries); err != nil {
-		return nil, fmt.Errorf("rapidserve: bad -designs manifest: %w", err)
+	return append(specs, manifest...), nil
+}
+
+// loadManifest reads and fully validates a -designs manifest, reporting
+// every problem in one pass with file:line context instead of stopping at
+// the first. flagSpecs are the specs already claimed by the single-design
+// flags, so name collisions across the two sources are caught too.
+func loadManifest(path string, flagSpecs []serve.DesignSpec) ([]serve.DesignSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	for _, e := range entries {
+
+	var problems []string
+	problemf := func(line int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", path, line, fmt.Sprintf(format, args...)))
+	}
+	lineAt := func(byteOffset int64) int {
+		if byteOffset > int64(len(data)) {
+			byteOffset = int64(len(data))
+		}
+		return 1 + bytes.Count(data[:byteOffset], []byte("\n"))
+	}
+
+	// Decode entry by entry so each one's byte offset — hence line — is
+	// known even though encoding/json does not expose positions.
+	dec := json.NewDecoder(bytes.NewReader(data))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("%s:1: bad manifest: %v", path, err)
+	}
+	if delim, ok := tok.(json.Delim); !ok || delim != '[' {
+		return nil, fmt.Errorf("%s:1: bad manifest: top level must be a JSON array of design entries", path)
+	}
+	type locatedEntry struct {
+		entry designEntry
+		line  int
+	}
+	var entries []locatedEntry
+	for dec.More() {
+		// InputOffset points just past the previous token; skip the
+		// separators so the line credited is the entry's own first byte.
+		off := dec.InputOffset()
+		for off < int64(len(data)) && (data[off] == ' ' || data[off] == '\t' ||
+			data[off] == '\n' || data[off] == '\r' || data[off] == ',') {
+			off++
+		}
+		line := lineAt(off)
+		var e designEntry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("%s:%d: bad manifest entry: %v", path, line, err)
+		}
+		entries = append(entries, locatedEntry{entry: e, line: line})
+	}
+
+	seen := map[string]int{} // name → line first mounted
+	for _, spec := range flagSpecs {
+		seen[spec.Name] = 0
+	}
+	var specs []serve.DesignSpec
+	for i, le := range entries {
+		e, line := le.entry, le.line
+		label := fmt.Sprintf("entry %d", i+1)
+		if e.Name != "" {
+			label = fmt.Sprintf("design %q", e.Name)
+		}
+		if e.Name == "" {
+			problemf(line, "%s: missing name", label)
+		} else if prev, dup := seen[e.Name]; dup {
+			if prev == 0 {
+				problemf(line, "%s: name already taken by the -src/-anml flags", label)
+			} else {
+				problemf(line, "%s: duplicate of the design mounted at line %d", label, prev)
+			}
+		} else {
+			seen[e.Name] = line
+		}
+
+		if e.Backend != "" && e.Backend != serve.BackendEngine && e.Backend != serve.BackendFailover {
+			if _, err := rapid.ParseBackendKind(e.Backend); err != nil {
+				problemf(line, "%s: unknown backend %q (want engine, failover, or one of %s)",
+					label, e.Backend, strings.Join(backendKindNames(), ", "))
+			}
+		}
+
 		spec := serve.DesignSpec{Name: e.Name, Backend: e.Backend}
 		if len(e.Args) > 0 {
 			args, err := rapid.ValuesFromJSON(e.Args)
 			if err != nil {
-				return nil, fmt.Errorf("rapidserve: design %q: %w", e.Name, err)
+				problemf(line, "%s: bad args: %v", label, err)
+			} else {
+				spec.Args = args
 			}
-			spec.Args = args
 		}
 		switch {
+		case e.Src != "" && e.ANML != "":
+			problemf(line, "%s: has both src and anml; pick one", label)
 		case e.Src != "":
 			data, err := os.ReadFile(e.Src)
 			if err != nil {
-				return nil, err
+				problemf(line, "%s: %v", label, err)
+			} else {
+				spec.Source = string(data)
 			}
-			spec.Source = string(data)
 		case e.ANML != "":
 			data, err := os.ReadFile(e.ANML)
 			if err != nil {
-				return nil, err
+				problemf(line, "%s: %v", label, err)
+			} else {
+				spec.ANML = data
 			}
-			spec.ANML = data
 		default:
-			return nil, fmt.Errorf("rapidserve: design %q has neither src nor anml", e.Name)
+			problemf(line, "%s: has neither src nor anml", label)
 		}
 		specs = append(specs, spec)
 	}
+	if len(problems) > 0 {
+		return nil, fmt.Errorf("rapidserve: %d problem(s) in -designs manifest:\n  %s",
+			len(problems), strings.Join(problems, "\n  "))
+	}
 	return specs, nil
+}
+
+func backendKindNames() []string {
+	kinds := rapid.BackendKinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = string(k)
+	}
+	return names
 }
 
 func fatal(err error) {

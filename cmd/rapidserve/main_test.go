@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestManifestValidationOnePass: every problem in a -designs manifest is
+// reported in a single pass, each with file:line context — duplicates,
+// unknown backends, missing files, bad args, and structural mistakes.
+func TestManifestValidationOnePass(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "ok.rapid")
+	if err := os.WriteFile(src, []byte("network (String[] p) {}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "designs.json")
+	manifest := fmt.Sprintf(`[
+  {"name": "a", "src": %[1]q},
+  {"name": "a", "src": %[1]q},
+  {"name": "b", "src": %[1]q, "backend": "warp-drive"},
+  {"name": "c", "src": "/does/not/exist.rapid"},
+  {"name": "e", "src": %[1]q, "args": [1.5]},
+  {"src": %[1]q},
+  {"name": "f"}
+]`, src)
+	if err := os.WriteFile(path, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := loadManifest(path, nil)
+	if err == nil {
+		t.Fatal("a broken manifest must be rejected")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"6 problem(s)",
+		path + ":3: design \"a\": duplicate of the design mounted at line 2",
+		path + ":4: design \"b\": unknown backend \"warp-drive\"",
+		path + ":5: design \"c\":",
+		path + ":6: design \"e\": bad args:",
+		path + ":7: entry 6: missing name",
+		path + ":8: design \"f\": has neither src nor anml",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("validation report missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestManifestNameCollisionWithFlags: a manifest design clashing with the
+// -src/-anml flag design is caught too.
+func TestManifestNameCollisionWithFlags(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "ok.rapid")
+	if err := os.WriteFile(src, []byte("network (String[] p) {}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "designs.json")
+	manifest := fmt.Sprintf(`[{"name": "flagged", "src": %q}]`, src)
+	if err := os.WriteFile(path, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loadManifest(path, []serve.DesignSpec{{Name: "flagged"}})
+	if err == nil || !strings.Contains(err.Error(), "name already taken by the -src/-anml flags") {
+		t.Fatalf("err = %v, want flag-collision report", err)
+	}
+}
+
+// TestManifestValid: a clean manifest loads every spec.
+func TestManifestValid(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "ok.rapid")
+	if err := os.WriteFile(src, []byte("network (String[] p) {}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "designs.json")
+	manifest := fmt.Sprintf(`[
+  {"name": "a", "src": %[1]q, "args": [["x"]]},
+  {"name": "b", "src": %[1]q, "backend": "failover"}
+]`, src)
+	if err := os.WriteFile(path, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := loadManifest(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Name != "a" || specs[1].Backend != "failover" {
+		t.Fatalf("specs = %+v", specs)
+	}
+}

@@ -1,0 +1,481 @@
+// Package gateway is the fault-tolerant front door for a fleet of
+// rapidserve replicas: it routes match and stream requests by consistent
+// hashing on the design name, tracks each replica's health with active
+// readiness probes and a passive per-replica circuit breaker, and retries
+// admitted requests onto the next replica in ring order when one fails —
+// so killing a replica mid-load loses zero admitted requests.
+//
+// Failover policy follows the serve layer's error vocabulary: transport
+// errors, 503 draining, and 429 over-capacity move the request to another
+// replica (with the Retry-After hint flooring the backoff); 429
+// quota-exhausted is relayed to the client untouched, because tenant
+// quotas are per-replica state and failing over would let a tenant evade
+// them by spraying the fleet. Deterministic failures (400, 404, 500
+// execution errors) are relayed as-is — they would fail identically
+// everywhere.
+//
+// Command rapidgw is the CLI front end. See docs/OPERATIONS.md for
+// deployment topology and tuning.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// Config wires a Gateway. Replicas is required; everything else has
+// production-shaped defaults.
+type Config struct {
+	// Addr is the listen address. Default ":8764".
+	Addr string
+	// MetricsAddr optionally serves /metrics on a separate listener, shut
+	// down last during drain.
+	MetricsAddr string
+	// Replicas are the rapidserve base URLs (e.g. "http://10.0.0.1:8765").
+	// A bare host:port gets "http://" prepended.
+	Replicas []string
+	// Vnodes is the number of consistent-hash points per replica.
+	// Default 64.
+	Vnodes int
+	// ProbeInterval paces the active /readyz probes. Default 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe. Default 1s.
+	ProbeTimeout time.Duration
+	// RetryAfter is the backpressure hint on gateway-originated 503s.
+	// Default 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes caps request bodies. Default 64 MiB.
+	MaxBodyBytes int64
+	// Policy paces failover retries. The zero value means one attempt per
+	// replica plus one, with the serve layer's Retry-After hints flooring
+	// the backoff.
+	Policy resilience.Policy
+	// Breaker configures each replica's circuit breaker.
+	Breaker resilience.BreakerConfig
+	// HTTPClient overrides the upstream client (tests inject one).
+	HTTPClient *http.Client
+	// Telemetry routes the gateway.* metric family into reg. nil disables.
+	Telemetry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8764"
+	}
+	if c.Vnodes <= 0 {
+		c.Vnodes = 64
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Policy.MaxAttempts <= 0 {
+		c.Policy.MaxAttempts = len(c.Replicas) + 1
+		if c.Policy.MaxAttempts < 3 {
+			c.Policy.MaxAttempts = 3
+		}
+	}
+	return c
+}
+
+// Gateway routes requests across a replica fleet. Construct with New,
+// then Start a listener or mount Handler yourself; Shutdown drains.
+type Gateway struct {
+	cfg      Config
+	tel      *gatewayMetrics
+	mux      *http.ServeMux
+	httpc    *http.Client
+	replicas []*replica
+	ring     *ring
+
+	draining   atomic.Bool
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	background sync.WaitGroup
+
+	httpSrv    *http.Server
+	ln         net.Listener
+	serveDone  chan struct{}
+	serveErr   error
+	metricsSrv *telemetry.MetricsServer
+}
+
+// New builds a gateway over the configured replica fleet.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("gateway: at least one replica is required")
+	}
+	g := &Gateway{cfg: cfg.withDefaults()}
+	g.tel = newGatewayMetrics(g.cfg.Telemetry)
+	g.httpc = g.cfg.HTTPClient
+	if g.httpc == nil {
+		g.httpc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	seen := map[string]bool{}
+	ids := make([]string, 0, len(g.cfg.Replicas))
+	for _, raw := range g.cfg.Replicas {
+		base := strings.TrimSuffix(raw, "/")
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		u, err := url.Parse(base)
+		if err != nil || u.Host == "" {
+			return nil, fmt.Errorf("gateway: bad replica URL %q", raw)
+		}
+		if seen[u.Host] {
+			return nil, fmt.Errorf("gateway: duplicate replica %q", u.Host)
+		}
+		seen[u.Host] = true
+		rep := &replica{id: u.Host, base: base, breaker: resilience.NewBreaker(g.cfg.Breaker)}
+		id := rep.id
+		rep.breaker.OnTransition(func(_, to resilience.BreakerState) {
+			g.tel.breakerState.With(id).Set(int64(to))
+			g.tel.breakerTransitions.With(id, to.String()).Inc()
+		})
+		g.tel.breakerState.With(id).Set(int64(resilience.BreakerClosed))
+		g.replicas = append(g.replicas, rep)
+		ids = append(ids, rep.id)
+	}
+	g.ring = newRing(ids, g.cfg.Vnodes)
+	g.baseCtx, g.cancelBase = context.WithCancel(context.Background())
+
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /readyz", g.handleReadyz)
+	g.mux.HandleFunc("GET /v1/replicas", g.handleReplicas)
+	g.mux.HandleFunc("GET /v1/designs", g.handleDesigns)
+	g.mux.HandleFunc("POST /v1/match", g.handleMatch)
+	g.mux.HandleFunc("POST /v1/match/stream", g.handleMatchStream)
+	if g.cfg.Telemetry != nil {
+		h := telemetry.Handler(g.cfg.Telemetry)
+		g.mux.Handle("/metrics", h)
+		g.mux.Handle("/debug/vars", h)
+	}
+	g.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "rapidgw endpoints: /healthz /readyz /v1/replicas /v1/designs POST /v1/match POST /v1/match/stream")
+	})
+
+	for _, rep := range g.replicas {
+		g.background.Add(1)
+		go g.probeLoop(g.baseCtx, rep)
+	}
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler, for mounting without Start.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Start binds the configured listeners and serves in the background.
+func (g *Gateway) Start() error {
+	ln, err := net.Listen("tcp", g.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	g.ln = ln
+	g.httpSrv = &http.Server{Handler: g.mux}
+	g.serveDone = make(chan struct{})
+	go func() {
+		defer close(g.serveDone)
+		if err := g.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			g.serveErr = err
+		}
+	}()
+	if g.cfg.MetricsAddr != "" && g.cfg.Telemetry != nil {
+		ms, err := telemetry.ListenAndServe(g.cfg.MetricsAddr, g.cfg.Telemetry)
+		if err != nil {
+			_ = g.httpSrv.Close()
+			<-g.serveDone
+			return err
+		}
+		g.metricsSrv = ms
+	}
+	return nil
+}
+
+// Addr returns the main listener's address (useful with ":0").
+func (g *Gateway) Addr() string {
+	if g.ln == nil {
+		return ""
+	}
+	return g.ln.Addr().String()
+}
+
+// Shutdown drains the gateway: readiness flips to 503, in-flight requests
+// (including streams mid-failover) complete, the probers stop, and the
+// telemetry listener goes down last.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.draining.Store(true)
+	var errs []error
+	if g.httpSrv != nil {
+		if err := g.httpSrv.Shutdown(ctx); err != nil {
+			_ = g.httpSrv.Close()
+			errs = append(errs, err)
+		}
+		<-g.serveDone
+		if g.serveErr != nil {
+			errs = append(errs, g.serveErr)
+		}
+	}
+	g.cancelBase()
+	g.background.Wait()
+	if g.metricsSrv != nil {
+		if err := g.metricsSrv.Shutdown(ctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// --- routing ---
+
+var errNoReplicas = errors.New("gateway: no replica available")
+
+// nextEligible returns the next candidate replica that is ready and whose
+// breaker admits a request, advancing *cursor past it. The caller MUST
+// call breaker.Record exactly once for the returned replica — Allow may
+// have consumed a half-open probe slot.
+func (g *Gateway) nextEligible(cands []int, cursor *int) *replica {
+	for i := 0; i < len(cands); i++ {
+		rep := g.replicas[cands[(*cursor+i)%len(cands)]]
+		if !rep.ready.Load() {
+			continue
+		}
+		if !rep.breaker.Allow() {
+			continue
+		}
+		*cursor = (*cursor + i + 1) % len(cands)
+		return rep
+	}
+	return nil
+}
+
+// bufferedResponse is a fully-read upstream response, safe to relay after
+// the upstream connection is gone.
+type bufferedResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+func (g *Gateway) relay(w http.ResponseWriter, resp *bufferedResponse) {
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+}
+
+// forward sends one buffered request leg to a replica and reads the whole
+// response. Only transport failures return an error.
+func (g *Gateway) forward(ctx context.Context, rep *replica, method, pathAndQuery string, hdr http.Header, body []byte) (*bufferedResponse, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rep.base+pathAndQuery, rd)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []string{"Content-Type", serve.TenantHeader} {
+		if v := hdr.Get(k); v != "" {
+			req.Header.Set(k, v)
+		}
+	}
+	resp, err := g.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	return &bufferedResponse{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// classifyResponse decides what a non-2xx upstream response means for the
+// gateway: whether it counts as a replica fault for the breaker, whether
+// the request should fail over to another replica, and the Retry-After
+// floor for the backoff when it should.
+func classifyResponse(resp *bufferedResponse) (breakerFailed, failover bool, hint time.Duration) {
+	if resp.status < 400 {
+		return false, false, 0
+	}
+	var eb serve.ErrorBody
+	_ = json.Unmarshal(resp.body, &eb)
+	hint = time.Duration(eb.RetryAfterMS) * time.Millisecond
+	switch {
+	case resp.status == http.StatusTooManyRequests:
+		// Over-capacity is transient backpressure on one replica: try
+		// another. Quota exhaustion is the tenant's own budget — per-replica
+		// state — so failing over would evade it; relay instead.
+		return false, eb.Code != serve.CodeQuotaExhausted, hint
+	case resp.status == http.StatusServiceUnavailable:
+		// Draining or dead behind a proxy: the replica is going away.
+		return true, true, hint
+	default:
+		// 400/404/500: deterministic — identical on every replica.
+		return false, false, 0
+	}
+}
+
+// proxyWithFailover buffers one request and retries it across the key's
+// candidate replicas until one yields a relayable response. Transport
+// errors and failover-class statuses move to the next eligible replica
+// under the retry policy, with upstream Retry-After hints flooring the
+// backoff. When every attempt fails the client gets 503
+// upstream_unavailable — a typed, retryable refusal, never silence.
+func (g *Gateway) proxyWithFailover(w http.ResponseWriter, r *http.Request, path, key string, body []byte) {
+	cands := g.ring.candidates(key)
+	cursor := 0
+	attempts := 0
+	var final *bufferedResponse
+	err := resilience.Retry(r.Context(), g.cfg.Policy, func(int) error {
+		rep := g.nextEligible(cands, &cursor)
+		if rep == nil {
+			return resilience.RetryAfter(errNoReplicas, g.cfg.RetryAfter)
+		}
+		attempts++
+		resp, err := g.forward(r.Context(), rep, r.Method, path, r.Header, body)
+		if err != nil {
+			rep.breaker.Record(true)
+			g.tel.requests.With(rep.id, "transport_error").Inc()
+			return err
+		}
+		breakerFailed, failover, hint := classifyResponse(resp)
+		rep.breaker.Record(breakerFailed)
+		if failover {
+			g.tel.requests.With(rep.id, "retried").Inc()
+			if hint < g.cfg.RetryAfter {
+				hint = g.cfg.RetryAfter
+			}
+			return resilience.RetryAfter(fmt.Errorf("gateway: replica %s returned %d", rep.id, resp.status), hint)
+		}
+		if resp.status >= 400 {
+			g.tel.requests.With(rep.id, "relayed_error").Inc()
+		} else {
+			g.tel.requests.With(rep.id, "ok").Inc()
+		}
+		final = resp
+		return nil
+	})
+	if attempts > 1 {
+		g.tel.failovers.With(strings.TrimPrefix(path, "/v1/")).Add(uint64(attempts - 1))
+	}
+	if err != nil {
+		serve.WriteErrorBody(w, http.StatusServiceUnavailable, serve.CodeUpstreamUnavailable,
+			fmt.Sprintf("gateway: no replica could serve the request: %v", err), g.cfg.RetryAfter)
+		return
+	}
+	g.relay(w, final)
+}
+
+// --- handlers ---
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports ready while at least one replica is probed ready
+// and the gateway is not draining.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if g.draining.Load() {
+		serve.WriteErrorBody(w, http.StatusServiceUnavailable, serve.CodeDraining,
+			"gateway draining", g.cfg.RetryAfter)
+		return
+	}
+	for _, rep := range g.replicas {
+		if rep.ready.Load() {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+	}
+	serve.WriteErrorBody(w, http.StatusServiceUnavailable, serve.CodeUpstreamUnavailable,
+		"no replica is ready", g.cfg.RetryAfter)
+}
+
+// ReplicaStatus is one replica's health as the gateway sees it, exposed
+// on /v1/replicas for operators and the chaos harness.
+type ReplicaStatus struct {
+	Replica    string `json:"replica"`
+	URL        string `json:"url"`
+	Ready      bool   `json:"ready"`
+	Breaker    string `json:"breaker"`
+	ProbeError string `json:"probe_error,omitempty"`
+}
+
+// Replicas returns the fleet's current status.
+func (g *Gateway) Replicas() []ReplicaStatus {
+	out := make([]ReplicaStatus, 0, len(g.replicas))
+	for _, rep := range g.replicas {
+		out = append(out, ReplicaStatus{
+			Replica:    rep.id,
+			URL:        rep.base,
+			Ready:      rep.ready.Load(),
+			Breaker:    rep.breaker.State().String(),
+			ProbeError: rep.probeError(),
+		})
+	}
+	return out
+}
+
+func (g *Gateway) handleReplicas(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(g.Replicas())
+}
+
+// handleDesigns relays the mounted-design listing from any healthy
+// replica (the fleet serves a uniform manifest).
+func (g *Gateway) handleDesigns(w http.ResponseWriter, r *http.Request) {
+	g.proxyWithFailover(w, r, "/v1/designs", "", nil)
+}
+
+func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
+	if g.draining.Load() {
+		serve.WriteErrorBody(w, http.StatusServiceUnavailable, serve.CodeDraining,
+			"gateway draining", g.cfg.RetryAfter)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		serve.WriteErrorBody(w, http.StatusBadRequest, serve.CodeBadRequest,
+			fmt.Sprintf("gateway: reading request body: %v", err), 0)
+		return
+	}
+	// The design name is the routing key; a malformed body still routes
+	// (to the ""-keyed owner) and the replica reports the parse error.
+	var req struct {
+		Design string `json:"design"`
+	}
+	_ = json.Unmarshal(body, &req)
+	g.proxyWithFailover(w, r, "/v1/match", req.Design, body)
+}

@@ -1,0 +1,51 @@
+package gateway
+
+import (
+	"repro/internal/telemetry"
+)
+
+// The gateway.* metric family. Every per-replica metric carries the
+// replica's host:port as its label so one scrape shows the whole fleet.
+// See docs/OBSERVABILITY.md for the catalog.
+const (
+	metricRequests           = "rapid_gateway_requests_total"
+	metricFailovers          = "rapid_gateway_failovers_total"
+	metricBreakerState       = "rapid_gateway_breaker_state"
+	metricBreakerTransitions = "rapid_gateway_breaker_transitions_total"
+	metricProbes             = "rapid_gateway_probes_total"
+	metricReplicasReady      = "rapid_gateway_replicas_ready"
+	metricStreamRecords      = "rapid_gateway_stream_records_total"
+)
+
+// gatewayMetrics is the gateway's instrument set. Everything is nil-safe
+// via the telemetry package, so a nil registry disables the family
+// without branches on the request path.
+type gatewayMetrics struct {
+	requests           *telemetry.CounterVec // replica, outcome
+	failovers          *telemetry.CounterVec // path
+	breakerState       *telemetry.GaugeVec   // replica
+	breakerTransitions *telemetry.CounterVec // replica, to
+	probes             *telemetry.CounterVec // replica, outcome
+	replicasReady      *telemetry.Gauge
+	streamRecords      *telemetry.CounterVec // outcome
+}
+
+func newGatewayMetrics(reg *telemetry.Registry) *gatewayMetrics {
+	return &gatewayMetrics{
+		requests: reg.CounterVec(metricRequests,
+			"Requests forwarded to a replica, by replica and outcome (ok, relayed_error, retried, transport_error).",
+			"replica", "outcome"),
+		failovers: reg.CounterVec(metricFailovers,
+			"Failovers to another replica after a leg failed, by path (match, stream, designs).", "path"),
+		breakerState: reg.GaugeVec(metricBreakerState,
+			"Circuit breaker state per replica: 0 closed, 1 half-open, 2 open.", "replica"),
+		breakerTransitions: reg.CounterVec(metricBreakerTransitions,
+			"Circuit breaker transitions, by replica and target state.", "replica", "to"),
+		probes: reg.CounterVec(metricProbes,
+			"Active readiness probes, by replica and outcome (ok, error).", "replica", "outcome"),
+		replicasReady: reg.Gauge(metricReplicasReady,
+			"Replicas whose last readiness probe succeeded."),
+		streamRecords: reg.CounterVec(metricStreamRecords,
+			"Stream records relayed to clients, by outcome (ok, error, unavailable).", "outcome"),
+	}
+}

@@ -1,0 +1,113 @@
+package gateway
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// replica tracks one backend rapidserve instance: its circuit breaker
+// (passive error tracking from live traffic), its readiness as seen by
+// the active prober, and the last probe failure for introspection.
+type replica struct {
+	id      string // host:port, the metric label
+	base    string // normalized base URL
+	breaker *resilience.Breaker
+	ready   atomic.Bool
+	lastErr atomic.Value // string: last probe failure, "" after success
+}
+
+func (rep *replica) probeError() string {
+	if s, ok := rep.lastErr.Load().(string); ok {
+		return s
+	}
+	return ""
+}
+
+// probeLoop actively probes the replica's /readyz every interval. A probe
+// success flips the replica ready; a failure flips it not-ready (and the
+// router stops picking it, independently of the breaker).
+//
+// The prober is also the breaker's recovery path: while the breaker is
+// not closed, each probe outcome is recorded through the breaker's
+// half-open admission — so a replica that was killed and restarted closes
+// its breaker from probe traffic alone, before any live request risks it.
+func (g *Gateway) probeLoop(ctx context.Context, rep *replica) {
+	defer g.background.Done()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		g.probeOnce(ctx, rep)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (g *Gateway) probeOnce(ctx context.Context, rep *replica) {
+	pctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+	defer cancel()
+	err := g.probe(pctx, rep)
+	if err != nil {
+		rep.lastErr.Store(err.Error())
+		rep.ready.Store(false)
+		g.tel.probes.With(rep.id, "error").Inc()
+	} else {
+		rep.lastErr.Store("")
+		rep.ready.Store(true)
+		g.tel.probes.With(rep.id, "ok").Inc()
+	}
+	// Probe outcomes feed the breaker: failures count toward tripping a
+	// closed breaker (a replica failing health checks should not wait for
+	// live traffic to be cut off), and while the breaker is recovering,
+	// each probe result is recorded through the half-open admission. Probe
+	// successes do NOT reset a closed breaker's failure streak — a replica
+	// can answer /readyz while failing real requests.
+	if rep.breaker.State() == resilience.BreakerClosed {
+		if err != nil {
+			rep.breaker.Record(true)
+		}
+	} else if rep.breaker.Allow() {
+		rep.breaker.Record(err != nil)
+	}
+	g.updateReadyGauge()
+}
+
+func (g *Gateway) probe(ctx context.Context, rep *replica) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode != http.StatusOK {
+		return &probeStatusError{status: resp.StatusCode}
+	}
+	return nil
+}
+
+type probeStatusError struct{ status int }
+
+func (e *probeStatusError) Error() string {
+	return "readyz returned " + http.StatusText(e.status)
+}
+
+func (g *Gateway) updateReadyGauge() {
+	var n int64
+	for _, rep := range g.replicas {
+		if rep.ready.Load() {
+			n++
+		}
+	}
+	g.tel.replicasReady.Set(n)
+}

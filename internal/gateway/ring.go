@@ -1,0 +1,79 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over replica indexes. Each replica owns
+// vnodes points on the ring, so design names spread evenly and removing a
+// replica only remaps the designs it owned. candidates returns every
+// replica in preference order for a key — the failover order is "next
+// distinct replicas clockwise", so retries of one design always walk the
+// same sequence and a design's cache locality survives a single failure.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // replica count
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// hash64 is FNV-1a with a 64-bit mix finalizer. Raw FNV-1a has weak
+// avalanche on short keys sharing a prefix ("host:port#N" vnode labels
+// cluster into one narrow band of the ring, starving replicas); the
+// finalizer spreads them uniformly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// newRing places vnodes points per replica. ids must be stable across
+// restarts (replica base URLs) so the same design maps to the same
+// replica fleet-wide.
+func newRing(ids []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &ring{n: len(ids)}
+	for i, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(fmt.Sprintf("%s#%d", id, v)),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// candidates returns all replica indexes in preference order for key: the
+// owner first, then each distinct replica encountered walking clockwise.
+func (r *ring) candidates(key string) []int {
+	if r.n == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	order := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	for i := 0; i < len(r.points) && len(order) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			order = append(order, p.replica)
+		}
+	}
+	return order
+}

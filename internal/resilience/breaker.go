@@ -1,0 +1,185 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed admits every request; consecutive failures trip it.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits a bounded number of probe requests; enough
+	// successes re-close the breaker, any failure re-opens it.
+	BreakerHalfOpen
+	// BreakerOpen refuses every request until OpenTimeout elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig sizes a Breaker. The zero value means: open after 5
+// consecutive failures, stay open 5 seconds, close after 1 successful
+// half-open probe.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker open; <= 0 means 5.
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before admitting
+	// half-open probes; <= 0 means 5s.
+	OpenTimeout time.Duration
+	// HalfOpenProbes is both the number of probe requests admitted
+	// concurrently while half-open and the successes required to close;
+	// <= 0 means 1.
+	HalfOpenProbes int
+	// Now overrides the clock (tests inject a fake; nil means time.Now).
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a three-state circuit breaker (closed → open → half-open)
+// guarding one downstream dependency, typically one serving replica.
+// Callers ask Allow before sending a request and report the outcome with
+// Record; while open, requests are refused locally so a dead replica is
+// not hammered, and after OpenTimeout a bounded number of probes test
+// whether it recovered. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	failures    int       // consecutive failures while closed
+	openedAt    time.Time // when the breaker last opened
+	probes      int       // probes admitted while half-open
+	successes   int       // probe successes while half-open
+	transitions func(from, to BreakerState)
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// OnTransition registers a hook invoked (under the breaker's lock) on
+// every state change — metric recording. Must be set before use.
+func (b *Breaker) OnTransition(f func(from, to BreakerState)) { b.transitions = f }
+
+// State returns the breaker's current position, applying the open →
+// half-open timeout transition first.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// Allow reports whether a request may be sent now. While half-open it
+// admits at most HalfOpenProbes outstanding probes; each Allow that
+// returns true must be matched by exactly one Record call.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Record reports the outcome of a request admitted by Allow: failed=true
+// counts toward tripping (closed) or immediately re-opens (half-open);
+// failed=false resets the failure streak (closed) or counts toward
+// closing (half-open).
+func (b *Breaker) Record(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case BreakerClosed:
+		if failed {
+			b.failures++
+			if b.failures >= b.cfg.FailureThreshold {
+				b.transition(BreakerOpen)
+			}
+		} else {
+			b.failures = 0
+		}
+	case BreakerHalfOpen:
+		if failed {
+			b.transition(BreakerOpen)
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenProbes {
+			b.transition(BreakerClosed)
+		}
+	case BreakerOpen:
+		// A straggler from before the trip; the open timer already governs
+		// recovery.
+	}
+}
+
+// maybeHalfOpen applies the open → half-open transition once OpenTimeout
+// has elapsed. Caller holds b.mu.
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
+		b.transition(BreakerHalfOpen)
+	}
+}
+
+// transition moves to state to, resetting the counters that belong to the
+// new state. Caller holds b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	switch to {
+	case BreakerOpen:
+		b.openedAt = b.cfg.Now()
+	case BreakerHalfOpen:
+		b.probes = 0
+		b.successes = 0
+	case BreakerClosed:
+		b.failures = 0
+	}
+	if b.transitions != nil {
+		b.transitions(from, to)
+	}
+}

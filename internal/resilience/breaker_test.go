@@ -1,0 +1,133 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable breaker clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func record(b *Breaker, failed bool, n int) {
+	for i := 0; i < n; i++ {
+		b.Record(failed)
+	}
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Second, Now: clk.now})
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker must be closed and admitting")
+	}
+	record(b, true, 2)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after 2/3 failures, want closed", b.State())
+	}
+	// A success resets the consecutive-failure streak.
+	b.Record(false)
+	record(b, true, 2)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v: success must reset the streak", b.State())
+	}
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after 3 consecutive failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must refuse requests")
+	}
+}
+
+func TestBreakerHalfOpenProbeAdmission(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Second, HalfOpenProbes: 2, Now: clk.now})
+	b.Record(true)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before the timeout")
+	}
+	clk.advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after open timeout, want half-open", b.State())
+	}
+	// Exactly HalfOpenProbes probes are admitted.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open breaker must admit its probe budget")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted more than its probe budget")
+	}
+	// One success is not enough to close with HalfOpenProbes=2 ...
+	b.Record(false)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after 1/2 probe successes, want half-open", b.State())
+	}
+	// ... the second closes it.
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after 2/2 probe successes, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker must admit requests")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Second, Now: clk.now})
+	b.Record(true)
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused its probe")
+	}
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	// The open timer restarted at the failed probe.
+	clk.advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted before a full fresh timeout")
+	}
+	clk.advance(500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the probe after the fresh timeout")
+	}
+}
+
+func TestBreakerTransitionHook(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Second, Now: clk.now})
+	var seen []string
+	b.OnTransition(func(from, to BreakerState) {
+		seen = append(seen, from.String()+"→"+to.String())
+	})
+	b.Record(true)
+	clk.advance(time.Second)
+	b.Allow()
+	b.Record(false)
+	want := []string{"closed→open", "open→half-open", "half-open→closed"}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestBreakerLateRecordWhileOpenIsIgnored(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, OpenTimeout: time.Second, Now: clk.now})
+	record(b, true, 2)
+	// A straggling success from a request sent before the trip must not
+	// re-close the breaker.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open: stragglers must not re-close", b.State())
+	}
+}

@@ -172,6 +172,12 @@ func (e *ExhaustedError) Unwrap() error { return e.Last }
 // Permanent, or when ctx is cancelled (context errors are never retried).
 // Exhausting all attempts returns an *ExhaustedError wrapping the last
 // failure.
+//
+// Retry never sleeps past the context deadline: when the computed backoff
+// exceeds the time remaining on ctx, it fails fast with an
+// *ExhaustedError wrapping context.DeadlineExceeded (and recording the
+// last attempt's error) instead of burning the caller's budget on a wait
+// that cannot end in another attempt.
 func Retry(ctx context.Context, p Policy, op func(attempt int) error) error {
 	p = p.withDefaults()
 	rng := rand.New(rand.NewSource(p.Seed))
@@ -195,6 +201,13 @@ func Retry(ctx context.Context, p Policy, op func(attempt int) error) error {
 			d := p.backoff(attempt, rng)
 			if ra := RetryAfterDelay(err); ra > d {
 				d = ra
+			}
+			if deadline, ok := ctx.Deadline(); ok && d > time.Until(deadline) {
+				return &ExhaustedError{
+					Attempts: attempt + 1,
+					Last: fmt.Errorf("backoff %v exceeds context deadline (last error: %v): %w",
+						d, last, context.DeadlineExceeded),
+				}
 			}
 			if serr := p.Sleep(ctx, d); serr != nil {
 				return serr

@@ -207,3 +207,64 @@ func TestRetryAfterDelay(t *testing.T) {
 		t.Fatal("RetryAfter(nil) should be nil")
 	}
 }
+
+// TestRetryDeadlineFailsFast proves Retry never sleeps past the context
+// deadline: when the computed backoff exceeds the time remaining, it
+// returns an *ExhaustedError wrapping context.DeadlineExceeded without
+// sleeping at all.
+func TestRetryDeadlineFailsFast(t *testing.T) {
+	var delays []time.Duration
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	attempts := 0
+	err := Retry(ctx, Policy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Second, // far beyond the 10ms budget
+		Jitter:      -1,
+		Sleep:       recordSleep(&delays),
+	}, func(int) error {
+		attempts++
+		return fmt.Errorf("transient %d", attempts)
+	})
+	if attempts != 1 {
+		t.Fatalf("made %d attempts, want 1 (backoff exceeds deadline after the first)", attempts)
+	}
+	if len(delays) != 0 {
+		t.Fatalf("slept %v; a backoff past the deadline must not sleep", delays)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("error %v (%T), want *ExhaustedError", err, err)
+	}
+	if ex.Attempts != 1 {
+		t.Fatalf("ExhaustedError.Attempts = %d, want 1", ex.Attempts)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+// TestRetrySleepsWithinDeadline is the complement: a backoff that fits
+// the remaining budget still sleeps and retries as before.
+func TestRetrySleepsWithinDeadline(t *testing.T) {
+	var delays []time.Duration
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	attempts := 0
+	err := Retry(ctx, Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		Jitter:      -1,
+		Sleep:       recordSleep(&delays),
+	}, func(int) error {
+		attempts++
+		return errors.New("transient")
+	})
+	if attempts != 3 || len(delays) != 2 {
+		t.Fatalf("attempts=%d delays=%v, want 3 attempts and 2 sleeps", attempts, delays)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v, want plain exhaustion without DeadlineExceeded", err)
+	}
+}

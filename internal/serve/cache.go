@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	rapid "repro"
+)
+
+// artifactCache is the persistent half of the compiled-artifact cache:
+// an on-disk directory of versioned artifact envelopes keyed by program
+// hash. The in-memory map (Server.compiled) stays the first tier; the
+// disk tier is what makes a restart against a large manifest cheap — the
+// server mounts every design by loading its persisted artifact instead of
+// re-running the compiler.
+//
+// Layout: <dir>/v<ArtifactFormat>/<programHash>.artifact.json. The format
+// version lives in the path (and inside the envelope), so a format bump
+// reads as an empty cache rather than a parse error storm.
+type artifactCache struct {
+	dir string
+}
+
+// openArtifactCache creates/opens the cache rooted at dir.
+func openArtifactCache(dir string) (*artifactCache, error) {
+	c := &artifactCache{dir: dir}
+	if err := os.MkdirAll(c.versionDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: artifact cache: %w", err)
+	}
+	return c, nil
+}
+
+func (c *artifactCache) versionDir() string {
+	return filepath.Join(c.dir, "v"+strconv.Itoa(rapid.ArtifactFormat))
+}
+
+func (c *artifactCache) path(hash string) string {
+	return filepath.Join(c.versionDir(), hash+".artifact.json")
+}
+
+// load returns the cached design for hash, (nil, nil) on a clean miss, or
+// an error for a corrupt/unreadable entry (callers recompile and count
+// it).
+func (c *artifactCache) load(hash string) (*rapid.Design, error) {
+	data, err := os.ReadFile(c.path(hash))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rapid.UnmarshalArtifact(data)
+}
+
+// store persists a compiled design under hash, atomically (temp file +
+// rename) so concurrent replicas sharing the cache directory never
+// observe a torn entry.
+func (c *artifactCache) store(hash string, d *rapid.Design) error {
+	data, err := d.MarshalArtifact()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.versionDir(), hash+".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), c.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

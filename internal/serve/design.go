@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	rapid "repro"
 )
@@ -60,6 +61,21 @@ type design struct {
 	matcher rapid.Matcher // other modes: executed one request at a time
 	queue   chan *job
 	tel     designMetrics
+	// identity is the spec fingerprint (program hash + backend) hot
+	// reloads compare to decide whether a mounted design changed.
+	identity string
+	// closed flips (under the server's admitMu write lock) when the design
+	// is unmounted by a hot reload or shutdown; its queue is closed and
+	// admissions re-resolve the name instead of enqueueing.
+	closed atomic.Bool
+}
+
+// closeLocked closes the design's queue exactly once. The caller holds
+// the server's admitMu write lock, fencing against in-flight admissions.
+func (d *design) closeLocked() {
+	if d.closed.CompareAndSwap(false, true) {
+		close(d.queue)
+	}
 }
 
 // programHash fingerprints the compilable identity of a spec — the
@@ -93,7 +109,7 @@ func (m *chainMatcher) Match(ctx context.Context, input []byte) ([]rapid.Report,
 // compileDesign resolves a spec into a compiled artifact (through the
 // server's hash-keyed cache) plus its executor.
 func (s *Server) compileDesign(spec DesignSpec) (*design, error) {
-	d := &design{info: DesignInfo{Name: spec.Name, Backend: spec.Backend}}
+	d := &design{info: DesignInfo{Name: spec.Name, Backend: spec.Backend}, identity: specIdentity(spec)}
 	if d.info.Backend == "" {
 		d.info.Backend = BackendEngine
 	}
@@ -157,12 +173,29 @@ func (s *Server) compileDesign(spec DesignSpec) (*design, error) {
 	return d, nil
 }
 
-// compiledDesign returns the cached compiled artifact for hash, compiling
-// and caching it on first use. The caller holds s.mu.
+// compiledDesign returns the cached compiled artifact for hash through
+// the two-tier cache: the in-memory map first, then the persistent
+// on-disk cache (restart against a populated cache mounts without
+// recompiling), and only then a full compile — whose result is persisted
+// for the next process. The caller holds s.mu.
 func (s *Server) compiledDesign(spec DesignSpec, hash string) (*rapid.Design, error) {
 	if compiled, ok := s.compiled[hash]; ok {
+		s.tel.cacheHits.With("memory").Inc()
 		return compiled, nil
 	}
+	if s.diskCache != nil {
+		compiled, err := s.diskCache.load(hash)
+		if compiled != nil && err == nil {
+			s.tel.cacheHits.With("disk").Inc()
+			s.compiled[hash] = compiled
+			return compiled, nil
+		}
+		if err != nil {
+			// Corrupt or unreadable entry: recompile and overwrite it.
+			s.tel.cacheWrites.With("error").Inc()
+		}
+	}
+	s.tel.cacheMisses.Inc()
 	var compiled *rapid.Design
 	var err error
 	switch {
@@ -181,6 +214,13 @@ func (s *Server) compiledDesign(spec DesignSpec, hash string) (*rapid.Design, er
 		return nil, fmt.Errorf("serve: design %q: %w", spec.Name, err)
 	}
 	s.compiled[hash] = compiled
+	if s.diskCache != nil {
+		if err := s.diskCache.store(hash, compiled); err != nil {
+			s.tel.cacheWrites.With("error").Inc()
+		} else {
+			s.tel.cacheWrites.With("ok").Inc()
+		}
+	}
 	return compiled, nil
 }
 

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	rapid "repro"
@@ -17,7 +18,23 @@ var (
 	// ErrDraining means the server has stopped admitting requests and is
 	// flushing in-flight work before shutting down.
 	ErrDraining = errors.New("serve: draining, not admitting requests")
+	// errStaleDesign means the design was swapped out by a hot reload
+	// between lookup and admission; submitNamed re-resolves and retries.
+	errStaleDesign = errors.New("serve: design reloaded, re-resolve")
 )
+
+// quotaExhaustedError is ErrQuotaExhausted with the tenant and the time
+// until the next token, surfaced as the Retry-After hint.
+type quotaExhaustedError struct {
+	tenant string
+	wait   time.Duration
+}
+
+func (e *quotaExhaustedError) Error() string {
+	return fmt.Sprintf("serve: tenant %q quota exhausted, retry in %v", e.tenant, e.wait)
+}
+
+func (e *quotaExhaustedError) Unwrap() error { return ErrQuotaExhausted }
 
 // job is one admitted match request traveling from the admission
 // controller through a design's queue to its dispatcher.
@@ -32,6 +49,31 @@ type jobResult struct {
 	err     error
 }
 
+// submitNamed is the full admission path above submit: the tenant quota
+// gate first (quotas bound each tenant's share of the admission rate,
+// before any queue is touched), then name resolution retried across hot
+// reloads — a design swapped out between lookup and admission is
+// re-resolved rather than surfaced as an error. It returns the design the
+// request actually ran on.
+func (s *Server) submitNamed(ctx context.Context, name, tenant string, input []byte) (*design, []rapid.Report, error) {
+	if wait, ok := s.quotas.take(tenant); !ok {
+		s.tel.quotaRejections.With(tenant).Inc()
+		return nil, nil, &quotaExhaustedError{tenant: tenant, wait: wait}
+	}
+	s.tel.tenantRequests.With(tenant).Inc()
+	for {
+		d, err := s.lookup(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		reports, err := s.submit(ctx, d, input)
+		if errors.Is(err, errStaleDesign) {
+			continue
+		}
+		return d, reports, err
+	}
+}
+
 // submit is the admission controller: it either enqueues the request into
 // the design's bounded queue and waits for the result, or refuses
 // immediately — with ErrOverCapacity when the queue is full (the caller
@@ -44,6 +86,11 @@ func (s *Server) submit(ctx context.Context, d *design, input []byte) ([]rapid.R
 		s.admitMu.RUnlock()
 		d.tel.rejectedDraining.Inc()
 		return nil, ErrDraining
+	}
+	if d.closed.Load() {
+		// The design was swapped out by a hot reload; its queue is closed.
+		s.admitMu.RUnlock()
+		return nil, errStaleDesign
 	}
 	j := &job{input: input, done: make(chan jobResult, 1), enqueued: time.Now()}
 	select {

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Error codes carried in the structured error body. Clients switch on
+// the code, not the message; the serve/client package mirrors these
+// strings when parsing responses into typed errors.
+const (
+	// CodeBadRequest: the request body or parameters were malformed.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: the named design is not mounted.
+	CodeNotFound = "not_found"
+	// CodeOverCapacity: the design's bounded admission queue was full.
+	// Retryable after the Retry-After hint.
+	CodeOverCapacity = "over_capacity"
+	// CodeDraining: the server is shutting down and no longer admits
+	// requests. Retryable against another replica.
+	CodeDraining = "draining"
+	// CodeQuotaExhausted: the tenant's token bucket is empty. Retryable
+	// after the Retry-After hint, but NOT worth failing over — the quota
+	// is per tenant, not per replica.
+	CodeQuotaExhausted = "quota_exhausted"
+	// CodeCanceled: the client went away before the request completed.
+	CodeCanceled = "canceled"
+	// CodeInternal: the match itself failed.
+	CodeInternal = "internal"
+	// CodeUpstreamUnavailable: a gateway could not find any healthy
+	// replica for the request. Retryable after the Retry-After hint.
+	CodeUpstreamUnavailable = "upstream_unavailable"
+)
+
+// ErrorBody is the structured JSON error shape of every non-2xx response
+// from the serve layer and the gateway:
+//
+//	{"code": "over_capacity", "message": "...", "retry_after_ms": 1000}
+//
+// RetryAfterMS mirrors the Retry-After header at millisecond resolution
+// (the header stays whole seconds for HTTP compatibility).
+type ErrorBody struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// RetryableCode reports whether an error code marks a failure the client
+// may retry (possibly against another replica, except quota exhaustion).
+func RetryableCode(code string) bool {
+	switch code {
+	case CodeOverCapacity, CodeDraining, CodeQuotaExhausted, CodeUpstreamUnavailable:
+		return true
+	}
+	return false
+}
+
+// WriteErrorBody writes the structured error response. A positive
+// retryAfter also sets the Retry-After header (whole seconds, floored to
+// 1 — unchanged from the plain-error era) and retry_after_ms in the body.
+func WriteErrorBody(w http.ResponseWriter, status int, code, message string, retryAfter time.Duration) {
+	body := ErrorBody{Code: code, Message: message}
+	if retryAfter > 0 {
+		secs := int(retryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		body.RetryAfterMS = retryAfter.Milliseconds()
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -18,6 +18,18 @@ const (
 	metricBatchSize  = "rapid_serve_batch_size"
 	metricRequests   = "rapid_serve_requests_total"
 	metricLatency    = "rapid_serve_request_duration_us"
+
+	// The serve.cache.* family: the two-tier compiled-artifact cache.
+	metricCacheHits   = "rapid_serve_cache_hits_total"
+	metricCacheMisses = "rapid_serve_cache_misses_total"
+	metricCacheWrites = "rapid_serve_cache_writes_total"
+
+	// Tenant quota accounting.
+	metricQuotaRejections = "rapid_serve_quota_rejections_total"
+	metricTenantRequests  = "rapid_serve_tenant_requests_total"
+
+	// Hot-reload accounting.
+	metricReloads = "rapid_serve_reloads_total"
 )
 
 // serveMetrics is the serving layer's instrument families. All fields are
@@ -31,6 +43,13 @@ type serveMetrics struct {
 	batchSize  *telemetry.HistogramVec
 	requests   *telemetry.CounterVec // design, outcome
 	latency    *telemetry.HistogramVec
+
+	cacheHits       *telemetry.CounterVec // tier (memory, disk)
+	cacheMisses     *telemetry.Counter
+	cacheWrites     *telemetry.CounterVec // outcome (ok, error)
+	quotaRejections *telemetry.CounterVec // tenant
+	tenantRequests  *telemetry.CounterVec // tenant
+	reloads         *telemetry.CounterVec // outcome (ok, error)
 }
 
 func newServeMetrics(reg *telemetry.Registry) *serveMetrics {
@@ -51,6 +70,18 @@ func newServeMetrics(reg *telemetry.Registry) *serveMetrics {
 			"design", "outcome"),
 		latency: reg.HistogramVec(metricLatency,
 			"Request latency from admission to completion, microseconds.", "design"),
+		cacheHits: reg.CounterVec(metricCacheHits,
+			"Compiled-artifact cache hits, by tier (memory, disk).", "tier"),
+		cacheMisses: reg.Counter(metricCacheMisses,
+			"Compiled-artifact cache misses (a full compile ran)."),
+		cacheWrites: reg.CounterVec(metricCacheWrites,
+			"Artifacts persisted to the on-disk cache, by outcome (ok, error).", "outcome"),
+		quotaRejections: reg.CounterVec(metricQuotaRejections,
+			"Requests refused because the tenant's token bucket was empty, by tenant.", "tenant"),
+		tenantRequests: reg.CounterVec(metricTenantRequests,
+			"Requests passing the tenant quota gate, by tenant.", "tenant"),
+		reloads: reg.CounterVec(metricReloads,
+			"Manifest hot reloads applied, by outcome (ok, error).", "outcome"),
 	}
 }
 

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// ErrQuotaExhausted means the requesting tenant's token bucket is empty.
+// The HTTP layer maps it to 429 with code "quota_exhausted" and a
+// Retry-After hint covering the time until the next token.
+var ErrQuotaExhausted = errors.New("serve: tenant quota exhausted")
+
+// TenantHeader names the request header carrying the tenant identity;
+// requests without it are accounted to DefaultTenant.
+const (
+	TenantHeader  = "X-Tenant"
+	DefaultTenant = "default"
+)
+
+// tenantQuotas is the per-tenant token-bucket rate limiter layered above
+// the per-design admission queues: admission queues bound total work in
+// flight, quotas bound each tenant's share of the admission rate.
+type tenantQuotas struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newTenantQuotas builds a limiter admitting rate requests/second per
+// tenant with the given burst (<= 0 defaults to ceil(rate), minimum 1).
+// rate <= 0 disables quotas entirely (nil limiter).
+func newTenantQuotas(rate float64, burst int, now func() time.Time) *tenantQuotas {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Ceil(rate)
+		if b < 1 {
+			b = 1
+		}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &tenantQuotas{rate: rate, burst: b, now: now, buckets: make(map[string]*tokenBucket)}
+}
+
+// take spends one token from tenant's bucket. When the bucket is empty it
+// refuses and returns how long until a token will be available. A nil
+// limiter admits everything.
+func (q *tenantQuotas) take(tenant string) (wait time.Duration, ok bool) {
+	if q == nil {
+		return 0, true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	need := 1 - b.tokens
+	return time.Duration(need / q.rate * float64(time.Second)), false
+}

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestReloadReconcile checks the add/replace/keep/remove arithmetic and
+// that an unmounted design stops resolving.
+func TestReloadReconcile(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := mustNew(t, Config{Telemetry: reg})
+	defer func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if _, err := s.AddDesign(testSpec("a", "")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddDesign(testSpec("b", "")); err != nil {
+		t.Fatal(err)
+	}
+
+	summary, err := s.ApplyManifest([]DesignSpec{
+		testSpec("b", ""),         // unchanged
+		testSpec("a", "failover"), // backend change → replacement
+		testSpec("c", ""),         // new
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReloadSummary{Added: []string{"c"}, Replaced: []string{"a"}, Kept: []string{"b"}}
+	if !reflect.DeepEqual(summary, want) {
+		t.Fatalf("summary = %+v, want %+v", summary, want)
+	}
+
+	summary, err = s.ApplyManifest([]DesignSpec{testSpec("c", "")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = ReloadSummary{Kept: []string{"c"}, Removed: []string{"a", "b"}}
+	if !reflect.DeepEqual(summary, want) {
+		t.Fatalf("summary = %+v, want %+v", summary, want)
+	}
+	if _, _, err := s.submitNamed(context.Background(), "a", DefaultTenant, []byte("x")); err == nil {
+		t.Fatal("removed design still resolves")
+	}
+	if _, _, err := s.submitNamed(context.Background(), "c", DefaultTenant, []byte("xxabc")); err != nil {
+		t.Fatalf("kept design broken after reload: %v", err)
+	}
+	if got := reg.Snapshot().Counter(metricReloads, "outcome", "ok"); got != 2 {
+		t.Fatalf("reloads ok = %d, want 2", got)
+	}
+}
+
+// TestReloadInFlightCompletes is the no-dropped-requests contract: a
+// request admitted before the swap finishes on the old executor, while a
+// request after the swap lands on the new one.
+func TestReloadInFlightCompletes(t *testing.T) {
+	old := &blockingMatcher{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	s := mustNew(t, Config{})
+	if _, err := s.AddDesign(DesignSpec{Name: "d", Matcher: old}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	type result struct {
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		_, _, err := s.submitNamed(context.Background(), "d", DefaultTenant, []byte("x"))
+		done <- result{err}
+	}()
+	<-old.entered // the request is inside the old matcher
+
+	// Swap in a fresh matcher instance while the old one holds a request.
+	next := &blockingMatcher{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	close(next.release) // the replacement never blocks
+	summary, err := s.ApplyManifest([]DesignSpec{{Name: "d", Matcher: next}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(summary.Replaced, []string{"d"}) {
+		t.Fatalf("summary = %+v, want d replaced", summary)
+	}
+
+	// The in-flight request is still parked on the old matcher; release it
+	// and it must complete successfully despite the design being retired.
+	close(old.release)
+	if r := <-done; r.err != nil {
+		t.Fatalf("in-flight request dropped by reload: %v", r.err)
+	}
+
+	// New traffic lands on the replacement.
+	if _, _, err := s.submitNamed(context.Background(), "d", DefaultTenant, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := next.calls.Load(); got != 1 {
+		t.Fatalf("replacement matcher calls = %d, want 1", got)
+	}
+	if got := old.calls.Load(); got != 1 {
+		t.Fatalf("old matcher calls = %d, want 1 (no new traffic)", got)
+	}
+}
+
+// TestReloadCompileErrorLeavesStateUntouched: a manifest that fails to
+// compile must not change the mounted set.
+func TestReloadCompileErrorLeavesStateUntouched(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := mustNew(t, Config{Telemetry: reg})
+	defer func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if _, err := s.AddDesign(testSpec("d", "")); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := DesignSpec{Name: "broken", Source: "network garbage("}
+	if _, err := s.ApplyManifest([]DesignSpec{testSpec("d", ""), bad}); err == nil {
+		t.Fatal("manifest with a compile error applied cleanly")
+	}
+	if _, _, err := s.submitNamed(context.Background(), "d", DefaultTenant, []byte("xxabc")); err != nil {
+		t.Fatalf("existing design broken by failed reload: %v", err)
+	}
+	if got := reg.Snapshot().Counter(metricReloads, "outcome", "error"); got != 1 {
+		t.Fatalf("reloads error = %d, want 1", got)
+	}
+
+	// Duplicate names are refused before any compilation.
+	_, err := s.ApplyManifest([]DesignSpec{testSpec("d", ""), testSpec("d", "")})
+	if err == nil {
+		t.Fatal("duplicate design names accepted")
+	}
+}
+
+// TestReloadConcurrentHammer interleaves reloads with live traffic; under
+// -race this doubles as the synchronization proof. Every request must
+// either succeed or be told the design does not exist — never a dropped
+// queue write or a stale-design error escaping the retry loop.
+func TestReloadConcurrentHammer(t *testing.T) {
+	s := mustNew(t, Config{})
+	if _, err := s.AddDesign(testSpec("d", "")); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _, err := s.submitNamed(context.Background(), "d", DefaultTenant, []byte("xxabc"))
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	// Alternate between the engine and failover backends so every reload
+	// really swaps the executor.
+	for i := 0; i < 50; i++ {
+		backend := ""
+		if i%2 == 1 {
+			backend = "failover"
+		}
+		if _, err := s.ApplyManifest([]DesignSpec{testSpec("d", backend)}); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("request failed during reload: %v", err)
+	}
+}
+
+// TestReloadStaleDesignRetries pins the submit-side mechanism: a closed
+// design surfaces errStaleDesign internally, and submitNamed re-resolves
+// rather than failing the caller.
+func TestReloadStaleDesignRetries(t *testing.T) {
+	s := mustNew(t, Config{})
+	if _, err := s.AddDesign(testSpec("d", "")); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	d, err := s.lookup("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyManifest([]DesignSpec{testSpec("d", "failover")}); err != nil {
+		t.Fatal(err)
+	}
+	// Submitting against the retired snapshot reports staleness...
+	if _, err := s.submit(context.Background(), d, []byte("x")); !errors.Is(err, errStaleDesign) {
+		t.Fatalf("submit on retired design = %v, want errStaleDesign", err)
+	}
+	// ...and the name-based path hides that from callers.
+	if _, _, err := s.submitNamed(context.Background(), "d", DefaultTenant, []byte("xxabc")); err != nil {
+		t.Fatalf("submitNamed after replace: %v", err)
+	}
+}

@@ -105,7 +105,7 @@ func TestMatchParity(t *testing.T) {
 	}
 	for _, backend := range []string{BackendEngine, BackendFailover, "device"} {
 		t.Run(backend, func(t *testing.T) {
-			s := New(Config{})
+			s := mustNew(t, Config{})
 			if _, err := s.AddDesign(testSpec("d", backend)); err != nil {
 				t.Fatal(err)
 			}
@@ -133,7 +133,7 @@ func TestMatchParity(t *testing.T) {
 // TestArtifactCache checks that two designs with the same program hash
 // share one compiled artifact.
 func TestArtifactCache(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	a, err := s.AddDesign(testSpec("a", ""))
 	if err != nil {
 		t.Fatal(err)
@@ -196,7 +196,7 @@ func TestAdmissionBackpressure(t *testing.T) {
 	const queueDepth = 4
 	reg := telemetry.NewRegistry()
 	bm := &blockingMatcher{entered: make(chan struct{}, 1), release: make(chan struct{})}
-	s := New(Config{QueueDepth: queueDepth, RetryAfter: 2 * time.Second, Telemetry: reg})
+	s := mustNew(t, Config{QueueDepth: queueDepth, RetryAfter: 2 * time.Second, Telemetry: reg})
 	if _, err := s.AddDesign(DesignSpec{Name: "d", Matcher: bm}); err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestAdmissionBackpressure(t *testing.T) {
 // refused with 503 + Retry-After, and Shutdown returns cleanly.
 func TestDrain(t *testing.T) {
 	bm := &blockingMatcher{entered: make(chan struct{}, 1), release: make(chan struct{})}
-	s := New(Config{Addr: "127.0.0.1:0", RetryAfter: time.Second})
+	s := mustNew(t, Config{Addr: "127.0.0.1:0", RetryAfter: time.Second})
 	if _, err := s.AddDesign(DesignSpec{Name: "d", Matcher: bm}); err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +348,7 @@ func TestStreamEndpointParity(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	if _, err := s.AddDesign(testSpec("d", "")); err != nil {
 		t.Fatal(err)
 	}
@@ -400,7 +400,7 @@ func TestStreamEndpointParity(t *testing.T) {
 func TestConcurrentHammer(t *testing.T) {
 	const clients = 64
 	reg := telemetry.NewRegistry()
-	s := New(Config{QueueDepth: 8, MaxBatch: 4, BatchWindow: 200 * time.Microsecond, Telemetry: reg})
+	s := mustNew(t, Config{QueueDepth: 8, MaxBatch: 4, BatchWindow: 200 * time.Microsecond, Telemetry: reg})
 	if _, err := s.AddDesign(testSpec("d", "")); err != nil {
 		t.Fatal(err)
 	}
@@ -480,7 +480,7 @@ func TestConcurrentHammer(t *testing.T) {
 // handler.
 func TestMetricsEndpoint(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	s := New(Config{Telemetry: reg})
+	s := mustNew(t, Config{Telemetry: reg})
 	if _, err := s.AddDesign(testSpec("d", "")); err != nil {
 		t.Fatal(err)
 	}
@@ -543,4 +543,14 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatal("condition not reached within 5s")
+}
+
+// mustNew builds a server, failing the test on config errors.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }

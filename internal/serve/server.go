@@ -23,7 +23,6 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +61,15 @@ type Config struct {
 	// CrossCheck makes failover-mode designs verify results against their
 	// reference backend.
 	CrossCheck bool
+	// ArtifactDir enables the persistent tier of the compiled-artifact
+	// cache: compiled designs are written there keyed by program hash and
+	// loaded on startup instead of recompiling. Empty disables.
+	ArtifactDir string
+	// TenantRate enables per-tenant token-bucket quotas: each tenant
+	// (X-Tenant header; "default" when absent) is admitted at most
+	// TenantRate requests/second with TenantBurst burst. <= 0 disables.
+	TenantRate  float64
+	TenantBurst int
 	// Telemetry routes the serve.* metric family (and every backend's
 	// stream accounting) into reg. nil disables.
 	Telemetry *telemetry.Registry
@@ -113,6 +121,9 @@ type Server struct {
 	order    []string
 	compiled map[string]*rapid.Design
 
+	diskCache *artifactCache
+	quotas    *tenantQuotas
+
 	dispatchers sync.WaitGroup
 
 	httpSrv    *http.Server
@@ -122,13 +133,22 @@ type Server struct {
 	metricsSrv *telemetry.MetricsServer
 }
 
-// New builds a server with no designs mounted.
-func New(cfg Config) *Server {
+// New builds a server with no designs mounted. It fails only when the
+// configured artifact-cache directory cannot be created.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg.withDefaults(),
 		designs:  make(map[string]*design),
 		compiled: make(map[string]*rapid.Design),
 	}
+	if s.cfg.ArtifactDir != "" {
+		cache, err := openArtifactCache(s.cfg.ArtifactDir)
+		if err != nil {
+			return nil, err
+		}
+		s.diskCache = cache
+	}
+	s.quotas = newTenantQuotas(s.cfg.TenantRate, s.cfg.TenantBurst, nil)
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.tel = newServeMetrics(s.cfg.Telemetry)
 	s.mux = http.NewServeMux()
@@ -149,7 +169,7 @@ func New(cfg Config) *Server {
 		}
 		fmt.Fprintln(w, "rapidserve endpoints: /healthz /readyz /v1/designs POST /v1/match POST /v1/match/stream")
 	})
-	return s
+	return s, nil
 }
 
 // AddDesign compiles (or fetches from the hash-keyed artifact cache) and
@@ -280,14 +300,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// Flush and stop the dispatchers.
 	s.closeQueues.Do(func() {
 		s.mu.Lock()
-		queues := make([]chan *job, 0, len(s.order))
+		designs := make([]*design, 0, len(s.order))
 		for _, name := range s.order {
-			queues = append(queues, s.designs[name].queue)
+			designs = append(designs, s.designs[name])
 		}
 		s.mu.Unlock()
 		s.admitMu.Lock()
-		for _, q := range queues {
-			close(q)
+		for _, d := range designs {
+			d.closeLocked()
 		}
 		s.admitMu.Unlock()
 	})
@@ -323,8 +343,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
-		s.retryAfterHeader(w)
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		WriteErrorBody(w, http.StatusServiceUnavailable, CodeDraining,
+			"draining", s.cfg.RetryAfter)
 		return
 	}
 	fmt.Fprintln(w, "ready")
@@ -366,20 +386,22 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req matchRequest
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		WriteErrorBody(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("serve: bad request body: %v", err), 0)
 		return
 	}
-	d, err := s.lookup(req.Design)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+	if _, err := s.lookup(req.Design); err != nil {
+		WriteErrorBody(w, http.StatusNotFound, CodeNotFound, err.Error(), 0)
 		return
 	}
 	var input []byte
+	var err error
 	switch {
 	case req.InputBase64 != "":
 		input, err = base64.StdEncoding.DecodeString(req.InputBase64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad input_base64: %w", err))
+			WriteErrorBody(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("serve: bad input_base64: %v", err), 0)
 			return
 		}
 	case len(req.Records) > 0:
@@ -387,7 +409,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	default:
 		input = []byte(req.Text)
 	}
-	reports, err := s.submit(r.Context(), d, input)
+	d, reports, err := s.submitNamed(r.Context(), req.Design, tenantOf(r), input)
 	if err != nil {
 		s.writeSubmitError(w, err)
 		return
@@ -402,13 +424,18 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // streamResult is one NDJSON line of the streaming endpoint: the reports
-// of one record, with offsets rebased to stream coordinates.
+// of one record, with offsets rebased to stream coordinates. A failed
+// record carries the structured error fields instead of reports — the
+// same code vocabulary as ErrorBody, so clients can type per-record
+// failures and retry the retryable ones.
 type streamResult struct {
-	Index   int          `json:"index"`
-	Offset  int          `json:"offset"`
-	Count   int          `json:"count"`
-	Reports []reportJSON `json:"reports"`
-	Error   string       `json:"error,omitempty"`
+	Index        int          `json:"index"`
+	Offset       int          `json:"offset"`
+	Count        int          `json:"count"`
+	Reports      []reportJSON `json:"reports"`
+	Error        string       `json:"error,omitempty"`
+	Code         string       `json:"code,omitempty"`
+	RetryAfterMS int64        `json:"retry_after_ms,omitempty"`
 }
 
 // handleMatchStream is the chunked streaming endpoint: the request body
@@ -418,11 +445,12 @@ type streamResult struct {
 // dispatcher as single-shot requests, so streaming clients are subject to
 // the same backpressure (surfaced as per-record error lines).
 func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
-	d, err := s.lookup(r.URL.Query().Get("design"))
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+	name := r.URL.Query().Get("design")
+	if _, err := s.lookup(name); err != nil {
+		WriteErrorBody(w, http.StatusNotFound, CodeNotFound, err.Error(), 0)
 		return
 	}
+	tenant := tenantOf(r)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -432,14 +460,17 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 		rec, offset, err := body.next()
 		if rec == nil {
 			if err != nil && err != io.EOF {
-				_ = enc.Encode(streamResult{Index: index, Error: err.Error()})
+				_ = enc.Encode(streamResult{Index: index, Error: err.Error(), Code: CodeBadRequest})
 			}
 			return
 		}
 		line := streamResult{Index: index, Offset: offset}
-		reports, err := s.submit(r.Context(), d, rapid.FrameRecords(rec))
+		_, reports, err := s.submitNamed(r.Context(), name, tenant, rapid.FrameRecords(rec))
 		if err != nil {
+			_, code, retryAfter := s.errorStatus(err)
 			line.Error = err.Error()
+			line.Code = code
+			line.RetryAfterMS = retryAfter.Milliseconds()
 		} else {
 			// Framed symbol k maps to stream offset offset-1+k (the
 			// record's leading separator sits one symbol before it).
@@ -459,31 +490,44 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) retryAfterHeader(w http.ResponseWriter) {
-	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
-	if secs < 1 {
-		secs = 1
+// tenantOf resolves a request's tenant identity from the X-Tenant header.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	return DefaultTenant
 }
 
-// writeSubmitError maps admission and execution errors to HTTP statuses:
-// 429 for a full queue, 503 while draining (both with Retry-After), 500
-// for execution failures.
-func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+// errorStatus maps admission, quota, and execution errors to (HTTP
+// status, error code, Retry-After hint): 429 for a full queue or an empty
+// tenant bucket, 503 while draining (all with Retry-After), 500 for
+// execution failures.
+func (s *Server) errorStatus(err error) (int, string, time.Duration) {
 	switch {
 	case errors.Is(err, ErrOverCapacity):
-		s.retryAfterHeader(w)
-		writeError(w, http.StatusTooManyRequests, err)
+		return http.StatusTooManyRequests, CodeOverCapacity, s.cfg.RetryAfter
+	case errors.Is(err, ErrQuotaExhausted):
+		retryAfter := s.cfg.RetryAfter
+		var qe *quotaExhaustedError
+		if errors.As(err, &qe) && qe.wait > retryAfter {
+			retryAfter = qe.wait
+		}
+		return http.StatusTooManyRequests, CodeQuotaExhausted, retryAfter
 	case errors.Is(err, ErrDraining):
-		s.retryAfterHeader(w)
-		writeError(w, http.StatusServiceUnavailable, err)
+		return http.StatusServiceUnavailable, CodeDraining, s.cfg.RetryAfter
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// The client went away; the status code is moot.
-		writeError(w, http.StatusServiceUnavailable, err)
+		return http.StatusServiceUnavailable, CodeCanceled, 0
 	default:
-		writeError(w, http.StatusInternalServerError, err)
+		return http.StatusInternalServerError, CodeInternal, 0
 	}
+}
+
+// writeSubmitError writes the structured error response for a failed
+// submission.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	status, code, retryAfter := s.errorStatus(err)
+	WriteErrorBody(w, status, code, err.Error(), retryAfter)
 }
 
 func toReportJSON(reports []rapid.Report, rebase int) []reportJSON {
@@ -492,14 +536,6 @@ func toReportJSON(reports []rapid.Report, rebase int) []reportJSON {
 		out[i] = reportJSON{Offset: r.Offset + rebase, Code: r.Code, Site: r.Site}
 	}
 	return out
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

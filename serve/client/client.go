@@ -21,6 +21,7 @@ import (
 
 	rapid "repro"
 	"repro/internal/resilience"
+	"repro/internal/serve"
 )
 
 // Client talks to one rapidserve base URL. It is safe for concurrent use.
@@ -63,19 +64,34 @@ func New(baseURL string, opts ...Option) *Client {
 type StatusError struct {
 	// Status is the HTTP status code.
 	Status int
+	// Code is the server's typed error code (e.g. serve.CodeOverCapacity)
+	// from the structured error body, "" for pre-structured responses.
+	Code string
 	// Message is the server's error string.
 	Message string
-	// RetryAfter is the parsed Retry-After hint, when present.
+	// RetryAfter is the backoff hint: retry_after_ms from the structured
+	// body when present (millisecond resolution), else the Retry-After
+	// header (whole seconds).
 	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("serve client: %d %s (%s): %s",
+			e.Status, http.StatusText(e.Status), e.Code, e.Message)
+	}
 	return fmt.Sprintf("serve client: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
 }
 
-// IsRetryable reports whether the error is worth retrying: the server
-// asked for backoff (429) or is draining/unavailable (503).
+// IsRetryable reports whether the error is worth retrying. A typed code
+// decides when present (so a quota_exhausted 429 and an over_capacity 429
+// both retry, but against the same replica — see serve.RetryableCode);
+// otherwise the status decides: 429 asked for backoff, 503 is
+// draining/unavailable.
 func (e *StatusError) IsRetryable() bool {
+	if e.Code != "" {
+		return serve.RetryableCode(e.Code)
+	}
 	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
 }
 
@@ -133,20 +149,48 @@ type RecordResult struct {
 	// Reports carries the record's reports in stream coordinates.
 	Reports []rapid.Report
 	// Err is the record's per-record failure (e.g. rejected under
-	// backpressure), nil on success.
+	// backpressure), nil on success. A server that sends typed error
+	// lines yields a *RecordError here.
 	Err error
 }
+
+// RecordError is one record's typed failure from the streaming endpoint.
+type RecordError struct {
+	// Code is the server's error code (e.g. serve.CodeOverCapacity),
+	// "" when the server sent only a plain error string.
+	Code string
+	// Message is the server's error string.
+	Message string
+	// RetryAfter is the record's retry_after_ms hint, when present.
+	RetryAfter time.Duration
+}
+
+func (e *RecordError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("serve client: record refused (%s): %s", e.Code, e.Message)
+	}
+	return e.Message
+}
+
+// IsRetryable reports whether resubmitting just this record may succeed.
+func (e *RecordError) IsRetryable() bool { return serve.RetryableCode(e.Code) }
 
 // MatchStream posts a separator-framed record stream to the chunked
 // streaming endpoint and returns one result per record. Per-record
 // failures (admission rejections under load) surface in RecordResult.Err
 // rather than failing the whole stream; the request itself is not
 // retried, since the server may have processed a prefix.
+//
+// The stream's framing tells the client how many records it sent, so a
+// response that ends early — the connection dropping mid-body, a torn
+// final line, or a cleanly closed but short response — is an error, never
+// a silently shortened result slice.
 func (c *Client) MatchStream(ctx context.Context, design string, stream []byte) ([]RecordResult, error) {
 	url := c.base + "/v1/match/stream"
 	if design != "" {
 		url += "?design=" + design
 	}
+	records, _ := rapid.SplitRecords(stream)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(stream))
 	if err != nil {
 		return nil, err
@@ -165,28 +209,47 @@ func (c *Client) MatchStream(ctx context.Context, design string, stream []byte) 
 	sc.Buffer(make([]byte, 64<<10), 16<<20)
 	for sc.Scan() {
 		var line struct {
-			Index   int    `json:"index"`
-			Offset  int    `json:"offset"`
-			Error   string `json:"error"`
-			Reports []struct {
+			Index        int    `json:"index"`
+			Offset       int    `json:"offset"`
+			Error        string `json:"error"`
+			Code         string `json:"code"`
+			RetryAfterMS int64  `json:"retry_after_ms"`
+			Reports      []struct {
 				Offset int    `json:"offset"`
 				Code   int    `json:"code"`
 				Site   string `json:"site"`
 			} `json:"reports"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return results, fmt.Errorf("serve client: bad stream line: %w", err)
+			return results, fmt.Errorf("serve client: torn stream line after %d of %d records: %w",
+				len(results), len(records), err)
+		}
+		if line.Index != len(results) {
+			return results, fmt.Errorf("serve client: stream out of order: got record %d, want %d",
+				line.Index, len(results))
 		}
 		rr := RecordResult{Index: line.Index, Offset: line.Offset}
 		if line.Error != "" {
-			rr.Err = errors.New(line.Error)
+			rr.Err = &RecordError{
+				Code:       line.Code,
+				Message:    line.Error,
+				RetryAfter: time.Duration(line.RetryAfterMS) * time.Millisecond,
+			}
 		}
 		for _, r := range line.Reports {
 			rr.Reports = append(rr.Reports, rapid.Report{Offset: r.Offset, Code: r.Code, Site: r.Site})
 		}
 		results = append(results, rr)
 	}
-	return results, sc.Err()
+	if err := sc.Err(); err != nil {
+		return results, fmt.Errorf("serve client: stream interrupted after %d of %d records: %w",
+			len(results), len(records), err)
+	}
+	if len(results) != len(records) {
+		return results, fmt.Errorf("serve client: stream truncated: %d of %d records answered",
+			len(results), len(records))
+	}
+	return results, nil
 }
 
 // MatchRecords frames records per the paper's flattened-array convention
@@ -275,22 +338,33 @@ func (c *Client) postRetry(ctx context.Context, path, contentType string, body [
 	})
 }
 
-// statusError builds a *StatusError from a non-2xx response, parsing the
-// JSON error body and the Retry-After header when present.
+// statusError builds a *StatusError from a non-2xx response. It parses
+// the structured {"code","message","retry_after_ms"} body first, falls
+// back to the legacy {"error"} shape and then raw text, and takes the
+// backoff hint from retry_after_ms when present (finer-grained), else the
+// Retry-After header.
 func statusError(resp *http.Response) error {
 	se := &StatusError{Status: resp.StatusCode}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var body struct {
+		serve.ErrorBody
 		Error string `json:"error"`
 	}
-	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+	switch {
+	case json.Unmarshal(data, &body) == nil && body.Code != "":
+		se.Code = body.Code
+		se.Message = body.Message
+		se.RetryAfter = time.Duration(body.RetryAfterMS) * time.Millisecond
+	case body.Error != "":
 		se.Message = body.Error
-	} else {
+	default:
 		se.Message = strings.TrimSpace(string(data))
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-			se.RetryAfter = time.Duration(secs) * time.Second
+	if se.RetryAfter == 0 {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
 		}
 	}
 	return se

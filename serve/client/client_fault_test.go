@@ -1,0 +1,195 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/serve"
+)
+
+// noSleep makes retry loops instantaneous in tests.
+func noSleep(context.Context, time.Duration) error { return nil }
+
+// TestConnectionRefused: a dead server yields transport errors that are
+// retried to exhaustion for Match, and surfaced directly for MatchStream
+// (which never retries — the server may have processed a prefix).
+func TestConnectionRefused(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	c := New(dead, WithRetryPolicy(resilience.Policy{MaxAttempts: 3, Sleep: noSleep}))
+	_, err = c.MatchText(context.Background(), "d", "x")
+	if err == nil {
+		t.Fatal("match against a dead server must error")
+	}
+	var ex *resilience.ExhaustedError
+	if !errors.As(err, &ex) || ex.Attempts != 3 {
+		t.Fatalf("err = %v, want 3 attempts exhausted", err)
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		t.Fatalf("connection refused misreported as HTTP status: %v", err)
+	}
+
+	if _, err := c.MatchRecords(context.Background(), "d", []byte("ab")); err == nil {
+		t.Fatal("stream against a dead server must error")
+	}
+}
+
+// TestStreamInterruptedMidBody: the server dies after flushing a complete
+// line; the client must report an interrupted stream, not return the
+// prefix as if it were everything.
+func TestStreamInterruptedMidBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"index":0,"offset":1,"count":0,"reports":[]}`)
+		w.(http.Flusher).Flush()
+		panic(http.ErrAbortHandler)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	results, err := c.MatchRecords(context.Background(), "d",
+		[]byte("ab"), []byte("cd"), []byte("ef"))
+	if err == nil {
+		t.Fatalf("interrupted stream returned %d results with no error", len(results))
+	}
+	if !strings.Contains(err.Error(), "interrupted after 1 of 3") {
+		t.Fatalf("err = %v, want interruption with progress count", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("%d partial results, want the 1 complete record", len(results))
+	}
+}
+
+// TestStreamTornFinalLine: a record line cut off mid-JSON (no trailing
+// newline, invalid payload) must error, not decode partially.
+func TestStreamTornFinalLine(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"index":0,"offset":1,"count":0,"reports":[]}`)
+		fmt.Fprint(w, `{"index":1,"offset":5,"count":1,"repor`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	_, err := c.MatchRecords(context.Background(), "d", []byte("ab"), []byte("cd"))
+	if err == nil {
+		t.Fatal("torn final line must error")
+	}
+	if !strings.Contains(err.Error(), "torn stream line after 1 of 2") {
+		t.Fatalf("err = %v, want torn-line error with progress count", err)
+	}
+}
+
+// TestStreamTruncatedCleanClose: the server closes the response cleanly
+// after answering only a prefix of the records — the silent-loss shape a
+// length check is required to catch.
+func TestStreamTruncatedCleanClose(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"index":0,"offset":1,"count":0,"reports":[]}`)
+		fmt.Fprintln(w, `{"index":1,"offset":5,"count":0,"reports":[]}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	results, err := c.MatchRecords(context.Background(), "d",
+		[]byte("ab"), []byte("cd"), []byte("ef"))
+	if err == nil {
+		t.Fatalf("truncated stream returned %d results with no error", len(results))
+	}
+	if !strings.Contains(err.Error(), "truncated: 2 of 3") {
+		t.Fatalf("err = %v, want truncation with counts", err)
+	}
+}
+
+// TestStructuredStatusError: the {"code","message","retry_after_ms"} body
+// parses into a typed StatusError, with the millisecond hint preferred
+// over the coarser Retry-After header.
+func TestStructuredStatusError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteErrorBody(w, http.StatusTooManyRequests, serve.CodeQuotaExhausted,
+			"tenant out of budget", 250*time.Millisecond)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	err := c.Ready(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v", err)
+	}
+	if se.Code != serve.CodeQuotaExhausted || se.Message != "tenant out of budget" {
+		t.Fatalf("StatusError = %+v", se)
+	}
+	if se.RetryAfter != 250*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want the 250ms body hint, not the header's whole second", se.RetryAfter)
+	}
+	if !se.IsRetryable() {
+		t.Fatal("quota_exhausted must be retryable")
+	}
+}
+
+// TestMatchRetriesQuotaWithBodyHint: a structured 429 floors the retry
+// backoff with the body's millisecond hint.
+func TestMatchRetriesQuotaWithBodyHint(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			serve.WriteErrorBody(w, http.StatusTooManyRequests, serve.CodeOverCapacity,
+				"queue full", 40*time.Millisecond)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"design": "d", "hash": "h", "backend": "engine"})
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := New(srv.URL, WithRetryPolicy(resilience.Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    2 * time.Microsecond,
+		Sleep:       func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil },
+	}))
+	if _, err := c.MatchText(context.Background(), "d", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] < 40*time.Millisecond {
+		t.Fatalf("slept = %v, want one sleep floored at the 40ms body hint", slept)
+	}
+}
+
+// TestTypedRecordError: typed per-record stream errors parse into
+// *RecordError with the code and hint intact.
+func TestTypedRecordError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"index":0,"offset":1,"count":0,"reports":[]}`)
+		fmt.Fprintln(w, `{"index":1,"offset":5,"error":"queue full","code":"over_capacity","retry_after_ms":75}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	results, err := c.MatchRecords(context.Background(), "d", []byte("ab"), []byte("cd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re *RecordError
+	if !errors.As(results[1].Err, &re) {
+		t.Fatalf("record 1 error = %v, want *RecordError", results[1].Err)
+	}
+	if re.Code != serve.CodeOverCapacity || re.RetryAfter != 75*time.Millisecond || !re.IsRetryable() {
+		t.Fatalf("RecordError = %+v", re)
+	}
+}
