@@ -32,6 +32,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	rapid "repro"
@@ -49,6 +51,9 @@ func main() {
 		outJSON     = flag.String("out", "BENCH_throughput.json", "throughput JSON output path (empty to skip)")
 		aotMax      = flag.Int("aotmax", 50_000, "AOT DFA state budget; designs exceeding it fall back to the lazy tier")
 		backendFlag = flag.String("backend", "all", "throughput tier to measure: all, device, cpu-dfa, or lazy-dfa")
+		lazyCache   = flag.String("lazy-cache", "", "comma-separated fixed MaxCachedStates values; adds one lazy-dfa[cache=N] throughput row per size")
+		benchNames  = flag.String("benchmarks", "", "comma-separated benchmark names to measure (empty = all five)")
+		coldLazy    = flag.Bool("cold", false, "also measure lazy-dfa with a cold cache (no warm stream)")
 		baseline    = flag.String("baseline", "", "compare throughput against this baseline JSON and exit 1 on regression")
 		tolerance   = flag.Float64("tolerance", 0.35, "allowed fractional throughput drop before -baseline fails the run")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address during the run")
@@ -102,7 +107,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rows := runThroughput(*streamMiB, *aotMax, *outJSON, engines, batch, *metricsAddr != "")
+		cacheSizes, err := parseCacheSizes(*lazyCache)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := &harness.ThroughputConfig{
+			StreamBytes:    *streamMiB << 20,
+			AOTMaxStates:   *aotMax,
+			Engines:        engines,
+			Benchmarks:     splitList(*benchNames),
+			LazyCacheSizes: cacheSizes,
+			ColdLazy:       *coldLazy,
+		}
+		rows := runThroughput(cfg, *streamMiB, *outJSON, batch, *metricsAddr != "")
 		if *baseline != "" {
 			if err := gateThroughput(*baseline, rows, *tolerance); err != nil {
 				fmt.Fprintln(os.Stderr, "rapidbench:", err)
@@ -173,7 +190,9 @@ func throughputTiers(backend string) (engines []string, batch bool, err error) {
 // at the host's parallelism, and prints the table (plus JSON when -out is
 // set).
 // gateThroughput is the benchmark-regression gate: it compares the fresh
-// rows against the committed baseline within the tolerance band.
+// rows against the committed baseline within the tolerance band, and
+// additionally enforces the cross-tier floor (lazy-dfa >= nfa-bitset per
+// benchmark) on the fresh rows themselves.
 func gateThroughput(baselinePath string, rows []harness.ThroughputRow, tolerance float64) error {
 	base, err := harness.ReadThroughputJSON(baselinePath)
 	if err != nil {
@@ -181,23 +200,61 @@ func gateThroughput(baselinePath string, rows []harness.ThroughputRow, tolerance
 	}
 	regressions, skipped := harness.CompareThroughput(base, rows, tolerance)
 	fmt.Print(harness.FormatComparison(regressions, skipped, tolerance))
+	violations, floorSkipped := harness.CrossTierFloors(rows, tolerance)
+	fmt.Print(harness.FormatFloors(violations, floorSkipped, tolerance))
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d throughput regression(s) beyond %.0f%% tolerance of %s",
 			len(regressions), 100*tolerance, baselinePath)
 	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d cross-tier floor violation(s): lazy-dfa below nfa-bitset", len(violations))
+	}
 	return nil
 }
 
-func runThroughput(streamMiB, aotMax int, outJSON string, engines []string, batch, withTelemetry bool) []harness.ThroughputRow {
-	rows, err := harness.Throughput(&harness.ThroughputConfig{
-		StreamBytes:  streamMiB << 20,
-		AOTMaxStates: aotMax,
-		Engines:      engines,
-	})
+// parseCacheSizes parses the -lazy-cache comma list.
+func parseCacheSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("rapidbench: bad -lazy-cache value %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// wantsBenchmark mirrors the harness Benchmarks filter for the batch rows.
+func wantsBenchmark(filter []string, name string) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, f := range filter {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// splitList splits a comma-separated flag, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func runThroughput(cfg *harness.ThroughputConfig, streamMiB int, outJSON string, batch, withTelemetry bool) []harness.ThroughputRow {
+	rows, err := harness.Throughput(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	if batch {
+	if batch && wantsBenchmark(cfg.Benchmarks, bench.Exact().Name) {
 		mb := bench.Exact()
 		src, args := mb.RAPID(mb.DefaultInstances)
 		prog, err := rapid.Parse(src)

@@ -35,11 +35,14 @@ type Engine struct {
 // lazy-DFA cache counters. nil means telemetry disabled — the hot path
 // pays one pointer test per stream, never per byte.
 type engineMetrics struct {
-	bm           *backendMetrics
-	queueDepth   *telemetry.Gauge
-	batches      *telemetry.Counter
-	cacheFills   *telemetry.Counter
-	cacheFlushes *telemetry.Counter
+	bm               *backendMetrics
+	queueDepth       *telemetry.Gauge
+	batches          *telemetry.Counter
+	cacheFills       *telemetry.Counter
+	cacheFlushes     *telemetry.Counter
+	cacheEvictions   *telemetry.Counter
+	prefilterSkipped *telemetry.Counter
+	demotions        *telemetry.Counter
 }
 
 func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
@@ -55,7 +58,13 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		cacheFills: reg.Counter("rapid_lazydfa_cache_fills_total",
 			"Lazy-DFA transitions materialized on cache miss."),
 		cacheFlushes: reg.Counter("rapid_lazydfa_cache_flushes_total",
-			"Lazy-DFA state-cache flush-and-restart events."),
+			"Lazy-DFA whole-cache drops (now only the one performed by demotion)."),
+		cacheEvictions: reg.Counter("rapid_lazydfa_cache_evictions_total",
+			"Lazy-DFA single states evicted by the second-chance clock."),
+		prefilterSkipped: reg.Counter("rapid_lazydfa_prefilter_skipped_bytes_total",
+			"Input bytes skipped by the rest-state literal prefilter."),
+		demotions: reg.Counter("rapid_lazydfa_demotions_total",
+			"Lazy-DFA matchers that demoted to the NFA bitset walk."),
 	}
 }
 
@@ -70,7 +79,10 @@ func (d *Design) NewEngine(opts ...Option) (*Engine, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	proto, err := lazydfa.New(d.net, &lazydfa.Options{MaxCachedStates: cfg.maxCachedStates})
+	proto, err := lazydfa.New(d.net, &lazydfa.Options{
+		MaxCachedStates: cfg.maxCachedStates,
+		MaxCacheBytes:   cfg.maxCacheBytes,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -111,10 +123,11 @@ func (e *Engine) RunBytes(input []byte) ([]Report, error) {
 
 func (e *Engine) runOn(ctx context.Context, m *lazydfa.Matcher, input []byte) ([]Report, error) {
 	var start time.Time
-	var fills0, flushes0 int
+	var fills0, flushes0, evictions0, skipped0, demotions0 int
 	if e.tel != nil {
 		start = time.Now()
 		fills0, flushes0 = m.Fills(), m.Flushes()
+		evictions0, skipped0, demotions0 = m.Evictions(), m.PrefilterSkipped(), m.Demotions()
 	}
 	bufp := e.bufs.Get().(*[]lazydfa.Report)
 	defer e.bufs.Put(bufp)
@@ -124,6 +137,9 @@ func (e *Engine) runOn(ctx context.Context, m *lazydfa.Matcher, input []byte) ([
 		e.tel.bm.record(len(input), len(raw), err, start)
 		e.tel.cacheFills.Add(uint64(m.Fills() - fills0))
 		e.tel.cacheFlushes.Add(uint64(m.Flushes() - flushes0))
+		e.tel.cacheEvictions.Add(uint64(m.Evictions() - evictions0))
+		e.tel.prefilterSkipped.Add(uint64(m.PrefilterSkipped() - skipped0))
+		e.tel.demotions.Add(uint64(m.Demotions() - demotions0))
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,113 @@
+package automata
+
+// Prefilter fact extraction for pure-STE networks: compile-time analysis of
+// the element graph that identifies the automaton's "rest" configuration —
+// the enable set it decays to on input that advances nothing — and the byte
+// set that can move it out of that configuration. A byte-level matcher
+// sitting in the rest configuration may then skip dead input with a vector
+// scan (bytes.IndexByte) instead of stepping symbol by symbol; the lazy DFA
+// (internal/lazydfa) is the consumer. This is the shared-prefix/filter
+// decomposition the in-memory regex codesign literature places in front of
+// the automaton: cheap literal scanning gates the expensive state machine.
+
+import "repro/internal/charclass"
+
+// PrefilterFacts are the start-anchored literal facts of a pure-STE
+// network, extracted by ExtractPrefilter.
+type PrefilterFacts struct {
+	// Rest is the rest-configuration enable set: the STEs enabled by the
+	// always-active star states on every symbol. A network with no star
+	// states has an empty rest configuration — once all threads die, the
+	// enable set is empty and stays empty until re-armed by a Live byte.
+	Rest []ElementID
+
+	// Live is the set of bytes that, consumed in the rest configuration,
+	// either change the configuration or produce a report. Every byte
+	// outside Live self-loops the rest configuration silently, so a run of
+	// non-Live bytes can be skipped wholesale. An empty Live class means
+	// the rest configuration is dead: no suffix of the input can ever
+	// produce another report (the fully start-anchored case).
+	Live charclass.Class
+
+	// ReportBytes is the union of the reporting STEs' classes: the byte a
+	// report fires on is always drawn from this class (the "mandatory
+	// final byte" shared by all accepting paths). It does not license
+	// skipping on its own — interior state still evolves on other bytes —
+	// but it bounds where report offsets can land and is surfaced for
+	// diagnostics and tests.
+	ReportBytes charclass.Class
+}
+
+// ExtractPrefilter computes the network's prefilter facts. It returns nil
+// when no sound facts exist: the network contains counters or gates (their
+// activation is not a pure function of the enable set and current byte), or
+// an always-active star state reports (every byte would be live).
+//
+// The rest configuration is derived from the star states — StartAllInput
+// STEs whose class accepts every byte. A star is active on every symbol
+// regardless of history, so the STEs it enables are enabled on every
+// symbol; the configuration consisting of exactly those enables is the
+// fixed point the automaton falls back to whenever no other thread
+// survives. A byte b is dead in that configuration when the active set it
+// induces is exactly the star set itself (no enabled or start STE beyond
+// the stars accepts b) and no active element reports; stepping the rest
+// configuration on a dead byte reproduces the rest configuration with no
+// output, which is what makes skipping sound.
+func ExtractPrefilter(n *Network) *PrefilterFacts {
+	facts := &PrefilterFacts{}
+	isStar := make([]bool, n.Len())
+	inRest := make([]bool, n.Len())
+	pure := true
+	n.Elements(func(e *Element) {
+		if e.Kind != KindSTE {
+			pure = false
+			return
+		}
+		if e.Report {
+			facts.ReportBytes = facts.ReportBytes.Union(e.Class)
+		}
+		if e.Start == StartAllInput && e.Class.IsAll() {
+			isStar[e.ID] = true
+		}
+	})
+	if !pure {
+		return nil
+	}
+	starReports := false
+	n.Elements(func(e *Element) {
+		if !isStar[e.ID] {
+			return
+		}
+		if e.Report {
+			starReports = true
+		}
+		for _, out := range n.Outs(e.ID) {
+			if out.Port == PortIn {
+				inRest[out.To] = true
+			}
+		}
+	})
+	if starReports {
+		// Every byte reports in the rest configuration; nothing is dead.
+		return nil
+	}
+	for id, in := range inRest {
+		if in {
+			facts.Rest = append(facts.Rest, ElementID(id))
+		}
+	}
+	// A byte is live when an STE beyond the stars can activate on it in the
+	// rest configuration: any rest-enabled STE, or any StartAllInput STE
+	// (stars excluded — they induce no change), or a reporting star (ruled
+	// out above). StartOfData STEs are irrelevant: the rest configuration
+	// is never the first symbol.
+	n.Elements(func(e *Element) {
+		if isStar[e.ID] {
+			return
+		}
+		if inRest[e.ID] || e.Start == StartAllInput {
+			facts.Live = facts.Live.Union(e.Class)
+		}
+	})
+	return facts
+}

@@ -104,6 +104,102 @@ func CompareThroughput(baseline, current []ThroughputRow, tolerance float64) (re
 	return regressions, skipped
 }
 
+// FloorViolation is a benchmark where the lazy-DFA tier ran slower than
+// the nfa-bitset tier it is supposed to dominate.
+type FloorViolation struct {
+	Benchmark string
+	// LazyMBs and FloorMBs are the lazy-dfa and nfa-bitset MB/s readings.
+	LazyMBs  float64
+	FloorMBs float64
+	Ratio    float64
+}
+
+func (v FloorViolation) String() string {
+	return fmt.Sprintf("%s: lazy-dfa %.1f MB/s below nfa-bitset floor %.1f MB/s (%.0f%%)",
+		v.Benchmark, v.LazyMBs, v.FloorMBs, 100*v.Ratio)
+}
+
+// CrossTierFloors checks the invariant the adaptive lazy tier promises:
+// on every benchmark, lazy-dfa must not run slower than nfa-bitset (the
+// tier it demotes to when its cache is useless), within the same
+// fractional tolerance the baseline gate uses. This closes the gap where
+// a tier got slower but still passed tolerance against its *own* baseline
+// while dropping below the bitset tier on the same benchmark.
+//
+// Only the plain single-stream "lazy-dfa" rows are floored — fixed-size
+// sweep rows (lazy-dfa[cache=N]) and cold rows deliberately measure
+// degraded operating points. Benchmarks where either side is unavailable
+// or absent are skipped with the reason listed.
+func CrossTierFloors(current []ThroughputRow, tolerance float64) (violations []FloorViolation, skipped []string) {
+	type pair struct {
+		lazy, floor *ThroughputRow
+	}
+	byBench := map[string]*pair{}
+	var order []string
+	get := func(name string) *pair {
+		p, ok := byBench[name]
+		if !ok {
+			p = &pair{}
+			byBench[name] = p
+			order = append(order, name)
+		}
+		return p
+	}
+	for i := range current {
+		r := &current[i]
+		if r.Workers != 0 {
+			continue
+		}
+		switch r.Engine {
+		case "lazy-dfa":
+			get(r.Benchmark).lazy = r
+		case "nfa-bitset":
+			get(r.Benchmark).floor = r
+		}
+	}
+	for _, name := range order {
+		p := byBench[name]
+		switch {
+		case p.lazy == nil:
+			skipped = append(skipped, fmt.Sprintf("%s: no lazy-dfa row", name))
+		case p.floor == nil:
+			skipped = append(skipped, fmt.Sprintf("%s: no nfa-bitset row", name))
+		case !comparable(*p.lazy):
+			skipped = append(skipped, fmt.Sprintf("%s: lazy-dfa unavailable (%s)", name, p.lazy.Note))
+		case !comparable(*p.floor):
+			skipped = append(skipped, fmt.Sprintf("%s: nfa-bitset unavailable (%s)", name, p.floor.Note))
+		default:
+			ratio := p.lazy.MBPerSec / p.floor.MBPerSec
+			if ratio < 1-tolerance {
+				violations = append(violations, FloorViolation{
+					Benchmark: name,
+					LazyMBs:   p.lazy.MBPerSec,
+					FloorMBs:  p.floor.MBPerSec,
+					Ratio:     ratio,
+				})
+			}
+		}
+	}
+	return violations, skipped
+}
+
+// FormatFloors renders the cross-tier floor verdict.
+func FormatFloors(violations []FloorViolation, skipped []string, tolerance float64) string {
+	var b strings.Builder
+	for _, v := range violations {
+		fmt.Fprintf(&b, "FLOOR %s\n", v)
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(&b, "floor skipped %s\n", s)
+	}
+	if len(violations) == 0 {
+		fmt.Fprintf(&b, "cross-tier floor: ok (lazy-dfa >= nfa-bitset within %.0f%%, %d skipped)\n", 100*tolerance, len(skipped))
+	} else {
+		fmt.Fprintf(&b, "cross-tier floor: %d violation(s)\n", len(violations))
+	}
+	return b.String()
+}
+
 // FormatComparison renders the gate's verdict: one line per regression
 // and skip, plus a summary line.
 func FormatComparison(regressions []Regression, skipped []string, tolerance float64) string {

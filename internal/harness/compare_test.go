@@ -86,6 +86,78 @@ func TestFormatComparison(t *testing.T) {
 	}
 }
 
+func TestCrossTierFloors(t *testing.T) {
+	current := []ThroughputRow{
+		// Brill: lazy collapsed below the bitset tier — the exact failure
+		// mode the old gate missed when both rows individually passed
+		// tolerance against their own baselines.
+		trow("Brill", "nfa-bitset", 0, 3.1, ""),
+		trow("Brill", "lazy-dfa", 0, 0.8, "states=145 evictions=9"),
+		// Exact: healthy.
+		trow("Exact", "nfa-bitset", 0, 40, ""),
+		trow("Exact", "lazy-dfa", 0, 200, ""),
+		// Gappy: aot-dfa unavailable rows must not confuse the floor
+		// (the floor only pairs lazy-dfa with nfa-bitset).
+		trow("Gappy", "nfa-bitset", 0, 15, ""),
+		trow("Gappy", "aot-dfa", 0, 0, "unavailable: construction exceeded 50000 states"),
+		trow("Gappy", "lazy-dfa", 0, 100, ""),
+		// MOTOMATA: inside the tolerance band — noise, not a violation.
+		trow("MOTOMATA", "nfa-bitset", 0, 17.8, ""),
+		trow("MOTOMATA", "lazy-dfa", 0, 17.5, ""),
+		// ARM: no lazy row measured → skipped with a reason.
+		trow("ARM", "nfa-bitset", 0, 80, ""),
+		// Sweep and batch rows never participate in the floor.
+		trow("Brill", "lazy-dfa[cache=4096]", 0, 0.1, ""),
+		trow("Exact", "engine-batch", 4, 400, ""),
+	}
+	violations, skipped := CrossTierFloors(current, 0.35)
+	if len(violations) != 1 {
+		t.Fatalf("violations = %v, want exactly the Brill collapse", violations)
+	}
+	v := violations[0]
+	if v.Benchmark != "Brill" || v.LazyMBs != 0.8 || v.FloorMBs != 3.1 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if s := v.String(); !strings.Contains(s, "Brill") || !strings.Contains(s, "floor") {
+		t.Fatalf("String() = %q", s)
+	}
+	text := strings.Join(skipped, "\n")
+	if !strings.Contains(text, "ARM: no lazy-dfa row") {
+		t.Fatalf("skipped = %v, want ARM skip reason", skipped)
+	}
+	if strings.Contains(text, "Gappy") {
+		t.Fatalf("Gappy should pass the floor despite its unavailable aot row: %v", skipped)
+	}
+}
+
+func TestCrossTierFloorsUnavailableLazy(t *testing.T) {
+	current := []ThroughputRow{
+		trow("Gappy", "nfa-bitset", 0, 0, "unavailable: oom"),
+		trow("Gappy", "lazy-dfa", 0, 100, ""),
+	}
+	violations, skipped := CrossTierFloors(current, 0.35)
+	if len(violations) != 0 {
+		t.Fatalf("violations = %v, want none", violations)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "nfa-bitset unavailable") {
+		t.Fatalf("skipped = %v, want one nfa-bitset-unavailable reason", skipped)
+	}
+}
+
+func TestFormatFloors(t *testing.T) {
+	violations := []FloorViolation{{Benchmark: "Brill", LazyMBs: 0.8, FloorMBs: 3.1, Ratio: 0.26}}
+	out := FormatFloors(violations, []string{"ARM: no lazy-dfa row"}, 0.35)
+	for _, want := range []string{"FLOOR", "floor skipped", "1 violation(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatFloors missing %q in:\n%s", want, out)
+		}
+	}
+	ok := FormatFloors(nil, nil, 0.35)
+	if !strings.Contains(ok, "cross-tier floor: ok") {
+		t.Fatalf("FormatFloors = %q", ok)
+	}
+}
+
 func TestReadThroughputJSONRoundTrip(t *testing.T) {
 	rows := []ThroughputRow{trow("Exact", "lazy-dfa", 0, 123.4, "")}
 	path := filepath.Join(t.TempDir(), "bench.json")

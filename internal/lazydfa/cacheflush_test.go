@@ -2,26 +2,42 @@ package lazydfa_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/automata"
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/lazydfa"
 	"repro/internal/rapidgen"
 )
 
-// TestCacheFlushBoundaries runs the lazy-DFA matcher at the tightest
-// legal state-cache sizes — MaxCachedStates 1 (clamped to the floor of
-// 2) and 2 — over counter-heavy generated programs, comparing every
-// report against the bitset reference simulator. Tiny caches force a
-// flush on almost every interned state, so the flush/refill path is
-// exercised continuously rather than never.
-func TestCacheFlushBoundaries(t *testing.T) {
+// lazyVariants are the matcher configurations every differential test
+// runs: tiny fixed caches that force per-state eviction on almost every
+// intern, the adaptive default, and each of those with the prefilter
+// forced on (default where facts exist) and off.
+func lazyVariants() map[string]*lazydfa.Options {
+	return map[string]*lazydfa.Options{
+		"cap2":             {MaxCachedStates: 2},
+		"cap2-noprefilter": {MaxCachedStates: 2, DisablePrefilter: true},
+		"cap3":             {MaxCachedStates: 3},
+		"cap3-noprefilter": {MaxCachedStates: 3, DisablePrefilter: true},
+		"adaptive":         {},
+		"adaptive-nopf":    {DisablePrefilter: true},
+	}
+}
+
+// TestCacheEvictionBoundaries runs the lazy-DFA matcher at the tightest
+// legal state-cache sizes — where eviction and lazy in-edge repair fire on
+// almost every interned state — over counter-heavy generated programs,
+// comparing every report against the bitset reference simulator, with the
+// prefilter forced on and off.
+func TestCacheEvictionBoundaries(t *testing.T) {
 	cfg := rapidgen.DefaultConfig()
 	cfg.MaxCounters = 2
 	g := rapidgen.NewWithConfig(31, cfg)
 
-	flushes := 0
+	evictions := 0
 	lazyTiers := 0
 	for i := 0; i < 25; i++ {
 		p := g.Program()
@@ -39,10 +55,10 @@ func TestCacheFlushBoundaries(t *testing.T) {
 		}
 		inputs := rapidgen.Inputs(p, 5)
 
-		for _, cap := range []int{1, 2} {
-			m, err := lazydfa.New(res.Network, &lazydfa.Options{MaxCachedStates: cap})
+		for name, opts := range lazyVariants() {
+			m, err := lazydfa.New(res.Network, opts)
 			if err != nil {
-				t.Fatalf("program %d cap %d: %v", i, cap, err)
+				t.Fatalf("program %d %s: %v", i, name, err)
 			}
 			if m.HasLazyTier() {
 				lazyTiers++
@@ -51,18 +67,63 @@ func TestCacheFlushBoundaries(t *testing.T) {
 				want := reportKeys(sim.Clone().Run(input))
 				got := lazyKeys(m.Run(input))
 				if fmt.Sprint(want) != fmt.Sprint(got) {
-					t.Errorf("program %d cap %d input %q: lazy %v, bitset %v\n%s",
-						i, cap, input, got, want, p.Source)
+					t.Errorf("program %d %s input %q: lazy %v, bitset %v\n%s",
+						i, name, input, got, want, p.Source)
 				}
 			}
-			flushes += m.Flushes()
+			evictions += m.Evictions()
+			if m.Flushes() != 0 {
+				t.Errorf("program %d %s: whole-cache flush under per-state eviction", i, name)
+			}
 		}
 	}
 	if lazyTiers == 0 {
 		t.Error("no generated program produced a lazy (counter-free) tier; the cache was never exercised")
 	}
-	if flushes == 0 {
-		t.Error("no cache flush occurred at the minimum cache size; boundary untested")
+	if evictions == 0 {
+		t.Error("no eviction occurred at the minimum cache size; boundary untested")
+	}
+}
+
+// TestPaperBenchmarkParity runs all five paper benchmarks through every
+// lazy-matcher variant (tiny evicting caches, adaptive budget, prefilter
+// on/off) against the FastSimulator oracle, asserting identical
+// (offset, code) report sets.
+func TestPaperBenchmarkParity(t *testing.T) {
+	const streamBytes = 1 << 15
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			src, args := b.RAPID(b.DefaultInstances)
+			prog, err := core.Load(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := prog.Compile(args, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := automata.NewFastSimulator(res.Network)
+			if err != nil {
+				t.Fatal(err)
+			}
+			input := b.Input(rand.New(rand.NewSource(97)), streamBytes)
+			want := reportKeys(sim.Clone().Run(input))
+			for name, opts := range lazyVariants() {
+				m, err := lazydfa.New(res.Network, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				// Two passes: cold cache, then warm (or post-demotion).
+				for pass := 0; pass < 2; pass++ {
+					got := lazyKeys(m.Run(input))
+					if fmt.Sprint(want) != fmt.Sprint(got) {
+						t.Fatalf("%s pass %d: %d lazy reports vs %d oracle reports",
+							name, pass, len(got), len(want))
+					}
+				}
+			}
+		})
 	}
 }
 

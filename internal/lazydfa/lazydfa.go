@@ -3,23 +3,39 @@
 // discovered as input is consumed, interned in a bounded cache, and reused
 // across streams. Where internal/dfa's ahead-of-time subset construction
 // aborts once the state space exceeds MaxStates, the lazy engine never
-// aborts — when the cache cap is hit it flushes the cache and restarts from
-// the current configuration, so memory stays bounded at the cost of
-// recomputing hot transitions.
+// aborts: when the cache is full it evicts one cold state at a time
+// (second-chance clock), and when even eviction cannot keep up it demotes
+// itself to an NFA bitset walk mid-stream, so no input ever runs slower
+// than the nfa-bitset tier by more than the detection window.
+//
+// Three mechanisms carry the throughput:
+//
+//   - Transition rows are indexed by symbol equivalence group, not by raw
+//     byte: a design distinguishing g of the 256 symbols stores g-entry
+//     rows in one contiguous slab. Dense-report workloads whose state
+//     working set runs to tens of thousands of states (Brill) walk a
+//     cache-resident table instead of thrashing DRAM on 1 KiB rows.
+//   - The state cache evicts per state with lazy in-edge repair: a
+//     transition into an evicted state is reset to "unfilled" and
+//     recomputes on demand, so a full cache costs one recomputation per
+//     cold edge instead of a flush-and-restart of every hot state. The
+//     budget is adaptive by default — it starts small and doubles toward a
+//     byte-denominated cap while the observed eviction rate stays high.
+//   - A compile-time prefilter (automata.ExtractPrefilter) identifies the
+//     rest configuration and the byte set that can advance it; while the
+//     DFA sits in the rest state the input is scanned with bytes.IndexByte
+//     instead of stepped byte-by-byte, and the skip disables itself when
+//     measured dead runs are too short to pay for the scan.
 //
 // Designs containing counters or boolean gates are handled by a hybrid
 // split: weakly-connected components made only of STEs run on the lazy
 // DFA, while components containing special elements run on a cloned
 // FastSimulator bitset path. Both halves see the same input stream, and
 // their reports are merged in offset order.
-//
-// The hot byte loop costs one table load plus one branch per symbol on the
-// common no-report path: each cached state carries a dense 256-bit report
-// mask, so the per-symbol report lookup never touches a map unless the
-// state actually reports on that symbol.
 package lazydfa
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/bits"
@@ -36,28 +52,77 @@ type Report struct {
 	Code   int
 }
 
-// Options bound the engine's memory use.
+// Options bound the engine's memory use and select its heuristics.
 type Options struct {
-	// MaxCachedStates caps the number of DFA states interned at once.
-	// Exceeding the cap flushes the cache and restarts from the current
-	// configuration — execution always completes, unlike the ahead-of-time
-	// construction's MaxStates abort. Values below 2 are raised to 2 (the
-	// minimum needed to hold a state and its successor). Default 4096.
+	// MaxCachedStates, when positive, fixes the state cache at exactly
+	// this many states: eviction still runs per state, but the adaptive
+	// budget controller and the mid-stream demotion heuristic are
+	// disabled, which makes execution deterministic for tests and for the
+	// rapidbench -lazy-cache sweep. Values below 2 are raised to 2 (the
+	// minimum needed to hold a state and its successor). Zero or negative
+	// selects the adaptive budget.
 	MaxCachedStates int
+
+	// MaxCacheBytes caps the adaptive budget's memory, denominated in
+	// estimated bytes of cache (rows, keys, configurations, in-edge
+	// records). The cap in states is derived per design from its word and
+	// group counts. Default DefaultMaxCacheBytes. Ignored when
+	// MaxCachedStates is positive.
+	MaxCacheBytes int64
+
+	// InitialCachedStates is the adaptive budget's starting size; the
+	// budget doubles toward the byte cap while the eviction rate per
+	// input byte stays high. Default DefaultInitialCachedStates. Ignored
+	// when MaxCachedStates is positive.
+	InitialCachedStates int
+
+	// DisablePrefilter turns off the rest-state byte skip even when the
+	// design has usable prefilter facts. Used by differential tests to
+	// force the stepped and skipped paths against each other.
+	DisablePrefilter bool
 }
 
-// DefaultMaxCachedStates is the default state-cache cap. At roughly 1 KiB
-// of transition table per state it bounds the cache at a few MiB.
-const DefaultMaxCachedStates = 4096
+const (
+	// DefaultMaxCacheBytes bounds the adaptive state cache at 64 MiB per
+	// matcher. The paper workloads' largest observed working sets (Brill
+	// and Gappy, ~37k states each) fit with room to spare; servers fanning
+	// a design across many workers can lower it with WithMaxCacheBytes.
+	DefaultMaxCacheBytes = 64 << 20
 
-func (o *Options) withDefaults() Options {
-	out := Options{MaxCachedStates: DefaultMaxCachedStates}
-	if o != nil && o.MaxCachedStates > 0 {
-		out.MaxCachedStates = o.MaxCachedStates
+	// DefaultInitialCachedStates is the adaptive budget's starting size.
+	DefaultInitialCachedStates = 64
+
+	// maxPrefilterBytes is the widest live-byte set the prefilter will
+	// scan for; beyond it, repeated bytes.IndexByte passes cost more than
+	// stepping.
+	maxPrefilterBytes = 4
+)
+
+type options struct {
+	fixed            int
+	maxCacheBytes    int64
+	initial          int
+	disablePrefilter bool
+}
+
+func (o *Options) withDefaults() options {
+	out := options{maxCacheBytes: DefaultMaxCacheBytes, initial: DefaultInitialCachedStates}
+	if o == nil {
+		return out
 	}
-	if out.MaxCachedStates < 2 {
-		out.MaxCachedStates = 2
+	if o.MaxCachedStates > 0 {
+		out.fixed = o.MaxCachedStates
+		if out.fixed < 2 {
+			out.fixed = 2
+		}
 	}
+	if o.MaxCacheBytes > 0 {
+		out.maxCacheBytes = o.MaxCacheBytes
+	}
+	if o.InitialCachedStates > 0 {
+		out.initial = o.InitialCachedStates
+	}
+	out.disablePrefilter = o.DisablePrefilter
 	return out
 }
 
@@ -72,8 +137,27 @@ type Matcher struct {
 	cache     *stateCache
 	activeBuf []uint64
 	nextBuf   []uint64
+	codesBuf  []int
+
+	// Prefilter state. prefilter starts true when the design has usable
+	// facts and flips off permanently when measured dead runs are too
+	// short to pay for the scan.
+	prefilter     bool
+	liveBytes     []byte
+	skipWindowN   int
+	skipWindowLen int
+
+	// Adaptive budget / demotion state.
+	adaptive      bool
+	lastEvictions int
+	thrashWindows int
+	demoted       bool
+	pureEnabled   []uint64
+
 	fills     int
 	flushes   int
+	demotions int
+	skipped   int
 }
 
 // New validates the network, splits it into the counter-free and special
@@ -88,10 +172,16 @@ func New(n *automata.Network, opts *Options) (*Matcher, error) {
 	pure, special := automata.SplitSpecials(n)
 	m := &Matcher{}
 	if pure != nil {
-		m.prog = compile(pure, o.MaxCachedStates)
+		m.prog = compile(pure)
 		m.activeBuf = make([]uint64, m.prog.nwords)
 		m.nextBuf = make([]uint64, m.prog.nwords)
-		m.cache = newStateCache(o.MaxCachedStates)
+		max, limit, adaptive := cacheBudget(o, m.prog)
+		m.adaptive = adaptive
+		m.cache = newStateCache(m.prog, max, limit)
+		if !o.disablePrefilter && m.prog.hasFacts && len(m.prog.liveBytes) <= maxPrefilterBytes {
+			m.prefilter = true
+			m.liveBytes = m.prog.liveBytes
+		}
 	}
 	if special != nil {
 		sim, err := automata.NewFastSimulator(special)
@@ -106,15 +196,50 @@ func New(n *automata.Network, opts *Options) (*Matcher, error) {
 	return m, nil
 }
 
+// cacheBudget resolves the options into the cache's starting budget and
+// hard cap. Fixed caps disable the adaptive controller.
+func cacheBudget(o options, p *program) (max, limit int, adaptive bool) {
+	if o.fixed > 0 {
+		max = o.fixed
+		if max > int(cellIDMask) {
+			max = int(cellIDMask)
+		}
+		return max, max, false
+	}
+	limit = int(o.maxCacheBytes / int64(p.stateBytes))
+	if limit < 16 {
+		limit = 16
+	}
+	if limit > int(cellIDMask) {
+		limit = int(cellIDMask)
+	}
+	max = o.initial
+	if max < 2 {
+		max = 2
+	}
+	if max > limit {
+		max = limit
+	}
+	return max, limit, true
+}
+
 // Clone returns an independent matcher sharing the immutable compiled
 // tables but owning a fresh (empty) DFA cache and simulator state, so a
-// server can fan one design out across goroutines.
+// server can fan one design out across goroutines. Learned heuristic
+// state carries over: the clone inherits the parent's grown cache budget,
+// its demotion decision, and its prefilter enable/disable verdict.
 func (m *Matcher) Clone() *Matcher {
-	c := &Matcher{prog: m.prog}
+	c := &Matcher{
+		prog:      m.prog,
+		adaptive:  m.adaptive,
+		demoted:   m.demoted,
+		prefilter: m.prefilter,
+		liveBytes: m.liveBytes,
+	}
 	if m.prog != nil {
 		c.activeBuf = make([]uint64, m.prog.nwords)
 		c.nextBuf = make([]uint64, m.prog.nwords)
-		c.cache = newStateCache(m.cache.max)
+		c.cache = newStateCache(m.prog, m.cache.max, m.cache.limit)
 	}
 	if m.sim != nil {
 		c.sim = m.sim.Clone()
@@ -135,17 +260,50 @@ func (m *Matcher) CachedStates() int {
 	if m.cache == nil {
 		return 0
 	}
-	return len(m.cache.states)
+	return len(m.cache.meta)
+}
+
+// CacheBudget returns the cache's current state budget — the fixed
+// MaxCachedStates, or wherever the adaptive controller has grown to.
+func (m *Matcher) CacheBudget() int {
+	if m.cache == nil {
+		return 0
+	}
+	return m.cache.max
 }
 
 // Fills returns how many transitions the matcher has materialized on
-// cache misses (one per (state, symbol-class) filled). Together with
-// Flushes it is the cache-efficiency signal the telemetry layer surfaces.
+// cache misses (one per (state, symbol-group) cell filled). Together with
+// Evictions it is the cache-efficiency signal the telemetry layer
+// surfaces.
 func (m *Matcher) Fills() int { return m.fills }
 
-// Flushes returns how many times the state cache hit its cap and was
-// flushed.
+// Flushes returns how many times the whole state cache was dropped. Under
+// per-state eviction this no longer happens on capacity pressure; the only
+// remaining whole-cache drop is the one performed by demotion, when the
+// DFA gives the memory back before switching to the bitset walk.
 func (m *Matcher) Flushes() int { return m.flushes }
+
+// Evictions returns how many single states the cache has evicted to make
+// room.
+func (m *Matcher) Evictions() int {
+	if m.cache == nil {
+		return 0
+	}
+	return m.cache.evictions
+}
+
+// PrefilterSkipped returns how many input bytes the rest-state prefilter
+// skipped with vector scans instead of stepping.
+func (m *Matcher) PrefilterSkipped() int { return m.skipped }
+
+// Demotions returns how many times the matcher demoted its lazy tier to
+// the NFA bitset walk (at most once — demotion is sticky).
+func (m *Matcher) Demotions() int { return m.demotions }
+
+// Demoted reports whether the lazy tier has demoted itself to the NFA
+// bitset walk.
+func (m *Matcher) Demoted() bool { return m.demoted }
 
 // Run executes the design over one input stream and returns the merged
 // report events in (offset, code) order.
@@ -192,16 +350,37 @@ func (m *Matcher) run(ctx context.Context, input []byte, out []Report) ([]Report
 		}
 		// The lazy tier emits reports already canonical (offset-ordered,
 		// codes sorted and distinct per offset); merging in the simulator
-		// tier requires a re-sort and dedup of the combined tail.
-		tail := canonicalize(out[base:])
-		out = out[:base+len(tail)]
+		// tier requires a re-sort and dedup of the combined tail — unless
+		// it is already canonical, the common case for pure-special
+		// designs whose simulator emits in offset order.
+		if !isCanonical(out[base:]) {
+			tail := canonicalize(out[base:])
+			out = out[:base+len(tail)]
+		}
 	}
 	return out, nil
 }
 
+func isCanonical(rs []Report) bool {
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Offset < rs[i-1].Offset ||
+			(rs[i].Offset == rs[i-1].Offset && rs[i].Code <= rs[i-1].Code) {
+			return false
+		}
+	}
+	return true
+}
+
 // runLazy walks the lazy DFA over input, materializing transitions on
-// demand.
+// demand. The per-symbol fast path is a single data-dependent load: the
+// group-indexed row cell carries the successor id and a has-reports flag
+// in one int32.
 func (m *Matcher) runLazy(ctx context.Context, input []byte, out []Report) ([]Report, error) {
+	if m.demoted {
+		return m.runPure(ctx, input, out, 0, true, nil)
+	}
+	p := m.prog
+	c := m.cache
 	cur := m.startState()
 	base := 0
 	for len(input) > 0 {
@@ -214,23 +393,56 @@ func (m *Matcher) runLazy(ctx context.Context, input []byte, out []Report) ([]Re
 		if len(chunk) > automata.CancelCheckInterval {
 			chunk = chunk[:automata.CancelCheckInterval]
 		}
+		rest := int32(-1) // cur is never negative, so -1 disables the check
+		if m.prefilter {
+			rest = c.restID
+		}
 		for i := 0; i < len(chunk); i++ {
-			sym := chunk[i]
-			st := m.cache.states[cur]
-			nxt := st.next[sym]
-			if nxt < 0 {
-				cur, nxt = m.miss(cur, sym)
-				st = m.cache.states[cur]
-			}
-			if st.repMask[sym>>6]&(1<<uint(sym&63)) != 0 {
-				for _, c := range st.reps[sym] {
-					out = append(out, Report{Offset: base + i, Code: c})
+			if cur == rest {
+				if n := m.skipDead(chunk[i:]); n > 0 {
+					m.skipped += n
+					i += n
+					if i >= len(chunk) {
+						break
+					}
+				}
+				if !m.prefilter {
+					rest = -1
 				}
 			}
-			cur = nxt
+			sym := chunk[i]
+			g := int(p.groupOf[sym])
+			v := c.rows[int(cur)*c.ngroups+g]
+			if v < 0 {
+				v = m.miss(cur, g, sym)
+				rest = -1
+				if m.prefilter {
+					rest = c.restID
+				}
+			}
+			if v&cellReport != 0 {
+				for _, gc := range c.meta[cur].reps {
+					if gc.group == int32(g) {
+						for _, code := range gc.codes {
+							out = append(out, Report{Offset: base + i, Code: code})
+						}
+						break
+					}
+				}
+			}
+			cur = v & cellIDMask
 		}
 		base += len(chunk)
 		input = input[len(chunk):]
+		if m.adaptive && m.adapt(len(chunk)) {
+			// Demote: carry the live NFA configuration into the bitset
+			// walk and give the cache memory back.
+			st := c.meta[cur]
+			enabled := append([]uint64(nil), st.enabled...)
+			first := st.first
+			m.demote()
+			return m.runPure(ctx, input, out, base, first, enabled)
+		}
 	}
 	return out, nil
 }
@@ -239,59 +451,44 @@ func (m *Matcher) runLazy(ctx context.Context, input []byte, out []Report) ([]Re
 // symbol pending). The cache is kept warm across runs, so this is a map
 // hit on every stream after the first.
 func (m *Matcher) startState() int32 {
-	empty := make([]uint64, m.prog.nwords)
-	id, ok := m.cache.intern(empty, true)
-	if !ok {
-		m.flushes++
-		m.cache.flush()
-		id, _ = m.cache.intern(empty, true)
+	for i := range m.nextBuf {
+		m.nextBuf[i] = 0
 	}
-	return id
+	return m.cache.intern(m.nextBuf, true, -1)
 }
 
-// miss materializes the transition of state cur on symbol sym (and, since
-// equivalent symbols behave identically, on sym's whole partition group).
-// When interning the successor would exceed the cache cap, the cache is
-// flushed and the current state re-interned, so the returned current-state
-// id may differ from cur.
-func (m *Matcher) miss(cur int32, sym byte) (newCur, succ int32) {
-	p := m.prog
+// miss materializes the transition of state cur on symbol sym's
+// equivalence group: it steps the NFA configuration, interns the successor
+// (possibly evicting one cold state — never cur, which is pinned), fills
+// the row cell, and records the in-edge so eviction of the successor can
+// repair the cell lazily.
+func (m *Matcher) miss(cur int32, g int, sym byte) int32 {
 	m.fills++
-	st := m.cache.states[cur]
-	next, codes := m.step(st, sym)
-	succEnabled := append(make([]uint64, 0, p.nwords), next...)
-	succID, ok := m.cache.intern(succEnabled, false)
-	if !ok {
-		m.flushes++
-		enabled, first := st.enabled, st.first
-		m.cache.flush()
-		cur, _ = m.cache.intern(enabled, first)
-		st = m.cache.states[cur]
-		succID, _ = m.cache.intern(succEnabled, false)
+	c := m.cache
+	st := c.meta[cur]
+	next, codes := m.step(st.enabled, st.first, sym)
+	succ := c.intern(next, false, cur)
+	v := succ
+	if len(codes) > 0 {
+		v |= cellReport
+		c.meta[cur].setCodes(int32(g), codes)
 	}
-	for _, s := range p.groupSyms[p.part.GroupOf[sym]] {
-		st.next[s] = succID
-		if len(codes) > 0 {
-			st.repMask[s>>6] |= 1 << uint(s&63)
-			if st.reps == nil {
-				st.reps = make(map[byte][]int)
-			}
-			st.reps[s] = codes
-		}
-	}
-	return cur, succID
+	c.rows[int(cur)*c.ngroups+g] = v
+	c.noteInEdge(succ, cur, int32(g))
+	c.meta[cur].ref = true
+	return v
 }
 
-// step computes the successor configuration and report codes of st on sym.
-// The returned word slice aliases the matcher's scratch buffer and must be
-// copied before interning.
-func (m *Matcher) step(st *state, sym byte) ([]uint64, []int) {
+// step computes the successor configuration and report codes of the
+// configuration (enabled, first) on sym. Both returned slices alias the
+// matcher's scratch buffers and must be copied before retention.
+func (m *Matcher) step(enabled []uint64, first bool, sym byte) ([]uint64, []int) {
 	p := m.prog
 	accept := p.accept[sym]
 	active := m.activeBuf
 	for i := range active {
-		w := st.enabled[i] | p.startAll[i]
-		if st.first {
+		w := enabled[i] | p.startAll[i]
+		if first {
 			w |= p.startData[i]
 		}
 		active[i] = w & accept[i]
@@ -300,24 +497,61 @@ func (m *Matcher) step(st *state, sym byte) ([]uint64, []int) {
 	for i := range next {
 		next[i] = 0
 	}
-	var codes []int
+	codes := m.codesBuf[:0]
 	for wi, w := range active {
+		rep := w & p.reportBits[wi]
 		for w != 0 {
 			id := wi*64 + bits.TrailingZeros64(w)
 			for _, mw := range p.outMask[id] {
 				next[mw.word] |= mw.bits
 			}
-			if p.isReporting[id] {
-				codes = append(codes, p.reportCode[id])
-			}
 			w &= w - 1
+		}
+		for rep != 0 {
+			id := wi*64 + bits.TrailingZeros64(rep)
+			codes = append(codes, p.reportCode[id])
+			rep &= rep - 1
 		}
 	}
 	if len(codes) > 1 {
 		sort.Ints(codes)
 		codes = compactInts(codes)
 	}
+	m.codesBuf = codes
 	return next, codes
+}
+
+// skipDead scans s for the first byte that can advance the rest
+// configuration and returns the count of dead bytes before it (possibly
+// the whole of s). With an empty live set the rest configuration is dead
+// and the entire remainder is skipped. The scan keeps its own payoff
+// statistics and permanently disables the prefilter when the average dead
+// run is too short to amortize the vector scan.
+func (m *Matcher) skipDead(s []byte) int {
+	n := len(s)
+	switch len(m.liveBytes) {
+	case 0:
+		return n
+	case 1:
+		if j := bytes.IndexByte(s, m.liveBytes[0]); j >= 0 {
+			n = j
+		}
+	default:
+		for _, b := range m.liveBytes {
+			if j := bytes.IndexByte(s[:n], b); j >= 0 {
+				n = j
+			}
+		}
+	}
+	m.skipWindowN++
+	m.skipWindowLen += n
+	if m.skipWindowN == 64 {
+		if m.skipWindowLen < 64*8 {
+			m.prefilter = false
+		}
+		m.skipWindowN, m.skipWindowLen = 0, 0
+	}
+	return n
 }
 
 // canonicalize sorts rs by (offset, code) and drops duplicates in place,
@@ -346,144 +580,4 @@ func compactInts(xs []int) []int {
 		}
 	}
 	return out
-}
-
-// ------------------------------------------------------------ compiled tables
-
-// maskWord is one nonzero word of a sparse enable mask.
-type maskWord struct {
-	word int
-	bits uint64
-}
-
-// program holds the immutable per-design tables the lazy tier steps with:
-// per-symbol acceptance bitsets, start bitsets, sparse enable masks, report
-// codes, and the symbol partition used to fill whole transition groups per
-// cache miss.
-type program struct {
-	nwords      int
-	accept      [256][]uint64
-	startData   []uint64
-	startAll    []uint64
-	outMask     [][]maskWord
-	isReporting []bool
-	reportCode  []int
-	part        *automata.SymbolPartition
-	groupSyms   [][]byte
-}
-
-func compile(pure *automata.Network, maxStates int) *program {
-	n := pure.Len()
-	p := &program{
-		nwords:      (n + 63) / 64,
-		startData:   make([]uint64, (n+63)/64),
-		startAll:    make([]uint64, (n+63)/64),
-		outMask:     make([][]maskWord, n),
-		isReporting: make([]bool, n),
-		reportCode:  make([]int, n),
-		part:        automata.Partition(pure),
-	}
-	for sym := 0; sym < 256; sym++ {
-		p.accept[sym] = make([]uint64, p.nwords)
-	}
-	setBit := func(b []uint64, id automata.ElementID) { b[id>>6] |= 1 << (uint(id) & 63) }
-	pure.Elements(func(e *automata.Element) {
-		if e.Report {
-			p.isReporting[e.ID] = true
-			p.reportCode[e.ID] = e.ReportCode
-		}
-		mask := make([]uint64, p.nwords)
-		for _, out := range pure.Outs(e.ID) {
-			if out.Port == automata.PortIn {
-				setBit(mask, out.To)
-			}
-		}
-		for wi, w := range mask {
-			if w != 0 {
-				p.outMask[e.ID] = append(p.outMask[e.ID], maskWord{word: wi, bits: w})
-			}
-		}
-		for sym := 0; sym < 256; sym++ {
-			if e.Class.Contains(byte(sym)) {
-				setBit(p.accept[sym], e.ID)
-			}
-		}
-		switch e.Start {
-		case automata.StartOfData:
-			setBit(p.startData, e.ID)
-		case automata.StartAllInput:
-			setBit(p.startAll, e.ID)
-		}
-	})
-	p.groupSyms = make([][]byte, len(p.part.Representatives))
-	for sym := 0; sym < 256; sym++ {
-		g := p.part.GroupOf[sym]
-		p.groupSyms[g] = append(p.groupSyms[g], byte(sym))
-	}
-	return p
-}
-
-// ------------------------------------------------------------------ cache
-
-// state is one interned DFA state: an NFA configuration plus its lazily
-// filled transition row and dense report mask.
-type state struct {
-	key     string
-	enabled []uint64
-	first   bool
-	next    [256]int32
-	repMask [4]uint64
-	reps    map[byte][]int // codes per reporting symbol; nil for most states
-}
-
-type stateCache struct {
-	ids    map[string]int32
-	states []*state
-	max    int
-}
-
-func newStateCache(max int) *stateCache {
-	return &stateCache{ids: make(map[string]int32), max: max}
-}
-
-// intern returns the id of the configuration, creating the state when new.
-// It fails (ok=false) when creating the state would exceed the cap.
-func (c *stateCache) intern(enabled []uint64, first bool) (id int32, ok bool) {
-	key := configKey(enabled, first)
-	if id, ok := c.ids[key]; ok {
-		return id, true
-	}
-	if len(c.states) >= c.max {
-		return -1, false
-	}
-	st := &state{key: key, enabled: enabled, first: first}
-	for i := range st.next {
-		st.next[i] = -1
-	}
-	id = int32(len(c.states))
-	c.states = append(c.states, st)
-	c.ids[key] = id
-	return id, true
-}
-
-// flush empties the cache. Interned configurations survive only if the
-// caller re-interns them.
-func (c *stateCache) flush() {
-	c.ids = make(map[string]int32)
-	c.states = c.states[:0]
-}
-
-func configKey(enabled []uint64, first bool) string {
-	buf := make([]byte, 0, len(enabled)*8+1)
-	if first {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
-	}
-	for _, w := range enabled {
-		buf = append(buf,
-			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
-			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
-	}
-	return string(buf)
 }

@@ -125,10 +125,12 @@ func TestCrossCheckRandom(t *testing.T) {
 	}
 }
 
-// TestTinyCapFlushes checks that a cap-2 cache actually thrashes (so the
-// flush path is exercised) while still completing — the bounded-memory
-// guarantee that replaces the AOT construction's abort.
-func TestTinyCapFlushes(t *testing.T) {
+// TestTinyCapEvicts checks that a cap-2 cache actually thrashes (so the
+// per-state eviction and in-edge repair paths are exercised) while still
+// completing — the bounded-memory guarantee that replaces the AOT
+// construction's abort. Whole-cache flushes must NOT happen: capacity
+// pressure is absorbed one state at a time.
+func TestTinyCapEvicts(t *testing.T) {
 	n := automata.NewNetwork("w")
 	last := addChain(n, []byte("abc"), automata.StartAllInput)
 	n.SetReport(last, 0)
@@ -141,11 +143,149 @@ func TestTinyCapFlushes(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("reports = %v, want %v", got, want)
 	}
-	if m.Flushes() == 0 {
-		t.Fatal("cap-2 cache should have flushed")
+	if m.Evictions() == 0 {
+		t.Fatal("cap-2 cache should have evicted states")
+	}
+	if m.Flushes() != 0 {
+		t.Fatalf("fixed-cap cache should never flush wholesale, got %d", m.Flushes())
+	}
+	if m.Demoted() {
+		t.Fatal("fixed-cap matcher must not demote")
 	}
 	if m.CachedStates() > 2 {
 		t.Fatalf("cache grew past cap: %d states", m.CachedStates())
+	}
+}
+
+// TestAdaptiveBudgetGrows checks the adaptive controller doubles the
+// budget away from its small initial size when the working set does not
+// fit, instead of thrashing forever.
+func TestAdaptiveBudgetGrows(t *testing.T) {
+	// Many distinct configurations: parallel anchored chains over a wide
+	// alphabet produce a state per prefix combination.
+	rng := rand.New(rand.NewSource(17))
+	n := automata.NewNetwork("grow")
+	for c := 0; c < 24; c++ {
+		word := make([]byte, 6)
+		for i := range word {
+			word[i] = byte('a' + rng.Intn(8))
+		}
+		last := addChain(n, word, automata.StartAllInput)
+		n.SetReport(last, c)
+	}
+	m, err := New(n, &Options{InitialCachedStates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheBudget() != 2 {
+		t.Fatalf("initial budget = %d, want 2", m.CacheBudget())
+	}
+	input := make([]byte, 1<<16)
+	for i := range input {
+		input[i] = byte('a' + rng.Intn(8))
+	}
+	m.Run(input)
+	if m.CacheBudget() <= 2 {
+		t.Fatalf("budget never grew from 2 (evictions=%d)", m.Evictions())
+	}
+	if m.Demoted() {
+		t.Fatal("budget growth should have absorbed the working set without demotion")
+	}
+}
+
+// TestDemotion forces the cap so low that eviction cannot keep up and
+// checks the matcher demotes to the bitset walk mid-stream with identical
+// reports, then stays demoted (and report-correct) on later runs.
+func TestDemotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := automata.NewNetwork("demote")
+	for c := 0; c < 24; c++ {
+		word := make([]byte, 6)
+		for i := range word {
+			word[i] = byte('a' + rng.Intn(8))
+		}
+		last := addChain(n, word, automata.StartAllInput)
+		n.SetReport(last, c)
+	}
+	sim, err := automata.NewFastSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-byte cache cap clamps the state budget to the floor of 16, far
+	// below the working set, so every window thrashes at the limit.
+	m, err := New(n, &Options{MaxCacheBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]byte, 1<<17)
+	for i := range input {
+		input[i] = byte('a' + rng.Intn(8))
+	}
+	want := simSet(sim.Clone().Run(input))
+	got := m.Run(input)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("demoting run diverged: %d reports vs %d", len(got), len(want))
+	}
+	if !m.Demoted() || m.Demotions() != 1 {
+		t.Fatalf("matcher should have demoted exactly once: demoted=%v demotions=%d", m.Demoted(), m.Demotions())
+	}
+	if m.Flushes() != 1 {
+		t.Fatalf("demotion should count as the one whole-cache flush, got %d", m.Flushes())
+	}
+	if m.CachedStates() != 0 {
+		t.Fatalf("demoted matcher should have released its cache, still holds %d states", m.CachedStates())
+	}
+	// Later runs go straight to the bitset walk and stay correct.
+	got = m.Run(input)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("post-demotion run diverged")
+	}
+	if m.Demotions() != 1 {
+		t.Fatalf("demotion must be sticky, fired %d times", m.Demotions())
+	}
+	// Clones inherit the demotion verdict.
+	if c := m.Clone(); !c.Demoted() {
+		t.Fatal("clone should inherit demotion")
+	}
+}
+
+// TestPrefilterSkips checks the rest-state prefilter actually skips dead
+// stretches on a separator-sparse input and that reports are unaffected.
+func TestPrefilterSkips(t *testing.T) {
+	n := automata.NewNetwork("skip")
+	last := addChain(n, []byte("needle"), automata.StartAllInput)
+	n.SetReport(last, 0)
+	// The StartAllInput head is the separator-rearm shape: the rest
+	// configuration is empty and 'n' is the only live byte, so dead
+	// stretches between needles are skippable wholesale.
+	input := make([]byte, 1<<16)
+	for i := range input {
+		input[i] = 'x'
+	}
+	copy(input[1000:], "needle")
+	copy(input[60000:], "needle")
+	m, err := New(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Run(input)
+	want := []Report{{Offset: 1005, Code: 0}, {Offset: 60005, Code: 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reports = %v, want %v", got, want)
+	}
+	if m.PrefilterSkipped() == 0 {
+		t.Fatal("prefilter never skipped on a 64 KiB dead stretch")
+	}
+	// Forced off: same reports, no skipping.
+	off, err := New(n, &Options{DisablePrefilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := off.Run(input); !reflect.DeepEqual(got, want) {
+		t.Fatalf("prefilter-off reports = %v, want %v", got, want)
+	}
+	if off.PrefilterSkipped() != 0 {
+		t.Fatal("disabled prefilter still skipped")
 	}
 }
 

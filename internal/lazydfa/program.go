@@ -1,0 +1,120 @@
+package lazydfa
+
+import (
+	"repro/internal/automata"
+)
+
+// maskWord is one nonzero word of a sparse enable mask.
+type maskWord struct {
+	word int
+	bits uint64
+}
+
+// program holds the immutable per-design tables the lazy tier steps with:
+// per-symbol acceptance bitsets, start bitsets, sparse enable masks, report
+// codes, the symbol-partition group map that keys the compressed transition
+// rows, and the compile-time prefilter facts.
+type program struct {
+	nwords     int
+	ngroups    int
+	groupOf    [256]uint8 // symbol → equivalence group; rows are ngroups wide
+	accept     [256][]uint64
+	startData  []uint64
+	startAll   []uint64
+	outMask    [][]maskWord
+	reportBits []uint64 // bitset over elements: which report
+	reportCode []int
+
+	// stateBytes estimates one cached state's memory (row cells, key,
+	// configuration copy, in-edge records, struct overhead); it denominates
+	// Options.MaxCacheBytes into a state-count cap.
+	stateBytes int
+
+	// Prefilter facts (automata.ExtractPrefilter). restKey is the config
+	// key of the rest configuration ("" when no facts — keys are always
+	// nonempty, so "" never collides); liveBytes is the byte set that can
+	// move the automaton out of it, nil-able and possibly empty (a fully
+	// anchored design whose rest configuration is dead).
+	hasFacts  bool
+	restKey   string
+	liveBytes []byte
+}
+
+func compile(pure *automata.Network) *program {
+	n := pure.Len()
+	p := &program{
+		nwords:     (n + 63) / 64,
+		startData:  make([]uint64, (n+63)/64),
+		startAll:   make([]uint64, (n+63)/64),
+		outMask:    make([][]maskWord, n),
+		reportBits: make([]uint64, (n+63)/64),
+		reportCode: make([]int, n),
+	}
+	part := automata.Partition(pure)
+	p.ngroups = len(part.Representatives)
+	for sym := 0; sym < 256; sym++ {
+		p.groupOf[sym] = uint8(part.GroupOf[sym])
+		p.accept[sym] = make([]uint64, p.nwords)
+	}
+	setBit := func(b []uint64, id automata.ElementID) { b[id>>6] |= 1 << (uint(id) & 63) }
+	pure.Elements(func(e *automata.Element) {
+		if e.Report {
+			setBit(p.reportBits, e.ID)
+			p.reportCode[e.ID] = e.ReportCode
+		}
+		mask := make([]uint64, p.nwords)
+		for _, out := range pure.Outs(e.ID) {
+			if out.Port == automata.PortIn {
+				setBit(mask, out.To)
+			}
+		}
+		for wi, w := range mask {
+			if w != 0 {
+				p.outMask[e.ID] = append(p.outMask[e.ID], maskWord{word: wi, bits: w})
+			}
+		}
+		for sym := 0; sym < 256; sym++ {
+			if e.Class.Contains(byte(sym)) {
+				setBit(p.accept[sym], e.ID)
+			}
+		}
+		switch e.Start {
+		case automata.StartOfData:
+			setBit(p.startData, e.ID)
+		case automata.StartAllInput:
+			setBit(p.startAll, e.ID)
+		}
+	})
+	// Per-state memory: one int32 row cell per group, the interned key and
+	// the configuration copy (8 bytes per word each, plus the key's flag
+	// byte), an amortized in-edge record per row cell (16 bytes), and a
+	// fixed allowance for the state struct, map entry, and slice headers.
+	p.stateBytes = 4*p.ngroups + 16*p.nwords + 16*p.ngroups + 224
+
+	if facts := automata.ExtractPrefilter(pure); facts != nil {
+		p.hasFacts = true
+		rest := make([]uint64, p.nwords)
+		for _, id := range facts.Rest {
+			setBit(rest, id)
+		}
+		p.restKey = string(appendConfigKey(nil, rest, false))
+		p.liveBytes = facts.Live.Symbols()
+	}
+	return p
+}
+
+// appendConfigKey serializes a configuration (enable bitset plus the
+// first-symbol flag) into buf as a cache key. Keys are always nonempty.
+func appendConfigKey(buf []byte, enabled []uint64, first bool) []byte {
+	if first {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	for _, w := range enabled {
+		buf = append(buf,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return buf
+}

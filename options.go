@@ -14,6 +14,7 @@ type Option func(*config)
 type config struct {
 	workers         int
 	maxCachedStates int
+	maxCacheBytes   int64
 	tel             *telemetry.Registry
 }
 
@@ -33,11 +34,24 @@ func WithWorkers(n int) Option {
 	return func(c *config) { c.workers = n }
 }
 
-// WithMaxCachedStates caps each lazy-DFA matcher's state cache; the cache
-// flushes and restarts when full, so memory stays bounded without
-// aborting. Values <= 0 mean lazydfa.DefaultMaxCachedStates.
+// WithMaxCachedStates fixes each lazy-DFA matcher's state cache at exactly
+// n states; a full cache evicts one cold state at a time (second-chance
+// clock), so memory stays bounded without aborting. Fixing the size also
+// disables the adaptive budget controller and mid-stream demotion, making
+// execution deterministic. Values <= 0 (the default) select the adaptive
+// budget: the cache starts small and grows toward the WithMaxCacheBytes
+// cap while the eviction rate stays high.
 func WithMaxCachedStates(n int) Option {
 	return func(c *config) { c.maxCachedStates = n }
+}
+
+// WithMaxCacheBytes caps the adaptive lazy-DFA cache budget in estimated
+// bytes per matcher (default lazydfa.DefaultMaxCacheBytes, 64 MiB). When a
+// design's working set cannot fit even at this cap and eviction churn
+// stays high, the matcher demotes itself to the NFA bitset walk. Ignored
+// when WithMaxCachedStates fixes the size.
+func WithMaxCacheBytes(n int64) Option {
+	return func(c *config) { c.maxCacheBytes = n }
 }
 
 // WithTelemetry routes the execution path's metrics and spans into reg —
