@@ -52,6 +52,7 @@ func main() {
 		aotMax      = flag.Int("aotmax", 50_000, "AOT DFA state budget; designs exceeding it fall back to the lazy tier")
 		backendFlag = flag.String("backend", "all", "throughput tier to measure: all, device, cpu-dfa, or lazy-dfa")
 		lazyCache   = flag.String("lazy-cache", "", "comma-separated fixed MaxCachedStates values; adds one lazy-dfa[cache=N] throughput row per size")
+		laneSweep   = flag.String("lanes", "", "comma-separated lane widths in [2,64]; adds one nfa-bitset-x64[lanes=N] throughput row per width (the full 64-lane row is always measured)")
 		benchNames  = flag.String("benchmarks", "", "comma-separated benchmark names to measure (empty = all five)")
 		coldLazy    = flag.Bool("cold", false, "also measure lazy-dfa with a cold cache (no warm stream)")
 		baseline    = flag.String("baseline", "", "compare throughput against this baseline JSON and exit 1 on regression")
@@ -107,7 +108,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		cacheSizes, err := parseCacheSizes(*lazyCache)
+		cacheSizes, err := parseIntList(*lazyCache, "-lazy-cache")
+		if err != nil {
+			fatal(err)
+		}
+		laneSizes, err := parseIntList(*laneSweep, "-lanes")
 		if err != nil {
 			fatal(err)
 		}
@@ -118,6 +123,7 @@ func main() {
 			Benchmarks:     splitList(*benchNames),
 			LazyCacheSizes: cacheSizes,
 			ColdLazy:       *coldLazy,
+			LaneSizes:      laneSizes,
 		}
 		rows := runThroughput(cfg, *streamMiB, *outJSON, batch, *metricsAddr != "")
 		if *baseline != "" {
@@ -175,7 +181,7 @@ func throughputTiers(backend string) (engines []string, batch bool, err error) {
 	}
 	switch kind {
 	case rapid.BackendDevice:
-		return []string{"nfa-bitset"}, false, nil
+		return []string{"nfa-bitset", "nfa-bitset-x64"}, false, nil
 	case rapid.BackendCPUDFA:
 		return []string{"aot-dfa"}, false, nil
 	case rapid.BackendLazyDFA:
@@ -207,18 +213,19 @@ func gateThroughput(baselinePath string, rows []harness.ThroughputRow, tolerance
 			len(regressions), 100*tolerance, baselinePath)
 	}
 	if len(violations) > 0 {
-		return fmt.Errorf("%d cross-tier floor violation(s): lazy-dfa below nfa-bitset", len(violations))
+		return fmt.Errorf("%d cross-tier floor violation(s): a tier fell below its nfa-bitset floor", len(violations))
 	}
 	return nil
 }
 
-// parseCacheSizes parses the -lazy-cache comma list.
-func parseCacheSizes(s string) ([]int, error) {
+// parseIntList parses a comma list of positive integers (the -lazy-cache
+// and -lanes sweeps).
+func parseIntList(s, flagName string) ([]int, error) {
 	var out []int
 	for _, part := range splitList(s) {
 		n, err := strconv.Atoi(part)
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("rapidbench: bad -lazy-cache value %q", part)
+			return nil, fmt.Errorf("rapidbench: bad %s value %q", flagName, part)
 		}
 		out = append(out, n)
 	}
@@ -266,32 +273,52 @@ func runThroughput(cfg *harness.ThroughputConfig, streamMiB int, outJSON string,
 			fatal(err)
 		}
 		streams := harness.MultiStreamWorkload(mb, 2*runtime.GOMAXPROCS(0), streamMiB<<17, 2)
+		// The lane-batched rows need enough streams to fill 64-wide lane
+		// groups (the engine falls back to the scalar path below 50%
+		// occupancy), so they run a wider, shorter-stream workload.
+		laneStreams := harness.MultiStreamWorkload(mb, 2*rapid.MaxLanes, streamMiB<<13, 3)
 		workerSet := []int{1}
 		if n := runtime.GOMAXPROCS(0); n > 1 {
 			workerSet = append(workerSet, n)
 		}
 		for _, workers := range workerSet {
-			opts := []rapid.Option{rapid.WithWorkers(workers)}
-			if withTelemetry {
-				opts = append(opts, rapid.WithTelemetry(telemetry.Default()))
+			// Per worker count: the per-stream engine, then the lane-batched
+			// engine (WithLanes) advancing 64 streams per word.
+			for _, lanes := range []int{0, rapid.MaxLanes} {
+				opts := []rapid.Option{rapid.WithWorkers(workers)}
+				name := "engine-batch"
+				if lanes > 0 {
+					opts = append(opts, rapid.WithLanes(lanes))
+					name = "engine-batch-x64"
+				}
+				if withTelemetry {
+					opts = append(opts, rapid.WithTelemetry(telemetry.Default()))
+				}
+				eng, err := design.NewEngine(opts...)
+				if err != nil {
+					fatal(err)
+				}
+				if lanes > 0 && eng.Lanes() == 0 {
+					continue // design has counters/gates; lane path unavailable
+				}
+				ss := streams
+				if lanes > 0 {
+					ss = laneStreams
+				}
+				r, err := harness.BatchThroughput(mb.Name, name, workers, ss,
+					func(ss [][]byte) (int, error) {
+						res, err := eng.RunBatch(context.Background(), ss)
+						total := 0
+						for _, reports := range res {
+							total += len(reports)
+						}
+						return total, err
+					})
+				if err != nil {
+					fatal(err)
+				}
+				rows = append(rows, r)
 			}
-			eng, err := design.NewEngine(opts...)
-			if err != nil {
-				fatal(err)
-			}
-			r, err := harness.BatchThroughput(mb.Name, "engine-batch", workers, streams,
-				func(ss [][]byte) (int, error) {
-					res, err := eng.RunBatch(context.Background(), ss)
-					total := 0
-					for _, reports := range res {
-						total += len(reports)
-					}
-					return total, err
-				})
-			if err != nil {
-				fatal(err)
-			}
-			rows = append(rows, r)
 		}
 	}
 	fmt.Print(harness.FormatThroughput(rows))

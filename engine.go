@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/automata"
 	"repro/internal/lazydfa"
 	"repro/internal/telemetry"
 )
@@ -26,8 +28,15 @@ type Engine struct {
 	workers int
 	tel     *engineMetrics
 
+	// Lane batching (WithLanes): laneProto is the prototype 64-lane bitset
+	// simulator, nil when disabled or when the design has counters/gates.
+	// lanes is the configured group width (2..automata.MaxLanes).
+	laneProto *automata.LaneSimulator
+	lanes     int
+
 	matchers sync.Pool // *lazydfa.Matcher
 	bufs     sync.Pool // *[]lazydfa.Report
+	laneSims sync.Pool // *automata.LaneSimulator
 }
 
 // engineMetrics is the engine's instrument set: the shared per-backend
@@ -43,6 +52,10 @@ type engineMetrics struct {
 	cacheEvictions   *telemetry.Counter
 	prefilterSkipped *telemetry.Counter
 	demotions        *telemetry.Counter
+	lanes            *telemetry.Gauge
+	laneGroups       *telemetry.Counter
+	laneStreams      *telemetry.Counter
+	laneOccupancy    *telemetry.Histogram
 }
 
 func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
@@ -65,14 +78,22 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 			"Input bytes skipped by the rest-state literal prefilter."),
 		demotions: reg.Counter("rapid_lazydfa_demotions_total",
 			"Lazy-DFA matchers that demoted to the NFA bitset walk."),
+		lanes: reg.Gauge("rapid_engine_lanes",
+			"Effective lane-batch width (0 = lane execution disabled or unavailable)."),
+		laneGroups: reg.Counter("rapid_engine_lane_groups_total",
+			"Lane groups executed by the 64-streams-per-word batch path."),
+		laneStreams: reg.Counter("rapid_engine_lane_streams_total",
+			"Streams executed through the lane-batched path."),
+		laneOccupancy: reg.Histogram("rapid_engine_lane_occupancy",
+			"Streams per executed lane group (how full each 64-lane word ran)."),
 	}
 }
 
 // NewEngine builds the design's batch execution engine. Options:
-// WithWorkers, WithMaxCachedStates, WithTelemetry. Unlike CompileCPU,
-// engine construction never aborts on design size: the lazy tier's memory
-// is bounded by the state-cache cap, and counters and gates run on the
-// bitset fallback.
+// WithWorkers, WithMaxCachedStates, WithLanes, WithTelemetry. Unlike
+// CompileCPU, engine construction never aborts on design size: the lazy
+// tier's memory is bounded by the state-cache cap, and counters and gates
+// run on the bitset fallback.
 func (d *Design) NewEngine(opts ...Option) (*Engine, error) {
 	cfg := applyOptions(opts)
 	workers := cfg.workers
@@ -89,11 +110,31 @@ func (d *Design) NewEngine(opts ...Option) (*Engine, error) {
 	e := &Engine{proto: proto, reports: d.reports, workers: workers, tel: newEngineMetrics(cfg.tel)}
 	e.matchers.New = func() any { return e.proto.Clone() }
 	e.bufs.New = func() any { return new([]lazydfa.Report) }
+	if cfg.lanes > 1 {
+		// lazydfa.New froze d.net above, so Freeze returns the cached
+		// topology. Designs with counters or gates fall back silently to
+		// per-stream execution (ErrNotPure).
+		if t, terr := d.net.Freeze(); terr == nil {
+			if ls, lerr := t.NewLaneSimulator(); lerr == nil {
+				e.laneProto = ls
+				e.lanes = cfg.lanes
+				e.laneSims.New = func() any { return e.laneProto.Clone() }
+			}
+		}
+	}
+	if e.tel != nil {
+		e.tel.lanes.Set(int64(e.lanes))
+	}
 	return e, nil
 }
 
 // Workers returns the engine's worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// Lanes returns the effective lane-batch width: the WithLanes value when
+// lane execution is active, 0 when it was not requested, was <= 1, or is
+// unavailable because the design contains counters or gates.
+func (e *Engine) Lanes() int { return e.lanes }
 
 // Tiers describes the engine's execution split: "lazy-dfa",
 // "lazy-dfa+bitset", or "bitset".
@@ -174,6 +215,13 @@ func (e *Engine) RunBatch(ctx context.Context, inputs [][]byte) ([][]Report, err
 			e.tel.queueDepth.Dec()
 		}
 	}
+	// Take the lane path only when the batch can fill lane groups at
+	// ≥50% occupancy: a lane pass costs full group width regardless of
+	// how many lanes carry streams, so a 2-stream batch on a 64-lane
+	// engine would run at 3% occupancy — slower than the scalar path.
+	if e.laneProto != nil && len(inputs) > 1 && len(inputs)*2 >= e.lanes {
+		return results, e.runLaneBatch(ctx, inputs, results, done)
+	}
 	workers := e.workers
 	if workers > len(inputs) {
 		workers = len(inputs)
@@ -230,6 +278,125 @@ func (e *Engine) RunBatch(ctx context.Context, inputs [][]byte) ([][]Report, err
 	}
 	wg.Wait()
 	return results, firstErr
+}
+
+// runLaneBatch executes inputs in groups of e.lanes streams, each group
+// advancing in lock-step through one lane simulator; groups are sharded
+// across the worker pool. Results land in results[i] in input order with
+// the same (offset, code)-deduplicated, code-sorted-within-offset
+// convention as the per-stream path.
+func (e *Engine) runLaneBatch(ctx context.Context, inputs [][]byte, results [][]Report, done func()) error {
+	groups := (len(inputs) + e.lanes - 1) / e.lanes
+	runGroup := func(ls *automata.LaneSimulator, g int) error {
+		lo := g * e.lanes
+		hi := lo + e.lanes
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		var start time.Time
+		if e.tel != nil {
+			start = time.Now()
+		}
+		raw, err := ls.Run(ctx, inputs[lo:hi])
+		if e.tel != nil {
+			nbytes, nreports := 0, 0
+			for _, in := range inputs[lo:hi] {
+				nbytes += len(in)
+			}
+			for _, rs := range raw {
+				nreports += len(rs)
+			}
+			e.tel.bm.record(nbytes, nreports, err, start)
+			e.tel.laneGroups.Inc()
+			e.tel.laneStreams.Add(uint64(hi - lo))
+			e.tel.laneOccupancy.Observe(int64(hi - lo))
+		}
+		if err != nil {
+			return fmt.Errorf("rapid: engine lane group %d: %w", g, err)
+		}
+		for k, rs := range raw {
+			results[lo+k] = e.convertLaneReports(rs)
+			done()
+		}
+		return nil
+	}
+
+	workers := e.workers
+	if workers > groups {
+		workers = groups
+	}
+	if workers <= 1 {
+		ls := e.laneSims.Get().(*automata.LaneSimulator)
+		defer e.laneSims.Put(ls)
+		for g := 0; g < groups; g++ {
+			if err := runGroup(ls, g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ls := e.laneSims.Get().(*automata.LaneSimulator)
+			defer e.laneSims.Put(ls)
+			for {
+				g := int(next.Add(1))
+				if g >= groups {
+					return
+				}
+				if err := runGroup(ls, g); err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// convertLaneReports canonicalizes one lane's raw report stream to the
+// engine's convention: deduplicated by (offset, code), codes sorted within
+// each offset. The lane simulator emits reports offset-ordered but
+// element-id-ordered within an offset, and distinct elements can share a
+// report code.
+func (e *Engine) convertLaneReports(raw []automata.Report) []Report {
+	out := make([]Report, 0, len(raw))
+	var codes []int
+	for i := 0; i < len(raw); {
+		j := i
+		for j < len(raw) && raw[j].Offset == raw[i].Offset {
+			j++
+		}
+		codes = codes[:0]
+		for _, r := range raw[i:j] {
+			codes = append(codes, r.Code)
+		}
+		sort.Ints(codes)
+		for k, c := range codes {
+			if k > 0 && c == codes[k-1] {
+				continue
+			}
+			out = append(out, Report{Offset: raw[i].Offset, Code: c, Site: e.reports[c]})
+		}
+		i = j
+	}
+	return out
 }
 
 // BatchResult is one stream's outcome from RunBatchSettled.

@@ -68,18 +68,29 @@ type xmlGate struct {
 }
 
 // ElementID returns the ANML id used for element e: its Name when set,
-// otherwise a kind-prefixed synthetic id.
+// otherwise a kind-prefixed synthetic id. It serves construction-time
+// callers holding builder elements; TopoElementID is the frozen-side
+// equivalent.
 func ElementID(e *automata.Element) string {
-	if e.Name != "" {
-		return e.Name
+	return anmlID(e.Name, e.Kind, e.ID)
+}
+
+// TopoElementID returns the ANML id of element id in a frozen topology.
+func TopoElementID(t *automata.Topology, id automata.ElementID) string {
+	return anmlID(t.NameOf(id), t.Kind(id), id)
+}
+
+func anmlID(name string, kind automata.Kind, id automata.ElementID) string {
+	if name != "" {
+		return name
 	}
-	switch e.Kind {
+	switch kind {
 	case automata.KindSTE:
-		return fmt.Sprintf("ste%d", e.ID)
+		return fmt.Sprintf("ste%d", id)
 	case automata.KindCounter:
-		return fmt.Sprintf("cnt%d", e.ID)
+		return fmt.Sprintf("cnt%d", id)
 	default:
-		return fmt.Sprintf("gate%d", e.ID)
+		return fmt.Sprintf("gate%d", id)
 	}
 }
 
@@ -119,65 +130,61 @@ func portSuffix(p automata.Port) string {
 	}
 }
 
-// Marshal renders the network as an ANML document.
-func Marshal(n *automata.Network) ([]byte, error) {
+// Marshal renders a frozen topology as an ANML document.
+func Marshal(t *automata.Topology) ([]byte, error) {
 	doc := xmlANML{Version: "1.0"}
-	doc.Network.ID = n.Name
-	ids := make(map[automata.ElementID]string, n.Len())
-	seen := make(map[string]bool, n.Len())
-	var marshalErr error
-	n.Elements(func(e *automata.Element) {
-		id := ElementID(e)
-		if seen[id] {
-			marshalErr = fmt.Errorf("anml: duplicate element id %q", id)
+	doc.Network.ID = t.Name
+	ids := make(map[automata.ElementID]string, t.Len())
+	seen := make(map[string]bool, t.Len())
+	for id := automata.ElementID(0); id < automata.ElementID(t.Len()); id++ {
+		aid := TopoElementID(t, id)
+		if seen[aid] {
+			return nil, fmt.Errorf("anml: duplicate element id %q", aid)
 		}
-		seen[id] = true
-		ids[e.ID] = id
-	})
-	if marshalErr != nil {
-		return nil, marshalErr
+		seen[aid] = true
+		ids[id] = aid
 	}
 
 	activations := func(src automata.ElementID) []xmlActivate {
 		var out []xmlActivate
-		for _, edge := range n.Outs(src) {
-			out = append(out, xmlActivate{Element: ids[edge.To] + portSuffix(edge.Port)})
+		for _, edge := range t.Outs(src) {
+			out = append(out, xmlActivate{Element: ids[automata.ElementID(edge.Node)] + portSuffix(edge.Port)})
 		}
 		return out
 	}
-	report := func(e *automata.Element) *xmlReport {
-		if !e.Report {
+	report := func(id automata.ElementID) *xmlReport {
+		if !t.Reports(id) {
 			return nil
 		}
-		code := e.ReportCode
+		code := t.ReportCode(id)
 		return &xmlReport{ReportCode: &code}
 	}
 
-	n.Elements(func(e *automata.Element) {
-		switch e.Kind {
+	for id := automata.ElementID(0); id < automata.ElementID(t.Len()); id++ {
+		switch t.Kind(id) {
 		case automata.KindSTE:
 			doc.Network.STEs = append(doc.Network.STEs, xmlSTE{
-				ID:        ids[e.ID],
-				SymbolSet: e.Class.String(),
-				Start:     startAttr(e.Start),
-				Activate:  activations(e.ID),
-				Report:    report(e),
+				ID:        ids[id],
+				SymbolSet: t.Class(id).String(),
+				Start:     startAttr(t.Start(id)),
+				Activate:  activations(id),
+				Report:    report(id),
 			})
 		case automata.KindCounter:
 			at := "latch"
-			if !e.Latch {
+			if !t.Latch(id) {
 				at = "pulse"
 			}
 			doc.Network.Counters = append(doc.Network.Counters, xmlCounter{
-				ID:       ids[e.ID],
-				Target:   e.Target,
+				ID:       ids[id],
+				Target:   t.Target(id),
 				AtTarget: at,
-				Activate: activations(e.ID),
-				Report:   report(e),
+				Activate: activations(id),
+				Report:   report(id),
 			})
 		case automata.KindGate:
-			g := xmlGate{ID: ids[e.ID], Activate: activations(e.ID), Report: report(e)}
-			switch e.Op {
+			g := xmlGate{ID: ids[id], Activate: activations(id), Report: report(id)}
+			switch t.Op(id) {
 			case automata.GateAnd:
 				doc.Network.Ands = append(doc.Network.Ands, g)
 			case automata.GateOr:
@@ -190,7 +197,7 @@ func Marshal(n *automata.Network) ([]byte, error) {
 				doc.Network.Nands = append(doc.Network.Nands, g)
 			}
 		}
-	})
+	}
 
 	out, err := xml.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -199,9 +206,9 @@ func Marshal(n *automata.Network) ([]byte, error) {
 	return append([]byte(xml.Header), append(out, '\n')...), nil
 }
 
-// Write marshals n to w.
-func Write(w io.Writer, n *automata.Network) error {
-	data, err := Marshal(n)
+// Write marshals t to w.
+func Write(w io.Writer, t *automata.Topology) error {
+	data, err := Marshal(t)
 	if err != nil {
 		return err
 	}
@@ -327,10 +334,10 @@ func Read(r io.Reader) (*automata.Network, error) {
 	return Unmarshal(data)
 }
 
-// LineCount returns the number of lines in the marshaled ANML for n, the
+// LineCount returns the number of lines in the marshaled ANML for t, the
 // "ANML LOC" metric of Table 4.
-func LineCount(n *automata.Network) (int, error) {
-	data, err := Marshal(n)
+func LineCount(t *automata.Topology) (int, error) {
+	data, err := Marshal(t)
 	if err != nil {
 		return 0, err
 	}

@@ -40,7 +40,7 @@ func sampleNetwork() *automata.Network {
 
 func TestMarshalUnmarshalRoundTrip(t *testing.T) {
 	n := sampleNetwork()
-	data, err := Marshal(n)
+	data, err := Marshal(n.MustFreeze())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestRoundTripPreservesBehavior(t *testing.T) {
 		prev = id
 	}
 	n.SetReport(prev, 5)
-	data, err := Marshal(n)
+	data, err := Marshal(n.MustFreeze())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestRoundTripPreservesBehavior(t *testing.T) {
 func TestWriteRead(t *testing.T) {
 	n := sampleNetwork()
 	var buf bytes.Buffer
-	if err := Write(&buf, n); err != nil {
+	if err := Write(&buf, n.MustFreeze()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := Read(&buf)
@@ -143,7 +143,7 @@ func TestMarshalUsesNames(t *testing.T) {
 	n := automata.NewNetwork("named")
 	id := n.AddSTE(charclass.Single('q'), automata.StartAllInput)
 	n.Element(id).Name = "my_state"
-	data, err := Marshal(n)
+	data, err := Marshal(n.MustFreeze())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestMarshalDuplicateNames(t *testing.T) {
 	b := n.AddSTE(charclass.Single('b'), automata.StartNone)
 	n.Element(a).Name = "same"
 	n.Element(b).Name = "same"
-	if _, err := Marshal(n); err == nil {
+	if _, err := Marshal(n.MustFreeze()); err == nil {
 		t.Fatal("duplicate ids should fail to marshal")
 	}
 }
@@ -180,11 +180,11 @@ func TestUnmarshalErrors(t *testing.T) {
 
 func TestLineCount(t *testing.T) {
 	n := sampleNetwork()
-	lc, err := LineCount(n)
+	lc, err := LineCount(n.MustFreeze())
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, _ := Marshal(n)
+	data, _ := Marshal(n.MustFreeze())
 	if want := strings.Count(string(data), "\n"); lc != want {
 		t.Fatalf("LineCount = %d, want %d", lc, want)
 	}

@@ -144,7 +144,7 @@ func TestPlainDocumentCompatible(t *testing.T) {
 	n := automata.NewNetwork("plain")
 	a := n.AddSTE(charclass.Single('a'), automata.StartAllInput)
 	n.SetReport(a, 0)
-	data, err := Marshal(n)
+	data, err := Marshal(n.MustFreeze())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,45 +6,44 @@ import (
 	"strings"
 )
 
-// WriteDot renders the network in Graphviz DOT format for visualization:
-// STEs as circles labeled with their character class (doubled when
-// reporting), counters as boxes, gates as diamonds, with count/reset ports
-// annotated on edges.
-func (n *Network) WriteDot(w io.Writer) error {
+// WriteDot renders the frozen topology in Graphviz DOT format for
+// visualization: STEs as circles labeled with their character class
+// (doubled when reporting), counters as boxes, gates as diamonds, with
+// count/reset ports annotated on edges.
+func (t *Topology) WriteDot(w io.Writer) error {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "digraph %q {\n", n.Name)
+	fmt.Fprintf(&sb, "digraph %q {\n", t.Name)
 	sb.WriteString("  rankdir=LR;\n")
-	for i := range n.elems {
-		e := &n.elems[i]
+	for id := ElementID(0); id < ElementID(t.Len()); id++ {
 		var label, shape, extra string
-		switch e.Kind {
+		switch t.Kind(id) {
 		case KindSTE:
-			label = escapeDot(e.Class.String())
+			label = escapeDot(t.Class(id).String())
 			shape = "circle"
-			switch e.Start {
+			switch t.Start(id) {
 			case StartOfData:
 				extra = `, style=filled, fillcolor="#cce5ff"`
 			case StartAllInput:
 				extra = `, style=filled, fillcolor="#d4edda"`
 			}
 		case KindCounter:
-			label = fmt.Sprintf("cnt >= %d", e.Target)
+			label = fmt.Sprintf("cnt >= %d", t.Target(id))
 			shape = "box"
 		case KindGate:
-			label = strings.ToUpper(e.Op.String())
+			label = strings.ToUpper(t.Op(id).String())
 			shape = "diamond"
 		}
-		if e.Report {
-			if e.Kind == KindSTE {
+		if t.Reports(id) {
+			if t.Kind(id) == KindSTE {
 				shape = "doublecircle"
 			} else {
 				extra += ", peripheries=2"
 			}
 		}
-		fmt.Fprintf(&sb, "  n%d [label=\"%s\", shape=%s%s];\n", e.ID, label, shape, extra)
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\", shape=%s%s];\n", id, label, shape, extra)
 	}
-	for i := range n.elems {
-		for _, edge := range n.outs[i] {
+	for id := ElementID(0); id < ElementID(t.Len()); id++ {
+		for _, edge := range t.Outs(id) {
 			attr := ""
 			switch edge.Port {
 			case PortCount:
@@ -52,12 +51,21 @@ func (n *Network) WriteDot(w io.Writer) error {
 			case PortReset:
 				attr = ` [label="rst", style=dashed, color=red]`
 			}
-			fmt.Fprintf(&sb, "  n%d -> n%d%s;\n", edge.From, edge.To, attr)
+			fmt.Fprintf(&sb, "  n%d -> n%d%s;\n", id, edge.Node, attr)
 		}
 	}
 	sb.WriteString("}\n")
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// WriteDot freezes the network (validating it) and renders its topology.
+func (n *Network) WriteDot(w io.Writer) error {
+	t, err := n.Freeze()
+	if err != nil {
+		return err
+	}
+	return t.WriteDot(w)
 }
 
 func escapeDot(s string) string {

@@ -16,12 +16,10 @@ import (
 // whose unbounded state puts exact equivalence checking out of scope.
 var ErrHasSpecials = fmt.Errorf("automata: equivalence checking requires counter- and gate-free designs")
 
-// steOnly verifies the network contains only STEs.
-func steOnly(n *Network) error {
-	for i := range n.elems {
-		if n.elems[i].Kind != KindSTE {
-			return ErrHasSpecials
-		}
+// steOnly verifies the topology contains only STEs.
+func steOnly(t *Topology) error {
+	if !t.Pure() {
+		return ErrHasSpecials
 	}
 	return nil
 }
@@ -39,30 +37,28 @@ func (d detState) key() string {
 
 // stepDet advances a deterministic configuration by one symbol, returning
 // the next enabled set and whether any reporting element was active.
-func stepDet(n *Network, enabled detState, sym byte, firstSymbol bool) (detState, bool) {
+func stepDet(t *Topology, enabled detState, sym byte, firstSymbol bool) (detState, bool) {
 	activeReport := false
 	nextSet := map[ElementID]bool{}
 	activate := func(id ElementID) {
-		e := &n.elems[id]
-		if !e.Class.Contains(sym) {
+		if !t.Class(id).Contains(sym) {
 			return
 		}
-		if e.Report {
+		if t.Reports(id) {
 			activeReport = true
 		}
-		for _, out := range n.outs[id] {
+		for _, out := range t.Outs(id) {
 			if out.Port == PortIn {
-				nextSet[out.To] = true
+				nextSet[ElementID(out.Node)] = true
 			}
 		}
 	}
 	for _, id := range enabled {
 		activate(id)
 	}
-	for i := range n.elems {
-		e := &n.elems[i]
-		if e.Start == StartAllInput || (e.Start == StartOfData && firstSymbol) {
-			activate(e.ID)
+	for i := ElementID(0); i < ElementID(t.Len()); i++ {
+		if t.Start(i) == StartAllInput || (t.Start(i) == StartOfData && firstSymbol) {
+			activate(i)
 		}
 	}
 	next := make(detState, 0, len(nextSet))
@@ -73,10 +69,10 @@ func stepDet(n *Network, enabled detState, sym byte, firstSymbol bool) (detState
 	return next, activeReport
 }
 
-// Equivalent checks report-equivalence of two counter-free networks. It
+// Equivalent checks report-equivalence of two counter-free topologies. It
 // returns nil when equivalent, or an error carrying a counterexample input
 // on which exactly one of the designs reports.
-func Equivalent(a, b *Network) error {
+func Equivalent(a, b *Topology) error {
 	if err := steOnly(a); err != nil {
 		return err
 	}

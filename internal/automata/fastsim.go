@@ -12,10 +12,14 @@ import (
 // which mirrors how the physical device evaluates all columns of the
 // memory array against the decoded row in parallel.
 //
+// The simulator runs on a frozen Topology: the precomputed tables are
+// immutable and shared by every clone, and all mutable execution state
+// lives in one flat word slice plus the counter array, so Clone is a
+// constant number of allocations regardless of design size.
+//
 // Semantics are identical to Simulator; the tests cross-check them.
 type FastSimulator struct {
-	n        *Network
-	specials []ElementID
+	t *Topology
 
 	accept      [256]bitset  // STEs accepting each symbol
 	startData   bitset       // StartOfData STEs
@@ -24,6 +28,9 @@ type FastSimulator struct {
 	reporting   []ElementID  // elements with Report set
 	hasSpecials bool
 
+	// Mutable state: enabled, nextEnabled, and active are equal-length
+	// subslices of the single backing allocation state.
+	state       []uint64
 	enabled     bitset
 	nextEnabled bitset
 	active      bitset
@@ -33,66 +40,82 @@ type FastSimulator struct {
 	reports []Report
 }
 
-// NewFastSimulator validates the network and builds the precomputed
-// tables. Construction is O(elements × alphabet); prefer the plain
-// Simulator for one-shot runs of very large designs.
+// NewFastSimulator freezes the network (validating it) and builds the
+// precomputed tables. Construction is O(elements × alphabet); prefer the
+// plain Simulator for one-shot runs of very large designs.
 func NewFastSimulator(n *Network) (*FastSimulator, error) {
-	if err := n.Validate(); err != nil {
-		return nil, err
-	}
-	specials, err := n.specialOrder()
+	t, err := n.Freeze()
 	if err != nil {
 		return nil, err
 	}
-	s := &FastSimulator{
-		n:           n,
-		specials:    specials,
-		startData:   newBitset(n.Len()),
-		startAll:    newBitset(n.Len()),
-		outMask:     make([][]maskWord, n.Len()),
-		enabled:     newBitset(n.Len()),
-		nextEnabled: newBitset(n.Len()),
-		active:      newBitset(n.Len()),
-		counterVal:  make([]int, n.Len()),
-		hasSpecials: len(specials) > 0,
-	}
-	for sym := 0; sym < 256; sym++ {
-		s.accept[sym] = newBitset(n.Len())
-	}
-	n.Elements(func(e *Element) {
-		if e.Report {
-			s.reporting = append(s.reporting, e.ID)
-		}
-		mask := newBitset(n.Len())
-		for _, out := range n.Outs(e.ID) {
-			if out.Port == PortIn && n.Element(out.To).Kind == KindSTE {
-				mask.set(out.To)
-			}
-		}
-		s.outMask[e.ID] = sparsify(mask)
-		if e.Kind != KindSTE {
-			return
-		}
-		for sym := 0; sym < 256; sym++ {
-			if e.Class.Contains(byte(sym)) {
-				s.accept[sym].set(e.ID)
-			}
-		}
-		switch e.Start {
-		case StartOfData:
-			s.startData.set(e.ID)
-		case StartAllInput:
-			s.startAll.set(e.ID)
-		}
-	})
-	return s, nil
+	return t.NewFastSimulator(), nil
 }
+
+// NewFastSimulator builds a fast simulator over the frozen topology.
+// Unlike the Network constructor it cannot fail: a Topology is valid by
+// construction.
+func (t *Topology) NewFastSimulator() *FastSimulator {
+	ln := t.Len()
+	s := &FastSimulator{
+		t:           t,
+		startData:   newBitset(ln),
+		startAll:    newBitset(ln),
+		outMask:     make([][]maskWord, ln),
+		counterVal:  make([]int, ln),
+		hasSpecials: !t.Pure(),
+	}
+	s.allocState(ln)
+	for sym := 0; sym < 256; sym++ {
+		s.accept[sym] = newBitset(ln)
+	}
+	for id := ElementID(0); id < ElementID(ln); id++ {
+		if t.Reports(id) {
+			s.reporting = append(s.reporting, id)
+		}
+		mask := newBitset(ln)
+		for _, out := range t.Outs(id) {
+			to := ElementID(out.Node)
+			if out.Port == PortIn && t.Kind(to) == KindSTE {
+				mask.set(to)
+			}
+		}
+		s.outMask[id] = sparsify(mask)
+		if t.Kind(id) != KindSTE {
+			continue
+		}
+		class := t.Class(id)
+		for sym := 0; sym < 256; sym++ {
+			if class.Contains(byte(sym)) {
+				s.accept[sym].set(id)
+			}
+		}
+		switch t.Start(id) {
+		case StartOfData:
+			s.startData.set(id)
+		case StartAllInput:
+			s.startAll.set(id)
+		}
+	}
+	return s
+}
+
+// allocState carves the three mutable bitsets out of one backing slice.
+func (s *FastSimulator) allocState(n int) {
+	words := (n + 63) / 64
+	s.state = make([]uint64, 3*words)
+	s.enabled = bitset(s.state[0:words:words])
+	s.nextEnabled = bitset(s.state[words : 2*words : 2*words])
+	s.active = bitset(s.state[2*words : 3*words : 3*words])
+}
+
+// Topology returns the frozen topology the simulator executes.
+func (s *FastSimulator) Topology() *Topology { return s.t }
 
 // Reset returns the simulator to its initial configuration.
 func (s *FastSimulator) Reset() {
-	s.enabled.reset()
-	s.nextEnabled.reset()
-	s.active.reset()
+	for i := range s.state {
+		s.state[i] = 0
+	}
 	for i := range s.counterVal {
 		s.counterVal[i] = 0
 	}
@@ -106,27 +129,26 @@ func (s *FastSimulator) Reports() []Report { return s.reports }
 // Offset returns the number of symbols consumed so far.
 func (s *FastSimulator) Offset() int { return s.offset }
 
-// Clone returns an independent simulator for the same network that shares
+// Clone returns an independent simulator for the same topology that shares
 // the precomputed acceptance and enable tables (immutable after
-// construction) but owns fresh mutable state. Cloning is O(elements/64),
-// not the O(elements × alphabet) of NewFastSimulator, so servers can fan
-// one design out across goroutines cheaply. The clone starts reset.
+// construction) but owns fresh mutable state. Because the topology is a
+// frozen struct-of-arrays value and the mutable state is two flat slices,
+// cloning is a constant number of allocations — O(1), not the
+// O(elements × alphabet) of construction — so servers can fan one design
+// out across goroutines cheaply. The clone starts reset.
 func (s *FastSimulator) Clone() *FastSimulator {
-	n := s.n.Len()
-	return &FastSimulator{
-		n:           s.n,
-		specials:    s.specials,
+	c := &FastSimulator{
+		t:           s.t,
 		accept:      s.accept,
 		startData:   s.startData,
 		startAll:    s.startAll,
 		outMask:     s.outMask,
 		reporting:   s.reporting,
 		hasSpecials: s.hasSpecials,
-		enabled:     newBitset(n),
-		nextEnabled: newBitset(n),
-		active:      newBitset(n),
-		counterVal:  make([]int, n),
+		counterVal:  make([]int, s.t.Len()),
 	}
+	c.allocState(s.t.Len())
+	return c
 }
 
 // SimState is a checkpoint of a FastSimulator's mutable execution state,
@@ -148,7 +170,7 @@ func (st *SimState) Offset() int { return st.offset }
 // independent of later stepping and may be restored any number of times.
 func (s *FastSimulator) Snapshot() *SimState {
 	st := &SimState{
-		enabled:    newBitset(s.n.Len()),
+		enabled:    newBitset(s.t.Len()),
 		counterVal: make([]int, len(s.counterVal)),
 		offset:     s.offset,
 		nreports:   len(s.reports),
@@ -159,7 +181,7 @@ func (s *FastSimulator) Snapshot() *SimState {
 }
 
 // Restore reinstates a snapshot previously taken from this simulator (or a
-// clone sharing its network): execution state rewinds to the snapshot's
+// clone sharing its topology): execution state rewinds to the snapshot's
 // offset and reports recorded after it are discarded.
 func (s *FastSimulator) Restore(st *SimState) {
 	copy(s.enabled, st.enabled)
@@ -201,7 +223,7 @@ func (s *FastSimulator) Step(symbol byte) {
 	})
 	for _, id := range s.reporting {
 		if s.active.has(id) {
-			s.reports = append(s.reports, Report{Offset: s.offset, Element: id, Code: s.n.Element(id).ReportCode})
+			s.reports = append(s.reports, Report{Offset: s.offset, Element: id, Code: s.t.ReportCode(id)})
 		}
 	}
 	s.enabled, s.nextEnabled = s.nextEnabled, s.enabled
@@ -209,14 +231,13 @@ func (s *FastSimulator) Step(symbol byte) {
 }
 
 func (s *FastSimulator) evalSpecials() {
-	n := s.n
-	for _, id := range s.specials {
-		e := n.Element(id)
-		switch e.Kind {
+	t := s.t
+	for _, id := range t.Specials() {
+		switch t.Kind(id) {
 		case KindCounter:
 			countIn, resetIn := false, false
-			for _, in := range n.Ins(id) {
-				if !s.active.has(in.From) {
+			for _, in := range t.Ins(id) {
+				if !s.active.has(ElementID(in.Node)) {
 					continue
 				}
 				switch in.Port {
@@ -229,23 +250,23 @@ func (s *FastSimulator) evalSpecials() {
 			switch {
 			case resetIn:
 				s.counterVal[id] = 0
-			case countIn && s.counterVal[id] < e.Target:
+			case countIn && s.counterVal[id] < t.Target(id):
 				s.counterVal[id]++
 			}
-			if s.counterVal[id] >= e.Target {
+			if s.counterVal[id] >= t.Target(id) {
 				s.active.set(id)
 			}
 		case KindGate:
 			anyActive, allActive := false, true
-			for _, in := range n.Ins(id) {
-				if s.active.has(in.From) {
+			for _, in := range t.Ins(id) {
+				if s.active.has(ElementID(in.Node)) {
 					anyActive = true
 				} else {
 					allActive = false
 				}
 			}
 			var out bool
-			switch e.Op {
+			switch t.Op(id) {
 			case GateAnd:
 				out = allActive
 			case GateOr:

@@ -1,0 +1,272 @@
+package automata
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/charclass"
+)
+
+// TestTranspose64 checks the bit-matrix transpose against a naive
+// bit-by-bit reference under the documented convention (row i = a[i],
+// bit 63 = column 0).
+func TestTranspose64(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bit := func(m *[64]uint64, row, col int) uint64 {
+		return (m[row] >> uint(63-col)) & 1
+	}
+	for trial := 0; trial < 20; trial++ {
+		var orig [64]uint64
+		for i := range orig {
+			orig[i] = rng.Uint64()
+		}
+		got := orig
+		transpose64(&got)
+		for i := 0; i < 64; i++ {
+			for j := 0; j < 64; j++ {
+				if bit(&got, i, j) != bit(&orig, j, i) {
+					t.Fatalf("trial %d: out[%d][%d] != in[%d][%d]", trial, i, j, j, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLaneSimulatorAgrees runs random pure-STE networks with a full
+// 64-lane complement of random streams and checks each lane's reports
+// against the single-stream fast simulator.
+func TestLaneSimulatorAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n, _ := randomChainNetwork(rng)
+		top := n.MustFreeze()
+		ls, err := top.NewLaneSimulator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := top.NewFastSimulator()
+
+		streams := make([][]byte, MaxLanes)
+		for l := range streams {
+			in := make([]byte, 30+rng.Intn(30))
+			for i := range in {
+				in[i] = byte('a' + rng.Intn(3))
+			}
+			streams[l] = in
+		}
+		got, err := ls.Run(context.Background(), streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l, in := range streams {
+			want := fast.Run(in)
+			if !reportsEqual(got[l], want) {
+				t.Fatalf("trial %d lane %d: lane %v != fast %v", trial, l, got[l], want)
+			}
+		}
+	}
+}
+
+// TestLaneSimulatorUnequalLengths covers lanes dying at different
+// positions, including an empty stream (dead from position 0) and a
+// StartOfData design where only position 0 may activate starts.
+func TestLaneSimulatorUnequalLengths(t *testing.T) {
+	for _, start := range []StartKind{StartAllInput, StartOfData} {
+		n := buildChain(t, "ab", start)
+		top := n.MustFreeze()
+		ls, err := top.NewLaneSimulator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := top.NewFastSimulator()
+		streams := [][]byte{
+			[]byte("abababab"),
+			[]byte("ab"),
+			{},
+			[]byte("xxab"),
+			[]byte("a"),
+		}
+		got, err := ls.Run(context.Background(), streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l, in := range streams {
+			want := fast.Run(in)
+			if !reportsEqual(got[l], want) {
+				t.Fatalf("start=%v lane %d (%q): lane %v != fast %v", start, l, in, got[l], want)
+			}
+		}
+	}
+}
+
+func reportsEqual(a, b []Report) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestLaneSimulatorTooManyStreams(t *testing.T) {
+	top := buildChain(t, "a", StartAllInput).MustFreeze()
+	ls, err := top.NewLaneSimulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([][]byte, MaxLanes+1)
+	for i := range streams {
+		streams[i] = []byte("a")
+	}
+	if _, err := ls.Run(context.Background(), streams); err == nil {
+		t.Fatal("want error for >64 streams")
+	}
+	// No streams at all is trivially fine.
+	out, err := ls.Run(context.Background(), nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+}
+
+// TestLaneSimulatorNotPure: counters and gates have no lane encoding, so
+// construction must refuse with ErrNotPure.
+func TestLaneSimulatorNotPure(t *testing.T) {
+	n := NewNetwork("counter")
+	x := n.AddSTE(charclass.Single('x'), StartAllInput)
+	c := n.AddCounter(2)
+	n.Connect(x, c, PortCount)
+	n.SetReport(c, 1)
+	top := n.MustFreeze()
+	if _, err := top.NewLaneSimulator(); err != ErrNotPure {
+		t.Fatalf("err = %v, want ErrNotPure", err)
+	}
+}
+
+// TestLaneSimulatorReset: state must not leak across Run calls.
+func TestLaneSimulatorReset(t *testing.T) {
+	top := buildChain(t, "ab", StartOfData).MustFreeze()
+	ls, err := top.NewLaneSimulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := ls.Run(context.Background(), [][]byte{[]byte("ab")}); err != nil || len(out[0]) != 1 {
+		t.Fatalf("first run: out=%v err=%v", out, err)
+	}
+	if out, err := ls.Run(context.Background(), [][]byte{[]byte("xb")}); err != nil || len(out[0]) != 0 {
+		t.Fatalf("state leaked across runs: out=%v err=%v", out, err)
+	}
+}
+
+// Clone is the fan-out primitive servers call per request; both
+// simulators promise a constant number of allocations independent of
+// design size.
+func TestCloneAllocsConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, _ := randomChainNetwork(rng)
+	top := n.MustFreeze()
+	fast := top.NewFastSimulator()
+	if allocs := testing.AllocsPerRun(50, func() { fast.Clone() }); allocs > 4 {
+		t.Fatalf("FastSimulator.Clone allocs = %v, want <= 4", allocs)
+	}
+	ls, err := top.NewLaneSimulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { ls.Clone() }); allocs > 4 {
+		t.Fatalf("LaneSimulator.Clone allocs = %v, want <= 4", allocs)
+	}
+}
+
+// TestLaneSimulatorCloneIndependent: a clone shares tables but not state.
+func TestLaneSimulatorCloneIndependent(t *testing.T) {
+	top := buildChain(t, "ab", StartAllInput).MustFreeze()
+	ls, err := top.NewLaneSimulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ls.Clone()
+	in := [][]byte{[]byte("abab")}
+	want, err := ls.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reportsEqual(got[0], want[0]) {
+		t.Fatalf("clone %v != original %v", got[0], want[0])
+	}
+}
+
+// benchLaneNetwork is an Exact-shaped small design: a few unanchored
+// literal chains, the lane tier's target workload.
+func benchLaneNetwork(b *testing.B) *Topology {
+	n := NewNetwork("bench")
+	for _, word := range []string{"needle", "haystack", "pattern"} {
+		prev := NoElement
+		for i := 0; i < len(word); i++ {
+			start := StartNone
+			if i == 0 {
+				start = StartAllInput
+			}
+			id := n.AddSTE(charclass.Single(word[i]), start)
+			if prev != NoElement {
+				n.Connect(prev, id, PortIn)
+			}
+			prev = id
+		}
+		n.SetReport(prev, 0)
+	}
+	top, err := n.Freeze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return top
+}
+
+func benchStreams(n, length int) [][]byte {
+	rng := rand.New(rand.NewSource(2))
+	out := make([][]byte, n)
+	for i := range out {
+		s := make([]byte, length)
+		for j := range s {
+			s[j] = byte('a' + rng.Intn(26))
+		}
+		copy(s[rng.Intn(length-8):], "needle")
+		out[i] = s
+	}
+	return out
+}
+
+func BenchmarkLaneSimulator(b *testing.B) {
+	top := benchLaneNetwork(b)
+	ls, err := top.NewLaneSimulator()
+	if err != nil {
+		b.Fatal(err)
+	}
+	streams := benchStreams(MaxLanes, 1<<14)
+	b.SetBytes(int64(MaxLanes * (1 << 14)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ls.Run(context.Background(), streams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFastSimulatorSingleStream(b *testing.B) {
+	top := benchLaneNetwork(b)
+	fast := top.NewFastSimulator()
+	streams := benchStreams(MaxLanes, 1<<14)
+	b.SetBytes(int64(MaxLanes * (1 << 14)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range streams {
+			fast.Run(s)
+		}
+	}
+}

@@ -9,6 +9,13 @@ import (
 
 // Network is a homogeneous automaton: a set of elements plus directed
 // connections between them. The zero value is an empty network ready to use.
+//
+// Network is the mutable builder half of a build/freeze split: construction
+// paths (codegen, ANML unmarshalling, generators, optimization passes)
+// assemble a Network, then Freeze produces the immutable struct-of-arrays
+// Topology that every read-side consumer (simulators, determinization,
+// placement, marshalling) operates on. After a successful Freeze the
+// builder is sealed: mutators and the mutable-pointer accessors panic.
 type Network struct {
 	// Name identifies the network (used as the ANML automata-network id).
 	Name string
@@ -17,6 +24,8 @@ type Network struct {
 	// outs[id] lists out-edges of element id; ins[id] lists in-edges.
 	outs [][]Edge
 	ins  [][]Edge
+
+	freezeGuard
 }
 
 // NewNetwork returns an empty network with the given name.
@@ -27,15 +36,24 @@ func NewNetwork(name string) *Network {
 // Len returns the number of elements in the network.
 func (n *Network) Len() int { return len(n.elems) }
 
-// Element returns the element with the given id. The returned pointer stays
-// valid and mutations through it are visible to the network, but callers
-// must not change the ID or Kind.
+// Element returns the element with the given id, for mutation during
+// construction. Mutations through the pointer are visible to the network,
+// but callers must not change the ID or Kind, and the pointer is only
+// valid until the next element is added: add grows the backing slice,
+// which may reallocate it and leave earlier pointers dangling. (The old
+// contract promised the pointer stayed valid forever — that was never
+// true.) Read-side consumers should Freeze the network and use the
+// Topology accessors instead; Element panics on a frozen network.
 func (n *Network) Element(id ElementID) *Element {
+	n.mustBeMutable("Element")
 	return &n.elems[id]
 }
 
-// Elements calls f for every element in id order.
+// Elements calls f for every element in id order. Like Element, it hands
+// out mutable pointers and therefore panics on a frozen network; frozen
+// consumers iterate the Topology instead.
 func (n *Network) Elements(f func(*Element)) {
+	n.mustBeMutable("Elements")
 	for i := range n.elems {
 		f(&n.elems[i])
 	}
@@ -43,6 +61,7 @@ func (n *Network) Elements(f func(*Element)) {
 
 // add appends an element and returns its id.
 func (n *Network) add(e Element) ElementID {
+	n.mustBeMutable("add")
 	id := ElementID(len(n.elems))
 	e.ID = id
 	n.elems = append(n.elems, e)
@@ -69,6 +88,7 @@ func (n *Network) AddGate(op GateOp) ElementID {
 // Connect adds an edge from element src to input port of element dst.
 // Duplicate edges are ignored.
 func (n *Network) Connect(src, dst ElementID, port Port) {
+	n.mustBeMutable("Connect")
 	for _, e := range n.outs[src] {
 		if e.To == dst && e.Port == port {
 			return
@@ -81,6 +101,7 @@ func (n *Network) Connect(src, dst ElementID, port Port) {
 
 // Disconnect removes the edge src→dst on port if present.
 func (n *Network) Disconnect(src, dst ElementID, port Port) {
+	n.mustBeMutable("Disconnect")
 	n.outs[src] = removeEdge(n.outs[src], src, dst, port)
 	n.ins[dst] = removeEdge(n.ins[dst], src, dst, port)
 }
@@ -102,6 +123,7 @@ func (n *Network) Ins(id ElementID) []Edge { return n.ins[id] }
 
 // SetReport marks id as a reporting element with the given report code.
 func (n *Network) SetReport(id ElementID, code int) {
+	n.mustBeMutable("SetReport")
 	n.elems[id].Report = true
 	n.elems[id].ReportCode = code
 }
@@ -110,6 +132,7 @@ func (n *Network) SetReport(id ElementID, code int) {
 // offset by which other's ids were shifted. Names are preserved; callers
 // that need unique ANML ids should namespace names beforehand.
 func (n *Network) Merge(other *Network) ElementID {
+	n.mustBeMutable("Merge")
 	offset := ElementID(len(n.elems))
 	for i := range other.elems {
 		e := other.elems[i]
@@ -126,7 +149,9 @@ func (n *Network) Merge(other *Network) ElementID {
 	return offset
 }
 
-// Clone returns a deep copy of the network.
+// Clone returns a deep copy of the network. The copy is always mutable,
+// even when n is frozen — clone-then-mutate is how transformation passes
+// operate on frozen inputs.
 func (n *Network) Clone() *Network {
 	c := NewNetwork(n.Name)
 	c.Merge(n)

@@ -38,8 +38,8 @@ type PrefilterFacts struct {
 	ReportBytes charclass.Class
 }
 
-// ExtractPrefilter computes the network's prefilter facts. It returns nil
-// when no sound facts exist: the network contains counters or gates (their
+// ExtractPrefilter computes the topology's prefilter facts. It returns nil
+// when no sound facts exist: the topology contains counters or gates (their
 // activation is not a pure function of the enable set and current byte), or
 // an always-active star state reports (every byte would be live).
 //
@@ -53,40 +53,35 @@ type PrefilterFacts struct {
 // the stars accepts b) and no active element reports; stepping the rest
 // configuration on a dead byte reproduces the rest configuration with no
 // output, which is what makes skipping sound.
-func ExtractPrefilter(n *Network) *PrefilterFacts {
-	facts := &PrefilterFacts{}
-	isStar := make([]bool, n.Len())
-	inRest := make([]bool, n.Len())
-	pure := true
-	n.Elements(func(e *Element) {
-		if e.Kind != KindSTE {
-			pure = false
-			return
-		}
-		if e.Report {
-			facts.ReportBytes = facts.ReportBytes.Union(e.Class)
-		}
-		if e.Start == StartAllInput && e.Class.IsAll() {
-			isStar[e.ID] = true
-		}
-	})
-	if !pure {
+func ExtractPrefilter(t *Topology) *PrefilterFacts {
+	if !t.Pure() {
 		return nil
 	}
-	starReports := false
-	n.Elements(func(e *Element) {
-		if !isStar[e.ID] {
-			return
+	facts := &PrefilterFacts{}
+	isStar := make([]bool, t.Len())
+	inRest := make([]bool, t.Len())
+	for id := ElementID(0); id < ElementID(t.Len()); id++ {
+		if t.Reports(id) {
+			facts.ReportBytes = facts.ReportBytes.Union(t.Class(id))
 		}
-		if e.Report {
+		if t.Start(id) == StartAllInput && t.Class(id).IsAll() {
+			isStar[id] = true
+		}
+	}
+	starReports := false
+	for id := ElementID(0); id < ElementID(t.Len()); id++ {
+		if !isStar[id] {
+			continue
+		}
+		if t.Reports(id) {
 			starReports = true
 		}
-		for _, out := range n.Outs(e.ID) {
+		for _, out := range t.Outs(id) {
 			if out.Port == PortIn {
-				inRest[out.To] = true
+				inRest[out.Node] = true
 			}
 		}
-	})
+	}
 	if starReports {
 		// Every byte reports in the rest configuration; nothing is dead.
 		return nil
@@ -101,13 +96,13 @@ func ExtractPrefilter(n *Network) *PrefilterFacts {
 	// (stars excluded — they induce no change), or a reporting star (ruled
 	// out above). StartOfData STEs are irrelevant: the rest configuration
 	// is never the first symbol.
-	n.Elements(func(e *Element) {
-		if isStar[e.ID] {
-			return
+	for id := ElementID(0); id < ElementID(t.Len()); id++ {
+		if isStar[id] {
+			continue
 		}
-		if inRest[e.ID] || e.Start == StartAllInput {
-			facts.Live = facts.Live.Union(e.Class)
+		if inRest[id] || t.Start(id) == StartAllInput {
+			facts.Live = facts.Live.Union(t.Class(id))
 		}
-	})
+	}
 	return facts
 }

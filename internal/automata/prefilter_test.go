@@ -22,7 +22,7 @@ func chainNet(word string) *Network {
 }
 
 func TestExtractPrefilterStarChain(t *testing.T) {
-	f := ExtractPrefilter(chainNet("abc"))
+	f := ExtractPrefilter(chainNet("abc").MustFreeze())
 	if f == nil {
 		t.Fatal("pure star chain should have facts")
 	}
@@ -45,7 +45,7 @@ func TestExtractPrefilterAnchored(t *testing.T) {
 	b := n.AddSTE(charclass.Single('b'), StartNone)
 	n.Connect(a, b, PortIn)
 	n.SetReport(b, 0)
-	f := ExtractPrefilter(n)
+	f := ExtractPrefilter(n.MustFreeze())
 	if f == nil {
 		t.Fatal("anchored design should have facts")
 	}
@@ -66,7 +66,7 @@ func TestExtractPrefilterSeparatorRearm(t *testing.T) {
 	item := n.AddSTE(charclass.Single('x'), StartNone)
 	n.Connect(sep, item, PortIn)
 	n.SetReport(item, 1)
-	f := ExtractPrefilter(n)
+	f := ExtractPrefilter(n.MustFreeze())
 	if f == nil {
 		t.Fatal("separator design should have facts")
 	}
@@ -84,14 +84,14 @@ func TestExtractPrefilterUnusable(t *testing.T) {
 	c := withCounter.AddCounter(2)
 	withCounter.Connect(s, c, PortCount)
 	withCounter.SetReport(c, 0)
-	if ExtractPrefilter(withCounter) != nil {
+	if ExtractPrefilter(withCounter.MustFreeze()) != nil {
 		t.Fatal("counter network should have no facts")
 	}
 
 	reportingStar := NewNetwork("star-report")
 	star := reportingStar.AddSTE(charclass.All(), StartAllInput)
 	reportingStar.SetReport(star, 0)
-	if ExtractPrefilter(reportingStar) != nil {
+	if ExtractPrefilter(reportingStar.MustFreeze()) != nil {
 		t.Fatal("reporting star should have no facts (every byte is live)")
 	}
 }
@@ -101,7 +101,7 @@ func TestExtractPrefilterUnusable(t *testing.T) {
 // nothing and reports nothing, while live bytes do change it.
 func TestExtractPrefilterSoundness(t *testing.T) {
 	n := chainNet("ab")
-	f := ExtractPrefilter(n)
+	f := ExtractPrefilter(n.MustFreeze())
 	if f == nil {
 		t.Fatal("no facts")
 	}

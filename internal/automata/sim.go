@@ -62,9 +62,12 @@ func NewSimulator(n *Network) (*Simulator, error) {
 		active:      newBitset(n.Len()),
 		counterVal:  make([]int, n.Len()),
 	}
-	n.Elements(func(e *Element) {
+	// Direct field iteration rather than Elements: the reference simulator
+	// must keep working on frozen networks, and Elements panics there.
+	for i := range n.elems {
+		e := &n.elems[i]
 		if e.Kind != KindSTE {
-			return
+			continue
 		}
 		switch e.Start {
 		case StartOfData:
@@ -72,7 +75,7 @@ func NewSimulator(n *Network) (*Simulator, error) {
 		case StartAllInput:
 			s.allInput = append(s.allInput, e.ID)
 		}
-	})
+	}
 	return s, nil
 }
 

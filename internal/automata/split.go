@@ -6,30 +6,29 @@ package automata
 // particular, components free of counters and gates can be determinized,
 // while components containing special elements must run on an NFA simulator.
 
-// SplitSpecials partitions the network's weakly-connected components into a
-// counter-free subnetwork (the union of components containing only STEs) and
-// a special subnetwork (the union of components containing at least one
-// counter or gate). Components with no start STE can never activate —
+// SplitSpecials partitions the topology's weakly-connected components into a
+// counter-free sub-topology (the union of components containing only STEs)
+// and a special sub-topology (the union of components containing at least
+// one counter or gate). Components with no start STE can never activate —
 // every enable ultimately originates at a start STE within the same
 // component — and are dropped. Either result may be nil when empty.
 //
 // Element names, classes, start kinds, report flags, and report codes are
-// preserved; IDs are renumbered densely within each subnetwork.
-func SplitSpecials(n *Network) (pure, special *Network) {
-	uf := newUnionFind(n.Len())
-	for id := range n.elems {
-		for _, out := range n.outs[id] {
-			uf.union(id, int(out.To))
+// preserved; IDs are renumbered densely within each sub-topology.
+func SplitSpecials(t *Topology) (pure, special *Topology) {
+	uf := newUnionFind(t.Len())
+	for id := 0; id < t.Len(); id++ {
+		for _, out := range t.Outs(ElementID(id)) {
+			uf.union(id, int(out.Node))
 		}
 	}
 	hasSpecial := map[int]bool{}
 	hasStart := map[int]bool{}
-	for i := range n.elems {
+	for i := 0; i < t.Len(); i++ {
 		root := uf.find(i)
-		e := &n.elems[i]
-		if e.Kind != KindSTE {
+		if t.Kind(ElementID(i)) != KindSTE {
 			hasSpecial[root] = true
-		} else if e.Start != StartNone {
+		} else if t.Start(ElementID(i)) != StartNone {
 			hasStart[root] = true
 		}
 	}
@@ -41,40 +40,51 @@ func SplitSpecials(n *Network) (pure, special *Network) {
 		root := uf.find(i)
 		return hasSpecial[root] && hasStart[root]
 	}
-	return extract(n, n.Name+"-pure", keepPure), extract(n, n.Name+"-special", keepSpecial)
+	return extract(t, t.Name+"-pure", keepPure), extract(t, t.Name+"-special", keepSpecial)
 }
 
-// extract builds the subnetwork of elements selected by keep, remapping IDs
-// densely. Edges between kept elements are preserved; a weakly-connected
-// selection never has edges crossing the cut. Returns nil when no element is
-// kept.
-func extract(n *Network, name string, keep func(int) bool) *Network {
-	remap := make([]ElementID, n.Len())
+// extract builds the frozen sub-topology of elements selected by keep,
+// remapping IDs densely via a throwaway builder Network. Edges between kept
+// elements are preserved; a weakly-connected selection never has edges
+// crossing the cut. Returns nil when no element is kept.
+func extract(t *Topology, name string, keep func(int) bool) *Topology {
+	remap := make([]ElementID, t.Len())
 	for i := range remap {
 		remap[i] = NoElement
 	}
 	out := NewNetwork(name)
-	for i := range n.elems {
+	for i := 0; i < t.Len(); i++ {
 		if !keep(i) {
 			continue
 		}
-		e := n.elems[i] // copy; add reassigns ID
-		remap[i] = out.add(e)
+		id := ElementID(i)
+		remap[i] = out.add(Element{
+			Name:       t.NameOf(id),
+			Kind:       t.Kind(id),
+			Class:      t.Class(id),
+			Start:      t.Start(id),
+			Target:     t.Target(id),
+			Latch:      t.Latch(id),
+			Op:         t.Op(id),
+			Report:     t.Reports(id),
+			ReportCode: t.ReportCode(id),
+			Origin:     t.Origin(id),
+		})
 	}
 	if out.Len() == 0 {
 		return nil
 	}
-	for i := range n.elems {
+	for i := 0; i < t.Len(); i++ {
 		if remap[i] == NoElement {
 			continue
 		}
-		for _, edge := range n.outs[i] {
-			if to := remap[edge.To]; to != NoElement {
+		for _, edge := range t.Outs(ElementID(i)) {
+			if to := remap[edge.Node]; to != NoElement {
 				out.Connect(remap[i], to, edge.Port)
 			}
 		}
 	}
-	return out
+	return out.MustFreeze()
 }
 
 // unionFind is a standard disjoint-set forest with path halving and union

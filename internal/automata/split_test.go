@@ -37,7 +37,7 @@ func TestSplitSpecialsPartition(t *testing.T) {
 	dead := n.AddSTE(charclass.Single('z'), StartNone)
 	n.SetReport(dead, 3)
 
-	pure, special := SplitSpecials(n)
+	pure, special := SplitSpecials(n.MustFreeze())
 	if pure == nil || special == nil {
 		t.Fatalf("pure=%v special=%v, want both non-nil", pure, special)
 	}
@@ -48,12 +48,6 @@ func TestSplitSpecialsPartition(t *testing.T) {
 	if ss.STEs != 1 || ss.Counters != 1 || ss.Reporting != 1 {
 		t.Fatalf("special stats = %+v", ss)
 	}
-	if err := pure.Validate(); err != nil {
-		t.Fatalf("pure subnetwork invalid: %v", err)
-	}
-	if err := special.Validate(); err != nil {
-		t.Fatalf("special subnetwork invalid: %v", err)
-	}
 
 	// Behavior is preserved: the halves' merged report sets equal the
 	// whole network's.
@@ -62,14 +56,8 @@ func TestSplitSpecialsPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pr, err := pure.Run(input)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sr, err := special.Run(input)
-	if err != nil {
-		t.Fatal(err)
-	}
+	pr := pure.Run(input)
+	sr := special.Run(input)
 	offsets := func(rs []Report) map[[2]int]bool {
 		m := map[[2]int]bool{}
 		for _, r := range rs {
@@ -88,7 +76,7 @@ func TestSplitSpecialsAllPure(t *testing.T) {
 	n := NewNetwork("pure")
 	a := splitChain(n, "ab", StartAllInput)
 	n.SetReport(a, 0)
-	pure, special := SplitSpecials(n)
+	pure, special := SplitSpecials(n.MustFreeze())
 	if pure == nil || special != nil {
 		t.Fatalf("pure=%v special=%v, want pure only", pure, special)
 	}
@@ -100,7 +88,7 @@ func TestSplitSpecialsAllSpecial(t *testing.T) {
 	ctr := n.AddCounter(1)
 	n.Connect(a, ctr, PortCount)
 	n.SetReport(ctr, 0)
-	pure, special := SplitSpecials(n)
+	pure, special := SplitSpecials(n.MustFreeze())
 	if pure != nil || special == nil {
 		t.Fatalf("pure=%v special=%v, want special only", pure, special)
 	}
@@ -123,7 +111,7 @@ func TestSplitSpecialsAllSpecialMulti(t *testing.T) {
 	n.Connect(c, gate, PortIn)
 	n.SetReport(gate, 2)
 
-	pure, special := SplitSpecials(n)
+	pure, special := SplitSpecials(n.MustFreeze())
 	if pure != nil || special == nil {
 		t.Fatalf("pure=%v special=%v, want special only", pure, special)
 	}
@@ -131,18 +119,12 @@ func TestSplitSpecialsAllSpecialMulti(t *testing.T) {
 	if ss.STEs != 3 || ss.Counters != 1 || ss.Gates != 1 || ss.Reporting != 2 {
 		t.Fatalf("special stats = %+v", ss)
 	}
-	if err := special.Validate(); err != nil {
-		t.Fatalf("special subnetwork invalid: %v", err)
-	}
 	input := []byte("abcab")
 	whole, err := n.Run(input)
 	if err != nil {
 		t.Fatal(err)
 	}
-	half, err := special.Run(input)
-	if err != nil {
-		t.Fatal(err)
-	}
+	half := special.Run(input)
 	if !reflect.DeepEqual(reportSet(half), reportSet(whole)) {
 		t.Fatalf("special run %v != whole run %v", half, whole)
 	}
@@ -160,7 +142,7 @@ func TestSplitSpecialsSingletons(t *testing.T) {
 	n.Connect(drv, ctr, PortCount)
 	n.SetReport(ctr, 8)
 
-	pure, special := SplitSpecials(n)
+	pure, special := SplitSpecials(n.MustFreeze())
 	if pure == nil || special == nil {
 		t.Fatalf("pure=%v special=%v, want both", pure, special)
 	}
@@ -170,15 +152,10 @@ func TestSplitSpecialsSingletons(t *testing.T) {
 	if special.Len() != 2 {
 		t.Fatalf("special has %d elements, want 2", special.Len())
 	}
-	for _, sub := range []*Network{pure, special} {
-		if err := sub.Validate(); err != nil {
-			t.Fatalf("subnetwork invalid: %v", err)
-		}
-	}
 	input := []byte("stst")
 	whole, _ := n.Run(input)
-	pr, _ := pure.Run(input)
-	sr, _ := special.Run(input)
+	pr := pure.Run(input)
+	sr := special.Run(input)
 	if !reflect.DeepEqual(reportSet(append(pr, sr...)), reportSet(whole)) {
 		t.Fatalf("split runs %v+%v != whole %v", pr, sr, whole)
 	}
@@ -201,7 +178,7 @@ func TestSplitSpecialsDeadComponents(t *testing.T) {
 	n.Connect(dd, dctr, PortCount)
 	n.SetReport(dctr, 3)
 
-	pure, special := SplitSpecials(n)
+	pure, special := SplitSpecials(n.MustFreeze())
 	if pure == nil {
 		t.Fatal("live pure component was dropped")
 	}
@@ -213,7 +190,8 @@ func TestSplitSpecialsDeadComponents(t *testing.T) {
 		t.Fatalf("pure stats = %+v, want only the live chain", ps)
 	}
 
-	// A network that is nothing but dead components yields nil halves.
+	// A network that is nothing but dead components cannot even freeze
+	// (no start STE), so it can never reach SplitSpecials.
 	n2 := NewNetwork("alldead")
 	x := splitChain(n2, "xy", StartNone)
 	n2.SetReport(x, 1)
@@ -221,9 +199,8 @@ func TestSplitSpecialsDeadComponents(t *testing.T) {
 	c2 := n2.AddCounter(1)
 	n2.Connect(y, c2, PortCount)
 	n2.SetReport(c2, 2)
-	p2, s2 := SplitSpecials(n2)
-	if p2 != nil || s2 != nil {
-		t.Fatalf("all-dead network split to pure=%v special=%v, want nil/nil", p2, s2)
+	if _, err := n2.Freeze(); err == nil {
+		t.Fatal("all-dead network froze, want validation error")
 	}
 }
 

@@ -17,19 +17,18 @@ type SymbolPartition struct {
 }
 
 // Partition computes the symbol equivalence classes of one or more
-// networks considered together.
-func Partition(nets ...*Network) *SymbolPartition {
+// frozen topologies considered together.
+func Partition(tops ...*Topology) *SymbolPartition {
 	// Signature of a symbol: the set of distinct classes containing it.
 	// Build incrementally: start with one group holding all symbols and
 	// split by each class.
 	groups := [][]byte{allSymbols()}
-	for _, n := range nets {
-		for i := range n.elems {
-			e := &n.elems[i]
-			if e.Kind != KindSTE {
+	for _, t := range tops {
+		for id := ElementID(0); id < ElementID(t.Len()); id++ {
+			if t.Kind(id) != KindSTE {
 				continue
 			}
-			groups = splitGroups(groups, e.Class)
+			groups = splitGroups(groups, t.Class(id))
 		}
 	}
 	p := &SymbolPartition{}

@@ -13,7 +13,7 @@ func TestPartition(t *testing.T) {
 	n := NewNetwork("p")
 	n.AddSTE(charclass.Single('a'), StartAllInput)
 	n.AddSTE(charclass.FromString("bc"), StartNone)
-	p := Partition(n)
+	p := Partition(n.MustFreeze())
 	// Groups: {a}, {b,c}, everything else → 3 representatives.
 	if len(p.Representatives) != 3 {
 		t.Fatalf("representatives = %d, want 3", len(p.Representatives))
@@ -34,7 +34,7 @@ func TestPartitionMultipleNetworks(t *testing.T) {
 	n1.AddSTE(charclass.Single('a'), StartAllInput)
 	n2 := NewNetwork("b")
 	n2.AddSTE(charclass.Single('b'), StartAllInput)
-	p := Partition(n1, n2)
+	p := Partition(n1.MustFreeze(), n2.MustFreeze())
 	if len(p.Representatives) != 3 {
 		t.Fatalf("joint representatives = %d, want 3", len(p.Representatives))
 	}
@@ -109,7 +109,7 @@ func TestFindWitnessNone(t *testing.T) {
 func TestEquivalentIdentity(t *testing.T) {
 	a := buildChain(t, "abc", StartAllInput)
 	b := buildChain(t, "abc", StartAllInput)
-	if err := Equivalent(a, b); err != nil {
+	if err := Equivalent(a.MustFreeze(), b.MustFreeze()); err != nil {
 		t.Fatalf("identical chains not equivalent: %v", err)
 	}
 }
@@ -117,7 +117,7 @@ func TestEquivalentIdentity(t *testing.T) {
 func TestEquivalentDetectsDifference(t *testing.T) {
 	a := buildChain(t, "abc", StartAllInput)
 	b := buildChain(t, "abd", StartAllInput)
-	err := Equivalent(a, b)
+	err := Equivalent(a.MustFreeze(), b.MustFreeze())
 	if err == nil {
 		t.Fatal("different chains reported equivalent")
 	}
@@ -132,7 +132,7 @@ func TestEquivalentRejectsSpecials(t *testing.T) {
 	c := n.AddCounter(1)
 	n.Connect(x, c, PortCount)
 	n.SetReport(c, 0)
-	if err := Equivalent(n, n); err != ErrHasSpecials {
+	if err := Equivalent(n.MustFreeze(), n.MustFreeze()); err != ErrHasSpecials {
 		t.Fatalf("err = %v, want ErrHasSpecials", err)
 	}
 }
@@ -144,7 +144,7 @@ func TestOptimizeProvablyEquivalent(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		n, _ := randomChainNetwork(rng)
 		opt := n.OptimizeForDevice(16)
-		if err := Equivalent(n, opt); err != nil {
+		if err := Equivalent(n.MustFreeze(), opt.MustFreeze()); err != nil {
 			t.Fatalf("trial %d: optimization changed behavior: %v", trial, err)
 		}
 	}
@@ -155,7 +155,7 @@ func TestEquivalentStartKinds(t *testing.T) {
 	// input.
 	a := buildChain(t, "x", StartOfData)
 	b := buildChain(t, "x", StartAllInput)
-	if err := Equivalent(a, b); err == nil {
+	if err := Equivalent(a.MustFreeze(), b.MustFreeze()); err == nil {
 		t.Fatal("anchored and sliding designs reported equivalent")
 	}
 }

@@ -1,0 +1,160 @@
+package automata
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/charclass"
+)
+
+// TestFreezeCachesTopology: Freeze is idempotent and returns the same
+// immutable value every call.
+func TestFreezeCachesTopology(t *testing.T) {
+	n := buildChain(t, "ab", StartOfData)
+	t1, err := n.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := n.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatal("Freeze returned distinct topologies for the same network")
+	}
+	if !n.Frozen() {
+		t.Fatal("Frozen() = false after Freeze")
+	}
+}
+
+// TestFrozenNetworkRejectsMutation: every mutator and mutable-pointer
+// accessor must panic once the network is frozen, so no code path can
+// invalidate a Topology another goroutine is executing.
+func TestFrozenNetworkRejectsMutation(t *testing.T) {
+	n := buildChain(t, "ab", StartOfData)
+	n.MustFreeze()
+
+	mustPanic := func(op string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s did not panic on frozen network", op)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "frozen") {
+				t.Fatalf("%s panic = %v, want a frozen-network message", op, r)
+			}
+		}()
+		f()
+	}
+
+	mustPanic("AddSTE", func() { n.AddSTE(charclass.Single('x'), StartNone) })
+	mustPanic("AddCounter", func() { n.AddCounter(3) })
+	mustPanic("AddGate", func() { n.AddGate(GateAnd) })
+	mustPanic("Connect", func() { n.Connect(0, 1, PortIn) })
+	mustPanic("Disconnect", func() { n.Disconnect(0, 1, PortIn) })
+	mustPanic("SetReport", func() { n.SetReport(1, 9) })
+	mustPanic("Element", func() { n.Element(0) })
+	mustPanic("Elements", func() { n.Elements(func(*Element) {}) })
+}
+
+// TestCloneOfFrozenIsMutable: Clone is the escape hatch — it always
+// yields a mutable network, leaving the frozen original untouched.
+func TestCloneOfFrozenIsMutable(t *testing.T) {
+	n := buildChain(t, "ab", StartOfData)
+	top := n.MustFreeze()
+	c := n.Clone()
+	if c.Frozen() {
+		t.Fatal("clone of frozen network is frozen")
+	}
+	id := c.AddSTE(charclass.Single('z'), StartAllInput)
+	c.SetReport(id, 7)
+	if c.Len() != n.Len()+1 {
+		t.Fatalf("clone len = %d, want %d", c.Len(), n.Len()+1)
+	}
+	// The original's topology is unaffected by mutating the clone.
+	if top.Len() != n.Len() {
+		t.Fatalf("frozen topology len changed: %d != %d", top.Len(), n.Len())
+	}
+}
+
+// TestTopologyAccessorsMatchNetwork spot-checks the flat-array accessors
+// against the builder's element graph.
+func TestTopologyAccessorsMatchNetwork(t *testing.T) {
+	n := NewNetwork("acc")
+	a := n.AddSTE(charclass.Single('a'), StartAllInput)
+	b := n.AddSTE(charclass.Single('b'), StartNone)
+	c := n.AddCounter(2)
+	g := n.AddGate(GateOr)
+	n.Connect(a, b, PortIn)
+	n.Connect(b, c, PortCount)
+	n.Connect(a, c, PortReset)
+	n.Connect(c, g, PortIn)
+	n.SetReport(b, 5)
+	n.SetReport(g, 6)
+
+	top := n.MustFreeze()
+	if top.Len() != 4 {
+		t.Fatalf("Len = %d", top.Len())
+	}
+	if top.Kind(a) != KindSTE || top.Kind(c) != KindCounter || top.Kind(g) != KindGate {
+		t.Fatal("Kind mismatch")
+	}
+	if top.Start(a) != StartAllInput || top.Start(b) != StartNone {
+		t.Fatal("Start mismatch")
+	}
+	if !top.Class(a).Contains('a') || top.Class(a).Contains('b') {
+		t.Fatal("Class mismatch")
+	}
+	if top.Target(c) != 2 {
+		t.Fatalf("Target = %d", top.Target(c))
+	}
+	if top.Op(g) != GateOr {
+		t.Fatal("Op mismatch")
+	}
+	if top.ReportCode(b) != 5 || top.ReportCode(g) != 6 {
+		t.Fatal("ReportCode mismatch")
+	}
+	if top.Pure() {
+		t.Fatal("Pure() = true for a counter design")
+	}
+
+	outs := top.Outs(a)
+	if len(outs) != 2 {
+		t.Fatalf("Outs(a) = %v", outs)
+	}
+	ports := map[ElementID]Port{}
+	for _, e := range outs {
+		ports[ElementID(e.Node)] = e.Port
+	}
+	if ports[b] != PortIn || ports[c] != PortReset {
+		t.Fatalf("Outs(a) ports = %v", ports)
+	}
+	ins := top.Ins(c)
+	if len(ins) != 2 {
+		t.Fatalf("Ins(c) = %v", ins)
+	}
+	if top.EdgeCount() != 4 {
+		t.Fatalf("EdgeCount = %d", top.EdgeCount())
+	}
+}
+
+// TestTopologyRunMatchesSimulator: the Run convenience wraps a fresh
+// FastSimulator.
+func TestTopologyRunMatchesSimulator(t *testing.T) {
+	n := buildChain(t, "ab", StartAllInput)
+	top := n.MustFreeze()
+	got := top.Run([]byte("xabab"))
+	want, err := n.Run([]byte("xabab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Run = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Run[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

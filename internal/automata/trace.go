@@ -54,7 +54,7 @@ func (n *Network) WriteTrace(w io.Writer, input []byte) error {
 	for _, c := range trace {
 		var names []string
 		for _, id := range c.Active {
-			e := n.Element(id)
+			e := &n.elems[id]
 			name := fmt.Sprintf("ste%d", id)
 			if e.Name != "" {
 				name = e.Name

@@ -46,10 +46,11 @@ func (o *WitnessOptions) withDefaults() WitnessOptions {
 // counter-free designs the search always terminates.
 func (n *Network) FindWitness(opts *WitnessOptions) ([]byte, error) {
 	o := opts.withDefaults()
-	if _, err := NewSimulator(n); err != nil {
+	t, err := n.Freeze()
+	if err != nil {
 		return nil, err
 	}
-	part := Partition(n)
+	part := Partition(t)
 
 	type node struct {
 		witness []byte

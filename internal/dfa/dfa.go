@@ -70,26 +70,26 @@ func (o *Options) withDefaults() Options {
 // States returns the number of DFA states.
 func (d *DFA) States() int { return d.states }
 
-// FromNetwork compiles a counter-free network into a DFA.
+// FromNetwork freezes a counter-free network and compiles it into a DFA.
 func FromNetwork(n *automata.Network, opts *Options) (*DFA, error) {
-	o := opts.withDefaults()
-	var hasSpecial bool
-	n.Elements(func(e *automata.Element) {
-		if e.Kind != automata.KindSTE {
-			hasSpecial = true
-		}
-	})
-	if hasSpecial {
-		return nil, fmt.Errorf("dfa: counters and gates are not supported; the design must be a pure NFA")
-	}
-	if err := n.Validate(); err != nil {
+	t, err := n.Freeze()
+	if err != nil {
 		return nil, err
+	}
+	return FromTopology(t, opts)
+}
+
+// FromTopology compiles a counter-free frozen topology into a DFA.
+func FromTopology(t *automata.Topology, opts *Options) (*DFA, error) {
+	o := opts.withDefaults()
+	if !t.Pure() {
+		return nil, fmt.Errorf("dfa: counters and gates are not supported; the design must be a pure NFA")
 	}
 
 	b := &builder{
-		n:     n,
+		t:     t,
 		o:     o,
-		part:  automata.Partition(n),
+		part:  automata.Partition(t),
 		ids:   map[string]int32{},
 		dfa:   &DFA{reportsAt: map[int64][]int{}},
 		queue: nil,
@@ -119,7 +119,7 @@ type stateKey struct {
 }
 
 type builder struct {
-	n     *automata.Network
+	t     *automata.Topology
 	o     Options
 	part  *automata.SymbolPartition
 	ids   map[string]int32
@@ -191,27 +191,26 @@ func (b *builder) step(k stateKey, sym byte) ([]automata.ElementID, []int) {
 	nextSet := map[automata.ElementID]bool{}
 	reportSet := map[int]bool{}
 	activate := func(id automata.ElementID) {
-		e := b.n.Element(id)
-		if !e.Class.Contains(sym) {
+		if !b.t.Class(id).Contains(sym) {
 			return
 		}
-		if e.Report {
-			reportSet[e.ReportCode] = true
+		if b.t.Reports(id) {
+			reportSet[b.t.ReportCode(id)] = true
 		}
-		for _, out := range b.n.Outs(id) {
+		for _, out := range b.t.Outs(id) {
 			if out.Port == automata.PortIn {
-				nextSet[out.To] = true
+				nextSet[automata.ElementID(out.Node)] = true
 			}
 		}
 	}
 	for _, id := range k.enabled {
 		activate(id)
 	}
-	b.n.Elements(func(e *automata.Element) {
-		if e.Start == automata.StartAllInput || (e.Start == automata.StartOfData && k.first) {
-			activate(e.ID)
+	for id := automata.ElementID(0); id < automata.ElementID(b.t.Len()); id++ {
+		if b.t.Start(id) == automata.StartAllInput || (b.t.Start(id) == automata.StartOfData && k.first) {
+			activate(id)
 		}
-	})
+	}
 	next := make([]automata.ElementID, 0, len(nextSet))
 	for id := range nextSet {
 		next = append(next, id)

@@ -90,43 +90,57 @@ func TestCrossTierFloors(t *testing.T) {
 	current := []ThroughputRow{
 		// Brill: lazy collapsed below the bitset tier — the exact failure
 		// mode the old gate missed when both rows individually passed
-		// tolerance against their own baselines.
+		// tolerance against their own baselines. Its lane tier is healthy.
 		trow("Brill", "nfa-bitset", 0, 3.1, ""),
 		trow("Brill", "lazy-dfa", 0, 0.8, "states=145 evictions=9"),
-		// Exact: healthy.
+		trow("Brill", "nfa-bitset-x64", 0, 12, ""),
+		// Exact: lazy healthy, but the lane tier fell below the
+		// single-stream walk it must beat — tolerance does not rescue it
+		// (minimum ratio for the lane tier is 1, not 1-tolerance).
 		trow("Exact", "nfa-bitset", 0, 40, ""),
 		trow("Exact", "lazy-dfa", 0, 200, ""),
-		// Gappy: aot-dfa unavailable rows must not confuse the floor
-		// (the floor only pairs lazy-dfa with nfa-bitset).
+		trow("Exact", "nfa-bitset-x64", 0, 30, ""),
+		// Gappy: aot-dfa unavailable rows must not confuse the floor, and
+		// a lane-unavailable row (counter design) is a skip, not a failure.
 		trow("Gappy", "nfa-bitset", 0, 15, ""),
 		trow("Gappy", "aot-dfa", 0, 0, "unavailable: construction exceeded 50000 states"),
 		trow("Gappy", "lazy-dfa", 0, 100, ""),
+		trow("Gappy", "nfa-bitset-x64", 0, 0, "unavailable: lane execution requires a pure-STE topology"),
 		// MOTOMATA: inside the tolerance band — noise, not a violation.
 		trow("MOTOMATA", "nfa-bitset", 0, 17.8, ""),
 		trow("MOTOMATA", "lazy-dfa", 0, 17.5, ""),
-		// ARM: no lazy row measured → skipped with a reason.
+		trow("MOTOMATA", "nfa-bitset-x64", 0, 18, ""),
+		// ARM: no lazy or lane rows measured → skipped with reasons.
 		trow("ARM", "nfa-bitset", 0, 80, ""),
 		// Sweep and batch rows never participate in the floor.
 		trow("Brill", "lazy-dfa[cache=4096]", 0, 0.1, ""),
+		trow("Brill", "nfa-bitset-x64[lanes=8]", 0, 0.1, ""),
 		trow("Exact", "engine-batch", 4, 400, ""),
 	}
 	violations, skipped := CrossTierFloors(current, 0.35)
-	if len(violations) != 1 {
-		t.Fatalf("violations = %v, want exactly the Brill collapse", violations)
+	if len(violations) != 2 {
+		t.Fatalf("violations = %v, want the Brill lazy collapse and the Exact lane shortfall", violations)
 	}
 	v := violations[0]
-	if v.Benchmark != "Brill" || v.LazyMBs != 0.8 || v.FloorMBs != 3.1 {
+	if v.Benchmark != "Brill" || v.Engine != "lazy-dfa" || v.TierMBs != 0.8 || v.FloorMBs != 3.1 {
 		t.Fatalf("violation = %+v", v)
 	}
 	if s := v.String(); !strings.Contains(s, "Brill") || !strings.Contains(s, "floor") {
 		t.Fatalf("String() = %q", s)
 	}
-	text := strings.Join(skipped, "\n")
-	if !strings.Contains(text, "ARM: no lazy-dfa row") {
-		t.Fatalf("skipped = %v, want ARM skip reason", skipped)
+	lv := violations[1]
+	if lv.Benchmark != "Exact" || lv.Engine != "nfa-bitset-x64" || lv.TierMBs != 30 || lv.FloorMBs != 40 {
+		t.Fatalf("lane violation = %+v", lv)
 	}
-	if strings.Contains(text, "Gappy") {
-		t.Fatalf("Gappy should pass the floor despite its unavailable aot row: %v", skipped)
+	text := strings.Join(skipped, "\n")
+	if !strings.Contains(text, "ARM: no lazy-dfa row") || !strings.Contains(text, "ARM: no nfa-bitset-x64 row") {
+		t.Fatalf("skipped = %v, want ARM skip reasons", skipped)
+	}
+	if !strings.Contains(text, "Gappy: nfa-bitset-x64 unavailable") {
+		t.Fatalf("skipped = %v, want Gappy lane-unavailable reason", skipped)
+	}
+	if strings.Contains(text, "Gappy: lazy-dfa") {
+		t.Fatalf("Gappy's lazy tier should pass the floor despite its unavailable aot row: %v", skipped)
 	}
 }
 
@@ -145,7 +159,7 @@ func TestCrossTierFloorsUnavailableLazy(t *testing.T) {
 }
 
 func TestFormatFloors(t *testing.T) {
-	violations := []FloorViolation{{Benchmark: "Brill", LazyMBs: 0.8, FloorMBs: 3.1, Ratio: 0.26}}
+	violations := []FloorViolation{{Benchmark: "Brill", Engine: "lazy-dfa", TierMBs: 0.8, FloorMBs: 3.1, Ratio: 0.26}}
 	out := FormatFloors(violations, []string{"ARM: no lazy-dfa row"}, 0.35)
 	for _, want := range []string{"FLOOR", "floor skipped", "1 violation(s)"} {
 		if !strings.Contains(out, want) {

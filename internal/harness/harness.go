@@ -114,7 +114,11 @@ func Table4() ([]Table4Row, error) {
 			return nil, err
 		}
 		add := func(v Version, net *automata.Network, loc int) error {
-			lines, err := anml.LineCount(net)
+			top, err := net.Freeze()
+			if err != nil {
+				return err
+			}
+			lines, err := anml.LineCount(top)
 			if err != nil {
 				return err
 			}

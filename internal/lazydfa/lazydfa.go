@@ -160,16 +160,17 @@ type Matcher struct {
 	skipped   int
 }
 
-// New validates the network, splits it into the counter-free and special
-// component sets, and compiles the lazy tier's tables. Construction is
-// O(elements × alphabet) like NewFastSimulator; the DFA itself materializes
-// during execution.
+// New freezes the network (validating it), splits its topology into the
+// counter-free and special component sets, and compiles the lazy tier's
+// tables. Construction is O(elements × alphabet) like NewFastSimulator;
+// the DFA itself materializes during execution.
 func New(n *automata.Network, opts *Options) (*Matcher, error) {
 	o := opts.withDefaults()
-	if err := n.Validate(); err != nil {
+	t, err := n.Freeze()
+	if err != nil {
 		return nil, fmt.Errorf("lazydfa: %w", err)
 	}
-	pure, special := automata.SplitSpecials(n)
+	pure, special := automata.SplitSpecials(t)
 	m := &Matcher{}
 	if pure != nil {
 		m.prog = compile(pure)
@@ -184,11 +185,7 @@ func New(n *automata.Network, opts *Options) (*Matcher, error) {
 		}
 	}
 	if special != nil {
-		sim, err := automata.NewFastSimulator(special)
-		if err != nil {
-			return nil, fmt.Errorf("lazydfa: %w", err)
-		}
-		m.sim = sim
+		m.sim = special.NewFastSimulator()
 	}
 	if m.prog == nil && m.sim == nil {
 		return nil, fmt.Errorf("lazydfa: design has no live components")

@@ -40,7 +40,7 @@ type program struct {
 	liveBytes []byte
 }
 
-func compile(pure *automata.Network) *program {
+func compile(pure *automata.Topology) *program {
 	n := pure.Len()
 	p := &program{
 		nwords:     (n + 63) / 64,
@@ -57,34 +57,35 @@ func compile(pure *automata.Network) *program {
 		p.accept[sym] = make([]uint64, p.nwords)
 	}
 	setBit := func(b []uint64, id automata.ElementID) { b[id>>6] |= 1 << (uint(id) & 63) }
-	pure.Elements(func(e *automata.Element) {
-		if e.Report {
-			setBit(p.reportBits, e.ID)
-			p.reportCode[e.ID] = e.ReportCode
+	for id := automata.ElementID(0); id < automata.ElementID(n); id++ {
+		if pure.Reports(id) {
+			setBit(p.reportBits, id)
+			p.reportCode[id] = pure.ReportCode(id)
 		}
 		mask := make([]uint64, p.nwords)
-		for _, out := range pure.Outs(e.ID) {
+		for _, out := range pure.Outs(id) {
 			if out.Port == automata.PortIn {
-				setBit(mask, out.To)
+				setBit(mask, automata.ElementID(out.Node))
 			}
 		}
 		for wi, w := range mask {
 			if w != 0 {
-				p.outMask[e.ID] = append(p.outMask[e.ID], maskWord{word: wi, bits: w})
+				p.outMask[id] = append(p.outMask[id], maskWord{word: wi, bits: w})
 			}
 		}
+		class := pure.Class(id)
 		for sym := 0; sym < 256; sym++ {
-			if e.Class.Contains(byte(sym)) {
-				setBit(p.accept[sym], e.ID)
+			if class.Contains(byte(sym)) {
+				setBit(p.accept[sym], id)
 			}
 		}
-		switch e.Start {
+		switch pure.Start(id) {
 		case automata.StartOfData:
-			setBit(p.startData, e.ID)
+			setBit(p.startData, id)
 		case automata.StartAllInput:
-			setBit(p.startAll, e.ID)
+			setBit(p.startAll, id)
 		}
-	})
+	}
 	// Per-state memory: one int32 row cell per group, the interned key and
 	// the configuration copy (8 bytes per word each, plus the key's flag
 	// byte), an amortized in-edge record per row cell (16 bytes), and a

@@ -148,6 +148,11 @@ func notePlacement(err error) {
 // Place runs the baseline global placement of Table 6: the entire design is
 // partitioned at element granularity with iterative refinement. Cost grows
 // with design size; this is the deliberately thorough flow.
+//
+// Placement freezes the work network (the device-optimized clone, or net
+// itself under SkipOptimize): the returned Placement.Network is immutable
+// afterwards and the partitioner reads the frozen struct-of-arrays
+// topology instead of chasing builder pointers.
 func Place(net *automata.Network, cfg Config) (pl *Placement, err error) {
 	defer func() { notePlacement(err) }()
 	cfg = cfg.withDefaults()
@@ -158,8 +163,12 @@ func Place(net *automata.Network, cfg Config) (pl *Placement, err error) {
 	if work.Len() == 0 {
 		return nil, fmt.Errorf("place: design %q is empty after optimization", net.Name)
 	}
+	top, err := work.Freeze()
+	if err != nil {
+		return nil, fmt.Errorf("place: %w", err)
+	}
 
-	p := newPartitioner(work, cfg)
+	p := newPartitioner(work, top, cfg)
 	p.packComponents()
 	for pass := 0; pass < cfg.RefinePasses; pass++ {
 		if p.refinePass() == 0 {
@@ -186,6 +195,7 @@ func PlaceStamped(unit *automata.Network, count int, cfg Config) (*Placement, Me
 	res := cfg.Res
 	u := unitPlacement.Metrics
 	work := unitPlacement.Network
+	top := work.MustFreeze() // already frozen by Place; returns the cached topology
 	// The stamped unit is frozen to whole rows.
 	unitRows := (u.STEs + res.STEsPerRow - 1) / res.STEsPerRow
 	if unitRows == 0 {
@@ -216,24 +226,24 @@ func PlaceStamped(unit *automata.Network, count int, cfg Config) (*Placement, Me
 		lines := 0
 		seen := make(map[automata.ElementID]bool, 8)
 		steCount, specialCount := 0, 0
-		rowOf := make(map[automata.ElementID]int, work.Len())
-		work.Elements(func(e *automata.Element) {
-			if e.Kind == automata.KindSTE {
-				rowOf[e.ID] = rowBase + steCount/res.STEsPerRow
+		rowOf := make([]int, top.Len())
+		for id := automata.ElementID(0); id < automata.ElementID(top.Len()); id++ {
+			if top.Kind(id) == automata.KindSTE {
+				rowOf[id] = rowBase + steCount/res.STEsPerRow
 				steCount++
 			} else {
-				rowOf[e.ID] = rowBase + specialCount%unitRows
+				rowOf[id] = rowBase + specialCount%unitRows
 				specialCount++
 			}
-		})
-		work.Elements(func(e *automata.Element) {
-			for _, edge := range work.Outs(e.ID) {
-				if rowOf[edge.From] != rowOf[edge.To] && !seen[edge.From] {
-					seen[edge.From] = true
+		}
+		for id := automata.ElementID(0); id < automata.ElementID(top.Len()); id++ {
+			for _, edge := range top.Outs(id) {
+				if rowOf[id] != rowOf[edge.Node] && !seen[id] {
+					seen[id] = true
 					lines++
 				}
 			}
-		})
+		}
 		if slotInBlock >= perBlockByRows || brInBlock+lines > BRLinesPerBlock {
 			blocks++
 			slotInBlock = 0
@@ -277,7 +287,10 @@ func limitByResource(perBlock, capacity, usage int) int {
 // ---------------------------------------------------------------- internals
 
 type partitioner struct {
+	// net is the frozen work network, carried only into Placement.Network;
+	// all graph reads go through top, its struct-of-arrays topology.
 	net *automata.Network
+	top *automata.Topology
 	cfg Config
 
 	broadcast  []bool // replicated high-fan-out sources
@@ -296,34 +309,26 @@ type partitioner struct {
 // keeping the baseline flow linear in design size.
 const firstFitWindow = 64
 
-func newPartitioner(net *automata.Network, cfg Config) *partitioner {
+func newPartitioner(net *automata.Network, top *automata.Topology, cfg Config) *partitioner {
 	p := &partitioner{
 		net:     net,
+		top:     top,
 		cfg:     cfg,
-		blockOf: make([]int, net.Len()),
+		blockOf: make([]int, top.Len()),
 	}
-	p.broadcast = make([]bool, net.Len())
-	net.Elements(func(e *automata.Element) {
-		p.blockOf[e.ID] = -1
-		if e.Kind == automata.KindSTE && len(net.Outs(e.ID)) >= broadcastFanOut {
-			p.broadcast[e.ID] = true
+	p.broadcast = make([]bool, top.Len())
+	for id := automata.ElementID(0); id < automata.ElementID(top.Len()); id++ {
+		p.blockOf[id] = -1
+		if top.Kind(id) == automata.KindSTE && len(top.Outs(id)) >= broadcastFanOut {
+			p.broadcast[id] = true
 			p.nBroadcast++
 		}
-	})
+	}
 	return p
 }
 
-// neighbor returns the endpoint of e that is not id (id itself for
-// self-loops).
-func neighbor(e automata.Edge, id automata.ElementID) automata.ElementID {
-	if e.From == id {
-		return e.To
-	}
-	return e.From
-}
-
-func usageOfElement(e *automata.Element) ap.BlockUsage {
-	switch e.Kind {
+func usageOfKind(k automata.Kind) ap.BlockUsage {
+	switch k {
 	case automata.KindSTE:
 		return ap.BlockUsage{STEs: 1}
 	case automata.KindCounter:
@@ -339,7 +344,7 @@ func usageOfElement(e *automata.Element) ap.BlockUsage {
 // (level order would interleave parallel chains and cross rows on almost
 // every edge).
 func (p *partitioner) components() [][]automata.ElementID {
-	n := p.net.Len()
+	n := p.top.Len()
 	visited := make([]bool, n)
 	var comps [][]automata.ElementID
 	for start := 0; start < n; start++ {
@@ -356,16 +361,16 @@ func (p *partitioner) components() [][]automata.ElementID {
 			// Push in-neighbors first and out-neighbors in reverse so the
 			// first-listed out-edge (the chain direction) is followed
 			// first, keeping successor elements adjacent in the layout.
-			for _, e := range p.net.Ins(id) {
-				other := neighbor(e, id)
+			for _, e := range p.top.Ins(id) {
+				other := automata.ElementID(e.Node)
 				if !visited[other] && !p.broadcast[other] {
 					visited[other] = true
 					stack = append(stack, other)
 				}
 			}
-			outs := p.net.Outs(id)
+			outs := p.top.Outs(id)
 			for i := len(outs) - 1; i >= 0; i-- {
-				other := neighbor(outs[i], id)
+				other := automata.ElementID(outs[i].Node)
 				if !visited[other] && !p.broadcast[other] {
 					visited[other] = true
 					stack = append(stack, other)
@@ -385,7 +390,7 @@ func (p *partitioner) brDemand(comp []automata.ElementID) int {
 	row := make(map[automata.ElementID]int, len(comp))
 	steCount, specialCount := 0, 0
 	for _, id := range comp {
-		if p.net.Element(id).Kind == automata.KindSTE {
+		if p.top.Kind(id) == automata.KindSTE {
 			row[id] = steCount / res.STEsPerRow
 			steCount++
 		} else {
@@ -395,13 +400,10 @@ func (p *partitioner) brDemand(comp []automata.ElementID) int {
 	}
 	sources := make(map[automata.ElementID]bool)
 	for _, id := range comp {
-		for _, e := range p.net.Outs(id) {
-			if p.broadcast[e.From] {
-				continue
-			}
-			toRow, ok := row[e.To]
-			if !ok || toRow != row[e.From] {
-				sources[e.From] = true
+		for _, e := range p.top.Outs(id) {
+			toRow, ok := row[automata.ElementID(e.Node)]
+			if !ok || toRow != row[id] {
+				sources[id] = true
 			}
 		}
 	}
@@ -426,7 +428,7 @@ func (p *partitioner) packComponents() {
 	for _, comp := range comps {
 		var u ap.BlockUsage
 		for _, id := range comp {
-			u.Add(usageOfElement(p.net.Element(id)))
+			u.Add(usageOfKind(p.top.Kind(id)))
 		}
 		items = append(items, sized{comp: comp, usage: u, demand: p.brDemand(comp)})
 	}
@@ -498,7 +500,7 @@ func (p *partitioner) packComponents() {
 		b := newBlock()
 		inBlock := 0
 		for _, id := range it.comp {
-			eu := usageOfElement(p.net.Element(id))
+			eu := usageOfKind(p.top.Kind(id))
 			trial := p.usage[b]
 			trial.Add(eu)
 			if !fits(trial) || inBlock >= perBlockElems {
@@ -528,7 +530,7 @@ func (p *partitioner) refinePass() int {
 	}
 	moves := 0
 	counts := make(map[int]int)
-	for id := 0; id < p.net.Len(); id++ {
+	for id := 0; id < p.top.Len(); id++ {
 		if p.broadcast[id] {
 			continue
 		}
@@ -536,9 +538,9 @@ func (p *partitioner) refinePass() int {
 		for k := range counts {
 			delete(counts, k)
 		}
-		for _, edges := range [][]automata.Edge{p.net.Outs(automata.ElementID(id)), p.net.Ins(automata.ElementID(id))} {
+		for _, edges := range [][]automata.TopoEdge{p.top.Outs(automata.ElementID(id)), p.top.Ins(automata.ElementID(id))} {
 			for _, e := range edges {
-				other := neighbor(e, automata.ElementID(id))
+				other := automata.ElementID(e.Node)
 				if p.broadcast[other] || int(other) == id {
 					continue
 				}
@@ -557,7 +559,7 @@ func (p *partitioner) refinePass() int {
 		if best == cur {
 			continue
 		}
-		eu := usageOfElement(p.net.Element(automata.ElementID(id)))
+		eu := usageOfKind(p.top.Kind(automata.ElementID(id)))
 		trial := p.usage[best]
 		trial.Add(eu)
 		if trial.STEs > capacity.STEs || trial.Counters > capacity.Counters || trial.Boolean > capacity.Boolean {
@@ -580,7 +582,7 @@ func (p *partitioner) finish() (*Placement, error) {
 	res := p.cfg.Res
 	// Compact non-empty blocks.
 	remap := make(map[int]int)
-	for id := 0; id < p.net.Len(); id++ {
+	for id := 0; id < p.top.Len(); id++ {
 		b := p.blockOf[id]
 		if b < 0 {
 			continue
@@ -593,8 +595,8 @@ func (p *partitioner) finish() (*Placement, error) {
 	if blocks == 0 {
 		blocks = 1
 	}
-	blockOf := make([]int, p.net.Len())
-	for id := 0; id < p.net.Len(); id++ {
+	blockOf := make([]int, p.top.Len())
+	for id := 0; id < p.top.Len(); id++ {
 		if p.broadcast[id] {
 			blockOf[id] = -1
 			continue
@@ -602,12 +604,12 @@ func (p *partitioner) finish() (*Placement, error) {
 		blockOf[id] = remap[p.blockOf[id]]
 	}
 
-	phys, err := physicalAssignment(p.net.Name, blocks, p.cfg)
+	phys, err := physicalAssignment(p.top.Name, blocks, p.cfg)
 	if err != nil {
 		return nil, err
 	}
-	rowOf := assignRows(p.net, blockOf, blocks, res, p.assignOrder)
-	m := computeMetrics(p.net, blockOf, rowOf, blocks, p.broadcast, res)
+	rowOf := assignRows(p.top, blockOf, blocks, res, p.assignOrder)
+	m := computeMetrics(p.top, blockOf, rowOf, blocks, p.broadcast, res)
 	return &Placement{Network: p.net, BlockOf: blockOf, RowOf: rowOf, PhysicalBlocks: phys, Metrics: m}, nil
 }
 
@@ -650,60 +652,63 @@ func physicalAssignment(design string, needed int, cfg Config) ([]int, error) {
 // assignRows packs each block's STEs into rows of STEsPerRow following the
 // packing order (depth-first within components, keeping chains contiguous);
 // special elements take the per-row special slots.
-func assignRows(net *automata.Network, blockOf []int, blocks int, res ap.Resources, order []automata.ElementID) []int {
-	rowOf := make([]int, net.Len())
+func assignRows(top *automata.Topology, blockOf []int, blocks int, res ap.Resources, order []automata.ElementID) []int {
+	rowOf := make([]int, top.Len())
 	steCount := make([]int, blocks)
 	specialCount := make([]int, blocks)
-	seen := make([]bool, net.Len())
-	assign := func(e *automata.Element) {
-		if seen[e.ID] {
+	seen := make([]bool, top.Len())
+	assign := func(id automata.ElementID) {
+		if seen[id] {
 			return
 		}
-		seen[e.ID] = true
-		b := blockOf[e.ID]
+		seen[id] = true
+		b := blockOf[id]
 		if b < 0 {
-			rowOf[e.ID] = 0
+			rowOf[id] = 0
 			return
 		}
-		if e.Kind == automata.KindSTE {
-			rowOf[e.ID] = steCount[b] / res.STEsPerRow
+		if top.Kind(id) == automata.KindSTE {
+			rowOf[id] = steCount[b] / res.STEsPerRow
 			steCount[b]++
 		} else {
-			rowOf[e.ID] = specialCount[b] % res.RowsPerBlock
+			rowOf[id] = specialCount[b] % res.RowsPerBlock
 			specialCount[b]++
 		}
 	}
 	for _, id := range order {
-		assign(net.Element(id))
+		assign(id)
 	}
-	net.Elements(assign)
+	for id := automata.ElementID(0); id < automata.ElementID(top.Len()); id++ {
+		assign(id)
+	}
 	return rowOf
 }
 
 // computeMetrics derives the Table 5 statistics from a block/row assignment.
-func computeMetrics(net *automata.Network, blockOf, rowOf []int, blocks int, broadcast []bool, res ap.Resources) Metrics {
-	stats := net.Stats()
+func computeMetrics(top *automata.Topology, blockOf, rowOf []int, blocks int, broadcast []bool, res ap.Resources) Metrics {
+	stats := top.Stats()
 	// BR lines: distinct source signals routed through each block.
 	type line struct {
 		src   automata.ElementID
 		block int
 	}
 	lines := make(map[line]bool)
-	net.Elements(func(e *automata.Element) {
-		for _, edge := range net.Outs(e.ID) {
-			if broadcast != nil && broadcast[edge.From] {
-				continue // replicated locally
-			}
-			sb, db := blockOf[edge.From], blockOf[edge.To]
-			if sb == db && rowOf[edge.From] == rowOf[edge.To] {
+	for src := automata.ElementID(0); src < automata.ElementID(top.Len()); src++ {
+		if broadcast != nil && broadcast[src] {
+			continue // replicated locally
+		}
+		for _, edge := range top.Outs(src) {
+			dst := automata.ElementID(edge.Node)
+			sb, db := blockOf[src], blockOf[dst]
+			if sb == db && rowOf[src] == rowOf[dst] {
 				continue // row-local connection
 			}
-			lines[line{src: edge.From, block: db}] = true
+			lines[line{src: src, block: db}] = true
 			if sb != db && sb >= 0 {
-				lines[line{src: edge.From, block: sb}] = true
+				lines[line{src: src, block: sb}] = true
 			}
 		}
-	})
+	}
 	perBlock := make([]int, blocks)
 	for l := range lines {
 		if l.block >= 0 && l.block < blocks {
@@ -735,10 +740,10 @@ func computeMetrics(net *automata.Network, blockOf, rowOf []int, blocks int, bro
 
 	return Metrics{
 		TotalBlocks:    blocks,
-		ClockDivisor:   net.ClockDivisor(),
+		ClockDivisor:   top.ClockDivisor(),
 		STEUtilization: util,
 		MeanBRAlloc:    brSum / math.Max(1, float64(blocks)),
-		Elements:       net.Len(),
+		Elements:       top.Len(),
 		STEs:           stats.STEs,
 		Counters:       stats.Counters,
 		Gates:          stats.Gates,

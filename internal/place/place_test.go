@@ -108,15 +108,16 @@ func TestPlaceRespectsCapacities(t *testing.T) {
 	}
 	res := ap.FirstGeneration()
 	usage := make(map[int]*ap.BlockUsage)
-	p.Network.Elements(func(e *automata.Element) {
-		b := p.BlockOf[e.ID]
+	top := p.Network.MustFreeze() // Place froze it; this is the cached topology
+	for id := automata.ElementID(0); id < automata.ElementID(top.Len()); id++ {
+		b := p.BlockOf[id]
 		if b < 0 {
-			return
+			continue
 		}
 		if usage[b] == nil {
 			usage[b] = &ap.BlockUsage{}
 		}
-		switch e.Kind {
+		switch top.Kind(id) {
 		case automata.KindSTE:
 			usage[b].STEs++
 		case automata.KindCounter:
@@ -124,7 +125,7 @@ func TestPlaceRespectsCapacities(t *testing.T) {
 		default:
 			usage[b].Boolean++
 		}
-	})
+	}
 	for b, u := range usage {
 		if !u.Fits(res) {
 			t.Fatalf("block %d overflows: %+v", b, *u)

@@ -1,6 +1,7 @@
 package rapid
 
 import (
+	"repro/internal/automata"
 	"repro/internal/telemetry"
 )
 
@@ -15,6 +16,7 @@ type config struct {
 	workers         int
 	maxCachedStates int
 	maxCacheBytes   int64
+	lanes           int
 	tel             *telemetry.Registry
 }
 
@@ -52,6 +54,29 @@ func WithMaxCachedStates(n int) Option {
 // when WithMaxCachedStates fixes the size.
 func WithMaxCacheBytes(n int64) Option {
 	return func(c *config) { c.maxCacheBytes = n }
+}
+
+// MaxLanes is the widest lane batch WithLanes can request: one stream per
+// bit of a machine word.
+const MaxLanes = automata.MaxLanes
+
+// WithLanes enables lane-batched execution for Engine.RunBatch and
+// Engine.RunRecords: up to n independent streams (clamped to [0, MaxLanes])
+// advance in lock-step through one 64-bit-word-per-element bitset walk, so
+// small designs amortize per-stream overhead across a whole machine word.
+// Lane execution applies only to pure-STE designs; when the design has
+// counters or gates the engine silently falls back to per-stream execution
+// (Engine.Lanes reports 0). n <= 0 disables lane batching (the default).
+func WithLanes(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		if n > MaxLanes {
+			n = MaxLanes
+		}
+		c.lanes = n
+	}
 }
 
 // WithTelemetry routes the execution path's metrics and spans into reg —

@@ -205,11 +205,29 @@ func Offsets(reports []Report) []int {
 	return interp.Offsets(rs)
 }
 
+// topology freezes the design's network (validating it on first use) and
+// returns the immutable struct-of-arrays view shared by the export and
+// analysis paths. Freezing is idempotent; compiled designs are valid, so
+// in practice this fails only for hand-assembled invalid ANML imports.
+func (d *Design) topology() (*automata.Topology, error) { return d.net.Freeze() }
+
 // ANML renders the design in the Automata Network Markup Language.
-func (d *Design) ANML() ([]byte, error) { return anml.Marshal(d.net) }
+func (d *Design) ANML() ([]byte, error) {
+	t, err := d.topology()
+	if err != nil {
+		return nil, err
+	}
+	return anml.Marshal(t)
+}
 
 // WriteANML writes the design's ANML to w.
-func (d *Design) WriteANML(w io.Writer) error { return anml.Write(w, d.net) }
+func (d *Design) WriteANML(w io.Writer) error {
+	t, err := d.topology()
+	if err != nil {
+		return err
+	}
+	return anml.Write(w, t)
+}
 
 // LoadANML parses an ANML document into a design.
 func LoadANML(data []byte) (*Design, error) {
@@ -363,7 +381,15 @@ func (d *Design) FindWitness(maxLength int) ([]byte, error) {
 // not, and ErrHasSpecials-wrapped errors for designs with counters or
 // gates (whose equivalence is out of scope).
 func (d *Design) Equivalent(other *Design) error {
-	return automata.Equivalent(d.net, other.net)
+	ta, err := d.topology()
+	if err != nil {
+		return err
+	}
+	tb, err := other.topology()
+	if err != nil {
+		return err
+	}
+	return automata.Equivalent(ta, tb)
 }
 
 // CPUMatcher is a design compiled to a deterministic finite automaton for
