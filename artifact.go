@@ -9,25 +9,57 @@ import (
 // ArtifactFormat is the version tag of the compiled-artifact envelope
 // produced by MarshalArtifact. Bump it whenever the envelope or the
 // semantics of its fields change; UnmarshalArtifact refuses unknown
-// versions so a stale on-disk cache is recompiled rather than
-// misinterpreted.
-const ArtifactFormat = 1
+// (newer) versions so a stale reader never misinterprets an artifact,
+// while older versions it understands remain loadable.
+//
+// Version history:
+//
+//	1 — ANML + report-site table.
+//	2 — adds the optional "placement" section persisting the placed
+//	    design (block/row assignment, physical blocks, metrics), so a
+//	    serving process restarts without re-running placement.
+const ArtifactFormat = 2
 
 // artifactEnvelope is the serialized form of a compiled design: the
 // automaton network as ANML plus the report-site table that ANML does not
-// carry. It is the unit the serving layer's persistent artifact cache
-// stores, keyed by program hash.
+// carry, and optionally the placed layout. It is the unit the serving
+// layer's persistent artifact cache stores, keyed by program hash.
 type artifactEnvelope struct {
-	Format int               `json:"format"`
-	ANML   string            `json:"anml"`
-	Sites  map[string]string `json:"sites,omitempty"`
+	Format    int                `json:"format"`
+	ANML      string             `json:"anml"`
+	Sites     map[string]string  `json:"sites,omitempty"`
+	Placement *artifactPlacement `json:"placement,omitempty"`
 }
 
-// MarshalArtifact serializes the compiled design — automaton network and
-// report-site table — into a self-describing versioned envelope that
-// UnmarshalArtifact restores without recompiling. This is what makes
-// restart cheap: a serving process with a large manifest loads persisted
-// artifacts instead of re-running the compiler.
+// artifactPlacement persists a placed design. Blocks and Rows are indexed
+// by element id of the device-optimized topology (Elements entries each);
+// restoring re-runs the deterministic device optimization and validates
+// the section against the resulting topology, falling back to a fresh
+// placement when anything disagrees.
+type artifactPlacement struct {
+	// Elements is the device-optimized topology size the section was
+	// recorded against — the restore-time consistency anchor.
+	Elements int   `json:"elements"`
+	Blocks   []int `json:"blocks"`
+	Rows     []int `json:"rows"`
+	Physical []int `json:"physical"`
+	Stamped  int   `json:"stamped,omitempty"`
+
+	TotalBlocks    int     `json:"total_blocks"`
+	ClockDivisor   int     `json:"clock_divisor"`
+	STEUtilization float64 `json:"ste_utilization"`
+	MeanBRAlloc    float64 `json:"mean_br_alloc"`
+	STEs           int     `json:"stes"`
+	Counters       int     `json:"counters"`
+	Gates          int     `json:"gates"`
+}
+
+// MarshalArtifact serializes the compiled design — automaton network,
+// report-site table, and the placed layout when the design has one — into
+// a self-describing versioned envelope that UnmarshalArtifact restores
+// without recompiling. This is what makes restart cheap: a serving
+// process with a large manifest loads persisted artifacts instead of
+// re-running the compiler and the placer.
 func (d *Design) MarshalArtifact() ([]byte, error) {
 	anmlBytes, err := d.ANML()
 	if err != nil {
@@ -40,19 +72,39 @@ func (d *Design) MarshalArtifact() ([]byte, error) {
 			env.Sites[strconv.Itoa(code)] = site
 		}
 	}
+	if d.placed != nil {
+		m := d.placed.Metrics
+		env.Placement = &artifactPlacement{
+			Elements:       len(d.placed.BlockOf),
+			Blocks:         d.placed.BlockOf,
+			Rows:           d.placed.RowOf,
+			Physical:       d.placed.PhysicalBlocks,
+			Stamped:        d.placed.Stamped,
+			TotalBlocks:    m.TotalBlocks,
+			ClockDivisor:   m.ClockDivisor,
+			STEUtilization: m.STEUtilization,
+			MeanBRAlloc:    m.MeanBRAlloc,
+			STEs:           m.STEs,
+			Counters:       m.Counters,
+			Gates:          m.Gates,
+		}
+	}
 	return json.MarshalIndent(env, "", " ")
 }
 
 // UnmarshalArtifact restores a design serialized with MarshalArtifact.
-// It fails on an unknown format version — callers treat that as a cache
-// miss and recompile.
+// Any format up to the current one is accepted — a v1 artifact simply has
+// no placement section and places from scratch on demand — while a
+// version from the future fails, and callers treat that as a cache miss
+// and recompile. A present placement section is kept raw here and
+// validated lazily by EnsurePlaced, so loading stays cheap.
 func UnmarshalArtifact(data []byte) (*Design, error) {
 	var env artifactEnvelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, fmt.Errorf("rapid: unmarshal artifact: %w", err)
 	}
-	if env.Format != ArtifactFormat {
-		return nil, fmt.Errorf("rapid: unmarshal artifact: format %d, want %d", env.Format, ArtifactFormat)
+	if env.Format < 1 || env.Format > ArtifactFormat {
+		return nil, fmt.Errorf("rapid: unmarshal artifact: format %d, want 1..%d", env.Format, ArtifactFormat)
 	}
 	d, err := LoadANML([]byte(env.ANML))
 	if err != nil {
@@ -65,5 +117,6 @@ func UnmarshalArtifact(data []byte) (*Design, error) {
 		}
 		d.reports[code] = site
 	}
+	d.rawPlacement = env.Placement
 	return d, nil
 }

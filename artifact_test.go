@@ -66,7 +66,7 @@ func TestArtifactUnknownFormatRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := strings.Replace(string(data), `"format": 1`, `"format": 99`, 1)
+	bad := strings.Replace(string(data), `"format": 2`, `"format": 99`, 1)
 	if bad == string(data) {
 		t.Fatal("format field not found in envelope")
 	}

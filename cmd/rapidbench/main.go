@@ -15,6 +15,14 @@
 //
 //	rapidbench -throughput -baseline BENCH_throughput.json -tolerance 0.35
 //
+// The compile-throughput mode measures how many designs/sec placement
+// compiles on a macro-heavy workload, cold vs parallel vs stamped, and
+// its gate additionally enforces the stamped-vs-cold speedup floor
+// (machine-independent, so it has no tolerance discount):
+//
+//	rapidbench -compile
+//	rapidbench -compile -baseline BENCH_throughput.json
+//
 // Table 6 builds full-board designs; -scale shrinks the paper's problem
 // sizes proportionally (e.g. 0.05 runs at 5%).
 //
@@ -54,6 +62,12 @@ func main() {
 		lazyCache   = flag.String("lazy-cache", "", "comma-separated fixed MaxCachedStates values; adds one lazy-dfa[cache=N] throughput row per size")
 		laneSweep   = flag.String("lanes", "", "comma-separated lane widths in [2,64]; adds one nfa-bitset-x64[lanes=N] throughput row per width (the full 64-lane row is always measured)")
 		benchNames  = flag.String("benchmarks", "", "comma-separated benchmark names to measure (empty = all five)")
+		compile     = flag.Bool("compile", false, "measure compile throughput (designs/sec placed, cold vs parallel vs stamped)")
+		compDesigns = flag.Int("compile-designs", 16, "compile workload: designs in the manifest")
+		compInst    = flag.Int("compile-instances", 64, "compile workload: macro instances per family")
+		compSecs    = flag.Duration("compile-duration", 2*time.Second, "compile workload: measurement window per mode")
+		compFloor   = flag.Float64("compile-floor", 3.0, "minimum stamped/cold designs-per-second ratio the -compile gate enforces")
+		compTol     = flag.Float64("compile-tolerance", 0.5, "allowed fractional designs/sec drop before the -compile -baseline comparison fails (wide: absolute compile speed is machine-dependent)")
 		coldLazy    = flag.Bool("cold", false, "also measure lazy-dfa with a cold cache (no warm stream)")
 		baseline    = flag.String("baseline", "", "compare throughput against this baseline JSON and exit 1 on regression")
 		tolerance   = flag.Float64("tolerance", 0.35, "allowed fractional throughput drop before -baseline fails the run")
@@ -128,6 +142,32 @@ func main() {
 		rows := runThroughput(cfg, *streamMiB, *outJSON, batch, *metricsAddr != "")
 		if *baseline != "" {
 			if err := gateThroughput(*baseline, rows, *tolerance); err != nil {
+				fmt.Fprintln(os.Stderr, "rapidbench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *compile {
+		cfg := harness.CompileConfig{
+			Designs:   *compDesigns,
+			Instances: *compInst,
+			Duration:  *compSecs,
+		}
+		rows, err := harness.CompileThroughput(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(harness.FormatCompile(rows))
+		if *outJSON != "" {
+			if err := harness.WriteCompileJSON(*outJSON, rows); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *outJSON)
+		}
+		if *baseline != "" {
+			if err := gateCompile(*baseline, rows, *compTol, *compFloor); err != nil {
 				fmt.Fprintln(os.Stderr, "rapidbench:", err)
 				os.Exit(1)
 			}
@@ -214,6 +254,29 @@ func gateThroughput(baselinePath string, rows []harness.ThroughputRow, tolerance
 	}
 	if len(violations) > 0 {
 		return fmt.Errorf("%d cross-tier floor violation(s): a tier fell below its nfa-bitset floor", len(violations))
+	}
+	return nil
+}
+
+// gateCompile is the compile-throughput gate: designs/sec is compared
+// against the committed baseline within a wide tolerance band (absolute
+// compile speed varies a lot across CI hosts), and the stamped mode must
+// beat cold placement by at least minRatio on the fresh rows themselves
+// — the floor is a same-host, same-process ratio, so it gates hard.
+func gateCompile(baselinePath string, rows []harness.CompileRow, tolerance, minRatio float64) error {
+	base, err := harness.ReadCompileJSON(baselinePath)
+	if err != nil {
+		return err
+	}
+	regressions, skipped := harness.CompareCompile(base, rows, tolerance)
+	violations, floorSkipped := harness.CompileFloor(rows, minRatio)
+	fmt.Print(harness.FormatCompileGate(regressions, violations, append(skipped, floorSkipped...), tolerance, minRatio))
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d compile-throughput regression(s) beyond %.0f%% tolerance of %s",
+			len(regressions), 100*tolerance, baselinePath)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d compile floor violation(s): stamped placement fell below %.1fx cold", len(violations), minRatio)
 	}
 	return nil
 }

@@ -23,7 +23,11 @@
 //
 // With -artifact-cache, compiled designs are persisted to a versioned
 // on-disk cache keyed by program hash; a restart (or another replica
-// sharing the directory) mounts them without recompiling.
+// sharing the directory) mounts them without recompiling. With -place
+// (the default), each mounted design is also placed — through a shared
+// macro-stamping cache, so manifests full of variants of one rule family
+// compile at stamping speed — and the layout rides along in the same
+// artifact, so restarts restore placements instead of re-running them.
 //
 // Endpoints: POST /v1/match (single-shot JSON), POST /v1/match/stream
 // (separator-framed record stream in, NDJSON results out), GET
@@ -66,6 +70,7 @@ func main() {
 		backend      = flag.String("backend", serve.BackendEngine, "execution mode for -src/-anml: engine, failover, or a backend kind (device, cpu-dfa, lazy-dfa, reference)")
 		designsPath  = flag.String("designs", "", "JSON manifest mounting multiple designs (SIGHUP hot-reloads it)")
 		artifactDir  = flag.String("artifact-cache", "", "persist compiled designs to this directory, keyed by program hash; restarts mount from it without recompiling")
+		placeFlag    = flag.Bool("place", true, "place mounted designs through the shared macro-stamping cache and persist layouts in the artifact cache")
 		queueDepth   = flag.Int("queue", 64, "per-design admission queue capacity (backpressure bound)")
 		maxBatch     = flag.Int("max-batch", 16, "micro-batch size bound")
 		batchWindow  = flag.Duration("batch-window", 500*time.Microsecond, "micro-batch latency bound")
@@ -90,6 +95,7 @@ func main() {
 		Workers:     *workers,
 		CrossCheck:  *crossCheck,
 		ArtifactDir: *artifactDir,
+		Placement:   *placeFlag,
 	}
 	if *metricsAddr != "" {
 		cfg.Telemetry = telemetry.Default()

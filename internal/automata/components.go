@@ -1,0 +1,82 @@
+package automata
+
+// Components returns the weakly-connected components of the frozen
+// topology, restricted to elements for which skip returns false (nil
+// skips nothing). Components are discovered in increasing root-id order
+// and each component lists its elements in depth-first order: for every
+// visited element the in-neighbors are pushed first and the out-neighbors
+// in reverse, so the first-listed out-edge — the chain direction — is
+// followed first. That keeps successor elements adjacent in the returned
+// order, which is what makes row layouts derived from it routing-friendly
+// (level order would interleave parallel chains and cross rows on almost
+// every edge).
+//
+// The traversal reads only the immutable CSR arrays, so Components is
+// safe to call concurrently on the same topology.
+func Components(top *Topology, skip func(ElementID) bool) [][]ElementID {
+	return ComponentsScratch(top, skip, &ComponentScratch{})
+}
+
+// ComponentScratch holds the reusable traversal buffers of Components.
+// Placement runs component discovery on every compile; callers on that
+// hot path keep one scratch and amortize the buffer allocations away.
+// The returned component slices alias the scratch's backing array, so a
+// scratch must not be reused while those slices are still referenced.
+type ComponentScratch struct {
+	visited []bool
+	order   []ElementID
+	stack   []ElementID
+	comps   [][]ElementID
+}
+
+// ComponentsScratch is Components with caller-owned scratch buffers.
+func ComponentsScratch(top *Topology, skip func(ElementID) bool, s *ComponentScratch) [][]ElementID {
+	n := top.Len()
+	if cap(s.visited) < n {
+		s.visited = make([]bool, n)
+	}
+	visited := s.visited[:n]
+	for i := range visited {
+		visited[i] = false
+	}
+	if cap(s.order) < n {
+		s.order = make([]ElementID, 0, n)
+	}
+	// All components share one backing array (every element appears in at
+	// most one), sliced with a full-capacity expression so appending to one
+	// component can never bleed into the next.
+	order := s.order[:0]
+	stack := s.stack[:0]
+	comps := s.comps[:0]
+	for start := 0; start < n; start++ {
+		if visited[start] || (skip != nil && skip(ElementID(start))) {
+			continue
+		}
+		from := len(order)
+		stack = append(stack[:0], ElementID(start))
+		visited[start] = true
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, id)
+			for _, e := range top.Ins(id) {
+				other := ElementID(e.Node)
+				if !visited[other] && (skip == nil || !skip(other)) {
+					visited[other] = true
+					stack = append(stack, other)
+				}
+			}
+			outs := top.Outs(id)
+			for i := len(outs) - 1; i >= 0; i-- {
+				other := ElementID(outs[i].Node)
+				if !visited[other] && (skip == nil || !skip(other)) {
+					visited[other] = true
+					stack = append(stack, other)
+				}
+			}
+		}
+		comps = append(comps, order[from:len(order):len(order)])
+	}
+	s.order, s.stack, s.comps = order, stack, comps
+	return comps
+}

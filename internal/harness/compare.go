@@ -224,6 +224,157 @@ func FormatFloors(violations []FloorViolation, skipped []string, tolerance float
 	return b.String()
 }
 
+// ReadCompileJSON loads the compile-throughput rows of a
+// BENCH_throughput.json file.
+func ReadCompileJSON(path string) ([]CompileRow, error) {
+	f, err := readThroughputFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return f.CompileRows, nil
+}
+
+// CompileRegression is one compile-throughput measurement that fell
+// below the tolerance band.
+type CompileRegression struct {
+	Workload string
+	Mode     string
+	// BaselineDPS and CurrentDPS are the compared designs/sec readings;
+	// Ratio is current/baseline.
+	BaselineDPS float64
+	CurrentDPS  float64
+	Ratio       float64
+}
+
+func (r CompileRegression) String() string {
+	return fmt.Sprintf("%s/%s: %.1f designs/s vs baseline %.1f designs/s (%.0f%%)",
+		r.Workload, r.Mode, r.CurrentDPS, r.BaselineDPS, 100*r.Ratio)
+}
+
+func compileKey(r CompileRow) string {
+	return fmt.Sprintf("%s\x00%s", r.Workload, r.Mode)
+}
+
+// CompareCompile flags every current compile row whose designs/sec fell
+// below baseline*(1-tolerance), keyed by (workload, mode). Rows present
+// on only one side are skipped and listed, mirroring CompareThroughput.
+func CompareCompile(baseline, current []CompileRow, tolerance float64) (regressions []CompileRegression, skipped []string) {
+	base := make(map[string]CompileRow, len(baseline))
+	for _, r := range baseline {
+		base[compileKey(r)] = r
+	}
+	seen := make(map[string]bool, len(current))
+	for _, cur := range current {
+		key := compileKey(cur)
+		seen[key] = true
+		b, ok := base[key]
+		if !ok {
+			skipped = append(skipped, fmt.Sprintf("%s/%s: not in baseline", cur.Workload, cur.Mode))
+			continue
+		}
+		if b.DesignsPerSec <= 0 || cur.DesignsPerSec <= 0 {
+			skipped = append(skipped, fmt.Sprintf("%s/%s: unavailable", cur.Workload, cur.Mode))
+			continue
+		}
+		ratio := cur.DesignsPerSec / b.DesignsPerSec
+		if ratio < 1-tolerance {
+			regressions = append(regressions, CompileRegression{
+				Workload:    cur.Workload,
+				Mode:        cur.Mode,
+				BaselineDPS: b.DesignsPerSec,
+				CurrentDPS:  cur.DesignsPerSec,
+				Ratio:       ratio,
+			})
+		}
+	}
+	for _, r := range baseline {
+		if !seen[compileKey(r)] {
+			skipped = append(skipped, fmt.Sprintf("%s/%s: not measured", r.Workload, r.Mode))
+		}
+	}
+	return regressions, skipped
+}
+
+// CompileFloorViolation is a workload whose stamped pipeline failed to
+// deliver its promised speedup over cold global placement.
+type CompileFloorViolation struct {
+	Workload   string
+	StampedDPS float64
+	ColdDPS    float64
+	Ratio      float64
+	MinRatio   float64
+}
+
+func (v CompileFloorViolation) String() string {
+	return fmt.Sprintf("%s: stamped %.1f designs/s only %.2fx cold %.1f designs/s (floor %.1fx)",
+		v.Workload, v.StampedDPS, v.Ratio, v.ColdDPS, v.MinRatio)
+}
+
+// CompileFloor checks the stamping pipeline's reason to exist: on every
+// workload measured in both modes, stamped placement must compile at
+// least minRatio times as many designs per second as cold global
+// placement. Unlike the baseline comparison this is machine-independent —
+// both sides run on the same host in the same process — so it gates
+// hard with no tolerance discount. Workloads missing either mode are
+// skipped and listed.
+func CompileFloor(rows []CompileRow, minRatio float64) (violations []CompileFloorViolation, skipped []string) {
+	cold := map[string]float64{}
+	stamped := map[string]float64{}
+	var order []string
+	for _, r := range rows {
+		switch r.Mode {
+		case CompileModeCold:
+			cold[r.Workload] = r.DesignsPerSec
+		case CompileModeStamped:
+			if _, ok := stamped[r.Workload]; !ok {
+				order = append(order, r.Workload)
+			}
+			stamped[r.Workload] = r.DesignsPerSec
+		}
+	}
+	for _, w := range order {
+		c, ok := cold[w]
+		if !ok || c <= 0 {
+			skipped = append(skipped, fmt.Sprintf("%s: no cold row", w))
+			continue
+		}
+		ratio := stamped[w] / c
+		if ratio < minRatio {
+			violations = append(violations, CompileFloorViolation{
+				Workload:   w,
+				StampedDPS: stamped[w],
+				ColdDPS:    c,
+				Ratio:      ratio,
+				MinRatio:   minRatio,
+			})
+		}
+	}
+	return violations, skipped
+}
+
+// FormatCompileGate renders the compile gate's verdict: regressions
+// against the committed baseline, then the stamped-vs-cold floor.
+func FormatCompileGate(regressions []CompileRegression, floorViolations []CompileFloorViolation, skipped []string, tolerance, minRatio float64) string {
+	var b strings.Builder
+	for _, r := range regressions {
+		fmt.Fprintf(&b, "REGRESSION %s\n", r)
+	}
+	for _, v := range floorViolations {
+		fmt.Fprintf(&b, "FLOOR %s\n", v)
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(&b, "skipped %s\n", s)
+	}
+	if len(regressions) == 0 && len(floorViolations) == 0 {
+		fmt.Fprintf(&b, "compile gate: ok (tolerance %.0f%%, stamped floor %.1fx cold, %d skipped)\n",
+			100*tolerance, minRatio, len(skipped))
+	} else {
+		fmt.Fprintf(&b, "compile gate: %d regression(s), %d floor violation(s)\n",
+			len(regressions), len(floorViolations))
+	}
+	return b.String()
+}
+
 // FormatComparison renders the gate's verdict: one line per regression
 // and skip, plus a summary line.
 func FormatComparison(regressions []Regression, skipped []string, tolerance float64) string {

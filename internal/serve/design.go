@@ -187,6 +187,7 @@ func (s *Server) compiledDesign(spec DesignSpec, hash string) (*rapid.Design, er
 		compiled, err := s.diskCache.load(hash)
 		if compiled != nil && err == nil {
 			s.tel.cacheHits.With("disk").Inc()
+			s.ensurePlacement(compiled, hash, true)
 			s.compiled[hash] = compiled
 			return compiled, nil
 		}
@@ -213,6 +214,7 @@ func (s *Server) compiledDesign(spec DesignSpec, hash string) (*rapid.Design, er
 	if err != nil {
 		return nil, fmt.Errorf("serve: design %q: %w", spec.Name, err)
 	}
+	s.ensurePlacement(compiled, hash, false)
 	s.compiled[hash] = compiled
 	if s.diskCache != nil {
 		if err := s.diskCache.store(hash, compiled); err != nil {
@@ -222,6 +224,44 @@ func (s *Server) compiledDesign(spec DesignSpec, hash string) (*rapid.Design, er
 		}
 	}
 	return compiled, nil
+}
+
+// ensurePlacement gives a compiled design its placement when the server
+// is configured to persist placements (Config.Placement). Placement runs
+// through the process-wide macro-stamping cache, so a manifest full of
+// variants of one rule family pays for each distinct shape once. fromDisk
+// marks artifacts loaded from the persistent cache: when their stored
+// placement section cannot be used — absent in a previous-format
+// artifact, or corrupt — the miss is counted by reason and the freshly
+// placed artifact is re-persisted so the next restart restores instead of
+// recomputing. The caller holds s.mu.
+func (s *Server) ensurePlacement(compiled *rapid.Design, hash string, fromDisk bool) {
+	if !s.cfg.Placement || compiled.HasPlacement() {
+		return
+	}
+	hadSection := compiled.HasStoredPlacement()
+	restored, err := compiled.EnsurePlaced(s.placeCache)
+	if err != nil {
+		// Placement is an accelerator, not a serving dependency: a design
+		// too large for the modeled board still mounts and serves.
+		s.tel.placementMisses.With("error").Inc()
+		return
+	}
+	if !fromDisk || restored {
+		return
+	}
+	reason := "absent"
+	if hadSection {
+		reason = "corrupt"
+	}
+	s.tel.placementMisses.With(reason).Inc()
+	if s.diskCache != nil {
+		if err := s.diskCache.store(hash, compiled); err != nil {
+			s.tel.cacheWrites.With("error").Inc()
+		} else {
+			s.tel.cacheWrites.With("ok").Inc()
+		}
+	}
 }
 
 func joinArrow(parts []string) string {

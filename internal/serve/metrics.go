@@ -20,9 +20,10 @@ const (
 	metricLatency    = "rapid_serve_request_duration_us"
 
 	// The serve.cache.* family: the two-tier compiled-artifact cache.
-	metricCacheHits   = "rapid_serve_cache_hits_total"
-	metricCacheMisses = "rapid_serve_cache_misses_total"
-	metricCacheWrites = "rapid_serve_cache_writes_total"
+	metricCacheHits            = "rapid_serve_cache_hits_total"
+	metricCacheMisses          = "rapid_serve_cache_misses_total"
+	metricCacheWrites          = "rapid_serve_cache_writes_total"
+	metricCachePlacementMisses = "rapid_serve_cache_placement_misses_total"
 
 	// Tenant quota accounting.
 	metricQuotaRejections = "rapid_serve_quota_rejections_total"
@@ -47,6 +48,7 @@ type serveMetrics struct {
 	cacheHits       *telemetry.CounterVec // tier (memory, disk)
 	cacheMisses     *telemetry.Counter
 	cacheWrites     *telemetry.CounterVec // outcome (ok, error)
+	placementMisses *telemetry.CounterVec // reason (absent, corrupt, error)
 	quotaRejections *telemetry.CounterVec // tenant
 	tenantRequests  *telemetry.CounterVec // tenant
 	reloads         *telemetry.CounterVec // outcome (ok, error)
@@ -76,6 +78,9 @@ func newServeMetrics(reg *telemetry.Registry) *serveMetrics {
 			"Compiled-artifact cache misses (a full compile ran)."),
 		cacheWrites: reg.CounterVec(metricCacheWrites,
 			"Artifacts persisted to the on-disk cache, by outcome (ok, error).", "outcome"),
+		placementMisses: reg.CounterVec(metricCachePlacementMisses,
+			"Disk-cached artifacts whose placement had to be recomputed, by reason (absent = previous-format artifact, corrupt = invalid placement section, error = placement failed).",
+			"reason"),
 		quotaRejections: reg.CounterVec(metricQuotaRejections,
 			"Requests refused because the tenant's token bucket was empty, by tenant.", "tenant"),
 		tenantRequests: reg.CounterVec(metricTenantRequests,

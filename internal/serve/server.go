@@ -65,6 +65,12 @@ type Config struct {
 	// cache: compiled designs are written there keyed by program hash and
 	// loaded on startup instead of recompiling. Empty disables.
 	ArtifactDir string
+	// Placement makes the server place every compiled design (through a
+	// process-wide macro-stamping cache, so manifests full of variants of
+	// one rule family compile at stamping speed) and persist the placement
+	// in the artifact cache; restarts then restore layouts instead of
+	// re-running placement. false disables.
+	Placement bool
 	// TenantRate enables per-tenant token-bucket quotas: each tenant
 	// (X-Tenant header; "default" when absent) is admitted at most
 	// TenantRate requests/second with TenantBurst burst. <= 0 disables.
@@ -121,8 +127,9 @@ type Server struct {
 	order    []string
 	compiled map[string]*rapid.Design
 
-	diskCache *artifactCache
-	quotas    *tenantQuotas
+	diskCache  *artifactCache
+	placeCache *rapid.PlacementCache
+	quotas     *tenantQuotas
 
 	dispatchers sync.WaitGroup
 
@@ -147,6 +154,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.diskCache = cache
+	}
+	if s.cfg.Placement {
+		s.placeCache = rapid.NewPlacementCache()
 	}
 	s.quotas = newTenantQuotas(s.cfg.TenantRate, s.cfg.TenantBurst, nil)
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())

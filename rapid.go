@@ -140,6 +140,12 @@ func (p *Program) Interpret(args []Value, input []byte) ([]int, error) {
 type Design struct {
 	net     *automata.Network
 	reports map[int]string
+
+	// placed is the validated placement, if EnsurePlaced has run.
+	placed *place.Placement
+	// rawPlacement is an artifact placement section awaiting validation
+	// (see EnsurePlaced).
+	rawPlacement *artifactPlacement
 }
 
 // Stats summarizes a design's composition.
@@ -252,16 +258,28 @@ type Placement struct {
 	ClockDivisor     int
 	STEUtilization   float64
 	MeanBRAllocation float64
+	// Stamped is the number of component instances placed by the
+	// macro-stamping fast path (zero for a purely global placement).
+	Stamped          int
 	EstimatedRuntime func(symbols int) time.Duration
 }
 
-// PlaceAndRoute runs the baseline global placement flow on the design.
+// PlaceAndRoute runs the baseline global placement flow on the design,
+// reusing a placement already computed or restored by EnsurePlaced.
 func (d *Design) PlaceAndRoute() (*Placement, error) {
+	if d.placed != nil {
+		pl := newPlacement(d.placed.Metrics)
+		pl.Stamped = d.placed.Stamped
+		return pl, nil
+	}
 	p, err := place.Place(d.net, place.Config{})
 	if err != nil {
 		return nil, err
 	}
-	return newPlacement(p.Metrics), nil
+	d.placed = p
+	pl := newPlacement(p.Metrics)
+	pl.Stamped = p.Stamped
+	return pl, nil
 }
 
 func newPlacement(m place.Metrics) *Placement {
