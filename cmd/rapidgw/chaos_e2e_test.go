@@ -57,7 +57,7 @@ network (String[] pats) { some (String p : pats) find(p); }
 	writeFile(t, manifest, fmt.Sprintf(
 		`[{"name": "d", "src": %q, "args": [["abc","bcd"]]}]`, src))
 
-	ports := freePorts(t, 7) // 3 serve + 3 metrics + 1 gateway
+	ports := freePorts(t, 8) // 3 serve + 3 metrics + gateway + gateway metrics
 	replicas := make([]*replicaProc, 3)
 	for i := range replicas {
 		replicas[i] = &replicaProc{
@@ -74,8 +74,10 @@ network (String[] pats) { some (String p : pats) find(p); }
 	}
 
 	gwAddr := fmt.Sprintf("127.0.0.1:%d", ports[6])
+	gwMetrics := fmt.Sprintf("127.0.0.1:%d", ports[7])
 	gw := startProc(t, bin.rapidgw,
 		"-addr", gwAddr,
+		"-metrics-addr", gwMetrics,
 		"-replicas", replicas[0].addr+","+replicas[1].addr+","+replicas[2].addr,
 		"-probe-interval", "50ms",
 		"-probe-timeout", "500ms",
@@ -113,6 +115,12 @@ network (String[] pats) { some (String p : pats) find(p); }
 		t.Fatal("no replica served the baseline matches")
 	}
 	t.Logf("design owner is replica %d (%s)", owner, replicas[owner].addr)
+
+	// The baseline repeated an identical idempotent match: all but the
+	// first must have been answered from the gateway's response cache.
+	if hits := scrapeVar(t, gwMetrics, `rapid_gateway_cache_hits_total`); hits < 1 {
+		t.Errorf("gateway cache hits after identical baseline matches = %v, want >= 1", hits)
+	}
 
 	const clients = 64
 	var (
@@ -368,23 +376,34 @@ func scrapeVar(t *testing.T, metricsAddr, key string) float64 {
 
 func gatewayReplicas(t *testing.T, base string) []gwReplicaStatus {
 	t.Helper()
-	resp, err := http.Get(base + "/v1/replicas")
-	if err != nil {
-		return nil
-	}
-	defer resp.Body.Close()
-	var statuses []gwReplicaStatus
-	if err := json.NewDecoder(resp.Body).Decode(&statuses); err != nil {
-		return nil
-	}
-	return statuses
+	return gatewayFleet(t, base).Replicas
 }
 
-// gwReplicaStatus mirrors gateway.ReplicaStatus on the wire.
+func gatewayFleet(t *testing.T, base string) gwFleetStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/replicas")
+	if err != nil {
+		return gwFleetStatus{}
+	}
+	defer resp.Body.Close()
+	var fleet gwFleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&fleet); err != nil {
+		return gwFleetStatus{}
+	}
+	return fleet
+}
+
+// gwFleetStatus / gwReplicaStatus mirror gateway.FleetStatus on the wire.
+type gwFleetStatus struct {
+	Digest   string            `json:"digest"`
+	Replicas []gwReplicaStatus `json:"replicas"`
+}
+
 type gwReplicaStatus struct {
-	Replica string `json:"replica"`
-	Ready   bool   `json:"ready"`
-	Breaker string `json:"breaker"`
+	Replica   string `json:"replica"`
+	Ready     bool   `json:"ready"`
+	Breaker   string `json:"breaker"`
+	LastError string `json:"last_error,omitempty"`
 }
 
 // e2eLine mirrors the gateway's NDJSON stream line on the wire.

@@ -1,0 +1,329 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	rapid "repro"
+	"repro/internal/serve"
+)
+
+// TestGatewayHAE2E is the multi-gateway HA harness the CI gateway-ha-e2e
+// job runs: two rapidgw processes front one shared fleet manifest (three
+// replicas, design "d" replicated 2x, plus a population of synthetic
+// design names for movement accounting) while round-robin clients drive
+// streams and matches through both.
+//
+// Proven end to end:
+//   - both gateways expose identical routing digests on /v1/replicas —
+//     they are interchangeable, the multi-gateway HA invariant;
+//   - SIGKILLing one gateway mid-load loses no admitted requests: every
+//     client request completes on the surviving gateway (transport
+//     failures to the killed process are retried there), every stream
+//     remains complete and ordered with only typed errors;
+//   - a SIGHUP manifest change (a fourth replica joins) rebalances the
+//     survivor's live ring: the digest changes, design movement stays
+//     within the consistent-hashing bound, and load never stops;
+//   - SIGTERM then drains the survivor cleanly.
+func TestGatewayHAE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process HA test skipped in -short mode")
+	}
+	bin := buildBinaries(t)
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "artifacts")
+
+	src := filepath.Join(dir, "d.rapid")
+	writeFile(t, src, `
+macro find(String s) {
+  whenever (ALL_INPUT == input()) {
+    foreach (char c : s) c == input();
+    report;
+  }
+}
+network (String[] pats) { some (String p : pats) find(p); }
+`)
+	manifest := filepath.Join(dir, "designs.json")
+	writeFile(t, manifest, fmt.Sprintf(
+		`[{"name": "d", "src": %q, "args": [["abc","bcd"]]}]`, src))
+
+	ports := freePorts(t, 12) // 4 serve + 4 serve metrics + 2 gateways + 2 gateway metrics
+	replicas := make([]*replicaProc, 4)
+	for i := range replicas {
+		replicas[i] = &replicaProc{
+			bin:      bin.rapidserve,
+			addr:     fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			metrics:  fmt.Sprintf("127.0.0.1:%d", ports[4+i]),
+			manifest: manifest,
+			cacheDir: cacheDir,
+		}
+		replicas[i].start(t)
+	}
+	for _, rep := range replicas {
+		waitHTTP(t, "replica "+rep.addr, "http://"+rep.addr+"/readyz")
+	}
+
+	// The shared fleet manifest: three replicas to start (the fourth is
+	// running but not yet in the ring), design "d" replicated 2x, and a
+	// population of synthetic names so rebalance movement is measurable.
+	const synthetics = 40
+	designNames := make([]string, 0, synthetics)
+	for i := 0; i < synthetics; i++ {
+		designNames = append(designNames, fmt.Sprintf(`"synthetic-%d": 1`, i))
+	}
+	fleetJSON := func(replicaAddrs []string) string {
+		quoted := make([]string, len(replicaAddrs))
+		for i, a := range replicaAddrs {
+			quoted[i] = fmt.Sprintf("%q", a)
+		}
+		return fmt.Sprintf(`{"replicas": [%s], "default_replication": 1, "designs": {"d": 2, %s}}`,
+			strings.Join(quoted, ","), strings.Join(designNames, ", "))
+	}
+	fleetPath := filepath.Join(dir, "fleet.json")
+	writeFile(t, fleetPath, fleetJSON([]string{replicas[0].addr, replicas[1].addr, replicas[2].addr}))
+
+	gws := make([]*proc, 2)
+	gwAddrs := make([]string, 2)
+	gwMetrics := make([]string, 2)
+	for i := range gws {
+		gwAddrs[i] = fmt.Sprintf("127.0.0.1:%d", ports[8+i])
+		gwMetrics[i] = fmt.Sprintf("127.0.0.1:%d", ports[10+i])
+		gws[i] = startProc(t, bin.rapidgw,
+			"-addr", gwAddrs[i],
+			"-metrics-addr", gwMetrics[i],
+			"-fleet", fleetPath,
+			"-probe-interval", "50ms",
+			"-probe-timeout", "500ms",
+			"-retry-after", "50ms",
+			"-breaker-threshold", "3",
+			"-breaker-open", "300ms",
+			"-drain-timeout", "20s",
+		)
+		waitHTTP(t, fmt.Sprintf("gateway %d", i), "http://"+gwAddrs[i]+"/readyz")
+	}
+	bases := []string{"http://" + gwAddrs[0], "http://" + gwAddrs[1]}
+
+	// Identical manifests must yield identical routing digests.
+	d0, d1 := gatewayFleet(t, bases[0]).Digest, gatewayFleet(t, bases[1]).Digest
+	if d0 == "" || d0 != d1 {
+		t.Fatalf("routing digests diverge: %q vs %q", d0, d1)
+	}
+	t.Logf("both gateways agree on digest %s", d0)
+
+	recs := [][]byte{
+		[]byte("xxabcxx"), []byte("yyy"), []byte("zzabc"), []byte("bcdbcd"),
+		[]byte("qqqq"), []byte("ababc"), []byte("noise"), []byte("abcbcd"),
+	}
+	stream := rapid.FrameRecords(recs...)
+	records, offsets := rapid.SplitRecords(stream)
+
+	// Round-robin clients: each request goes to one gateway; a transport
+	// failure (the gateway was killed) retries once on the other. Any
+	// response must satisfy the usual zero-loss contract.
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	const clients = 32
+	var (
+		stop      atomic.Bool
+		streamsOK atomic.Int64
+		matchesOK atomic.Int64
+		retried   atomic.Int64
+		failures  = make(chan string, clients)
+		wg        sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			turn := c
+			for !stop.Load() {
+				base := bases[turn%2]
+				other := bases[(turn+1)%2]
+				turn++
+				var msg string
+				if c%2 == 0 {
+					msg = haStream(httpc, base, other, stream, records, offsets, &streamsOK, &retried)
+				} else {
+					msg = haMatch(httpc, base, other, &matchesOK, &retried)
+				}
+				if msg != "" {
+					select {
+					case failures <- msg:
+					default:
+					}
+					return
+				}
+			}
+		}(c)
+	}
+
+	// SIGKILL gateway 0 mid-load. Clients fail over to gateway 1 and no
+	// admitted request is lost.
+	time.Sleep(400 * time.Millisecond)
+	if err := gws[0].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = gws[0].cmd.Wait()
+	time.Sleep(400 * time.Millisecond)
+
+	// SIGHUP rebalance on the survivor: the fourth replica joins the ring
+	// while load continues.
+	writeFile(t, fleetPath, fleetJSON([]string{replicas[0].addr, replicas[1].addr, replicas[2].addr, replicas[3].addr}))
+	if err := gws[1].cmd.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "survivor to apply the rebalance", func() bool {
+		return scrapeVar(t, gwMetrics[1], `rapid_gateway_rebalances_total{outcome=ok}`) >= 1
+	})
+	time.Sleep(400 * time.Millisecond)
+
+	stop.Store(true)
+	wg.Wait()
+	close(failures)
+	for msg := range failures {
+		t.Error(msg)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if streamsOK.Load() == 0 || matchesOK.Load() == 0 {
+		t.Fatal("no successful traffic during the HA run")
+	}
+	if retried.Load() == 0 {
+		t.Error("no client retried onto the surviving gateway; the kill window saw no traffic")
+	}
+
+	// The survivor's table now holds all four replicas under a new digest.
+	fleet := gatewayFleet(t, bases[1])
+	if len(fleet.Replicas) != 4 {
+		t.Fatalf("survivor routes %d replicas after rebalance, want 4", len(fleet.Replicas))
+	}
+	if fleet.Digest == d0 {
+		t.Fatal("routing digest unchanged after membership change")
+	}
+
+	// Movement stayed within the consistent-hashing bound: tracked designs
+	// are "d" (R=2) plus the synthetics (R=1); one added replica on a ring
+	// growing 3 -> 4 should move about (40*1 + 1*2)/4 of them, and never
+	// more than twice that.
+	moved := scrapeVar(t, gwMetrics[1], `rapid_gateway_rebalance_moved_designs_total`)
+	expected := float64(synthetics*1+1*2) / 4
+	if moved == 0 || moved > 2*expected {
+		t.Fatalf("rebalance moved %v designs, want within (0, %v] (2x the fair share %v)", moved, 2*expected, expected)
+	}
+	t.Logf("HA: streams ok=%d matches ok=%d retried=%d; rebalance moved %v/41 designs (fair share %v)",
+		streamsOK.Load(), matchesOK.Load(), retried.Load(), moved, expected)
+
+	// The survivor drains cleanly.
+	if err := gws[1].cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitExit(gws[1].cmd, 25*time.Second); err != nil {
+		t.Fatalf("surviving gateway did not drain cleanly: %v\nstderr:\n%s", err, gws[1].stderr.String())
+	}
+	if !strings.Contains(gws[1].stderr.String(), "rebalanced:") {
+		t.Fatalf("survivor stderr missing rebalance confirmation:\n%s", gws[1].stderr.String())
+	}
+	if !strings.Contains(gws[1].stderr.String(), "drained cleanly") {
+		t.Fatalf("survivor stderr missing drain confirmation:\n%s", gws[1].stderr.String())
+	}
+}
+
+// haStream runs one stream against base, retrying once on other if base
+// is unreachable (killed gateway). Returns a failure description or "".
+func haStream(httpc *http.Client, base, other string, stream []byte, records [][]byte, offsets []int,
+	ok, retriedCount *atomic.Int64) string {
+	msg := haStreamOnce(httpc, base, stream, records, offsets, ok)
+	if msg == "" || !strings.HasPrefix(msg, "transport:") {
+		return msg
+	}
+	retriedCount.Add(1)
+	return haStreamOnce(httpc, other, stream, records, offsets, ok)
+}
+
+func haStreamOnce(httpc *http.Client, base string, stream []byte, records [][]byte, offsets []int,
+	ok *atomic.Int64) string {
+	resp, err := httpc.Post(base+"/v1/match/stream?design=d", "application/octet-stream",
+		bytes.NewReader(stream))
+	if err != nil {
+		return fmt.Sprintf("transport: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Sprintf("stream status %d: %s", resp.StatusCode, body)
+	}
+	var lines []e2eLine
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line e2eLine
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			// The gateway died mid-response; the whole stream is retried.
+			return fmt.Sprintf("transport: torn stream: %v", err)
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) != len(records) {
+		return fmt.Sprintf("stream lost records: %d lines for %d records", len(lines), len(records))
+	}
+	for i, line := range lines {
+		if line.Index != i || line.Offset != offsets[i] {
+			return fmt.Sprintf("record %d misnumbered: index=%d offset=%d want offset %d",
+				i, line.Index, line.Offset, offsets[i])
+		}
+		if line.Error != "" && (line.Code == "" || !serve.RetryableCode(line.Code)) {
+			return fmt.Sprintf("record %d failed without a typed retryable code: %q %s",
+				i, line.Code, line.Error)
+		}
+	}
+	ok.Add(1)
+	return ""
+}
+
+// haMatch runs one match against base, retrying once on other if base is
+// unreachable. Returns a failure description or "".
+func haMatch(httpc *http.Client, base, other string, ok, retriedCount *atomic.Int64) string {
+	msg := haMatchOnce(httpc, base, ok)
+	if msg == "" || !strings.HasPrefix(msg, "transport:") {
+		return msg
+	}
+	retriedCount.Add(1)
+	return haMatchOnce(httpc, other, ok)
+}
+
+func haMatchOnce(httpc *http.Client, base string, ok *atomic.Int64) string {
+	body, _ := json.Marshal(map[string]string{"design": "d", "text": "xxabc"})
+	resp, err := httpc.Post(base+"/v1/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Sprintf("transport: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		var out struct {
+			Count int `json:"count"`
+		}
+		if err := json.Unmarshal(data, &out); err != nil || out.Count == 0 {
+			return fmt.Sprintf("match 200 with bad body %q (err %v)", data, err)
+		}
+		ok.Add(1)
+		return ""
+	}
+	var eb serve.ErrorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Code == "" || !serve.RetryableCode(eb.Code) {
+		return fmt.Sprintf("match refused without a typed retryable code: status=%d body=%q",
+			resp.StatusCode, data)
+	}
+	return ""
+}

@@ -3,18 +3,29 @@
 // design name, each replica is probed actively and guarded by a circuit
 // breaker, and admitted requests fail over to the next replica in ring
 // order when one dies — including streams, which resume at the first
-// unacknowledged record.
+// unacknowledged record. Designs with a replication factor above 1 in
+// the fleet manifest spread load across their ring candidates by
+// power-of-two-choices on in-flight count, and identical idempotent
+// matches are answered from a bounded gateway-side cache.
 //
 // Usage:
 //
 //	rapidgw -replicas 10.0.0.1:8765,10.0.0.2:8765,10.0.0.3:8765
-//	rapidgw -replicas host1:8765,host2:8765 -addr :8764 -metrics-addr :9191
+//	rapidgw -fleet fleet.json -addr :8764 -metrics-addr :9191
+//
+// With -fleet, the manifest file declares the membership and per-design
+// replication factors, and SIGHUP re-reads it: replicas roll in and out
+// of the live ring (bounded design movement, no dropped in-flight
+// requests, no restart). Any number of rapidgw processes can front one
+// fleet — they are stateless and, given the same manifest, expose
+// identical routing digests on GET /v1/replicas.
 //
 // Endpoints mirror rapidserve (POST /v1/match, POST /v1/match/stream,
 // GET /v1/designs, /healthz, /readyz) plus GET /v1/replicas, which
-// reports each replica's readiness and breaker state. SIGTERM (or
-// SIGINT) drains gracefully: readiness flips to 503, in-flight requests
-// and stream failovers complete, then the process exits 0. See
+// reports the routing digest and each replica's readiness, breaker
+// state, in-flight count, and last probe error. SIGTERM (or SIGINT)
+// drains gracefully: readiness flips to 503, in-flight requests and
+// stream failovers complete, then the process exits 0. See
 // docs/OPERATIONS.md for topology and tuning.
 package main
 
@@ -37,8 +48,10 @@ func main() {
 	var (
 		addr          = flag.String("addr", ":8764", "gateway listen address")
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this dedicated address")
-		replicas      = flag.String("replicas", "", "comma-separated rapidserve base URLs or host:port pairs (required)")
+		replicas      = flag.String("replicas", "", "comma-separated rapidserve base URLs or host:port pairs")
+		fleetPath     = flag.String("fleet", "", "fleet-manifest JSON file (replicas + per-design replication); re-read on SIGHUP")
 		vnodes        = flag.Int("vnodes", 64, "consistent-hash points per replica")
+		cacheBytes    = flag.Int64("cache-bytes", 32<<20, "idempotent-response cache budget in bytes (0 disables)")
 		probeInterval = flag.Duration("probe-interval", time.Second, "active /readyz probe period")
 		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
 		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After hint on gateway-originated 503s")
@@ -49,16 +62,11 @@ func main() {
 	)
 	flag.Parse()
 
-	if *replicas == "" {
-		fmt.Fprintln(os.Stderr, "rapidgw: -replicas is required")
-		flag.Usage()
-		os.Exit(2)
-	}
 	cfg := gateway.Config{
 		Addr:          *addr,
 		MetricsAddr:   *metricsAddr,
-		Replicas:      strings.Split(*replicas, ","),
 		Vnodes:        *vnodes,
+		CacheMaxBytes: *cacheBytes,
 		ProbeInterval: *probeInterval,
 		ProbeTimeout:  *probeTimeout,
 		RetryAfter:    *retryAfter,
@@ -67,6 +75,20 @@ func main() {
 			FailureThreshold: *breakerTrip,
 			OpenTimeout:      *breakerReopen,
 		},
+	}
+	switch {
+	case *fleetPath != "":
+		m, err := gateway.LoadFleetManifest(*fleetPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Fleet = m
+	case *replicas != "":
+		cfg.Replicas = strings.Split(*replicas, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "rapidgw: -fleet or -replicas is required")
+		flag.Usage()
+		os.Exit(2)
 	}
 	if *metricsAddr != "" {
 		cfg.Telemetry = telemetry.Default()
@@ -78,12 +100,35 @@ func main() {
 	if err := g.Start(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "rapidgw: routing %d replicas on http://%s\n",
-		len(cfg.Replicas), g.Addr())
+	fmt.Fprintf(os.Stderr, "rapidgw: routing %d replicas on http://%s digest=%s\n",
+		len(g.Replicas()), g.Addr(), g.Digest())
+
+	// SIGHUP re-reads the fleet manifest and rebalances the live ring.
+	hup := make(chan os.Signal, 1)
+	if *fleetPath != "" {
+		signal.Notify(hup, syscall.SIGHUP)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	<-ctx.Done()
+	for done := false; !done; {
+		select {
+		case <-hup:
+			m, err := gateway.LoadFleetManifest(*fleetPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rapidgw: reload:", err)
+				continue
+			}
+			summary, err := g.ApplyFleet(m)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rapidgw: rebalance:", err)
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "rapidgw: rebalanced:", summary)
+		case <-ctx.Done():
+			done = true
+		}
+	}
 	fmt.Fprintln(os.Stderr, "rapidgw: draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

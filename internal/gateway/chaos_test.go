@@ -101,7 +101,7 @@ func TestChaosKillReplicaUnderLoad(t *testing.T) {
 
 	// Let load build, then SIGKILL-equivalent the owner of "d" mid-stream.
 	time.Sleep(150 * time.Millisecond)
-	owner := g.ring.candidates("d")[0]
+	owner := g.table.Load().ring.candidates("d")[0]
 	victim := reps[owner]
 	victim.kill()
 	time.Sleep(300 * time.Millisecond)
@@ -110,7 +110,7 @@ func TestChaosKillReplicaUnderLoad(t *testing.T) {
 	// to closed while load continues.
 	victim.start()
 	waitFor(t, "killed replica to rejoin (ready + breaker closed)", func() bool {
-		rep := g.replicas[owner]
+		rep := g.table.Load().replicas[owner]
 		return rep.ready.Load() && rep.breaker.State() == resilience.BreakerClosed
 	})
 	time.Sleep(150 * time.Millisecond)
@@ -145,6 +145,160 @@ func TestChaosKillReplicaUnderLoad(t *testing.T) {
 	if err := g.Shutdown(ctx); err != nil {
 		t.Fatalf("gateway drain: %v", err)
 	}
+}
+
+// TestChaosReplicatedDesignKillUnderLoad is the replicated-design chaos
+// bar: design "d" runs with replication factor 2 on a three-replica
+// fleet, load spreads across both candidates by power-of-two-choices,
+// and one of the two is killed mid-load and NEVER restarted. Because the
+// design is already hot on the surviving candidate, traffic must keep
+// succeeding immediately — no breaker-recovery wait, no restart — with
+// zero lost admitted requests. The gateway's idempotent-response cache is
+// on, so repeated identical matches must also show cache hits.
+func TestChaosReplicatedDesignKillUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	reps := []*testReplica{
+		startReplica(t, "", serve.Config{}),
+		startReplica(t, "", serve.Config{}),
+		startReplica(t, "", serve.Config{}),
+	}
+	reg := telemetry.NewRegistry()
+	cfg := testGatewayConfig(nil, reg)
+	cfg.Fleet = FleetManifest{
+		Replicas: []string{reps[0].addr, reps[1].addr, reps[2].addr},
+		Designs:  map[string]int{"d": 2},
+	}
+	cfg.CacheMaxBytes = 1 << 20
+	g := mustGateway(t, cfg)
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitAllReady(t, g)
+	base := "http://" + g.Addr()
+
+	recs := [][]byte{
+		[]byte("xxabcxx"), []byte("yyy"), []byte("zzabc"), []byte("bcdbcd"),
+		[]byte("qqqq"), []byte("ababc"), []byte("noise"), []byte("abcbcd"),
+	}
+	stream := rapid.FrameRecords(recs...)
+	records, offsets := rapid.SplitRecords(stream)
+	wantReports := countBaselineReports(t, base, stream, records, offsets)
+
+	cands := g.table.Load().ring.candidates("d")
+	pair := []int{cands[0], cands[1]} // the replicated set
+
+	const clients = 48
+	var (
+		stop         atomic.Bool
+		streamsOK    atomic.Int64
+		streamsTyped atomic.Int64
+		matchesOK    atomic.Int64
+		failures     = make(chan string, clients)
+	)
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Matches rotate through a few distinct inputs, so the cache
+			// sees both misses and repeat hits.
+			text := fmt.Sprintf("xx-abc-%d", c%4)
+			for !stop.Load() {
+				var msg string
+				if c%2 == 0 {
+					msg = runChaosStream(httpc, base, stream, records, offsets, wantReports,
+						&streamsOK, &streamsTyped)
+				} else {
+					msg = runChaosTextMatch(httpc, base, text, &matchesOK)
+				}
+				if msg != "" {
+					select {
+					case failures <- msg:
+					default:
+					}
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Let the spread establish, then kill the design's ring owner — one of
+	// its two live candidates — and keep it dead.
+	time.Sleep(200 * time.Millisecond)
+	snap := reg.Snapshot()
+	for _, c := range pair {
+		id := g.table.Load().replicas[c].id
+		if picks := snap.Counter(metricSpreadPicks, "replica", id); picks == 0 {
+			t.Errorf("candidate %s got no spread picks before the kill; load not spread", id)
+		}
+	}
+	reps[pair[0]].kill()
+
+	// Traffic continues against the surviving candidate with no recovery
+	// wait: the victim stays dead until the end of the test.
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	close(failures)
+	for msg := range failures {
+		t.Error(msg)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if streamsOK.Load() == 0 || matchesOK.Load() == 0 {
+		t.Fatal("no successful traffic during the chaos run")
+	}
+
+	snap = reg.Snapshot()
+	survivorID := g.table.Load().replicas[pair[1]].id
+	if served := snap.Counter(metricRequests, "replica", survivorID, "outcome", "ok"); served == 0 {
+		t.Fatalf("surviving candidate %s served nothing", survivorID)
+	}
+	if hits := snap.Counter(metricCacheHits); hits == 0 {
+		t.Fatal("no cache hits despite repeated identical matches")
+	}
+	t.Logf("replicated chaos: streams ok=%d typed=%d matches ok=%d cache hits=%d failovers match=%d stream=%d",
+		streamsOK.Load(), streamsTyped.Load(), matchesOK.Load(), snap.Counter(metricCacheHits),
+		snap.Counter(metricFailovers, "path", "match"), snap.Counter(metricFailovers, "path", "stream"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := g.Shutdown(ctx); err != nil {
+		t.Fatalf("gateway drain: %v", err)
+	}
+}
+
+// runChaosTextMatch issues one match for text; any response must be 200
+// (count may be zero — the text may not contain a pattern) or a typed
+// retryable refusal.
+func runChaosTextMatch(httpc *http.Client, base, text string, ok *atomic.Int64) string {
+	body, _ := json.Marshal(map[string]string{"design": "d", "text": text})
+	resp, err := httpc.Post(base+"/v1/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Sprintf("match transport error through gateway: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		var out struct {
+			Count int `json:"count"`
+		}
+		if err := json.Unmarshal(data, &out); err != nil || out.Count == 0 {
+			return fmt.Sprintf("match 200 with bad body %q (err %v)", data, err)
+		}
+		ok.Add(1)
+		return ""
+	}
+	var eb serve.ErrorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Code == "" || !serve.RetryableCode(eb.Code) {
+		return fmt.Sprintf("match refused without a typed retryable code: status=%d body=%q",
+			resp.StatusCode, data)
+	}
+	return ""
 }
 
 // countBaselineReports runs the stream once against a healthy fleet and

@@ -1,9 +1,24 @@
 // Package gateway is the fault-tolerant front door for a fleet of
 // rapidserve replicas: it routes match and stream requests by consistent
-// hashing on the design name, tracks each replica's health with active
-// readiness probes and a passive per-replica circuit breaker, and retries
-// admitted requests onto the next replica in ring order when one fails —
-// so killing a replica mid-load loses zero admitted requests.
+// hashing on the design name, mounts hot designs on R ring candidates
+// (per-design replication factors from the fleet manifest) and spreads
+// their load by power-of-two-choices on in-flight count, tracks each
+// replica's health with active readiness probes and a passive per-replica
+// circuit breaker, and retries admitted requests onto the next candidate
+// when one fails — so killing a replica mid-load loses zero admitted
+// requests, and with R > 1 the surviving candidates absorb the load
+// without waiting for a breaker to recover.
+//
+// The routing table is a hot-swappable epoch: ApplyFleet (rapidgw's
+// SIGHUP) diffs a new fleet manifest against the current membership and
+// rebuilds the ring without dropping in-flight or admitted requests.
+// Gateways are stateless — two gateways over the same manifest expose
+// identical routing digests on GET /v1/replicas, so a fleet can run any
+// number of them behind a TCP load balancer.
+//
+// Idempotent /v1/match responses are cached gateway-side, keyed on design
+// hash + input hash (bounded bytes, LRU), so repeated probes and hot
+// queries never touch a replica.
 //
 // Failover policy follows the serve layer's error vocabulary: transport
 // errors, 503 draining, and 429 over-capacity move the request to another
@@ -25,9 +40,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
-	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -38,20 +53,32 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Config wires a Gateway. Replicas is required; everything else has
-// production-shaped defaults.
+// CacheHeader is set by the gateway on /v1/match responses it answered
+// ("hit") or populated ("miss") through the idempotent-response cache.
+const CacheHeader = "X-Rapid-Cache"
+
+// Config wires a Gateway. Fleet (or Replicas) is required; everything
+// else has production-shaped defaults.
 type Config struct {
 	// Addr is the listen address. Default ":8764".
 	Addr string
 	// MetricsAddr optionally serves /metrics on a separate listener, shut
 	// down last during drain.
 	MetricsAddr string
-	// Replicas are the rapidserve base URLs (e.g. "http://10.0.0.1:8765").
-	// A bare host:port gets "http://" prepended.
+	// Fleet declares the replica membership and per-design replication
+	// factors. ApplyFleet swaps it at runtime.
+	Fleet FleetManifest
+	// Replicas are the rapidserve base URLs (e.g. "http://10.0.0.1:8765")
+	// — shorthand for a Fleet with replication 1 everywhere. Ignored when
+	// Fleet.Replicas is set.
 	Replicas []string
-	// Vnodes is the number of consistent-hash points per replica.
-	// Default 64.
+	// Vnodes is the number of consistent-hash points per replica. Every
+	// gateway over one fleet must agree on it (it is part of the routing
+	// digest). Default 64.
 	Vnodes int
+	// CacheMaxBytes bounds the gateway-side cache of idempotent /v1/match
+	// responses; 0 disables the cache.
+	CacheMaxBytes int64
 	// ProbeInterval paces the active /readyz probes. Default 1s.
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds one probe. Default 1s.
@@ -93,7 +120,7 @@ func (c Config) withDefaults() Config {
 		c.MaxBodyBytes = 64 << 20
 	}
 	if c.Policy.MaxAttempts <= 0 {
-		c.Policy.MaxAttempts = len(c.Replicas) + 1
+		c.Policy.MaxAttempts = len(c.Fleet.Replicas) + 1
 		if c.Policy.MaxAttempts < 3 {
 			c.Policy.MaxAttempts = 3
 		}
@@ -102,14 +129,19 @@ func (c Config) withDefaults() Config {
 }
 
 // Gateway routes requests across a replica fleet. Construct with New,
-// then Start a listener or mount Handler yourself; Shutdown drains.
+// then Start a listener or mount Handler yourself; ApplyFleet rebalances
+// at runtime; Shutdown drains.
 type Gateway struct {
-	cfg      Config
-	tel      *gatewayMetrics
-	mux      *http.ServeMux
-	httpc    *http.Client
-	replicas []*replica
-	ring     *ring
+	cfg   Config
+	tel   *gatewayMetrics
+	mux   *http.ServeMux
+	httpc *http.Client
+	cache *responseCache
+
+	// fleetMu serializes ApplyFleet; table is the atomically-swapped
+	// routing epoch every request resolves exactly once.
+	fleetMu sync.Mutex
+	table   atomic.Pointer[routeTable]
 
 	draining   atomic.Bool
 	baseCtx    context.Context
@@ -125,42 +157,28 @@ type Gateway struct {
 
 // New builds a gateway over the configured replica fleet.
 func New(cfg Config) (*Gateway, error) {
-	if len(cfg.Replicas) == 0 {
+	if len(cfg.Fleet.Replicas) == 0 {
+		cfg.Fleet.Replicas = cfg.Replicas
+	}
+	if len(cfg.Fleet.Replicas) == 0 {
 		return nil, fmt.Errorf("gateway: at least one replica is required")
 	}
 	g := &Gateway{cfg: cfg.withDefaults()}
 	g.tel = newGatewayMetrics(g.cfg.Telemetry)
+	g.cache = newResponseCache(g.cfg.CacheMaxBytes, g.tel)
 	g.httpc = g.cfg.HTTPClient
 	if g.httpc == nil {
 		g.httpc = &http.Client{Timeout: 5 * time.Minute}
 	}
-	seen := map[string]bool{}
-	ids := make([]string, 0, len(g.cfg.Replicas))
-	for _, raw := range g.cfg.Replicas {
-		base := strings.TrimSuffix(raw, "/")
-		if !strings.Contains(base, "://") {
-			base = "http://" + base
-		}
-		u, err := url.Parse(base)
-		if err != nil || u.Host == "" {
-			return nil, fmt.Errorf("gateway: bad replica URL %q", raw)
-		}
-		if seen[u.Host] {
-			return nil, fmt.Errorf("gateway: duplicate replica %q", u.Host)
-		}
-		seen[u.Host] = true
-		rep := &replica{id: u.Host, base: base, breaker: resilience.NewBreaker(g.cfg.Breaker)}
-		id := rep.id
-		rep.breaker.OnTransition(func(_, to resilience.BreakerState) {
-			g.tel.breakerState.With(id).Set(int64(to))
-			g.tel.breakerTransitions.With(id, to.String()).Inc()
-		})
-		g.tel.breakerState.With(id).Set(int64(resilience.BreakerClosed))
-		g.replicas = append(g.replicas, rep)
-		ids = append(ids, rep.id)
-	}
-	g.ring = newRing(ids, g.cfg.Vnodes)
 	g.baseCtx, g.cancelBase = context.WithCancel(context.Background())
+
+	t, added, err := g.buildTable(g.cfg.Fleet, nil)
+	if err != nil {
+		g.cancelBase()
+		return nil, err
+	}
+	g.table.Store(t)
+	g.tel.fleetSize.Set(int64(len(t.replicas)))
 
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
@@ -182,9 +200,8 @@ func New(cfg Config) (*Gateway, error) {
 		fmt.Fprintln(w, "rapidgw endpoints: /healthz /readyz /v1/replicas /v1/designs POST /v1/match POST /v1/match/stream")
 	})
 
-	for _, rep := range g.replicas {
-		g.background.Add(1)
-		go g.probeLoop(g.baseCtx, rep)
+	for _, rep := range added {
+		g.startProber(rep)
 	}
 	return g, nil
 }
@@ -257,20 +274,88 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 
 var errNoReplicas = errors.New("gateway: no replica available")
 
-// nextEligible returns the next candidate replica that is ready and whose
-// breaker admits a request, advancing *cursor past it. The caller MUST
-// call breaker.Record exactly once for the returned replica — Allow may
-// have consumed a half-open probe slot.
-func (g *Gateway) nextEligible(cands []int, cursor *int) *replica {
-	for i := 0; i < len(cands); i++ {
-		rep := g.replicas[cands[(*cursor+i)%len(cands)]]
+// route carries one request's routing decision: a table epoch, the
+// design's candidate order (spread-reordered when replicated), and the
+// failover cursor. All legs of one request route from the same epoch.
+type route struct {
+	g      *Gateway
+	t      *routeTable
+	cands  []int
+	cursor int
+	spread bool
+	picked bool
+}
+
+// routeFor resolves a request's preference order for key. Designs with
+// replication factor R > 1 have their first R candidates reordered by
+// power-of-two-choices on in-flight count — two ready candidates are
+// sampled and the less-loaded one leads — so replicated load spreads
+// instead of hammering the ring owner; the remaining candidates keep ring
+// order for deterministic failover.
+func (g *Gateway) routeFor(key string) *route {
+	t := g.table.Load()
+	rt := &route{g: g, t: t, cands: t.ring.candidates(key)}
+	if r := t.replicationFor(key); r > 1 {
+		rt.spread = true
+		rt.reorderSpread(r)
+	}
+	return rt
+}
+
+// reorderSpread applies power-of-two-choices over the ready members of
+// the design's candidate set, rotating the chosen replica to the front of
+// the preference order.
+func (rt *route) reorderSpread(r int) {
+	if r > len(rt.cands) {
+		r = len(rt.cands)
+	}
+	ready := make([]int, 0, r)
+	for i := 0; i < r; i++ {
+		if rt.t.replicas[rt.cands[i]].ready.Load() {
+			ready = append(ready, i)
+		}
+	}
+	if len(ready) == 0 {
+		return
+	}
+	pick := ready[0]
+	if len(ready) > 1 {
+		// Sample two distinct ready candidates; the less-loaded one leads.
+		a := rand.Intn(len(ready))
+		b := rand.Intn(len(ready) - 1)
+		if b >= a {
+			b++
+		}
+		pick = ready[a]
+		if rt.t.replicas[rt.cands[ready[b]]].inflight.Load() < rt.t.replicas[rt.cands[ready[a]]].inflight.Load() {
+			pick = ready[b]
+		}
+	}
+	if pick != 0 {
+		chosen := rt.cands[pick]
+		copy(rt.cands[1:pick+1], rt.cands[:pick])
+		rt.cands[0] = chosen
+	}
+}
+
+// next returns the next candidate replica that is ready and whose breaker
+// admits a request, advancing the cursor past it. The caller MUST call
+// breaker.Record exactly once for the returned replica — Allow may have
+// consumed a half-open probe slot.
+func (rt *route) next() *replica {
+	for i := 0; i < len(rt.cands); i++ {
+		rep := rt.t.replicas[rt.cands[(rt.cursor+i)%len(rt.cands)]]
 		if !rep.ready.Load() {
 			continue
 		}
 		if !rep.breaker.Allow() {
 			continue
 		}
-		*cursor = (*cursor + i + 1) % len(cands)
+		rt.cursor = (rt.cursor + i + 1) % len(rt.cands)
+		if rt.spread && !rt.picked {
+			rt.picked = true
+			rt.g.tel.spreadPicks.With(rep.id).Inc()
+		}
 		return rep
 	}
 	return nil
@@ -285,7 +370,7 @@ type bufferedResponse struct {
 }
 
 func (g *Gateway) relay(w http.ResponseWriter, resp *bufferedResponse) {
-	for _, k := range []string{"Content-Type", "Retry-After"} {
+	for _, k := range []string{"Content-Type", "Retry-After", serve.DesignHashHeader, serve.IdempotentHeader} {
 		if v := resp.header.Get(k); v != "" {
 			w.Header().Set(k, v)
 		}
@@ -310,6 +395,8 @@ func (g *Gateway) forward(ctx context.Context, rep *replica, method, pathAndQuer
 			req.Header.Set(k, v)
 		}
 	}
+	g.acquire(rep)
+	defer g.release(rep)
 	resp, err := g.httpc.Do(req)
 	if err != nil {
 		return nil, err
@@ -353,14 +440,15 @@ func classifyResponse(resp *bufferedResponse) (breakerFailed, failover bool, hin
 // errors and failover-class statuses move to the next eligible replica
 // under the retry policy, with upstream Retry-After hints flooring the
 // backoff. When every attempt fails the client gets 503
-// upstream_unavailable — a typed, retryable refusal, never silence.
-func (g *Gateway) proxyWithFailover(w http.ResponseWriter, r *http.Request, path, key string, body []byte) {
-	cands := g.ring.candidates(key)
-	cursor := 0
+// upstream_unavailable — a typed, retryable refusal, never silence. The
+// relayed response is returned (nil after a refusal) so handleMatch can
+// feed the idempotent-response cache.
+func (g *Gateway) proxyWithFailover(w http.ResponseWriter, r *http.Request, path, key string, body []byte) *bufferedResponse {
+	rt := g.routeFor(key)
 	attempts := 0
 	var final *bufferedResponse
 	err := resilience.Retry(r.Context(), g.cfg.Policy, func(int) error {
-		rep := g.nextEligible(cands, &cursor)
+		rep := rt.next()
 		if rep == nil {
 			return resilience.RetryAfter(errNoReplicas, g.cfg.RetryAfter)
 		}
@@ -394,9 +482,10 @@ func (g *Gateway) proxyWithFailover(w http.ResponseWriter, r *http.Request, path
 	if err != nil {
 		serve.WriteErrorBody(w, http.StatusServiceUnavailable, serve.CodeUpstreamUnavailable,
 			fmt.Sprintf("gateway: no replica could serve the request: %v", err), g.cfg.RetryAfter)
-		return
+		return nil
 	}
 	g.relay(w, final)
+	return final
 }
 
 // --- handlers ---
@@ -413,7 +502,7 @@ func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 			"gateway draining", g.cfg.RetryAfter)
 		return
 	}
-	for _, rep := range g.replicas {
+	for _, rep := range g.table.Load().replicas {
 		if rep.ready.Load() {
 			fmt.Fprintln(w, "ready")
 			return
@@ -426,31 +515,70 @@ func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // ReplicaStatus is one replica's health as the gateway sees it, exposed
 // on /v1/replicas for operators and the chaos harness.
 type ReplicaStatus struct {
-	Replica    string `json:"replica"`
-	URL        string `json:"url"`
-	Ready      bool   `json:"ready"`
-	Breaker    string `json:"breaker"`
-	ProbeError string `json:"probe_error,omitempty"`
+	Replica string `json:"replica"`
+	URL     string `json:"url"`
+	Ready   bool   `json:"ready"`
+	Breaker string `json:"breaker"`
+	// BreakerFailures is the consecutive-failure count of a closed
+	// breaker — the early-warning signal before it trips.
+	BreakerFailures int `json:"breaker_failures,omitempty"`
+	// InFlight is the replica's current in-flight request count, the
+	// power-of-two-choices spread signal.
+	InFlight int64 `json:"inflight"`
+	// LastError is the most recent probe failure, "" after a success.
+	LastError string `json:"last_error,omitempty"`
 }
 
-// Replicas returns the fleet's current status.
+// FleetStatus is the GET /v1/replicas payload: the routing-table digest
+// (equal across every gateway sharing a fleet manifest — the
+// multi-gateway HA invariant), the ring parameters, and each replica's
+// health.
+type FleetStatus struct {
+	Digest             string          `json:"digest"`
+	Vnodes             int             `json:"vnodes"`
+	DefaultReplication int             `json:"default_replication"`
+	Designs            map[string]int  `json:"designs,omitempty"`
+	Replicas           []ReplicaStatus `json:"replicas"`
+}
+
+// Replicas returns the fleet's current per-replica status.
 func (g *Gateway) Replicas() []ReplicaStatus {
-	out := make([]ReplicaStatus, 0, len(g.replicas))
-	for _, rep := range g.replicas {
+	t := g.table.Load()
+	out := make([]ReplicaStatus, 0, len(t.replicas))
+	for _, rep := range t.replicas {
+		state, failures := rep.breaker.Snapshot()
 		out = append(out, ReplicaStatus{
-			Replica:    rep.id,
-			URL:        rep.base,
-			Ready:      rep.ready.Load(),
-			Breaker:    rep.breaker.State().String(),
-			ProbeError: rep.probeError(),
+			Replica:         rep.id,
+			URL:             rep.base,
+			Ready:           rep.ready.Load(),
+			Breaker:         state.String(),
+			BreakerFailures: failures,
+			InFlight:        rep.inflight.Load(),
+			LastError:       rep.probeError(),
 		})
 	}
 	return out
 }
 
+// Fleet returns the full introspection payload of GET /v1/replicas.
+func (g *Gateway) Fleet() FleetStatus {
+	t := g.table.Load()
+	designs := make(map[string]int, len(t.repl))
+	for name, r := range t.repl {
+		designs[name] = r
+	}
+	return FleetStatus{
+		Digest:             t.digest,
+		Vnodes:             t.vnodes,
+		DefaultReplication: t.defaultRepl,
+		Designs:            designs,
+		Replicas:           g.Replicas(),
+	}
+}
+
 func (g *Gateway) handleReplicas(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	_ = json.NewEncoder(w).Encode(g.Replicas())
+	_ = json.NewEncoder(w).Encode(g.Fleet())
 }
 
 // handleDesigns relays the mounted-design listing from any healthy
@@ -477,5 +605,24 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 		Design string `json:"design"`
 	}
 	_ = json.Unmarshal(body, &req)
-	g.proxyWithFailover(w, r, "/v1/match", req.Design, body)
+
+	// Identical idempotent matches are answered from the gateway cache —
+	// no replica round-trip, no queue slot, no quota draw.
+	var inHash string
+	if g.cache != nil {
+		inHash = inputHash(body)
+		if resp := g.cache.lookup(req.Design, inHash); resp != nil {
+			g.tel.cacheHits.Inc()
+			w.Header().Set(CacheHeader, "hit")
+			g.relay(w, resp)
+			return
+		}
+		g.tel.cacheMisses.Inc()
+		w.Header().Set(CacheHeader, "miss")
+	}
+	resp := g.proxyWithFailover(w, r, "/v1/match", req.Design, body)
+	if g.cache != nil && resp != nil && resp.status == http.StatusOK &&
+		resp.header.Get(serve.IdempotentHeader) == "true" {
+		g.cache.store(req.Design, resp.header.Get(serve.DesignHashHeader), inHash, resp)
+	}
 }

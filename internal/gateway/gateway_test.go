@@ -163,7 +163,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 func waitAllReady(t *testing.T, g *Gateway) {
 	t.Helper()
 	waitFor(t, "all replicas ready", func() bool {
-		for _, rep := range g.replicas {
+		for _, rep := range g.table.Load().replicas {
 			if !rep.ready.Load() {
 				return false
 			}
@@ -247,7 +247,7 @@ func TestMatchFailover(t *testing.T) {
 		t.Fatalf("baseline match: %d %s", rec.Code, rec.Body)
 	}
 
-	owner := g.ring.candidates("d")[0]
+	owner := g.table.Load().ring.candidates("d")[0]
 	victim := []*testReplica{r1, r2}[owner]
 	victim.wound(func(inner http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -275,7 +275,7 @@ func TestMatchFailover(t *testing.T) {
 
 	// Three 503s tripped the breaker (threshold 3); later matches skipped
 	// the victim entirely.
-	victimID := g.replicas[owner].id
+	victimID := g.table.Load().replicas[owner].id
 	snap := reg.Snapshot()
 	if got := snap.Counter(metricRequests, "replica", victimID, "outcome", "retried"); got != 3 {
 		t.Fatalf("victim retried legs = %d, want 3 (breaker should cut it off)", got)
@@ -298,12 +298,12 @@ func TestBreakerRecoversViaProbes(t *testing.T) {
 	g := mustGateway(t, testGatewayConfig([]string{r1.addr, r2.addr}, nil))
 	waitAllReady(t, g)
 
-	owner := g.ring.candidates("d")[0]
+	owner := g.table.Load().ring.candidates("d")[0]
 	victim := []*testReplica{r1, r2}[owner]
 	victim.kill()
 
 	waitFor(t, "probe failures to open the breaker", func() bool {
-		return g.replicas[owner].breaker.State() != resilience.BreakerClosed
+		return g.table.Load().replicas[owner].breaker.State() != resilience.BreakerClosed
 	})
 	// Matches keep succeeding on the survivor the whole time.
 	if rec := postMatch(t, g.Handler(), "d", "xxabc", ""); rec.Code != http.StatusOK {
@@ -312,7 +312,7 @@ func TestBreakerRecoversViaProbes(t *testing.T) {
 
 	victim.start()
 	waitFor(t, "breaker to close after restart", func() bool {
-		rep := g.replicas[owner]
+		rep := g.table.Load().replicas[owner]
 		return rep.breaker.State() == resilience.BreakerClosed && rep.ready.Load()
 	})
 	if rec := postMatch(t, g.Handler(), "d", "xxabc", ""); rec.Code != http.StatusOK {
@@ -381,7 +381,7 @@ func TestUnknownDesignRelayed(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Code != serve.CodeNotFound {
 		t.Fatalf("unknown design body %s, want code %q", rec.Body, serve.CodeNotFound)
 	}
-	if got := reg.Snapshot().Counter(metricRequests, "replica", g.replicas[0].id, "outcome", "relayed_error"); got != 1 {
+	if got := reg.Snapshot().Counter(metricRequests, "replica", g.table.Load().replicas[0].id, "outcome", "relayed_error"); got != 1 {
 		t.Fatalf("relayed_error = %d, want 1", got)
 	}
 }
@@ -448,7 +448,7 @@ func TestStreamFailoverMidStream(t *testing.T) {
 	g := mustGateway(t, testGatewayConfig([]string{r1.addr, r2.addr}, reg))
 	waitAllReady(t, g)
 
-	owner := g.ring.candidates("d")[0]
+	owner := g.table.Load().ring.candidates("d")[0]
 	victim := []*testReplica{r1, r2}[owner]
 	var once sync.Once
 	victim.wound(func(inner http.Handler) http.Handler {
@@ -551,8 +551,9 @@ func TestStreamAllReplicasDown(t *testing.T) {
 	}
 }
 
-// TestReplicasEndpoint: the introspection endpoint reports readiness and
-// breaker state per replica.
+// TestReplicasEndpoint: the introspection endpoint reports the routing
+// digest plus readiness, breaker state, in-flight count, and last probe
+// error per replica.
 func TestReplicasEndpoint(t *testing.T) {
 	r1 := startReplica(t, "", serve.Config{})
 	g := mustGateway(t, testGatewayConfig([]string{r1.addr}, nil))
@@ -560,11 +561,28 @@ func TestReplicasEndpoint(t *testing.T) {
 	req := httptest.NewRequest(http.MethodGet, "/v1/replicas", nil)
 	rec := httptest.NewRecorder()
 	g.Handler().ServeHTTP(rec, req)
-	var statuses []ReplicaStatus
-	if err := json.Unmarshal(rec.Body.Bytes(), &statuses); err != nil {
+	var fleet FleetStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &fleet); err != nil {
 		t.Fatalf("bad /v1/replicas body %s: %v", rec.Body, err)
 	}
+	if fleet.Digest == "" || fleet.Digest != g.Digest() {
+		t.Fatalf("digest = %q, want the gateway's %q", fleet.Digest, g.Digest())
+	}
+	if fleet.DefaultReplication != 1 || fleet.Vnodes != 64 {
+		t.Fatalf("fleet params = %+v, want default_replication 1, vnodes 64", fleet)
+	}
+	statuses := fleet.Replicas
 	if len(statuses) != 1 || !statuses[0].Ready || statuses[0].Breaker != "closed" {
 		t.Fatalf("statuses = %+v, want one ready replica with a closed breaker", statuses)
 	}
+	if statuses[0].LastError != "" || statuses[0].InFlight != 0 {
+		t.Fatalf("idle ready replica reports %+v, want no last_error and zero inflight", statuses[0])
+	}
+
+	// A killed replica's status must surface the probe failure.
+	r1.kill()
+	waitFor(t, "probe failure to surface in last_error", func() bool {
+		sts := g.Replicas()
+		return !sts[0].Ready && sts[0].LastError != ""
+	})
 }

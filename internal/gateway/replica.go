@@ -12,13 +12,19 @@ import (
 
 // replica tracks one backend rapidserve instance: its circuit breaker
 // (passive error tracking from live traffic), its readiness as seen by
-// the active prober, and the last probe failure for introspection.
+// the active prober, its in-flight request count (the load-spread
+// signal), and the last probe failure for introspection. Replica objects
+// survive fleet rebalances — a kept member carries its breaker state and
+// in-flight count into the new routing table — and removed members stay
+// alive for the requests already routed to them.
 type replica struct {
-	id      string // host:port, the metric label
-	base    string // normalized base URL
-	breaker *resilience.Breaker
-	ready   atomic.Bool
-	lastErr atomic.Value // string: last probe failure, "" after success
+	id          string // host:port, the metric label
+	base        string // normalized base URL
+	breaker     *resilience.Breaker
+	ready       atomic.Bool
+	lastErr     atomic.Value // string: last probe failure, "" after success
+	inflight    atomic.Int64
+	probeCancel context.CancelFunc
 }
 
 func (rep *replica) probeError() string {
@@ -26,6 +32,24 @@ func (rep *replica) probeError() string {
 		return s
 	}
 	return ""
+}
+
+// stopProber stops the replica's readiness-probe loop; called when a
+// rebalance removes the replica from the fleet.
+func (rep *replica) stopProber() {
+	if rep.probeCancel != nil {
+		rep.probeCancel()
+	}
+}
+
+// acquire/release bracket one request leg to the replica, maintaining
+// the in-flight count power-of-two-choices spreads on.
+func (g *Gateway) acquire(rep *replica) {
+	g.tel.replicaInflight.With(rep.id).Set(rep.inflight.Add(1))
+}
+
+func (g *Gateway) release(rep *replica) {
+	g.tel.replicaInflight.With(rep.id).Set(rep.inflight.Add(-1))
 }
 
 // probeLoop actively probes the replica's /readyz every interval. A probe
@@ -104,7 +128,7 @@ func (e *probeStatusError) Error() string {
 
 func (g *Gateway) updateReadyGauge() {
 	var n int64
-	for _, rep := range g.replicas {
+	for _, rep := range g.table.Load().replicas {
 		if rep.ready.Load() {
 			n++
 		}

@@ -1,0 +1,144 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringOwners maps every key to its owning replica id.
+func ringOwners(ids []string, vnodes int, keys []string) map[string]string {
+	r := newRing(ids, vnodes)
+	owners := make(map[string]string, len(keys))
+	for _, key := range keys {
+		owners[key] = ids[r.candidates(key)[0]]
+	}
+	return owners
+}
+
+// ringSets maps every key to its first-R candidate id set.
+func ringSets(ids []string, vnodes, rf int, keys []string) map[string][]string {
+	r := newRing(ids, vnodes)
+	sets := make(map[string][]string, len(keys))
+	for _, key := range keys {
+		cands := r.candidates(key)
+		if rf > len(cands) {
+			rf = len(cands)
+		}
+		set := make([]string, 0, rf)
+		for _, c := range cands[:rf] {
+			set = append(set, ids[c])
+		}
+		sets[key] = set
+	}
+	return sets
+}
+
+func churnKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("design-%d", i)
+	}
+	return keys
+}
+
+// TestRingChurnAddBounded: adding one replica to an n-replica ring moves
+// ownership of roughly 1/(n+1) of the keys — never more than twice that —
+// and every moved key moves TO the new replica (consistent hashing's
+// defining property: no incidental reshuffling among survivors).
+func TestRingChurnAddBounded(t *testing.T) {
+	const vnodes = 64
+	ids := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	grownIDs := append(append([]string(nil), ids...), "f:1")
+	keys := churnKeys(2000)
+
+	before := ringOwners(ids, vnodes, keys)
+	after := ringOwners(grownIDs, vnodes, keys)
+
+	moved := 0
+	for _, key := range keys {
+		if before[key] != after[key] {
+			moved++
+			if after[key] != "f:1" {
+				t.Fatalf("key %q moved from %s to %s, not to the added replica", key, before[key], after[key])
+			}
+		}
+	}
+	expected := len(keys) / len(grownIDs)
+	if moved == 0 {
+		t.Fatal("adding a replica moved no keys; it owns nothing")
+	}
+	if moved > 2*expected {
+		t.Fatalf("adding one replica moved %d/%d keys, want <= %d (2x the fair share %d)",
+			moved, len(keys), 2*expected, expected)
+	}
+	t.Logf("add churn: moved %d/%d keys (fair share %d)", moved, len(keys), expected)
+}
+
+// TestRingChurnRemoveBounded: removing a replica remaps exactly the keys
+// it owned — every other key keeps its owner.
+func TestRingChurnRemoveBounded(t *testing.T) {
+	const vnodes = 64
+	ids := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	const removed = "c:1"
+	shrunkIDs := []string{"a:1", "b:1", "d:1", "e:1"}
+	keys := churnKeys(2000)
+
+	before := ringOwners(ids, vnodes, keys)
+	after := ringOwners(shrunkIDs, vnodes, keys)
+
+	moved := 0
+	for _, key := range keys {
+		if before[key] == removed {
+			moved++
+			if after[key] == removed {
+				t.Fatalf("key %q still owned by the removed replica", key)
+			}
+			continue
+		}
+		if before[key] != after[key] {
+			t.Fatalf("key %q moved from %s to %s though its owner survived", key, before[key], after[key])
+		}
+	}
+	expected := len(keys) / len(ids)
+	if moved == 0 || moved > 2*expected {
+		t.Fatalf("removed replica owned %d/%d keys, want within (0, %d]", moved, len(keys), 2*expected)
+	}
+}
+
+// TestRingChurnReplicatedSetsBounded: with replication R, one added
+// replica changes the first-R candidate set of at most ~2R/(n+1) of the
+// keys, and no candidate set ever contains a duplicate replica.
+func TestRingChurnReplicatedSetsBounded(t *testing.T) {
+	const vnodes = 64
+	const rf = 2
+	ids := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	grownIDs := append(append([]string(nil), ids...), "f:1")
+	keys := churnKeys(2000)
+
+	before := ringSets(ids, vnodes, rf, keys)
+	after := ringSets(grownIDs, vnodes, rf, keys)
+
+	moved := 0
+	for _, key := range keys {
+		set := after[key]
+		if len(set) != rf {
+			t.Fatalf("key %q candidate set %v, want %d distinct replicas", key, set, rf)
+		}
+		seen := map[string]bool{}
+		for _, id := range set {
+			if seen[id] {
+				t.Fatalf("key %q candidate set %v has duplicates", key, set)
+			}
+			seen[id] = true
+		}
+		if !sameMembers(before[key], set) {
+			moved++
+		}
+	}
+	expected := rf * len(keys) / len(grownIDs)
+	if moved == 0 || moved > 2*expected {
+		t.Fatalf("one added replica changed %d/%d candidate sets, want within (0, %d] (2x the fair share %d)",
+			moved, len(keys), 2*expected, expected)
+	}
+	t.Logf("replicated churn: %d/%d sets changed (fair share %d)", moved, len(keys), expected)
+}

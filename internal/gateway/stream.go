@@ -74,11 +74,10 @@ func (g *Gateway) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	cands := g.ring.candidates(design)
-	cursor := 0
+	rt := g.routeFor(design)
 	legs := 0
 	err = resilience.Retry(r.Context(), g.cfg.Policy, func(int) error {
-		rep := g.nextEligible(cands, &cursor)
+		rep := rt.next()
 		if rep == nil {
 			return resilience.RetryAfter(errNoReplicas, g.cfg.RetryAfter)
 		}
@@ -152,6 +151,8 @@ func (st *streamState) leg(r *http.Request, rep *replica) error {
 	if st.tenant != "" {
 		req.Header.Set(serve.TenantHeader, st.tenant)
 	}
+	g.acquire(rep)
+	defer g.release(rep)
 	resp, err := g.httpc.Do(req)
 	if err != nil {
 		rep.breaker.Record(true)

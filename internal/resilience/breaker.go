@@ -100,6 +100,17 @@ func (b *Breaker) State() BreakerState {
 	return b.state
 }
 
+// Snapshot returns the breaker's current position and, when closed, its
+// consecutive-failure count — the early-warning signal introspection
+// endpoints expose before a breaker trips. The open → half-open timeout
+// transition is applied first.
+func (b *Breaker) Snapshot() (BreakerState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state, b.failures
+}
+
 // Allow reports whether a request may be sent now. While half-open it
 // admits at most HalfOpenProbes outstanding probes; each Allow that
 // returns true must be matched by exactly one Record call.

@@ -131,3 +131,25 @@ func TestBreakerLateRecordWhileOpenIsIgnored(t *testing.T) {
 		t.Fatalf("state %v, want open: stragglers must not re-close", b.State())
 	}
 }
+
+func TestBreakerSnapshot(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Second, Now: clk.now})
+	if state, failures := b.Snapshot(); state != BreakerClosed || failures != 0 {
+		t.Fatalf("fresh breaker snapshot = (%v, %d), want (closed, 0)", state, failures)
+	}
+	b.Record(true)
+	b.Record(true)
+	if state, failures := b.Snapshot(); state != BreakerClosed || failures != 2 {
+		t.Fatalf("snapshot after 2 failures = (%v, %d), want (closed, 2)", state, failures)
+	}
+	b.Record(true)
+	if state, _ := b.Snapshot(); state != BreakerOpen {
+		t.Fatalf("snapshot after threshold = %v, want open", state)
+	}
+	// Snapshot applies the open -> half-open timeout like State does.
+	clk.advance(time.Second)
+	if state, _ := b.Snapshot(); state != BreakerHalfOpen {
+		t.Fatalf("snapshot after open timeout = %v, want half-open", state)
+	}
+}

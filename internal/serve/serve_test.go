@@ -554,3 +554,40 @@ func mustNew(t *testing.T, cfg Config) *Server {
 	}
 	return s
 }
+
+// TestMatchIdempotencyHeaders: a 200 match response carries the design's
+// program hash and the idempotency marker (what gateways key their
+// response caches on); refusals carry neither.
+func TestMatchIdempotencyHeaders(t *testing.T) {
+	s := mustNew(t, Config{})
+	info, err := s.AddDesign(testSpec("d", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	}()
+
+	resp, out := postMatch(t, ts.URL, matchRequest{Design: "d", Text: "xxabc"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(DesignHashHeader); got != info.Hash || got != out.Hash {
+		t.Fatalf("%s = %q, want the design hash %q (body says %q)", DesignHashHeader, got, info.Hash, out.Hash)
+	}
+	if got := resp.Header.Get(IdempotentHeader); got != "true" {
+		t.Fatalf("%s = %q, want \"true\"", IdempotentHeader, got)
+	}
+
+	refused, _ := postMatch(t, ts.URL, matchRequest{Design: "nope", Text: "x"})
+	if refused.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown design status %d, want 404", refused.StatusCode)
+	}
+	if refused.Header.Get(IdempotentHeader) != "" || refused.Header.Get(DesignHashHeader) != "" {
+		t.Fatal("refusal carries idempotency headers; a gateway could cache an error")
+	}
+}

@@ -31,6 +31,16 @@ import (
 	"repro/internal/telemetry"
 )
 
+// Response headers a gateway uses to cache idempotent match responses:
+// DesignHashHeader carries the served design's program hash (so a cache
+// keyed on it invalidates itself across hot reloads), and
+// IdempotentHeader marks responses that are a pure function of (design
+// hash, input bytes) — safe to replay for an identical request.
+const (
+	DesignHashHeader = "X-Rapid-Design-Hash"
+	IdempotentHeader = "X-Rapid-Idempotent"
+)
+
 // Config sizes and wires a Server. The zero value serves on :8765 with
 // telemetry disabled and production-shaped defaults for the queue and
 // batching knobs.
@@ -424,6 +434,10 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		s.writeSubmitError(w, err)
 		return
 	}
+	// A match result is a pure function of (design hash, input): mark it
+	// replayable so a gateway can cache it, keyed to survive hot reloads.
+	w.Header().Set(DesignHashHeader, d.info.Hash)
+	w.Header().Set(IdempotentHeader, "true")
 	writeJSON(w, http.StatusOK, matchResponse{
 		Design:  d.info.Name,
 		Hash:    d.info.Hash,
